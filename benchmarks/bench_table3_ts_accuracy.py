@@ -1,0 +1,60 @@
+"""Table III bench: TS-subgraph accuracy, SC vs ApproxRank (§V-C).
+
+Regenerates the paper's Table III rows on the politics-like dataset and
+benchmarks the two competitors per topic subgraph, asserting the
+paper's qualitative outcome (ApproxRank wins footrule on every
+subgraph).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sc import SCSettings, stochastic_complementation
+from repro.core.approxrank import approxrank
+from repro.experiments import table3
+from repro.metrics.evaluation import evaluate_estimate
+from repro.subgraphs.topic import topic_subgraph
+
+TOPICS = ("conservatism", "liberalism", "socialism")
+
+
+class TestTable3Regeneration:
+    def test_regenerate_table3(self, benchmark, bench_context):
+        result = benchmark.pedantic(
+            lambda: table3.run(bench_context), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        sc_footrule = result.column("SC footrule (ours)")
+        ar_footrule = result.column("AR footrule (ours)")
+        assert all(a < s for a, s in zip(ar_footrule, sc_footrule))
+
+
+@pytest.mark.parametrize("topic", TOPICS)
+class TestPerTopicAlgorithms:
+    def test_approxrank(self, benchmark, topic, bench_context,
+                        politics, politics_truth):
+        nodes = topic_subgraph(politics, topic)
+        prep = bench_context.preprocessor(politics)
+        estimate = benchmark(
+            lambda: approxrank(
+                politics.graph, nodes, bench_context.settings,
+                preprocessor=prep,
+            )
+        )
+        report = evaluate_estimate(politics_truth.scores, estimate)
+        assert report.footrule < 0.3
+
+    def test_sc(self, benchmark, topic, bench_context,
+                politics, politics_truth):
+        nodes = topic_subgraph(politics, topic)
+        estimate = benchmark.pedantic(
+            lambda: stochastic_complementation(
+                politics.graph, nodes, bench_context.settings,
+                SCSettings(expansions=bench_context.config.sc_expansions),
+            ),
+            rounds=1, iterations=1,
+        )
+        report = evaluate_estimate(politics_truth.scores, estimate)
+        assert report.footrule < 0.6

@@ -1,0 +1,92 @@
+"""Table VI bench: runtimes on DS subgraphs (§V-F).
+
+Per-domain algorithm benchmarks over a small/medium/large domain
+triple, plus the full 12-domain table regeneration.  The shapes under
+test: SC cost grows sharply with n (the paper's largest domains make
+SC rival exact global PageRank) while ApproxRank's per-subgraph cost
+stays in a narrow band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.localpr import local_pagerank_baseline
+from repro.baselines.sc import SCSettings, stochastic_complementation
+from repro.core.approxrank import approxrank
+from repro.experiments import table6
+from repro.subgraphs.domain import domain_subgraph
+
+REPRESENTATIVE_DOMAINS = ("acu.edu.au", "csu.edu.au", "anu.edu.au")
+
+
+class TestTable6Regeneration:
+    def test_regenerate_table6(self, benchmark, bench_context):
+        result = benchmark.pedantic(
+            lambda: table6.run(bench_context), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        ratios = result.column("SC/AR (ours)")
+        assert all(r > 5 for r in ratios)
+        # SC cost grows with n: last (largest) domain costs more than
+        # the first (smallest).
+        sc_seconds = result.column("SC (s)")
+        assert sc_seconds[-1] > sc_seconds[0]
+
+
+@pytest.mark.parametrize("domain", REPRESENTATIVE_DOMAINS)
+class TestPerDomainRuntime:
+    def test_local_pagerank(self, benchmark, domain, bench_context, au):
+        nodes = domain_subgraph(au, domain)
+        benchmark(
+            lambda: local_pagerank_baseline(
+                au.graph, nodes, bench_context.settings
+            )
+        )
+
+    def test_approxrank_amortised(
+        self, benchmark, domain, bench_context, au
+    ):
+        nodes = domain_subgraph(au, domain)
+        prep = bench_context.preprocessor(au)
+        benchmark(
+            lambda: approxrank(
+                au.graph, nodes, bench_context.settings,
+                preprocessor=prep,
+            )
+        )
+
+    def test_sc(self, benchmark, domain, bench_context, au):
+        nodes = domain_subgraph(au, domain)
+        benchmark.pedantic(
+            lambda: stochastic_complementation(
+                au.graph, nodes, bench_context.settings,
+                SCSettings(expansions=bench_context.config.sc_expansions),
+            ),
+            rounds=1, iterations=1,
+        )
+
+
+class TestAmortisationBenefit:
+    def test_preprocess_once_rank_many(self, benchmark, bench_context, au):
+        """§IV-B: with the global pass shared, ranking all 12 domains
+        costs little more than ranking one."""
+        from repro.generators.datasets import AU_NAMED_DOMAINS
+
+        prep = bench_context.preprocessor(au)
+        all_domains = [
+            domain_subgraph(au, name) for name, __ in AU_NAMED_DOMAINS
+        ]
+
+        def rank_all():
+            return [
+                approxrank(
+                    au.graph, nodes, bench_context.settings,
+                    preprocessor=prep,
+                )
+                for nodes in all_domains
+            ]
+
+        results = benchmark.pedantic(rank_all, rounds=2, iterations=1)
+        assert len(results) == 12

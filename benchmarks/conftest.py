@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run on mid-scale datasets (20k pages) — large enough for the
+paper's runtime shapes (SC ≫ ApproxRank, SC growing with n, global
+PageRank as the ceiling) to be visible in pytest-benchmark's comparison
+table, small enough for the whole harness to finish in minutes.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every fixture is session-scoped: datasets and ground-truth vectors are
+built once for the entire run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+#: One shared scale for all benchmark files.
+BENCH_CONFIG = ExperimentConfig(
+    au_pages=20_000,
+    politics_pages=20_000,
+    bfs_fractions=(0.005, 0.02, 0.05, 0.10, 0.20),
+    bfs_sc_fractions=(0.005, 0.02),
+    sc_expansions=25,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_context() -> ExperimentContext:
+    """Shared context: datasets + cached ground truth + preprocessors."""
+    return ExperimentContext(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def au(bench_context):
+    """The AU-like dataset (forces generation once)."""
+    return bench_context.au
+
+
+@pytest.fixture(scope="session")
+def politics(bench_context):
+    """The politics-like dataset (forces generation once)."""
+    return bench_context.politics
+
+
+@pytest.fixture(scope="session")
+def au_truth(bench_context, au):
+    """Global PageRank of the AU-like dataset."""
+    return bench_context.ground_truth(au)
+
+
+@pytest.fixture(scope="session")
+def politics_truth(bench_context, politics):
+    """Global PageRank of the politics-like dataset."""
+    return bench_context.ground_truth(politics)

@@ -1,0 +1,80 @@
+"""Crawl prioritisation: how much does score-guided fetching gain?
+
+§I's focused-crawler claim, simulated end-to-end: "a focused crawler
+acquires relevant pages using a Best First Search; it selects links
+based on their scores."  Four crawlers explore the same synthetic web
+from the same seed with the same fetch budget; they differ only in how
+they order their frontier.  The table reports the cumulative true
+PageRank mass gathered as fetches proceed — the value a crawler's
+index accumulates.
+
+Run with::
+
+    python examples/crawl_prioritization.py [num_pages]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.crawler import CrawlSimulator
+
+
+def main(num_pages: int = 8_000) -> None:
+    print(f"generating web ({num_pages} pages)...")
+    web = repro.make_au_like(num_pages=num_pages, seed=7)
+    truth = repro.global_pagerank(web.graph)
+    seed_page = repro.default_bfs_seed(web.graph)
+    budget = max(num_pages // 20, 200)
+    batch = max(budget // 12, 10)
+    print(
+        f"crawl: seed page {seed_page}, budget {budget} fetches, "
+        f"batches of {batch}\n"
+    )
+
+    strategies = ("approxrank", "local-pagerank", "indegree", "bfs",
+                  "random")
+    results = {}
+    for strategy in strategies:
+        simulator = CrawlSimulator(
+            web.graph, [seed_page],
+            strategy=strategy,
+            batch_size=batch,
+            rng_seed=5,
+            global_scores=truth.scores,
+        )
+        results[strategy] = simulator.run(budget)
+
+    checkpoints = (0.25, 0.5, 0.75, 1.0)
+    header = f"{'strategy':16s}" + "".join(
+        f"  mass@{int(c * 100):3d}%" for c in checkpoints
+    ) + f"  {'seconds':>8s}"
+    print(header)
+    print("-" * len(header))
+    for strategy, result in results.items():
+        curve = result.mass_curve
+        cells = []
+        for fraction in checkpoints:
+            index = min(
+                int(round(fraction * (len(curve) - 1))),
+                len(curve) - 1,
+            )
+            cells.append(f"  {curve[index]:9.4f}")
+        print(
+            f"{strategy:16s}" + "".join(cells)
+            + f"  {result.runtime_seconds:8.2f}"
+        )
+
+    best = results["approxrank"].mass_curve[-1]
+    rand = results["random"].mass_curve[-1]
+    print(
+        f"\nApproxRank-guided crawling gathered "
+        f"{best / rand:.2f}x the PageRank mass of random fetching "
+        "within the same budget."
+    )
+
+
+if __name__ == "__main__":
+    pages = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    main(pages)

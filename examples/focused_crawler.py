@@ -1,0 +1,75 @@
+"""Focused crawler: rank a topical crawl against the whole web.
+
+The §I motivating application behind the TS experiments: a focused
+crawler collects pages on a topic (here: categories of a politics-like
+web) and needs PageRank-style scores for them that respect the global
+link structure.  For each topic this example
+
+1. extracts the TS subgraph (category pages + a 3-link focused crawl),
+2. ranks it with ApproxRank and with the SC competitor,
+3. reports both metrics of the paper's Table III against the global
+   ground truth.
+
+Run with::
+
+    python examples/focused_crawler.py [num_pages]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.baselines import SCSettings, stochastic_complementation
+from repro.generators.datasets import POLITICS_TOPICS
+
+
+def main(num_pages: int = 20_000) -> None:
+    print(f"generating politics-like web ({num_pages} pages)...")
+    web = repro.make_politics_like(num_pages=num_pages, seed=13)
+    truth = repro.global_pagerank(web.graph)
+    prep = repro.ApproxRankPreprocessor(web.graph)
+
+    header = (
+        f"{'topic':14s} {'core':>5s} {'crawl':>6s} "
+        f"{'AR L1':>8s} {'SC L1':>8s} "
+        f"{'AR footrule':>12s} {'SC footrule':>12s}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+
+    for topic, __ in POLITICS_TOPICS:
+        core = web.pages_with_label("topic", topic)
+        crawl = repro.topic_subgraph(web, topic, max_depth=3)
+        approx = repro.approxrank(web.graph, crawl, preprocessor=prep)
+        sc = stochastic_complementation(
+            web.graph, crawl, sc_settings=SCSettings(expansions=25)
+        )
+        approx_report = repro.evaluate_estimate(truth.scores, approx)
+        sc_report = repro.evaluate_estimate(truth.scores, sc)
+        print(
+            f"{topic:14s} {core.size:5d} {crawl.size:6d} "
+            f"{approx_report.l1:8.4f} {sc_report.l1:8.4f} "
+            f"{approx_report.footrule:12.5f} {sc_report.footrule:12.5f}"
+        )
+
+    print(
+        "\nApproxRank matches or beats SC on ordering accuracy "
+        "(footrule) while\navoiding SC's supergraph construction -- "
+        "the paper's Table III shape."
+    )
+
+    # Show what a crawler would actually use the ranking for: the
+    # Best-First frontier ordering of one topic.
+    topic = POLITICS_TOPICS[0][0]
+    crawl = repro.topic_subgraph(web, topic)
+    approx = repro.approxrank(web.graph, crawl, preprocessor=prep)
+    print(f"\ntop 5 '{topic}' pages to prioritise:")
+    for rank, page in enumerate(approx.top_k(5), start=1):
+        label = web.label_names["topic"][web.labels["topic"][page]]
+        print(f"  {rank}. page {page} (topic label: {label})")
+
+
+if __name__ == "__main__":
+    pages = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    main(pages)

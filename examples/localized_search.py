@@ -1,0 +1,70 @@
+"""Localized search engine: rank every domain of a multi-domain web.
+
+The §I scenario behind the DS experiments: a localized search engine
+indexes the pages of one domain, and its ranking must still reflect the
+global link structure.  This example builds the AU-like dataset, runs
+ApproxRank's one-off global preprocessing pass, then ranks *all 12
+named domains* at local cost each — exactly the multi-subgraph
+amortisation §IV-B advertises — and compares every estimate against
+global PageRank and the local-PageRank baseline.
+
+Run with::
+
+    python examples/localized_search.py [num_pages]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import repro
+from repro.generators.datasets import AU_NAMED_DOMAINS
+
+
+def main(num_pages: int = 20_000) -> None:
+    print(f"generating AU-like web ({num_pages} pages, 38 domains)...")
+    web = repro.make_au_like(num_pages=num_pages, seed=7)
+
+    print("computing ground truth (global PageRank) for comparison...")
+    start = time.perf_counter()
+    truth = repro.global_pagerank(web.graph)
+    global_seconds = time.perf_counter() - start
+    print(f"  global PageRank: {global_seconds:.2f} s, "
+          f"{truth.iterations} iterations")
+
+    print("\nApproxRank one-off global preprocessing pass...")
+    prep = repro.ApproxRankPreprocessor(web.graph)
+    print(f"  preprocessing: {prep.preprocess_seconds:.3f} s "
+          "(shared by every domain below)")
+
+    header = (
+        f"{'domain':18s} {'n':>6s} {'AR ms':>7s} "
+        f"{'AR footrule':>12s} {'localPR footrule':>17s} {'gain':>6s}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for domain, __ in AU_NAMED_DOMAINS:
+        pages = repro.domain_subgraph(web, domain)
+        estimate = repro.approxrank(web.graph, pages, preprocessor=prep)
+        report = repro.evaluate_estimate(truth.scores, estimate)
+        baseline = repro.local_pagerank_baseline(web.graph, pages)
+        baseline_report = repro.evaluate_estimate(truth.scores, baseline)
+        gain = baseline_report.footrule / max(report.footrule, 1e-12)
+        print(
+            f"{domain:18s} {pages.size:6d} "
+            f"{report.runtime_seconds * 1000:7.1f} "
+            f"{report.footrule:12.5f} {baseline_report.footrule:17.5f} "
+            f"{gain:5.1f}x"
+        )
+
+    print(
+        "\nApproxRank ranked every domain at local cost after one "
+        "global pass;\nlocal PageRank, which ignores the external web, "
+        "is consistently less accurate."
+    )
+
+
+if __name__ == "__main__":
+    pages = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    main(pages)

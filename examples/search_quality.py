@@ -1,0 +1,88 @@
+"""End-to-end search quality: does a better ranking change answers?
+
+Figure 1's full loop: a localized search engine indexes one domain,
+users submit keyword queries, and Top-K answers come back ordered by a
+subgraph ranking.  This example builds the engine three times — with
+ApproxRank, with local PageRank, and with the gold global ranking —
+runs the same query workload through each, and measures how often the
+Top-10 answer sets agree with the gold engine.  The paper's §V-C claim
+("for Top-K query answering, the accuracy of the ordering is more
+important than the accuracy of the scores") becomes a concrete number.
+
+Run with::
+
+    python examples/search_quality.py [num_pages]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.search import SyntheticLexicon, compare_engines
+from repro.search.engine import reference_engine_scores
+
+
+def main(num_pages: int = 20_000) -> None:
+    print(f"generating AU-like web ({num_pages} pages)...")
+    web = repro.make_au_like(num_pages=num_pages, seed=7)
+    truth = repro.global_pagerank(web.graph)
+
+    print("assigning terms (Zipfian, domain-coherent vocabulary)...")
+    lexicon = SyntheticLexicon(
+        web.graph,
+        group_of=web.labels["domain"],
+        num_terms=500,
+        terms_per_page=8.0,
+        coherence=0.5,
+        seed=11,
+    )
+
+    # A cross-domain BFS crawl — the subgraph family where ranking
+    # quality differs most between algorithms (Figure 7).
+    seed_page = repro.default_bfs_seed(web.graph)
+    nodes = repro.bfs_subgraph(web.graph, seed_page, 0.10)
+    print(f"search engine over a 10% BFS crawl ({nodes.size} pages)")
+
+    rankings = {
+        "ApproxRank": repro.approxrank(web.graph, nodes),
+        "local PageRank": repro.local_pagerank_baseline(
+            web.graph, nodes
+        ),
+        "LPR2": repro.lpr2(web.graph, nodes),
+    }
+    reference = reference_engine_scores(truth.scores, nodes)
+
+    # Query workload: popular single terms plus two-term conjunctions.
+    popular = lexicon.popular_terms(30)
+    rng = np.random.default_rng(5)
+    queries = [[int(t)] for t in popular[:20]]
+    queries += [
+        [int(a), int(b)]
+        for a, b in zip(
+            rng.choice(popular, 10), rng.choice(popular, 10)
+        )
+        if a != b
+    ]
+    print(f"workload: {len(queries)} queries, Top-10 answers\n")
+
+    print(f"{'ranking':16s} {'Top-10 agreement with gold engine':>35s}")
+    print("-" * 53)
+    for label, scores in rankings.items():
+        agreement = compare_engines(
+            scores, reference, lexicon, queries, k=10
+        )
+        print(f"{label:16s} {agreement:35.3f}")
+
+    print(
+        "\nA better subgraph ranking translates directly into answer "
+        "lists that\nmatch what a global-PageRank-backed engine would "
+        "return."
+    )
+
+
+if __name__ == "__main__":
+    pages = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    main(pages)

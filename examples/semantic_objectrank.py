@@ -1,0 +1,87 @@
+"""Semantic ranking: ObjectRank on a DBLP-like graph, subgraph-style.
+
+The §I ObjectRank scenario (Figures 2-3): a bibliographic data graph
+carries authority-transfer weights set by a domain expert; a user only
+cares about *papers and authors*, while conferences and years are
+background.  This example
+
+1. builds a DBLP-like data graph on the classic authority-transfer
+   schema,
+2. computes global ObjectRank (the expensive reference),
+3. ranks the papers+authors subgraph with ApproxRank (no knowledge)
+   and with IdealRank (reusing the known background scores — the
+   personalised-re-ranking case), and
+4. prints the top papers/authors under each.
+
+Run with::
+
+    python examples/semantic_objectrank.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.objectrank import (
+    make_dblp_like,
+    objectrank,
+    semantic_subgraph_rank,
+)
+
+
+def main() -> None:
+    data = make_dblp_like(
+        num_conferences=10,
+        years_per_conference=6,
+        papers_per_year=30,
+        num_authors=600,
+        seed=11,
+    )
+    print(f"DBLP-like data graph: {data.graph.num_nodes} entities, "
+          f"{data.graph.num_edges} weighted authority-transfer edges")
+    for type_name in data.schema.types:
+        count = data.entities_of_type(type_name).size
+        print(f"  {type_name:12s} {count}")
+
+    print("\nglobal ObjectRank (weighted PageRank on the data graph)...")
+    truth = objectrank(data)
+    print(f"  converged in {truth.iterations} iterations")
+
+    types = {"paper", "author"}
+    print(f"\nsubgraph of interest: {sorted(types)}")
+
+    approx = semantic_subgraph_rank(data, types)
+    ideal = semantic_subgraph_rank(
+        data, types, known_scores=truth.scores
+    )
+
+    reference = truth.scores[approx.local_nodes]
+    print(f"  ApproxRank footrule vs ObjectRank: "
+          f"{repro.footrule_from_scores(reference, approx.scores):.5f}")
+    print(f"  IdealRank  footrule vs ObjectRank: "
+          f"{repro.footrule_from_scores(reference, ideal.scores):.5f} "
+          "(exact, Theorem 1)")
+
+    def show_top(estimate, label):
+        print(f"\ntop 5 entities ({label}):")
+        for rank, node in enumerate(estimate.top_k(20), start=1):
+            name = data.names[node]
+            if rank <= 5:
+                print(f"  {rank}. {name}  "
+                      f"score {estimate.score_of(int(node)):.6f}")
+
+    show_top(approx, "ApproxRank, no background knowledge")
+    show_top(ideal, "IdealRank, background scores reused")
+
+    # Most-cited paper should rank near the top under every method.
+    papers = data.entities_of_type("paper")
+    most_cited = papers[np.argmax(data.graph.in_degrees[papers])]
+    ranking = approx.ranking()
+    position = int(np.flatnonzero(ranking == most_cited)[0]) + 1
+    print(f"\nmost-cited paper {data.names[most_cited]!r} sits at "
+          f"position {position} of {ranking.size} under ApproxRank")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Updated web region: incremental re-ranking without a global recompute.
+
+The §I/§III update scenario, end-to-end through the :mod:`repro.updates`
+API: the whole web was ranked yesterday; overnight one region changed.
+We describe the change as a :class:`~repro.updates.GraphDelta`, let the
+library derive the *affected region* (changed rows + a forward halo)
+and splice an IdealRank re-rank of just that region into yesterday's
+vector — then compare against a full recompute and against plain
+ApproxRank with no score knowledge.
+
+Run with::
+
+    python examples/updated_region.py [num_pages]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+import repro
+
+
+def main(num_pages: int = 20_000) -> None:
+    print(f"generating web ({num_pages} pages)...")
+    web = repro.make_au_like(num_pages=num_pages, seed=7)
+
+    print("yesterday's ranking: global PageRank on the old graph...")
+    old_truth = repro.global_pagerank(web.graph)
+
+    # Overnight: one domain gains a batch of links and two new pages.
+    region = repro.domain_subgraph(web, "csu.edu.au")
+    from repro.updates.delta import random_region_delta
+
+    base_delta = random_region_delta(
+        web.graph, region, added=2 * region.size, removed=20, seed=42
+    )
+    n = web.graph.num_nodes
+    delta = repro.GraphDelta(
+        added_edges=base_delta.added_edges
+        + ((n, int(region[0])), (int(region[1]), n + 1)),
+        removed_edges=base_delta.removed_edges,
+        new_pages=2,
+    )
+    updated = repro.apply_delta(web.graph, delta)
+    print(
+        f"update: {len(delta.added_edges)} links added, "
+        f"{len(delta.removed_edges)} removed, "
+        f"{delta.new_pages} pages crawled (all around csu.edu.au)"
+    )
+
+    # Strategy 1: full recompute (the expensive reference).
+    start = time.perf_counter()
+    new_truth = repro.global_pagerank(updated)
+    recompute_seconds = time.perf_counter() - start
+
+    # Strategy 2: incremental re-rank via the updates API.
+    result = repro.incremental_rerank(
+        web.graph, updated, old_truth.scores, delta=delta, hops=2
+    )
+    print(
+        f"affected region: {result.region.size} pages "
+        f"({100 * result.region.size / updated.num_nodes:.1f}% of the "
+        "graph)"
+    )
+
+    # Strategy 3: ApproxRank on the region, no score knowledge at all.
+    approx = repro.approxrank(updated, result.region)
+    approx_spliced = np.full(
+        updated.num_nodes, 1.0 / updated.num_nodes
+    )
+    approx_spliced[: web.graph.num_nodes] = old_truth.scores
+    approx_spliced[approx.local_nodes] = approx.scores
+    approx_spliced /= approx_spliced.sum()
+
+    incremental_err = float(
+        np.abs(result.scores - new_truth.scores).sum()
+    )
+    approx_err = float(
+        np.abs(approx_spliced - new_truth.scores).sum()
+    )
+
+    print(f"\n{'strategy':38s} {'seconds':>8s} {'L1 vs fresh':>12s}")
+    print("-" * 61)
+    print(f"{'full global recompute (reference)':38s} "
+          f"{recompute_seconds:8.3f} {'0':>12s}")
+    print(f"{'incremental (IdealRank splice)':38s} "
+          f"{result.runtime_seconds:8.3f} {incremental_err:12.5f}")
+    print(f"{'ApproxRank splice (no knowledge)':38s} "
+          f"{approx.runtime_seconds:8.3f} {approx_err:12.5f}")
+
+    print(
+        "\nThe incremental path re-ranks only the affected region and "
+        "reuses\nyesterday's scores for everything else; because the "
+        "update barely\nmoved external scores, it tracks the fresh "
+        "ranking closely."
+    )
+    assert incremental_err <= approx_err + 1e-9
+
+
+if __name__ == "__main__":
+    pages = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    main(pages)

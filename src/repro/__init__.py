@@ -1,0 +1,152 @@
+"""repro — ApproxRank: estimating PageRank for a subgraph.
+
+A full reproduction of *ApproxRank: Estimating Rank for a Subgraph*
+(Yao Wu and Louiqa Raschid, ICDE 2009): the IdealRank/ApproxRank
+framework, the SC/LPR2/local-PageRank comparison algorithms, the
+ranking metrics, synthetic stand-ins for the paper's datasets, and a
+harness regenerating every table and figure of its evaluation.
+
+Quickstart
+----------
+>>> from repro import make_tiny_web, approxrank
+>>> web = make_tiny_web()
+>>> domain_pages = web.pages_with_label("domain", "site0.example")
+>>> scores = approxrank(web.graph, domain_pages)
+>>> scores.top_k(5)            # best pages of the domain, global ids
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.baselines import (
+    SCSettings,
+    blockrank_scores,
+    blockrank_subgraph,
+    local_pagerank_baseline,
+    lpr2,
+    stochastic_complementation,
+)
+from repro.crawler import CrawlResult, CrawlSimulator
+from repro.core import (
+    ApproxRankPreprocessor,
+    approxrank,
+    idealrank,
+    rank_with_external_weights,
+    theorem2_bound,
+    theorem2_report,
+)
+from repro.exceptions import (
+    ConvergenceError,
+    DatasetError,
+    GraphError,
+    MetricError,
+    ReproError,
+    SchemaError,
+    SubgraphError,
+)
+from repro.generators import (
+    WebDataset,
+    WebGraphConfig,
+    generate_web_graph,
+    make_au_like,
+    make_politics_like,
+    make_tiny_web,
+)
+from repro.graph import CSRGraph, GraphBuilder
+from repro.metrics import (
+    evaluate_estimate,
+    kendall_p_distance,
+    footrule_distance,
+    footrule_from_scores,
+    kendall_distance,
+    l1_distance,
+    top_k_overlap,
+)
+from repro.pagerank import (
+    PowerIterationSettings,
+    RankResult,
+    SubgraphScores,
+    global_pagerank,
+    local_pagerank,
+)
+from repro.p2p import P2PNetwork, partition_by_label, random_partition
+from repro.search import (
+    SubgraphSearchEngine,
+    SyntheticLexicon,
+    compare_engines,
+)
+from repro.subgraphs import (
+    bfs_subgraph,
+    dangling_frontier_subgraph,
+    default_bfs_seed,
+    domain_subgraph,
+    topic_subgraph,
+)
+from repro.updates import (
+    GraphDelta,
+    affected_region,
+    apply_delta,
+    incremental_rerank,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproxRankPreprocessor",
+    "CSRGraph",
+    "CrawlResult",
+    "CrawlSimulator",
+    "GraphDelta",
+    "P2PNetwork",
+    "SubgraphSearchEngine",
+    "SyntheticLexicon",
+    "compare_engines",
+    "affected_region",
+    "apply_delta",
+    "blockrank_scores",
+    "blockrank_subgraph",
+    "dangling_frontier_subgraph",
+    "default_bfs_seed",
+    "incremental_rerank",
+    "partition_by_label",
+    "random_partition",
+    "ConvergenceError",
+    "DatasetError",
+    "GraphBuilder",
+    "GraphError",
+    "MetricError",
+    "PowerIterationSettings",
+    "RankResult",
+    "ReproError",
+    "SCSettings",
+    "SchemaError",
+    "SubgraphError",
+    "SubgraphScores",
+    "WebDataset",
+    "WebGraphConfig",
+    "__version__",
+    "approxrank",
+    "bfs_subgraph",
+    "domain_subgraph",
+    "evaluate_estimate",
+    "footrule_distance",
+    "footrule_from_scores",
+    "generate_web_graph",
+    "global_pagerank",
+    "idealrank",
+    "kendall_distance",
+    "kendall_p_distance",
+    "l1_distance",
+    "local_pagerank",
+    "local_pagerank_baseline",
+    "lpr2",
+    "make_au_like",
+    "make_politics_like",
+    "make_tiny_web",
+    "rank_with_external_weights",
+    "stochastic_complementation",
+    "theorem2_bound",
+    "theorem2_report",
+    "top_k_overlap",
+    "topic_subgraph",
+]

@@ -1,0 +1,28 @@
+"""Baselines and the SC competitor from the paper's evaluation (§V).
+
+* :func:`~repro.baselines.localpr.local_pagerank_baseline` — PageRank on
+  the induced subgraph, ignoring the external world (labelled ■).
+* :func:`~repro.baselines.lpr2.lpr2` — the ServerRank component of
+  Wang & DeWitt (VLDB'04): one artificial page ξ with plain unweighted
+  boundary edges (labelled ●).
+* :func:`~repro.baselines.sc.stochastic_complementation` — the
+  supergraph-expansion approach of Davis & Dhillon (KDD'06), the
+  paper's best existing competitor (labelled ◆).
+* :func:`~repro.baselines.blockrank.blockrank_subgraph` — the
+  BlockRank-style aggregation approximation of §II-B's related work
+  (Kamvar et al. / Broder et al.), a supplementary comparison point.
+"""
+
+from repro.baselines.blockrank import blockrank_scores, blockrank_subgraph
+from repro.baselines.localpr import local_pagerank_baseline
+from repro.baselines.lpr2 import lpr2
+from repro.baselines.sc import SCSettings, stochastic_complementation
+
+__all__ = [
+    "SCSettings",
+    "blockrank_scores",
+    "blockrank_subgraph",
+    "local_pagerank_baseline",
+    "lpr2",
+    "stochastic_complementation",
+]

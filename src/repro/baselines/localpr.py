@@ -1,0 +1,29 @@
+"""Baseline ■: local PageRank on the subgraph alone.
+
+The weakest baseline of §V: rank the subgraph as if the rest of the Web
+did not exist.  It is the cheapest algorithm in Tables V/VI and the
+least accurate in Table IV — external link structure matters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.digraph import CSRGraph
+from repro.pagerank.localrank import local_pagerank
+from repro.pagerank.result import SubgraphScores
+from repro.pagerank.solver import PowerIterationSettings
+
+
+def local_pagerank_baseline(
+    graph: CSRGraph,
+    local_nodes: Iterable[int],
+    settings: PowerIterationSettings | None = None,
+) -> SubgraphScores:
+    """Standard PageRank on the induced subgraph (ignores externals).
+
+    Thin alias of :func:`repro.pagerank.localrank.local_pagerank`,
+    re-exported here so all four evaluation algorithms live under
+    :mod:`repro.baselines` with a uniform signature.
+    """
+    return local_pagerank(graph, local_nodes, settings)

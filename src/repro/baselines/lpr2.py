@@ -1,0 +1,109 @@
+"""Baseline ●: LPR2, the ServerRank component of Wang & DeWitt (VLDB'04).
+
+As described in §V-B of the ApproxRank paper: for a subgraph of size n,
+an artificial page ξ is added to form an ``n+1``-page graph.  If a
+local page i has any edge to an out-of-domain page, then i and ξ are
+connected — by *plain unweighted edges*, one in each direction for the
+respective boundary directions.  Standard PageRank (uniform
+personalisation over the n+1 pages) is then run on this graph.
+
+This is exactly the "extended local graph without a strategy to adjust
+transition probabilities" of the paper's Figure 5: a page with three
+external in-links is treated the same as a page with one, and a page
+whose out-links are mostly external still sends only ``1/(d_local+1)``
+of its mass to ξ.  On boundary-heavy (BFS) subgraphs this
+underestimation makes LPR2 the worst performer in Figure 7.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.digraph import CSRGraph
+from repro.graph.subgraph import (
+    boundary_in_edges,
+    boundary_out_edges,
+    induced_subgraph,
+)
+from repro.pagerank.localrank import pagerank_on_graph
+from repro.pagerank.result import SubgraphScores
+from repro.pagerank.solver import PowerIterationSettings
+
+
+def build_lpr2_graph(
+    graph: CSRGraph, local_nodes: Iterable[int]
+) -> tuple[CSRGraph, np.ndarray]:
+    """Construct the ξ-extended graph of LPR2.
+
+    Returns
+    -------
+    (extended_graph, local_to_global):
+        The ``n+1``-node graph (ξ has index n) and the sorted global
+        ids of the local pages.
+    """
+    induced = induced_subgraph(graph, local_nodes)
+    local = induced.local_to_global
+    num_local = induced.num_local
+
+    out_sources, __, __ = boundary_out_edges(graph, local)
+    __, in_targets, __ = boundary_in_edges(graph, local)
+    # One unweighted edge per boundary page, regardless of how many
+    # global links it represents (the defect ApproxRank fixes).
+    pages_linking_out = np.unique(induced.to_local(out_sources))
+    pages_linked_from_outside = np.unique(induced.to_local(in_targets))
+
+    base = induced.graph.adjacency.tocoo()
+    rows = [base.row.astype(np.int64)]
+    cols = [base.col.astype(np.int64)]
+    data = [base.data]
+    xi = num_local
+    if pages_linking_out.size:
+        rows.append(pages_linking_out)
+        cols.append(np.full(pages_linking_out.size, xi, dtype=np.int64))
+        data.append(np.ones(pages_linking_out.size))
+    if pages_linked_from_outside.size:
+        rows.append(np.full(pages_linked_from_outside.size, xi, dtype=np.int64))
+        cols.append(pages_linked_from_outside)
+        data.append(np.ones(pages_linked_from_outside.size))
+    matrix = sparse.coo_matrix(
+        (
+            np.concatenate(data),
+            (np.concatenate(rows), np.concatenate(cols)),
+        ),
+        shape=(num_local + 1, num_local + 1),
+    ).tocsr()
+    return CSRGraph(matrix), local
+
+
+def lpr2(
+    graph: CSRGraph,
+    local_nodes: Iterable[int],
+    settings: PowerIterationSettings | None = None,
+) -> SubgraphScores:
+    """Run the LPR2 baseline for a subgraph.
+
+    Returns
+    -------
+    SubgraphScores
+        Scores of the n local pages (ξ's score is reported in
+        ``extras["xi_score"]``).
+    """
+    start = time.perf_counter()
+    extended, local = build_lpr2_graph(graph, local_nodes)
+    result = pagerank_on_graph(extended, settings)
+    runtime = time.perf_counter() - start
+    num_local = local.size
+    return SubgraphScores(
+        local_nodes=local.copy(),
+        scores=result.scores[:num_local].copy(),
+        method="lpr2",
+        iterations=result.iterations,
+        residual=result.residual,
+        converged=result.converged,
+        runtime_seconds=runtime,
+        extras={"xi_score": float(result.scores[num_local])},
+    )

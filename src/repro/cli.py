@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Examples
+--------
+Run one table at reduced scale::
+
+    python -m repro table4 --fast
+
+Run the full reproduction and write EXPERIMENTS.md content::
+
+    python -m repro all --markdown --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import (
+    ablation,
+    crawl_value,
+    extras,
+    p2p_convergence,
+    figure7,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    theorems,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.run_all import build_markdown_report, run_all
+
+SINGLE_EXPERIMENTS = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "figure7": figure7.run,
+    "theorems": theorems.run,
+    "ablation": ablation.run,
+    "extras": extras.run,
+    "crawl": crawl_value.run,
+    "p2p": p2p_convergence.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="approxrank",
+        description=(
+            "Reproduce the ApproxRank (ICDE 2009) evaluation: one "
+            "subcommand per paper table/figure, plus 'all'."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(SINGLE_EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--au-pages", type=int, default=None,
+        help="size of the AU-like dataset (default 50000)",
+    )
+    parser.add_argument(
+        "--politics-pages", type=int, default=None,
+        help="size of the politics-like dataset (default 60000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="base RNG seed (default 2009)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="shrink everything for a quick smoke run",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="emit GitHub markdown instead of aligned text",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="also write the report to this file",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Translate CLI flags into an ExperimentConfig."""
+    config = ExperimentConfig()
+    if args.fast:
+        config = config.fast()
+    overrides = {}
+    if args.au_pages is not None:
+        overrides["au_pages"] = args.au_pages
+    if args.politics_pages is not None:
+        overrides["politics_pages"] = args.politics_pages
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    return config
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    context = ExperimentContext(config_from_args(args))
+
+    if args.experiment == "all":
+        results = run_all(context, verbose=not args.markdown)
+        report = build_markdown_report(results, context)
+        if args.markdown:
+            print(report)
+    else:
+        result = SINGLE_EXPERIMENTS[args.experiment](context)
+        report = (
+            result.to_markdown() if args.markdown else result.render()
+        )
+        print(report)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"[written to {args.output}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

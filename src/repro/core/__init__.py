@@ -1,0 +1,48 @@
+"""The paper's primary contribution: IdealRank and ApproxRank.
+
+Both algorithms collapse the ``N - n`` external pages of a global graph
+into one external node Λ, build an ``(n+1) × (n+1)`` transition matrix
+over the *extended local graph*, and run the damped power iteration
+with the personalisation vector ``P_ideal``.  They differ only in the
+relative-importance vector ``E`` over external pages used to assemble
+the Λ row:
+
+* IdealRank (§III) — ``E[j] = R[j] / EXTSum`` from known external
+  PageRank scores; Theorem 1 makes the local scores exact.
+* ApproxRank (§IV) — ``E_approx[j] = 1 / (N - n)`` (uniform); Theorem 2
+  bounds the L1 error by ``ε/(1-ε) · ‖E − E_approx‖₁``.
+"""
+
+from repro.core.approxrank import approxrank
+from repro.core.bounds import (
+    BoundReport,
+    external_estimate_error,
+    theorem2_bound,
+    theorem2_report,
+)
+from repro.core.extended import ExtendedLocalGraph, build_extended_graph
+from repro.core.external import (
+    blended_external_weights,
+    indegree_external_weights,
+    uniform_external_weights,
+    weights_from_scores,
+)
+from repro.core.idealrank import idealrank, rank_with_external_weights
+from repro.core.precompute import ApproxRankPreprocessor
+
+__all__ = [
+    "ApproxRankPreprocessor",
+    "BoundReport",
+    "ExtendedLocalGraph",
+    "approxrank",
+    "blended_external_weights",
+    "build_extended_graph",
+    "external_estimate_error",
+    "idealrank",
+    "indegree_external_weights",
+    "rank_with_external_weights",
+    "theorem2_bound",
+    "theorem2_report",
+    "uniform_external_weights",
+    "weights_from_scores",
+]

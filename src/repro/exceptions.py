@@ -1,0 +1,63 @@
+"""Typed exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing unrelated bugs::
+
+    try:
+        result = approxrank(graph, local_nodes)
+    except ReproError as exc:
+        log.error("ranking failed: %s", exc)
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation on it is invalid."""
+
+
+class GraphBuildError(GraphError):
+    """Raised while assembling a graph from edges or arrays."""
+
+
+class SubgraphError(ReproError):
+    """A subgraph specification is invalid for the given global graph.
+
+    Typical causes: node ids out of range, duplicates in the local node
+    set, an empty local set, or a local set equal to the whole graph
+    (so there is no external world for the Lambda node to represent).
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration cap.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        The final L1 residual when the solver stopped.
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class MetricError(ReproError):
+    """Inputs to a ranking metric are incompatible (e.g. length mismatch)."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset request is inconsistent or unsatisfiable."""
+
+
+class SchemaError(ReproError):
+    """An ObjectRank authority-transfer schema is malformed."""

@@ -1,0 +1,28 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each experiment module exposes ``run(config) -> TableResult``; the
+:mod:`repro.experiments.run_all` driver executes every experiment and
+renders the report that EXPERIMENTS.md records.  The CLI
+(``python -m repro``) fronts the same functions.
+
+Experiment index (see DESIGN.md §3 for the full mapping):
+
+======== ==========================================================
+table2   Dataset characteristics (paper Table II context)
+table3   TS-subgraph accuracy, SC vs ApproxRank (paper Table III)
+table4   DS-subgraph footrule, 4 algorithms (paper Table IV)
+figure7  BFS-subgraph footrule sweep (paper Figure 7)
+table5   TS-subgraph runtimes (paper Table V)
+table6   DS-subgraph runtimes (paper Table VI)
+theorems Theorem 1 exactness + Theorem 2 bound check (§III-C, §IV-C)
+ablation External-estimate quality sweep (§IV-C future work)
+extras   Aggregation (BlockRank-style) baseline on BFS crawls
+p2p      P2P meeting-protocol convergence (§I P2P scenario)
+crawl    Best-First crawl value, 5 strategies (§I focused crawler)
+======== ==========================================================
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import TableResult
+
+__all__ = ["ExperimentConfig", "TableResult"]

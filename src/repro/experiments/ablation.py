@@ -1,0 +1,136 @@
+"""Ablation: how external-knowledge quality drives ApproxRank's error.
+
+§IV-C closes by noting that the accuracy of ApproxRank "is dependent on
+the knowledge of relative importance of external pages" and that
+exploiting that relationship "will be our future work".  This
+experiment implements the study: the E vector is swept from ApproxRank's
+uniform assumption (knowledge 0) to IdealRank's exact scores
+(knowledge 1), plus the zero-cost in-degree heuristic, and for each
+estimate we report
+
+* the a-priori gap ``‖E − E_estimate‖₁``,
+* Theorem 2's resulting bound,
+* the observed L1 error against IdealRank,
+* the footrule distance against the true global ranking.
+
+Expected shape: every column decreases monotonically (modulo noise) as
+knowledge grows; the in-degree heuristic lands between uniform and
+exact at no ranking cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import external_estimate_error, theorem2_bound
+from repro.core.external import (
+    blended_external_weights,
+    indegree_external_weights,
+    weights_from_scores,
+)
+from repro.core.idealrank import idealrank, rank_with_external_weights
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import TableResult
+from repro.metrics.footrule import footrule_from_scores
+from repro.subgraphs.domain import domain_subgraph
+
+#: Blend levels swept (0 = ApproxRank's uniform E, 1 = IdealRank's E).
+KNOWLEDGE_LEVELS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: The domain used for the sweep (medium-sized, per Table IV).
+ABLATION_DOMAIN = "csu.edu.au"
+
+
+def run(context: ExperimentContext | None = None) -> TableResult:
+    """Sweep external-estimate quality on one DS subgraph."""
+    context = context or ExperimentContext()
+    dataset = context.au
+    truth = context.ground_truth(dataset).scores
+    nodes = domain_subgraph(dataset, ABLATION_DOMAIN)
+    settings = context.settings
+
+    ideal = idealrank(dataset.graph, nodes, truth, settings)
+    e_true = weights_from_scores(dataset.graph, nodes, truth)
+    reference = truth[nodes]
+
+    table = TableResult(
+        experiment_id="ablation",
+        title=(
+            "Ablation -- external-estimate quality vs ApproxRank error "
+            f"({ABLATION_DOMAIN}, n={nodes.size})"
+        ),
+        headers=[
+            "E estimate", "||E-Ee||_1", "Thm2 bound",
+            "observed L1 vs Ideal", "footrule vs truth",
+        ],
+    )
+
+    def add_estimate(label: str, weights: np.ndarray) -> None:
+        estimate = rank_with_external_weights(
+            dataset.graph, nodes, weights, settings, method=label
+        )
+        gap = external_estimate_error(e_true, weights)
+        observed = float(np.abs(estimate.scores - ideal.scores).sum())
+        table.add_row(
+            label,
+            gap,
+            theorem2_bound(gap, settings.damping),
+            observed,
+            footrule_from_scores(reference, estimate.scores),
+        )
+
+    for level in KNOWLEDGE_LEVELS:
+        weights = blended_external_weights(
+            dataset.graph, nodes, truth, knowledge=level
+        )
+        add_estimate(f"blend {level:.2f}", weights)
+    add_estimate(
+        "indegree heuristic",
+        indegree_external_weights(dataset.graph, nodes),
+    )
+
+    # Design-choice ablation: replace P_ideal (1/N per local page,
+    # (N-n)/N on Lambda) with the naive uniform 1/(n+1), keeping
+    # ApproxRank's uniform E.  The naive vector starves Lambda of the
+    # teleport mass the external world really absorbs.
+    from repro.core.extended import build_extended_graph
+    from repro.core.external import uniform_external_weights
+
+    uniform_e = uniform_external_weights(dataset.graph, nodes)
+    extended = build_extended_graph(
+        dataset.graph, nodes, uniform_e, mode="approx"
+    )
+    naive_teleport = np.full(
+        nodes.size + 1, 1.0 / (nodes.size + 1)
+    )
+    naive = extended.solve(settings, teleport_override=naive_teleport)
+    gap = external_estimate_error(e_true, uniform_e)
+    table.add_row(
+        "uniform E + naive P (ablation)",
+        gap,
+        theorem2_bound(gap, settings.damping),
+        float(np.abs(naive.local_scores - ideal.scores).sum()),
+        footrule_from_scores(reference, naive.local_scores),
+    )
+    table.notes.append(
+        "blend 0.00 is exactly ApproxRank; blend 1.00 is exactly "
+        "IdealRank (observed L1 ~ solver tolerance)."
+    )
+    table.notes.append(
+        "Expected shape: all error columns shrink as knowledge grows; "
+        "the observed L1 always respects the Theorem 2 bound (which "
+        "presumes P_ideal, so it does not govern the naive-P row)."
+    )
+    table.notes.append(
+        "The naive-P row should be clearly worse than ApproxRank "
+        "proper, quantifying the value of the paper's P_ideal design."
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

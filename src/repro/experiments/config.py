@@ -1,0 +1,58 @@
+"""Shared configuration for all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scales and seeds shared by every experiment.
+
+    The defaults give a full reproduction run in minutes on a laptop;
+    :meth:`fast` shrinks everything for smoke testing, and raising the
+    page counts stress-tests the implementation (all subgraph shares
+    scale with the graph).
+
+    Attributes
+    ----------
+    au_pages:
+        Size of the AU-like dataset (paper: 3.88M; ours scales down).
+    politics_pages:
+        Size of the politics-like dataset (paper: 4.4M).
+    seed:
+        Base RNG seed; each dataset derives its own from it.
+    bfs_fractions:
+        The Figure 7 sweep points (fractions of N).
+    bfs_sc_fractions:
+        The subset of sweep points on which SC is also run (the paper
+        only obtained SC for the two smallest BFS subgraphs because SC
+        "becomes very expensive").
+    bfs_seed_page:
+        Seed page id of the BFS crawler; None (default) seeds at the
+        page with the most out-links (a portal page, as a real crawl
+        would).
+    sc_expansions:
+        SC expansion rounds T (paper: 25).
+    """
+
+    au_pages: int = 50_000
+    politics_pages: int = 60_000
+    seed: int = 2009
+    bfs_fractions: tuple[float, ...] = (
+        0.001, 0.005, 0.02, 0.05, 0.08, 0.10, 0.12, 0.15, 0.20,
+    )
+    bfs_sc_fractions: tuple[float, ...] = (0.001, 0.005)
+    bfs_seed_page: int | None = None
+    sc_expansions: int = 25
+
+    def fast(self) -> "ExperimentConfig":
+        """A shrunken configuration for smoke tests and CI."""
+        return replace(
+            self,
+            au_pages=8_000,
+            politics_pages=8_000,
+            bfs_fractions=(0.01, 0.05, 0.10),
+            bfs_sc_fractions=(0.01,),
+            sc_expansions=10,
+        )

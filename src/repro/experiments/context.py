@@ -1,0 +1,109 @@
+"""Lazily built, cached experiment state (datasets, ground truth).
+
+Experiments share expensive artifacts — the generated datasets, the
+global PageRank vectors and the ApproxRank preprocessors — through one
+:class:`ExperimentContext`, so running every table in a session builds
+each dataset exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.precompute import ApproxRankPreprocessor
+from repro.experiments.config import ExperimentConfig
+from repro.generators.datasets import (
+    WebDataset,
+    make_au_like,
+    make_politics_like,
+)
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.result import RankResult
+from repro.pagerank.solver import PowerIterationSettings
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Global PageRank of a dataset plus its runtime accounting."""
+
+    result: RankResult
+
+    @property
+    def scores(self) -> np.ndarray:
+        """The global PageRank vector."""
+        return self.result.scores
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Wall-clock of the global computation (Tables V/VI context)."""
+        return self.result.runtime_seconds
+
+
+class ExperimentContext:
+    """Shared, lazily computed experiment state.
+
+    Parameters
+    ----------
+    config:
+        Scales and seeds; see
+        :class:`~repro.experiments.config.ExperimentConfig`.
+    settings:
+        Solver knobs applied uniformly to every algorithm (the paper's
+        ε = 0.85 and L1 tolerance 1e-5 by default).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        settings: PowerIterationSettings | None = None,
+    ):
+        self.config = config or ExperimentConfig()
+        self.settings = settings or PowerIterationSettings()
+        self._datasets: dict[str, WebDataset] = {}
+        self._truths: dict[str, GroundTruth] = {}
+        self._preprocessors: dict[str, ApproxRankPreprocessor] = {}
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+
+    @property
+    def au(self) -> WebDataset:
+        """The AU-like dataset (built on first access)."""
+        if "au" not in self._datasets:
+            self._datasets["au"] = make_au_like(
+                num_pages=self.config.au_pages,
+                seed=self.config.seed,
+            )
+        return self._datasets["au"]
+
+    @property
+    def politics(self) -> WebDataset:
+        """The politics-like dataset (built on first access)."""
+        if "politics" not in self._datasets:
+            self._datasets["politics"] = make_politics_like(
+                num_pages=self.config.politics_pages,
+                seed=self.config.seed + 1,
+            )
+        return self._datasets["politics"]
+
+    # ------------------------------------------------------------------
+    # Shared artifacts
+    # ------------------------------------------------------------------
+
+    def ground_truth(self, dataset: WebDataset) -> GroundTruth:
+        """Global PageRank of a dataset, computed once and cached."""
+        if dataset.name not in self._truths:
+            result = global_pagerank(dataset.graph, self.settings)
+            self._truths[dataset.name] = GroundTruth(result=result)
+        return self._truths[dataset.name]
+
+    def preprocessor(self, dataset: WebDataset) -> ApproxRankPreprocessor:
+        """ApproxRank's one-pass global preprocessor, cached per dataset."""
+        if dataset.name not in self._preprocessors:
+            self._preprocessors[dataset.name] = ApproxRankPreprocessor(
+                dataset.graph
+            )
+        return self._preprocessors[dataset.name]

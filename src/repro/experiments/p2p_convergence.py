@@ -1,0 +1,78 @@
+"""Supplementary experiment: P2P convergence (the §I P2P scenario).
+
+Peers host whole domains of the AU-like web and start from ApproxRank
+(zero knowledge about external pages).  Each round peers meet pairwise,
+exchange authoritative scores and gossip, rebuild their E vectors and
+re-rank.  The table reports the network's mean error against the true
+global PageRank after every round.
+
+Expected shape (the JXP convergence story, quantified by Theorem 2):
+coverage rises monotonically, the mean L1 and footrule errors fall
+round over round, and the final errors approach the IdealRank limit
+(zero) as coverage approaches 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import TableResult
+from repro.p2p.network import P2PNetwork
+from repro.p2p.partition import partition_by_label
+
+#: Meeting rounds reported (enough for full coverage at 8 peers).
+DEFAULT_ROUNDS = 8
+
+#: Peers in the network (domains are merged round-robin onto them).
+DEFAULT_PEERS = 8
+
+
+def run(
+    context: ExperimentContext | None = None,
+    rounds: int = DEFAULT_ROUNDS,
+    num_peers: int = DEFAULT_PEERS,
+) -> TableResult:
+    """Run the meeting protocol and tabulate error per round."""
+    context = context or ExperimentContext()
+    dataset = context.au
+    truth = context.ground_truth(dataset)
+    partition = partition_by_label(
+        dataset, "domain", num_peers=num_peers
+    )
+    network = P2PNetwork(
+        dataset.graph, partition, context.settings,
+        seed=context.config.seed,
+    )
+
+    table = TableResult(
+        experiment_id="p2p",
+        title=(
+            f"Supplementary -- P2P convergence, {num_peers} peers "
+            "hosting whole domains (AU dataset)"
+        ),
+        headers=[
+            "round", "mean coverage", "mean L1", "mean footrule",
+        ],
+    )
+    initial_l1, initial_footrule = network.evaluate(truth.scores)
+    table.add_row(0, 0.0, initial_l1, initial_footrule)
+    for report in network.run(rounds, global_scores=truth.scores):
+        table.add_row(
+            report.round_index,
+            report.mean_coverage,
+            report.mean_l1,
+            report.mean_footrule,
+        )
+    table.notes.append(
+        "Round 0 is pure ApproxRank (uniform E).  As meetings raise "
+        "coverage, each peer's E approaches the true external scores "
+        "and Theorem 2 drives the error toward the IdealRank limit."
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

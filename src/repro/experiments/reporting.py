@@ -1,0 +1,108 @@
+"""Plain-text table rendering for experiment results.
+
+Every experiment returns a :class:`TableResult` — a title, column
+headers, rows of cells and free-form notes — which renders to an
+aligned monospaced table (for the terminal) or GitHub markdown (for
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats get context-appropriate precision."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        if abs(value) < 1e-4:
+            return f"{value:.2e}"
+        return f"{value:.6f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class TableResult:
+    """One experiment's output table.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short identifier, e.g. ``"table4"``.
+    title:
+        Human-readable headline including the paper reference.
+    headers:
+        Column names.
+    rows:
+        Cell values; each row must match ``headers`` in length.
+    notes:
+        Free-form lines rendered under the table (expected shapes,
+        caveats, derived observations).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row (must match the header count)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def column(self, header: str) -> list[Any]:
+        """All values of one named column."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned monospaced rendering for terminals and logs."""
+        formatted = [[format_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(
+                len(str(header)),
+                *(len(row[i]) for row in formatted),
+            )
+            if formatted
+            else len(str(header))
+            for i, header in enumerate(self.headers)
+        ]
+        lines = [self.title, ""]
+        header_line = "  ".join(
+            str(h).ljust(w) for h, w in zip(self.headers, widths)
+        )
+        lines.append(header_line)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        if self.notes:
+            lines.append("")
+            lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-markdown rendering for EXPERIMENTS.md."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for __ in self.headers) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(format_cell(c) for c in row) + " |"
+            )
+        if self.notes:
+            lines.append("")
+            lines.extend(f"- {note}" for note in self.notes)
+        return "\n".join(lines)

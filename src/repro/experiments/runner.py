@@ -1,0 +1,115 @@
+"""Algorithm suites: run every ranker on a subgraph and evaluate it.
+
+The evaluation sections of the paper repeat one recipe per subgraph —
+run each algorithm, compare its output against the restricted global
+PageRank, collect metrics and runtimes.  :func:`run_algorithms`
+packages that recipe so each table module is just workload definition
+plus row formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.baselines.localpr import local_pagerank_baseline
+from repro.baselines.lpr2 import lpr2
+from repro.baselines.sc import SCSettings, stochastic_complementation
+from repro.core.approxrank import approxrank
+from repro.experiments.context import ExperimentContext
+from repro.generators.datasets import WebDataset
+from repro.metrics.evaluation import EvaluationReport, evaluate_estimate
+from repro.pagerank.result import SubgraphScores
+
+#: Signature every ranker exposes to the harness.
+Ranker = Callable[[np.ndarray], SubgraphScores]
+
+
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """One algorithm's result and evaluation on one subgraph."""
+
+    name: str
+    estimate: SubgraphScores
+    report: EvaluationReport
+
+
+def standard_rankers(
+    context: ExperimentContext,
+    dataset: WebDataset,
+    include_sc: bool = True,
+) -> dict[str, Ranker]:
+    """The paper's algorithm suite with shared settings.
+
+    Keys follow the paper's symbols: ``"local-pr"`` (■), ``"sc"`` (◆),
+    ``"lpr2"`` (●), ``"approxrank"`` (▲).  ApproxRank uses the shared
+    per-dataset preprocessor, mirroring the paper's multi-subgraph
+    precomputation scenario; SC uses the configured expansion count.
+    """
+    graph = dataset.graph
+    settings = context.settings
+    sc_settings = SCSettings(expansions=context.config.sc_expansions)
+    rankers: dict[str, Ranker] = {
+        "local-pr": lambda nodes: local_pagerank_baseline(
+            graph, nodes, settings
+        ),
+        "lpr2": lambda nodes: lpr2(graph, nodes, settings),
+        "approxrank": lambda nodes: approxrank(
+            graph,
+            nodes,
+            settings,
+            preprocessor=context.preprocessor(dataset),
+        ),
+    }
+    if include_sc:
+        rankers["sc"] = lambda nodes: stochastic_complementation(
+            graph, nodes, settings, sc_settings
+        )
+    return rankers
+
+
+def run_algorithms(
+    context: ExperimentContext,
+    dataset: WebDataset,
+    local_nodes: np.ndarray,
+    rankers: Mapping[str, Ranker] | None = None,
+    algorithms: Iterable[str] | None = None,
+) -> dict[str, AlgorithmRun]:
+    """Run (a subset of) the suite on one subgraph and evaluate it.
+
+    Parameters
+    ----------
+    context / dataset:
+        Shared state; ground truth comes from
+        ``context.ground_truth(dataset)``.
+    local_nodes:
+        Global page ids of the subgraph.
+    rankers:
+        Override the algorithm suite (defaults to
+        :func:`standard_rankers`).
+    algorithms:
+        Restrict to these names, in this order.
+
+    Returns
+    -------
+    dict mapping algorithm name to its :class:`AlgorithmRun`,
+    insertion-ordered as executed.
+    """
+    truth = context.ground_truth(dataset)
+    if rankers is None:
+        rankers = standard_rankers(context, dataset)
+    names = list(algorithms) if algorithms is not None else list(rankers)
+    runs: dict[str, AlgorithmRun] = {}
+    for name in names:
+        if name not in rankers:
+            raise KeyError(
+                f"unknown algorithm {name!r}; available: {sorted(rankers)}"
+            )
+        estimate = rankers[name](local_nodes)
+        report = evaluate_estimate(truth.scores, estimate)
+        runs[name] = AlgorithmRun(
+            name=name, estimate=estimate, report=report
+        )
+    return runs

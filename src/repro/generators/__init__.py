@@ -1,0 +1,42 @@
+"""Synthetic web-graph generation.
+
+The paper evaluates on two crawls (the dmoz *politics* crawl and the
+Australian-university *AU* crawl) that are not redistributable; this
+package generates scaled synthetic stand-ins with the same structural
+knobs the experiments depend on — domain partitioning, a heavy-tailed
+in-degree distribution, a configurable intra-domain/intra-topic link
+fraction, and average out-degree matched to the crawls.  See DESIGN.md
+("Dataset substitutions") for the full justification.
+"""
+
+from repro.generators.config import WebGraphConfig
+from repro.generators.datasets import (
+    WebDataset,
+    make_au_like,
+    make_politics_like,
+    make_tiny_web,
+)
+from repro.generators.simple import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    line_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+from repro.generators.weblike import generate_web_graph
+
+__all__ = [
+    "WebDataset",
+    "WebGraphConfig",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi",
+    "generate_web_graph",
+    "line_graph",
+    "make_au_like",
+    "make_politics_like",
+    "make_tiny_web",
+    "star_graph",
+    "two_cliques_bridge",
+]

@@ -1,0 +1,145 @@
+"""Configuration for the synthetic web-graph generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class WebGraphConfig:
+    """Parameters of the group-structured web-graph generator.
+
+    "Groups" are the partitioning the experiments care about: for the
+    AU-like dataset a group is a *domain*; for the politics-like
+    dataset it is a *topic*.
+
+    Attributes
+    ----------
+    num_pages:
+        Total page count N.
+    group_shares:
+        Relative group sizes (normalised internally); one group per
+        entry, every group gets at least one page.
+    mean_out_degree:
+        Target average out-degree over all pages (Table II regime:
+        ~4–6 for the paper's crawls).
+    out_degree_alpha:
+        Pareto tail index of the out-degree distribution (web crawls
+        show a heavy out-degree tail; 2.2 keeps the mean finite and the
+        tail realistic).
+    max_out_degree:
+        Hard cap on a single page's out-degree.
+    dangling_fraction:
+        Fraction of pages with no out-links at all — the crawl
+        "frontier" of §I; real crawls have a substantial dangling set.
+    intra_group_fraction:
+        Probability that a link stays inside its source's group.  The
+        paper (citing Kamvar et al.) notes "a majority of links in the
+        Web graph are intra-domain"; ~0.8 reproduces the DS/BFS
+        contrast of §V-E.
+    intra_size_exponent:
+        Size-dependence of the intra-group fraction.  Real crawls show
+        larger hosts to be more self-contained (deeper internal
+        hierarchies), which is what makes the paper's Table IV
+        distances shrink as the domain share grows.  With exponent
+        ``a``, a group with share ``s`` gets an *outward* link fraction
+        of ``(1 - intra_group_fraction) * (median_share / s)^a``
+        (clipped to [0.01, 0.6]); 0 (default) disables the effect,
+        the AU-like dataset uses 0.35.
+    attractiveness_alpha:
+        Pareto tail index of the per-page attractiveness weights
+        (Chung–Lu style preferential attachment); in-degree ends up
+        power-law with exponent ≈ ``attractiveness_alpha + 1``.
+    external_attractiveness_correlation:
+        How strongly a page's attractiveness to *other groups* tracks
+        its attractiveness within its own group, in [0, 1].  1 (default)
+        uses one weight for both; smaller values mix in an independent
+        weight, modelling pages that are externally famous without
+        being internally central — the signal subgraph-local algorithms
+        cannot see but boundary-aware ones (ApproxRank) can.  The
+        AU-like dataset uses 0.3.
+    hub_cap_fraction:
+        A single page's expected in-link share is capped at this
+        fraction of all edges, bounding freak hubs on small N.
+    seed:
+        RNG seed; generation is fully deterministic given the config.
+    """
+
+    num_pages: int
+    group_shares: tuple[float, ...] = field(default=(1.0,))
+    mean_out_degree: float = 5.5
+    out_degree_alpha: float = 2.2
+    max_out_degree: int = 200
+    dangling_fraction: float = 0.03
+    intra_group_fraction: float = 0.8
+    intra_size_exponent: float = 0.0
+    attractiveness_alpha: float = 1.25
+    external_attractiveness_correlation: float = 1.0
+    hub_cap_fraction: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_pages < 2:
+            raise DatasetError(
+                f"num_pages must be >= 2, got {self.num_pages}"
+            )
+        if not self.group_shares:
+            raise DatasetError("group_shares must not be empty")
+        if any(share <= 0 for share in self.group_shares):
+            raise DatasetError("every group share must be positive")
+        if len(self.group_shares) > self.num_pages:
+            raise DatasetError(
+                "more groups than pages: "
+                f"{len(self.group_shares)} > {self.num_pages}"
+            )
+        if self.mean_out_degree <= 0:
+            raise DatasetError(
+                f"mean_out_degree must be positive, got "
+                f"{self.mean_out_degree}"
+            )
+        if self.out_degree_alpha <= 1.0:
+            raise DatasetError(
+                "out_degree_alpha must exceed 1 for a finite mean, got "
+                f"{self.out_degree_alpha}"
+            )
+        if self.max_out_degree < 1:
+            raise DatasetError(
+                f"max_out_degree must be >= 1, got {self.max_out_degree}"
+            )
+        if not 0.0 <= self.dangling_fraction < 1.0:
+            raise DatasetError(
+                "dangling_fraction must lie in [0, 1), got "
+                f"{self.dangling_fraction}"
+            )
+        if not 0.0 <= self.intra_group_fraction <= 1.0:
+            raise DatasetError(
+                "intra_group_fraction must lie in [0, 1], got "
+                f"{self.intra_group_fraction}"
+            )
+        if self.intra_size_exponent < 0:
+            raise DatasetError(
+                "intra_size_exponent must be >= 0, got "
+                f"{self.intra_size_exponent}"
+            )
+        if not 0.0 <= self.external_attractiveness_correlation <= 1.0:
+            raise DatasetError(
+                "external_attractiveness_correlation must lie in "
+                f"[0, 1], got {self.external_attractiveness_correlation}"
+            )
+        if self.attractiveness_alpha <= 0:
+            raise DatasetError(
+                "attractiveness_alpha must be positive, got "
+                f"{self.attractiveness_alpha}"
+            )
+        if not 0.0 < self.hub_cap_fraction <= 1.0:
+            raise DatasetError(
+                "hub_cap_fraction must lie in (0, 1], got "
+                f"{self.hub_cap_fraction}"
+            )
+
+    @property
+    def num_groups(self) -> int:
+        """Number of groups (domains or topics)."""
+        return len(self.group_shares)

@@ -1,0 +1,230 @@
+"""Canonical synthetic datasets mirroring the paper's two crawls.
+
+Two datasets drive the evaluation in §V:
+
+* **politics** — a dmoz-seeded topical crawl (4.4M pages, 17.3M links)
+  whose TS subgraphs are the categories *conservatism*, *liberalism*
+  and *socialism*;
+* **AU** — a crawl of 38 Australian university domains (3.88M pages,
+  23.9M links) whose DS subgraphs are the 12 domains of Table IV and
+  whose BFS subgraphs drive Figure 7.
+
+Neither crawl is redistributable, so :func:`make_politics_like` and
+:func:`make_au_like` generate scaled synthetic equivalents preserving
+the structural quantities the experiments depend on: the named
+subgroup *shares* (Table IV column 2 for AU; ≈0.3–1.4 % topic cores
+for politics), the average out-degree (≈6.15 for AU, ≈3.9 for
+politics), the intra-domain link majority, and a heavy-tailed degree
+distribution.  The default sizes (tens of thousands of pages) keep a
+full experiment run at laptop scale; pass a larger ``num_pages`` to
+stress-test — all shares scale with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.generators.config import WebGraphConfig
+from repro.generators.weblike import generate_web_graph
+from repro.graph.digraph import CSRGraph
+
+#: The 12 DS domains of Table IV with their share (%) of the AU crawl.
+AU_NAMED_DOMAINS: tuple[tuple[str, float], ...] = (
+    ("acu.edu.au", 0.35),
+    ("bond.edu.au", 0.50),
+    ("canberra.edu.au", 0.66),
+    ("cdu.edu.au", 0.75),
+    ("ballarat.edu.au", 0.82),
+    ("cqu.edu.au", 0.95),
+    ("csu.edu.au", 2.58),
+    ("adelaide.edu.au", 2.91),
+    ("curtin.edu.au", 2.91),
+    ("jcu.edu.au", 5.04),
+    ("monash.edu.au", 8.45),
+    ("anu.edu.au", 10.42),
+)
+
+#: Total domain count in the AU crawl (the paper: "38 domains").
+AU_TOTAL_DOMAINS = 38
+
+#: TS topics of §V-C with approximate category-core shares (%).  The
+#: paper's subgraphs (category + 3-link crawl) are 0.3–1.4 % of the
+#: 4.4M-page crawl; the cores here are sized so the focused-crawl
+#: extractor lands in the same relative band.
+POLITICS_TOPICS: tuple[tuple[str, float], ...] = (
+    ("conservatism", 0.80),
+    ("liberalism", 1.10),
+    ("socialism", 0.25),
+    ("environment", 0.90),
+    ("elections", 0.70),
+)
+
+#: Label for pages outside every named topic.
+GENERAL_TOPIC = "general"
+
+
+@dataclass(frozen=True)
+class WebDataset:
+    """A generated web graph plus its experiment-relevant labelling.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"au-like"`` / ``"politics-like"`` / ...).
+    graph:
+        The global graph ``G_g``.
+    labels:
+        Per-node label arrays keyed by dimension, e.g.
+        ``labels["domain"][page]`` is the page's domain index.
+    label_names:
+        Human-readable names per dimension, e.g.
+        ``label_names["domain"][3]``.
+    seed:
+        The generation seed (datasets are deterministic functions of
+        ``(name, num_pages, seed)``).
+    """
+
+    name: str
+    graph: CSRGraph
+    labels: Mapping[str, np.ndarray]
+    label_names: Mapping[str, tuple[str, ...]]
+    seed: int
+    description: str = ""
+
+    def label_index(self, dimension: str, name: str) -> int:
+        """Index of a named label, e.g. ``("domain", "anu.edu.au")``."""
+        names = self.label_names.get(dimension)
+        if names is None:
+            raise DatasetError(
+                f"dataset {self.name!r} has no dimension {dimension!r}; "
+                f"available: {sorted(self.label_names)}"
+            )
+        try:
+            return names.index(name)
+        except ValueError:
+            raise DatasetError(
+                f"{name!r} is not a {dimension} of dataset "
+                f"{self.name!r}"
+            ) from None
+
+    def pages_with_label(self, dimension: str, name: str) -> np.ndarray:
+        """Global ids of all pages carrying the named label."""
+        index = self.label_index(dimension, name)
+        return np.flatnonzero(self.labels[dimension] == index)
+
+
+def _filler_shares(count: int, remaining: float) -> list[float]:
+    """Split the unnamed remainder into ``count`` declining shares."""
+    weights = np.linspace(1.8, 0.4, count)
+    weights = weights / weights.sum() * remaining
+    return [float(w) for w in weights]
+
+
+def make_au_like(
+    num_pages: int = 50_000, seed: int = 7
+) -> WebDataset:
+    """The AU-crawl stand-in: 38 domains, Table IV shares, out-degree ≈6.
+
+    The 12 named domains of Table IV keep their exact percentage share
+    of the graph; 26 filler domains split the remaining ~63.7 %.
+    """
+    named_total = sum(share for __, share in AU_NAMED_DOMAINS)
+    filler_count = AU_TOTAL_DOMAINS - len(AU_NAMED_DOMAINS)
+    filler = _filler_shares(filler_count, 100.0 - named_total)
+    names = [name for name, __ in AU_NAMED_DOMAINS] + [
+        f"filler{i:02d}.edu.au" for i in range(filler_count)
+    ]
+    shares = [share for __, share in AU_NAMED_DOMAINS] + filler
+    config = WebGraphConfig(
+        num_pages=num_pages,
+        group_shares=tuple(shares),
+        mean_out_degree=6.15,  # 23.9M links / 3.88M pages
+        intra_group_fraction=0.8,
+        intra_size_exponent=0.35,  # larger domains more self-contained
+        external_attractiveness_correlation=0.3,  # external fame is
+        # only loosely predicted by internal centrality
+        dangling_fraction=0.03,
+        seed=seed,
+    )
+    graph, group_of = generate_web_graph(config)
+    return WebDataset(
+        name="au-like",
+        graph=graph,
+        labels={"domain": group_of},
+        label_names={"domain": tuple(names)},
+        seed=seed,
+        description=(
+            "Synthetic stand-in for the AU crawl (3.88M pages, 38 "
+            "domains): Table IV domain shares, avg out-degree 6.15, "
+            "80% intra-domain links."
+        ),
+    )
+
+
+def make_politics_like(
+    num_pages: int = 60_000, seed: int = 13
+) -> WebDataset:
+    """The politics-crawl stand-in: topic-clustered linking.
+
+    Groups are *topics*; pages of a topic link mostly within it, which
+    is what keeps a focused 3-link crawl from a topic core topical
+    (the TS-subgraph construction of §V-C).
+    """
+    named_total = sum(share for __, share in POLITICS_TOPICS)
+    names = [GENERAL_TOPIC] + [name for name, __ in POLITICS_TOPICS]
+    shares = [100.0 - named_total] + [
+        share for __, share in POLITICS_TOPICS
+    ]
+    config = WebGraphConfig(
+        num_pages=num_pages,
+        group_shares=tuple(shares),
+        mean_out_degree=3.93,  # 17.3M links / 4.4M pages
+        intra_group_fraction=0.75,
+        dangling_fraction=0.04,
+        seed=seed,
+    )
+    graph, group_of = generate_web_graph(config)
+    return WebDataset(
+        name="politics-like",
+        graph=graph,
+        labels={"topic": group_of},
+        label_names={"topic": tuple(names)},
+        seed=seed,
+        description=(
+            "Synthetic stand-in for the dmoz politics crawl (4.4M "
+            "pages): topic-clustered linking, avg out-degree 3.93."
+        ),
+    )
+
+
+def make_tiny_web(
+    num_pages: int = 600, num_groups: int = 4, seed: int = 3
+) -> WebDataset:
+    """A small multi-domain web for tests, examples and quick runs."""
+    if num_groups < 1:
+        raise DatasetError(f"num_groups must be >= 1, got {num_groups}")
+    shares = tuple(
+        float(s) for s in np.linspace(2.0, 1.0, num_groups)
+    )
+    config = WebGraphConfig(
+        num_pages=num_pages,
+        group_shares=shares,
+        mean_out_degree=5.0,
+        intra_group_fraction=0.75,
+        dangling_fraction=0.05,
+        seed=seed,
+    )
+    graph, group_of = generate_web_graph(config)
+    names = tuple(f"site{i}.example" for i in range(num_groups))
+    return WebDataset(
+        name="tiny-web",
+        graph=graph,
+        labels={"domain": group_of},
+        label_names={"domain": names},
+        seed=seed,
+        description="Small multi-domain synthetic web for tests/examples.",
+    )

@@ -1,0 +1,106 @@
+"""Small deterministic graphs for tests, docs and worked examples.
+
+These mirror the textbook structures used when reasoning about
+PageRank: cycles (perfectly symmetric scores), stars (one dominant
+authority), cliques with a bridge (two communities — the minimal
+subgraph-ranking scenario), and Erdős–Rényi noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import CSRGraph
+
+
+def cycle_graph(num_nodes: int) -> CSRGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``.
+
+    Every node has identical PageRank — the canonical all-ties case for
+    the footrule-with-ties metric.
+    """
+    if num_nodes < 2:
+        raise DatasetError(f"cycle needs >= 2 nodes, got {num_nodes}")
+    builder = GraphBuilder(num_nodes)
+    for node in range(num_nodes):
+        builder.add_edge(node, (node + 1) % num_nodes)
+    return builder.build()
+
+
+def complete_graph(num_nodes: int) -> CSRGraph:
+    """Complete directed graph (no self-loops)."""
+    if num_nodes < 2:
+        raise DatasetError(f"complete graph needs >= 2 nodes, got {num_nodes}")
+    builder = GraphBuilder(num_nodes)
+    for source in range(num_nodes):
+        for target in range(num_nodes):
+            if source != target:
+                builder.add_edge(source, target)
+    return builder.build()
+
+
+def star_graph(num_leaves: int) -> CSRGraph:
+    """Node 0 is the hub; every leaf links to it and it links back.
+
+    The hub accumulates nearly all PageRank — a one-authority graph.
+    """
+    if num_leaves < 1:
+        raise DatasetError(f"star needs >= 1 leaf, got {num_leaves}")
+    builder = GraphBuilder(num_leaves + 1)
+    for leaf in range(1, num_leaves + 1):
+        builder.add_edge(leaf, 0)
+        builder.add_edge(0, leaf)
+    return builder.build()
+
+
+def line_graph(num_nodes: int) -> CSRGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``; the last node dangles."""
+    if num_nodes < 2:
+        raise DatasetError(f"line needs >= 2 nodes, got {num_nodes}")
+    builder = GraphBuilder(num_nodes)
+    for node in range(num_nodes - 1):
+        builder.add_edge(node, node + 1)
+    return builder.build()
+
+
+def two_cliques_bridge(clique_size: int) -> CSRGraph:
+    """Two complete cliques joined by one bridge edge each way.
+
+    Nodes ``0 .. clique_size-1`` form clique A, the rest clique B;
+    ``clique_size-1 -> clique_size`` and back bridge them.  Taking
+    clique A as the local graph gives the minimal example where
+    external structure matters but only through a narrow boundary.
+    """
+    if clique_size < 2:
+        raise DatasetError(
+            f"clique_size must be >= 2, got {clique_size}"
+        )
+    total = 2 * clique_size
+    builder = GraphBuilder(total)
+    for block_start in (0, clique_size):
+        for i in range(block_start, block_start + clique_size):
+            for j in range(block_start, block_start + clique_size):
+                if i != j:
+                    builder.add_edge(i, j)
+    builder.add_edge(clique_size - 1, clique_size)
+    builder.add_edge(clique_size, clique_size - 1)
+    return builder.build()
+
+
+def erdos_renyi(num_nodes: int, edge_probability: float, seed: int = 0) -> CSRGraph:
+    """Directed G(n, p) random graph (no self-loops), deterministic by seed."""
+    if num_nodes < 1:
+        raise DatasetError(f"num_nodes must be >= 1, got {num_nodes}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise DatasetError(
+            f"edge_probability must lie in [0, 1], got {edge_probability}"
+        )
+    rng = np.random.default_rng(seed)
+    mask = rng.random((num_nodes, num_nodes)) < edge_probability
+    np.fill_diagonal(mask, False)
+    sources, targets = np.nonzero(mask)
+    builder = GraphBuilder(num_nodes)
+    builder.add_edge_arrays(sources, targets)
+    return builder.build(dedup=True)

@@ -1,0 +1,57 @@
+"""Sparse directed-graph substrate.
+
+The :mod:`repro.graph` package provides the immutable CSR-backed directed
+graph that every algorithm in this library operates on, plus builders,
+traversals, subgraph extraction and persistence helpers.
+
+The central type is :class:`~repro.graph.digraph.CSRGraph`.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import CSRGraph
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+from repro.graph.scc import (
+    is_strongly_connected,
+    largest_scc_fraction,
+    strongly_connected_components,
+)
+from repro.graph.stats import GraphStats, compute_stats, degree_histogram
+from repro.graph.subgraph import (
+    InducedSubgraph,
+    boundary_in_edges,
+    boundary_out_edges,
+    frontier,
+    induced_subgraph,
+)
+from repro.graph.traversal import (
+    bfs_order,
+    bfs_tree_depths,
+    bfs_within_depth,
+    reachable_set,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "GraphStats",
+    "InducedSubgraph",
+    "bfs_order",
+    "bfs_tree_depths",
+    "bfs_within_depth",
+    "boundary_in_edges",
+    "boundary_out_edges",
+    "compute_stats",
+    "degree_histogram",
+    "frontier",
+    "induced_subgraph",
+    "is_strongly_connected",
+    "largest_scc_fraction",
+    "load_npz",
+    "read_edge_list",
+    "reachable_set",
+    "save_npz",
+    "strongly_connected_components",
+    "weakly_connected_components",
+    "write_edge_list",
+]

@@ -1,0 +1,145 @@
+"""Graph persistence: plain-text edge lists and compressed npz archives.
+
+Two formats are supported:
+
+* **Edge list** (``.tsv``): one ``source<TAB>target[<TAB>weight]`` line
+  per edge, ``#`` comments allowed — interchange format compatible with
+  SNAP/WebGraph-style dumps.
+* **npz**: the CSR arrays plus optional named metadata arrays (domain
+  ids, topic ids, ...) in one compressed file — the fast path used by
+  the experiment harness to cache generated datasets.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import CSRGraph
+
+
+def write_edge_list(
+    graph: CSRGraph, path: str | os.PathLike, include_weights: bool = False
+) -> None:
+    """Write a graph as a tab-separated edge list.
+
+    The first comment line records the node count so that isolated
+    trailing nodes survive a round-trip.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes: {graph.num_nodes}\n")
+        handle.write(f"# edges: {graph.num_edges}\n")
+        for source, target, weight in graph.iter_edges():
+            if include_weights:
+                handle.write(f"{source}\t{target}\t{weight:.17g}\n")
+            else:
+                handle.write(f"{source}\t{target}\n")
+
+
+def read_edge_list(
+    path: str | os.PathLike, num_nodes: int | None = None
+) -> CSRGraph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    num_nodes:
+        Override the node count; by default it is taken from the
+        ``# nodes:`` header, falling back to ``max id + 1``.
+    """
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    header_nodes: int | None = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("nodes:"):
+                    header_nodes = int(body.split(":", 1)[1])
+                continue
+            parts = line.split("\t")
+            if len(parts) not in (2, 3):
+                raise GraphError(
+                    f"{path}:{line_no}: expected 2 or 3 tab-separated "
+                    f"fields, got {len(parts)}"
+                )
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+            weights.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    if num_nodes is None:
+        if header_nodes is not None:
+            num_nodes = header_nodes
+        elif sources:
+            num_nodes = max(max(sources), max(targets)) + 1
+        else:
+            num_nodes = 0
+    matrix = sparse.coo_matrix(
+        (
+            np.asarray(weights, dtype=np.float64),
+            (
+                np.asarray(sources, dtype=np.int64),
+                np.asarray(targets, dtype=np.int64),
+            ),
+        ),
+        shape=(num_nodes, num_nodes),
+    )
+    return CSRGraph(matrix.tocsr())
+
+
+def save_npz(
+    graph: CSRGraph,
+    path: str | os.PathLike,
+    metadata: Mapping[str, np.ndarray] | None = None,
+) -> None:
+    """Save a graph (and optional per-node metadata arrays) to npz.
+
+    Metadata keys are stored under a ``meta_`` prefix to keep them
+    separate from the CSR arrays.
+    """
+    adj = graph.adjacency
+    payload: dict[str, np.ndarray] = {
+        "indptr": adj.indptr,
+        "indices": adj.indices,
+        "data": adj.data,
+        "shape": np.asarray(adj.shape, dtype=np.int64),
+    }
+    for key, value in (metadata or {}).items():
+        if key in payload:
+            raise GraphError(f"metadata key {key!r} collides with CSR field")
+        payload[f"meta_{key}"] = np.asarray(value)
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(
+    path: str | os.PathLike,
+) -> tuple[CSRGraph, dict[str, np.ndarray]]:
+    """Load a graph saved by :func:`save_npz`.
+
+    Returns
+    -------
+    (graph, metadata):
+        The graph and a dict of metadata arrays (``meta_`` prefix
+        stripped).
+    """
+    with np.load(path) as archive:
+        shape = tuple(int(x) for x in archive["shape"])
+        matrix = sparse.csr_matrix(
+            (archive["data"], archive["indices"], archive["indptr"]),
+            shape=shape,
+        )
+        metadata = {
+            key[len("meta_"):]: archive[key]
+            for key in archive.files
+            if key.startswith("meta_")
+        }
+    return CSRGraph(matrix), metadata

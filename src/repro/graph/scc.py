@@ -1,0 +1,108 @@
+"""Strongly connected components (§II-A's irreducibility premise).
+
+"According to the Ergodic Theorem for Markov chains, if the graph is
+aperiodic and irreducible, i.e., the Web graph is strongly connected,
+then a unique steady state distribution exists."  Damping makes the
+walk irreducible regardless, but the *undamped* connectivity structure
+still matters — it drives mixing speed and the bow-tie shape of real
+crawls — so the substrate exposes it.
+
+The implementation is an iterative Tarjan (explicit stack; recursion
+would overflow on crawl-scale graphs) and is cross-checked against
+networkx in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import CSRGraph
+
+
+def strongly_connected_components(graph: CSRGraph) -> list[np.ndarray]:
+    """All SCCs of the graph, largest first.
+
+    Returns
+    -------
+    list of sorted node-id arrays; every node appears in exactly one
+    component (singletons included).
+    """
+    n = graph.num_nodes
+    indptr = graph.adjacency.indptr
+    indices = graph.adjacency.indices
+
+    index_of = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: list[int] = []
+    components: list[list[int]] = []
+    next_index = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Iterative Tarjan: work entries are (node, next-edge-cursor).
+        work = [(root, indptr[root])]
+        index_of[root] = lowlink[root] = next_index
+        next_index += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, cursor = work[-1]
+            if cursor < indptr[node + 1]:
+                work[-1] = (node, cursor + 1)
+                neighbor = int(indices[cursor])
+                if index_of[neighbor] == -1:
+                    index_of[neighbor] = lowlink[neighbor] = next_index
+                    next_index += 1
+                    stack.append(neighbor)
+                    on_stack[neighbor] = True
+                    work.append((neighbor, indptr[neighbor]))
+                elif on_stack[neighbor]:
+                    lowlink[node] = min(
+                        lowlink[node], index_of[neighbor]
+                    )
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(
+                        lowlink[parent], lowlink[node]
+                    )
+                if lowlink[node] == index_of[node]:
+                    members: list[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        members.append(member)
+                        if member == node:
+                            break
+                    components.append(members)
+    arrays = [
+        np.asarray(sorted(members), dtype=np.int64)
+        for members in components
+    ]
+    arrays.sort(key=lambda a: (-a.size, int(a[0])))
+    return arrays
+
+
+def largest_scc_fraction(graph: CSRGraph) -> float:
+    """Fraction of nodes in the largest SCC.
+
+    Real web crawls have a giant SCC covering a substantial fraction of
+    pages (the bow-tie core); the generator tests assert the synthetic
+    graphs share this property.
+    """
+    if graph.num_nodes == 0:
+        return 0.0
+    components = strongly_connected_components(graph)
+    return components[0].size / graph.num_nodes
+
+
+def is_strongly_connected(graph: CSRGraph) -> bool:
+    """Whether the whole graph is one SCC (§II-A's idealised premise)."""
+    if graph.num_nodes == 0:
+        return True
+    return strongly_connected_components(graph)[0].size == (
+        graph.num_nodes
+    )

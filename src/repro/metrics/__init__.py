@@ -1,0 +1,37 @@
+"""Ranking-quality metrics used in the paper's evaluation (§V-B).
+
+* :func:`~repro.metrics.l1.l1_distance` — score-space accuracy (the
+  metric SC/KDD'06 reports, Table III).
+* :func:`~repro.metrics.footrule.footrule_distance` — Spearman's
+  footrule for partial rankings with ties, using bucket positions
+  (Fagin et al., PODS'04), the main metric of Tables III/IV and
+  Figure 7.
+* :mod:`repro.metrics.kendall`, :mod:`repro.metrics.topk` —
+  supplementary order metrics (Kendall tau-b distance, top-k overlap)
+  motivated by the paper's remark that Top-K answering cares about
+  order accuracy.
+* :func:`~repro.metrics.evaluation.evaluate_estimate` — one-call
+  comparison of a :class:`~repro.pagerank.result.SubgraphScores`
+  against the global ground truth, producing every metric at once.
+"""
+
+from repro.metrics.buckets import bucket_positions, buckets_from_scores
+from repro.metrics.evaluation import EvaluationReport, evaluate_estimate
+from repro.metrics.footrule import footrule_distance, footrule_from_scores
+from repro.metrics.kendall import kendall_distance
+from repro.metrics.kendall_ties import kendall_p_distance
+from repro.metrics.l1 import l1_distance
+from repro.metrics.topk import top_k_overlap
+
+__all__ = [
+    "EvaluationReport",
+    "bucket_positions",
+    "buckets_from_scores",
+    "evaluate_estimate",
+    "footrule_distance",
+    "footrule_from_scores",
+    "kendall_distance",
+    "kendall_p_distance",
+    "l1_distance",
+    "top_k_overlap",
+]

@@ -1,0 +1,87 @@
+"""Partial rankings: buckets of tied pages and their positions.
+
+§V-B: "there may be a substantial number of tied pages with the same
+score.  A ranking with ties is referred to as a *partial ranking*."
+Each ranked list is viewed as ordered buckets ``B₁ ... B_t`` of tied
+items; the *bucket position*
+
+    pos(B_i) = (Σ_{j<i} |B_j|) + (|B_i| + 1) / 2
+
+is the average rank a member of the bucket would get, and every item is
+assigned its bucket's position (Fagin, Kumar, Mahdian, Sivakumar, Vee —
+PODS'04).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MetricError
+
+
+def buckets_from_scores(
+    scores: np.ndarray, tie_atol: float = 0.0
+) -> list[np.ndarray]:
+    """Group item indices into ranked buckets of (near-)equal score.
+
+    Parameters
+    ----------
+    scores:
+        Score per item; higher scores rank earlier.
+    tie_atol:
+        Two *adjacent* sorted scores whose gap is <= ``tie_atol`` fall
+        in the same bucket.  0.0 (default) means exact equality — the
+        natural notion for converged PageRank vectors, where ties come
+        from genuinely symmetric pages.
+
+    Returns
+    -------
+    list of index arrays, best bucket first; indices within a bucket
+    are sorted ascending.
+    """
+    scores = _validate_scores(scores)
+    if tie_atol < 0:
+        raise MetricError(f"tie_atol must be >= 0, got {tie_atol}")
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    buckets: list[np.ndarray] = []
+    start = 0
+    for pos in range(1, scores.size + 1):
+        is_break = pos == scores.size or (
+            sorted_scores[pos - 1] - sorted_scores[pos] > tie_atol
+        )
+        if is_break:
+            buckets.append(np.sort(order[start:pos]))
+            start = pos
+    return buckets
+
+
+def bucket_positions(
+    scores: np.ndarray, tie_atol: float = 0.0
+) -> np.ndarray:
+    """Bucket position σ(x) of every item under its partial ranking.
+
+    Returns an array aligned with ``scores``: item i gets
+    ``pos(B)`` of the bucket B it belongs to.  Positions are 1-based
+    (the best untied item has position 1.0).
+    """
+    scores = _validate_scores(scores)
+    positions = np.empty(scores.size, dtype=np.float64)
+    consumed = 0
+    for bucket in buckets_from_scores(scores, tie_atol):
+        positions[bucket] = consumed + (bucket.size + 1) / 2.0
+        consumed += bucket.size
+    return positions
+
+
+def _validate_scores(scores: np.ndarray) -> np.ndarray:
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise MetricError(
+            f"scores must be a 1-D array, got shape {scores.shape}"
+        )
+    if scores.size == 0:
+        raise MetricError("scores must not be empty")
+    if not np.all(np.isfinite(scores)):
+        raise MetricError("scores must be finite")
+    return scores

@@ -1,0 +1,97 @@
+"""One-call evaluation of a subgraph estimate against global truth.
+
+The harness evaluates every algorithm the same way §V-B does: restrict
+the global PageRank vector to the subgraph (that is ``R₁``), take the
+estimate (``R₂``), and compute the distance metrics.  This module
+packages that recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MetricError
+from repro.metrics.footrule import footrule_from_scores
+from repro.metrics.kendall import kendall_distance
+from repro.metrics.l1 import l1_distance
+from repro.metrics.topk import top_k_overlap
+from repro.pagerank.result import SubgraphScores
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """All §V-B metrics for one algorithm on one subgraph.
+
+    Attributes
+    ----------
+    method:
+        Algorithm label from the evaluated result.
+    l1:
+        Normalised L1 distance between estimate and restricted global
+        scores.
+    footrule:
+        Spearman's footrule distance for partial rankings (ties via
+        bucket positions).
+    kendall:
+        Tie-corrected Kendall distance (supplementary).
+    top_100_overlap:
+        Fraction of the true top-100 pages recovered in the estimated
+        top-100 (k is clipped on subgraphs smaller than 100).
+    runtime_seconds / iterations:
+        Carried over from the estimate for runtime tables.
+    """
+
+    method: str
+    l1: float
+    footrule: float
+    kendall: float
+    top_100_overlap: float
+    runtime_seconds: float
+    iterations: int
+
+
+def evaluate_estimate(
+    global_scores: np.ndarray,
+    estimate: SubgraphScores,
+    tie_atol: float = 0.0,
+) -> EvaluationReport:
+    """Compare an estimate against the global ground truth.
+
+    Parameters
+    ----------
+    global_scores:
+        The full global PageRank vector (length N); it is restricted to
+        ``estimate.local_nodes`` internally.
+    estimate:
+        Any algorithm's :class:`SubgraphScores`.
+    tie_atol:
+        Tie tolerance for the footrule bucketing.
+
+    Returns
+    -------
+    EvaluationReport
+    """
+    global_scores = np.asarray(global_scores, dtype=np.float64)
+    if global_scores.ndim != 1:
+        raise MetricError(
+            f"global_scores must be 1-D, got shape {global_scores.shape}"
+        )
+    if estimate.local_nodes.size and (
+        estimate.local_nodes[-1] >= global_scores.size
+    ):
+        raise MetricError(
+            "estimate refers to pages beyond the global score vector"
+        )
+    reference = global_scores[estimate.local_nodes]
+    estimated = estimate.scores
+    return EvaluationReport(
+        method=estimate.method,
+        l1=l1_distance(reference, estimated, normalize=True),
+        footrule=footrule_from_scores(reference, estimated, tie_atol),
+        kendall=kendall_distance(reference, estimated),
+        top_100_overlap=top_k_overlap(reference, estimated, k=100),
+        runtime_seconds=estimate.runtime_seconds,
+        iterations=estimate.iterations,
+    )

@@ -1,0 +1,86 @@
+"""Spearman's footrule distance for partial rankings with ties (§V-B).
+
+With bucket positions σ₁, σ₂ (see :mod:`repro.metrics.buckets`), the
+paper defines
+
+    F(σ₁, σ₂) = Σ_i |σ₁(i) − σ₂(i)|  /  ⌊|σ₁|² / 2⌋
+
+The denominator ⌊n²/2⌋ is the maximum possible footrule displacement
+(attained by reversing a full ranking of n items), so F lies in
+``[0, 1]`` and rankings that agree get 0 — the headline accuracy metric
+of Tables III/IV and Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MetricError
+from repro.metrics.buckets import bucket_positions
+
+
+def footrule_distance(
+    positions_a: np.ndarray, positions_b: np.ndarray
+) -> float:
+    """Normalised footrule distance between two position vectors.
+
+    Parameters
+    ----------
+    positions_a, positions_b:
+        Bucket positions (as produced by
+        :func:`~repro.metrics.buckets.bucket_positions`) aligned
+        item-by-item.
+
+    Returns
+    -------
+    float in ``[0, 1]``; 0 for identical partial rankings.
+    """
+    positions_a = np.asarray(positions_a, dtype=np.float64)
+    positions_b = np.asarray(positions_b, dtype=np.float64)
+    if positions_a.shape != positions_b.shape or positions_a.ndim != 1:
+        raise MetricError(
+            "position vectors must be 1-D and aligned, got shapes "
+            f"{positions_a.shape} and {positions_b.shape}"
+        )
+    if positions_a.size == 0:
+        raise MetricError("position vectors must not be empty")
+    denominator = (positions_a.size ** 2) // 2
+    if denominator == 0:
+        # A single item: the two rankings are trivially identical.
+        return 0.0
+    total = float(np.abs(positions_a - positions_b).sum())
+    return total / denominator
+
+
+def footrule_from_scores(
+    reference: np.ndarray,
+    estimate: np.ndarray,
+    tie_atol: float = 0.0,
+) -> float:
+    """Footrule distance between the rankings induced by two score vectors.
+
+    Convenience wrapper: converts both score vectors to bucket
+    positions (higher score = better rank, exact-equality ties by
+    default) and applies :func:`footrule_distance`.
+
+    Parameters
+    ----------
+    reference:
+        Ground-truth scores (``R₁`` — global PageRank restricted to the
+        subgraph).
+    estimate:
+        Estimated scores (``R₂``).
+    tie_atol:
+        Tie tolerance forwarded to the bucketing.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if reference.shape != estimate.shape:
+        raise MetricError(
+            "score vectors must be aligned, got shapes "
+            f"{reference.shape} and {estimate.shape}"
+        )
+    return footrule_distance(
+        bucket_positions(reference, tie_atol),
+        bucket_positions(estimate, tie_atol),
+    )

@@ -1,0 +1,59 @@
+"""Top-k overlap between rankings.
+
+§V-C motivates order accuracy by Top-K query answering: what matters to
+a search user is whether the *top* of the estimated ranking matches the
+top of the true one.  ``top_k_overlap`` measures exactly that — the
+fraction of the true top-k pages the estimate also places in its
+top-k (a.k.a. precision@k of the estimated top set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MetricError
+
+
+def top_k_overlap(
+    reference: np.ndarray, estimate: np.ndarray, k: int
+) -> float:
+    """Overlap fraction of the top-k sets induced by two score vectors.
+
+    Parameters
+    ----------
+    reference, estimate:
+        Aligned score vectors over the same items.
+    k:
+        Size of the top sets; clipped to the number of items.
+
+    Returns
+    -------
+    float in ``[0, 1]``; 1 when the two top-k *sets* coincide.
+
+    Notes
+    -----
+    Ties are broken by ascending item index in both rankings, so the
+    measure is deterministic; with heavy ties at the k boundary this is
+    a pessimistic convention applied equally to both sides.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if reference.shape != estimate.shape or reference.ndim != 1:
+        raise MetricError(
+            "score vectors must be 1-D and aligned, got shapes "
+            f"{reference.shape} and {estimate.shape}"
+        )
+    if reference.size == 0:
+        raise MetricError("score vectors must not be empty")
+    if k <= 0:
+        raise MetricError(f"k must be positive, got {k}")
+    k = min(k, reference.size)
+    top_reference = _top_k_indices(reference, k)
+    top_estimate = _top_k_indices(estimate, k)
+    overlap = np.intersect1d(top_reference, top_estimate).size
+    return overlap / k
+
+
+def _top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    order = np.lexsort((np.arange(scores.size), -scores))
+    return order[:k]

@@ -1,0 +1,31 @@
+"""ObjectRank-style semantic ranking on authority-transfer graphs.
+
+§I of the paper motivates subgraph ranking with ObjectRank (Balmin,
+Hristidis, Papakonstantinou — VLDB'04): a domain expert assigns
+authority-transfer rates to the edge *types* of a schema graph
+(Figure 2 shows DBLP's), the data graph inherits those rates as edge
+weights, and ranking runs on the weighted graph.  Figure 3 then frames
+the ApproxRank use case: the expert only cares about a subgraph of
+entity types, and the external region's scores can be treated as
+background.
+
+This package provides the schema/data-graph machinery and wires it to
+the core algorithms, so the paper's "our general approaches can be
+applied to estimate ObjectRank scores as well" claim is executable.
+"""
+
+from repro.objectrank.datagraph import DataGraph, DataGraphBuilder
+from repro.objectrank.dblp import dblp_schema, make_dblp_like
+from repro.objectrank.rank import objectrank, semantic_subgraph_rank
+from repro.objectrank.schema import AuthoritySchema, TransferEdge
+
+__all__ = [
+    "AuthoritySchema",
+    "DataGraph",
+    "DataGraphBuilder",
+    "TransferEdge",
+    "dblp_schema",
+    "make_dblp_like",
+    "objectrank",
+    "semantic_subgraph_rank",
+]

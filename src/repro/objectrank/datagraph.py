@@ -1,0 +1,138 @@
+"""Weighted data graphs instantiating an authority-transfer schema.
+
+Every entity gets a node; every relation between two entities produces
+the directed weighted edge(s) its type pair declares in the schema.
+The resulting :class:`~repro.graph.digraph.CSRGraph` carries transfer
+rates as edge weights, and the standard transition machinery
+(:mod:`repro.pagerank.transition`) normalises them into a random walk —
+i.e. ObjectRank's authority-flow walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import CSRGraph
+from repro.objectrank.schema import AuthoritySchema
+
+
+@dataclass(frozen=True)
+class DataGraph:
+    """An instantiated semantic data graph.
+
+    Attributes
+    ----------
+    schema:
+        The authority-transfer schema the graph instantiates.
+    graph:
+        Weighted directed graph over all entities.
+    type_of:
+        Entity-type index per node (see
+        :meth:`AuthoritySchema.type_index`).
+    names:
+        Human-readable entity names, aligned with node ids.
+    """
+
+    schema: AuthoritySchema
+    graph: CSRGraph
+    type_of: np.ndarray
+    names: tuple[str, ...]
+
+    def entities_of_type(self, type_name: str) -> np.ndarray:
+        """Node ids of all entities of one type."""
+        index = self.schema.type_index(type_name)
+        return np.flatnonzero(self.type_of == index)
+
+    def entities_of_types(self, type_names) -> np.ndarray:
+        """Node ids of all entities of any of the given types (sorted)."""
+        indices = {self.schema.type_index(name) for name in type_names}
+        mask = np.isin(self.type_of, sorted(indices))
+        return np.flatnonzero(mask)
+
+
+class DataGraphBuilder:
+    """Accumulates entities and relations, then builds a DataGraph.
+
+    Examples
+    --------
+    >>> builder = DataGraphBuilder(schema)
+    >>> alice = builder.add_entity("author", "Alice")
+    >>> paper = builder.add_entity("paper", "P1")
+    >>> builder.add_relation(alice, paper)   # both directions if declared
+    >>> data = builder.build()
+    """
+
+    def __init__(self, schema: AuthoritySchema):
+        self._schema = schema
+        self._types: list[int] = []
+        self._names: list[str] = []
+        self._relations: list[tuple[int, int]] = []
+
+    @property
+    def num_entities(self) -> int:
+        """Entities added so far."""
+        return len(self._types)
+
+    def add_entity(self, type_name: str, name: str | None = None) -> int:
+        """Register an entity; returns its node id."""
+        type_index = self._schema.type_index(type_name)
+        node = len(self._types)
+        self._types.append(type_index)
+        self._names.append(name if name is not None else f"{type_name}#{node}")
+        return node
+
+    def add_relation(self, entity_a: int, entity_b: int) -> None:
+        """Relate two entities.
+
+        Directed weighted edges are created later, at build time, for
+        *each direction the schema declares* — ObjectRank schemas
+        routinely declare asymmetric forward/backward rates (e.g.
+        citations: 0.7 forward, 0.1 backward).
+
+        Raises
+        ------
+        SchemaError
+            If neither direction of the entities' type pair is declared
+            (the relation would be semantically meaningless).
+        """
+        for entity in (entity_a, entity_b):
+            if not 0 <= entity < len(self._types):
+                raise SchemaError(
+                    f"unknown entity id {entity}; add_entity first"
+                )
+        type_a = self._schema.types[self._types[entity_a]]
+        type_b = self._schema.types[self._types[entity_b]]
+        forward = self._schema.transfer_weight(type_a, type_b)
+        backward = self._schema.transfer_weight(type_b, type_a)
+        if forward is None and backward is None:
+            raise SchemaError(
+                f"schema declares no transfer between {type_a!r} and "
+                f"{type_b!r} in either direction"
+            )
+        self._relations.append((entity_a, entity_b))
+
+    def build(self) -> DataGraph:
+        """Materialise the weighted graph."""
+        builder = GraphBuilder(len(self._types))
+        for entity_a, entity_b in self._relations:
+            type_a = self._schema.types[self._types[entity_a]]
+            type_b = self._schema.types[self._types[entity_b]]
+            forward = self._schema.transfer_weight(type_a, type_b)
+            backward = self._schema.transfer_weight(type_b, type_a)
+            if forward is not None:
+                builder.add_edge(entity_a, entity_b, forward)
+            if backward is not None:
+                builder.add_edge(entity_b, entity_a, backward)
+        type_of = np.asarray(self._types, dtype=np.int64)
+        type_of.setflags(write=False)
+        return DataGraph(
+            schema=self._schema,
+            graph=builder.build(),
+            type_of=type_of,
+            names=tuple(self._names),
+        )

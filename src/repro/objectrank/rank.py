@@ -1,0 +1,122 @@
+"""Ranking on semantic data graphs: ObjectRank and its subgraph variant.
+
+* :func:`objectrank` — global weighted PageRank over the data graph
+  (the expensive computation a search engine cannot afford "for all
+  possible combinations of keywords and authority transfer
+  assignments", §I).
+* :func:`semantic_subgraph_rank` — the Figure 3 scenario: restrict
+  attention to the entity types a domain expert cares about and
+  estimate their scores with ApproxRank (or IdealRank when a previous
+  global ranking is available).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.approxrank import approxrank
+from repro.core.idealrank import idealrank
+from repro.exceptions import SubgraphError
+from repro.objectrank.datagraph import DataGraph
+from repro.pagerank.localrank import pagerank_on_graph
+from repro.pagerank.result import RankResult, SubgraphScores
+from repro.pagerank.solver import PowerIterationSettings
+
+
+def objectrank(
+    data: DataGraph,
+    settings: PowerIterationSettings | None = None,
+    base_set: np.ndarray | None = None,
+) -> RankResult:
+    """Global ObjectRank: weighted PageRank over the whole data graph.
+
+    Parameters
+    ----------
+    data:
+        The instantiated data graph (edge weights = transfer rates).
+    settings:
+        Solver knobs.
+    base_set:
+        Optional node ids of a keyword base set; teleportation is
+        restricted to them (ObjectRank's query-specific walk).  Omit it
+        for the query-independent "global ObjectRank".
+    """
+    personalization = None
+    if base_set is not None:
+        base_set = np.asarray(base_set, dtype=np.int64)
+        if base_set.size == 0:
+            raise SubgraphError("base_set must not be empty")
+        personalization = np.zeros(data.graph.num_nodes, dtype=np.float64)
+        personalization[base_set] = 1.0 / base_set.size
+    return pagerank_on_graph(
+        data.graph, settings, personalization=personalization
+    )
+
+
+def semantic_subgraph_rank(
+    data: DataGraph,
+    types_of_interest: Iterable[str],
+    settings: PowerIterationSettings | None = None,
+    known_scores: np.ndarray | None = None,
+    base_set: np.ndarray | None = None,
+) -> SubgraphScores:
+    """Rank only the entity types a domain expert cares about.
+
+    Parameters
+    ----------
+    data:
+        The semantic data graph.
+    types_of_interest:
+        Entity type names forming the subgraph (e.g. ``{"author",
+        "paper"}`` while conferences and years stay external).
+    settings:
+        Solver knobs.
+    known_scores:
+        A previously computed global (Object)Rank vector.  When given,
+        IdealRank reuses it for the external region — the paper's
+        "PageRank scores for other regions ... may also remain largely
+        unchanged" scenario; when omitted, ApproxRank estimates without
+        it.
+    base_set:
+        Optional node ids of an ObjectRank keyword base set; the walk
+        teleports only to them.  With ``known_scores`` from a walk
+        personalised the same way, the result is exact (Theorem 1
+        holds for any teleport distribution).
+
+    Returns
+    -------
+    SubgraphScores over the entities of the chosen types.
+    """
+    local_nodes = data.entities_of_types(types_of_interest)
+    if local_nodes.size == 0:
+        raise SubgraphError(
+            f"no entities of types {sorted(set(types_of_interest))}"
+        )
+    if local_nodes.size >= data.graph.num_nodes:
+        raise SubgraphError(
+            "types_of_interest cover every entity; nothing is external"
+        )
+    personalization = None
+    if base_set is not None:
+        base_set = np.asarray(base_set, dtype=np.int64)
+        if base_set.size == 0:
+            raise SubgraphError("base_set must not be empty")
+        personalization = np.zeros(data.graph.num_nodes)
+        personalization[base_set] = 1.0 / base_set.size
+    if known_scores is not None:
+        return idealrank(
+            data.graph, local_nodes, known_scores, settings,
+            personalization=personalization,
+        )
+    if personalization is not None:
+        from repro.core.external import uniform_external_weights
+        from repro.core.idealrank import rank_with_external_weights
+
+        weights = uniform_external_weights(data.graph, local_nodes)
+        return rank_with_external_weights(
+            data.graph, local_nodes, weights, settings,
+            method="approxrank", personalization=personalization,
+        )
+    return approxrank(data.graph, local_nodes, settings)

@@ -1,0 +1,34 @@
+"""Peer-to-peer subgraph ranking (§I's P2P scenario).
+
+In a P2P web-search network each peer stores its own subgraph of the
+Web and must rank it against the global link structure it cannot see
+(Parreira et al.'s JXP, VLDB'06, is the reference system the paper
+cites).  This package builds that scenario directly on the
+IdealRank/ApproxRank framework:
+
+* each peer starts with ApproxRank — the uniform external-importance
+  vector ``E_approx``;
+* peers *meet* pairwise and exchange their current score estimates;
+* after each meeting a peer rebuilds its ``E`` from everything it has
+  learned (exact knowledge where a peer authoritative for those pages
+  has spoken, residual-uniform elsewhere) and re-runs the extended
+  random walk.
+
+Theorem 2 then does the work: as a peer's knowledge gap
+``‖E − E_peer‖₁`` shrinks meeting by meeting, its local-score error is
+bounded ever tighter, and with full coverage the walk *is* IdealRank —
+the scores converge to the true global PageRank (Theorem 1).  The
+tests assert exactly this trajectory.
+"""
+
+from repro.p2p.network import MeetingReport, P2PNetwork
+from repro.p2p.partition import partition_by_label, random_partition
+from repro.p2p.peer import Peer
+
+__all__ = [
+    "MeetingReport",
+    "P2PNetwork",
+    "Peer",
+    "partition_by_label",
+    "random_partition",
+]

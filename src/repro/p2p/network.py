@@ -1,0 +1,195 @@
+"""The P2P network: meetings, gossip and convergence tracking.
+
+Per round, peers are paired uniformly at random (odd one sits out); a
+meeting is a symmetric exchange — each side sends its authoritative
+scores and gossips its knowledge table — after which both re-rank.
+``evaluate`` measures every peer against the true global PageRank so
+experiments can plot error-vs-round, the JXP-style convergence curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SubgraphError
+from repro.graph.digraph import CSRGraph
+from repro.metrics.footrule import footrule_from_scores
+from repro.metrics.l1 import l1_distance
+from repro.p2p.peer import Peer
+from repro.pagerank.solver import PowerIterationSettings
+
+
+@dataclass(frozen=True)
+class MeetingReport:
+    """Network-wide state after one round of meetings.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round number.
+    mean_coverage:
+        Average fraction of external pages each peer has estimates for.
+    mean_l1 / mean_footrule:
+        Average per-peer distance to the true global PageRank
+        (populated by :meth:`P2PNetwork.run` when truth is supplied;
+        NaN otherwise).
+    """
+
+    round_index: int
+    mean_coverage: float
+    mean_l1: float
+    mean_footrule: float
+
+
+class P2PNetwork:
+    """A set of peers jointly ranking one global graph.
+
+    Parameters
+    ----------
+    graph:
+        The global graph.
+    partition:
+        One global-id array per peer; arrays must be disjoint (a page
+        has one host).  They need not cover the whole graph — uncovered
+        pages are simply external to everyone.
+    settings:
+        Solver knobs shared by all peers.
+    seed:
+        Seed for the meeting schedule (deterministic networks).
+    allow_overlap:
+        Permit peers to host overlapping page sets — the fully
+        decentralised setting the paper describes ("peers may overlap
+        with each other", §I, after JXP).  For an overlapped page each
+        hosting peer remains authoritative for its own copy; a
+        receiving third peer keeps the most recently heard
+        authoritative estimate.  Default False (strict partition).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        partition: Sequence[np.ndarray],
+        settings: PowerIterationSettings | None = None,
+        seed: int = 0,
+        allow_overlap: bool = False,
+    ):
+        if len(partition) < 2:
+            raise SubgraphError("a P2P network needs at least 2 peers")
+        seen = np.zeros(graph.num_nodes, dtype=bool)
+        for nodes in partition:
+            nodes = np.asarray(nodes, dtype=np.int64)
+            if not allow_overlap and seen[nodes].any():
+                raise SubgraphError(
+                    "partition overlaps: a page may have only one "
+                    "host (pass allow_overlap=True for the "
+                    "decentralised overlapping setting)"
+                )
+            seen[nodes] = True
+        self.graph = graph
+        self.peers = [
+            Peer(peer_id, graph, nodes, settings)
+            for peer_id, nodes in enumerate(partition)
+        ]
+        self._rng = np.random.default_rng(seed)
+        self.rounds_completed = 0
+
+    @property
+    def num_peers(self) -> int:
+        """Number of peers in the network."""
+        return len(self.peers)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def meet(self, peer_a: Peer, peer_b: Peer) -> None:
+        """One symmetric meeting: exchange, gossip, re-rank both."""
+        a_pages, a_scores = peer_a.authoritative_estimates()
+        b_pages, b_scores = peer_b.authoritative_estimates()
+        a_gossip = self._gossip_of(peer_a)
+        b_gossip = self._gossip_of(peer_b)
+        peer_b.learn(a_pages, a_scores, authoritative=True)
+        peer_a.learn(b_pages, b_scores, authoritative=True)
+        peer_b.learn(*a_gossip, authoritative=False)
+        peer_a.learn(*b_gossip, authoritative=False)
+        peer_a.rerank()
+        peer_b.rerank()
+
+    @staticmethod
+    def _gossip_of(peer: Peer) -> tuple[np.ndarray, np.ndarray]:
+        known = np.flatnonzero(np.isfinite(peer.knowledge))
+        return known, peer.knowledge[known]
+
+    def run_round(self) -> MeetingReport:
+        """Pair peers at random, run all meetings, report coverage."""
+        order = self._rng.permutation(self.num_peers)
+        for index in range(0, self.num_peers - 1, 2):
+            self.meet(
+                self.peers[order[index]],
+                self.peers[order[index + 1]],
+            )
+        self.rounds_completed += 1
+        return MeetingReport(
+            round_index=self.rounds_completed,
+            mean_coverage=float(np.mean(
+                [peer.external_coverage() for peer in self.peers]
+            )),
+            mean_l1=float("nan"),
+            mean_footrule=float("nan"),
+        )
+
+    def run(
+        self,
+        rounds: int,
+        global_scores: np.ndarray | None = None,
+    ) -> list[MeetingReport]:
+        """Run several rounds; with truth supplied, track accuracy.
+
+        Parameters
+        ----------
+        rounds:
+            Number of meeting rounds.
+        global_scores:
+            Optional true global PageRank vector; when given, each
+            report carries the network's mean L1/footrule error.
+
+        Returns
+        -------
+        One :class:`MeetingReport` per round, in order.
+        """
+        if rounds < 1:
+            raise SubgraphError(f"rounds must be >= 1, got {rounds}")
+        reports = []
+        for __ in range(rounds):
+            report = self.run_round()
+            if global_scores is not None:
+                l1, footrule = self.evaluate(global_scores)
+                report = MeetingReport(
+                    round_index=report.round_index,
+                    mean_coverage=report.mean_coverage,
+                    mean_l1=l1,
+                    mean_footrule=footrule,
+                )
+            reports.append(report)
+        return reports
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, global_scores: np.ndarray
+    ) -> tuple[float, float]:
+        """(mean L1, mean footrule) of peers vs the global truth."""
+        l1_values = []
+        footrule_values = []
+        for peer in self.peers:
+            reference = global_scores[peer.local_nodes]
+            l1_values.append(l1_distance(reference, peer.scores))
+            footrule_values.append(
+                footrule_from_scores(reference, peer.scores)
+            )
+        return float(np.mean(l1_values)), float(np.mean(footrule_values))

@@ -1,0 +1,82 @@
+"""Partitioning a web graph across peers.
+
+Two partitioners cover the scenarios of interest: by label (each peer
+hosts whole domains — the natural deployment) and uniformly at random
+(the adversarial baseline with maximal cross-peer linkage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SubgraphError
+from repro.generators.datasets import WebDataset
+from repro.graph.digraph import CSRGraph
+
+
+def partition_by_label(
+    dataset: WebDataset,
+    dimension: str = "domain",
+    num_peers: int | None = None,
+) -> list[np.ndarray]:
+    """One peer per label value (optionally merged down to ``num_peers``).
+
+    Parameters
+    ----------
+    dataset:
+        A labelled dataset (e.g. AU-like with its ``"domain"`` labels).
+    dimension:
+        Which label dimension to partition on.
+    num_peers:
+        When given and smaller than the number of labels, labels are
+        merged round-robin so every peer still holds whole labels.
+
+    Returns
+    -------
+    List of sorted global-id arrays, one per peer, covering every page
+    exactly once.
+    """
+    names = dataset.label_names.get(dimension)
+    if names is None:
+        raise SubgraphError(
+            f"dataset {dataset.name!r} has no dimension {dimension!r}"
+        )
+    groups = [
+        dataset.pages_with_label(dimension, name) for name in names
+    ]
+    if num_peers is None or num_peers >= len(groups):
+        return groups
+    if num_peers < 1:
+        raise SubgraphError(f"num_peers must be >= 1, got {num_peers}")
+    merged: list[list[np.ndarray]] = [[] for __ in range(num_peers)]
+    for index, group in enumerate(groups):
+        merged[index % num_peers].append(group)
+    return [
+        np.sort(np.concatenate(parts)) for parts in merged
+    ]
+
+
+def random_partition(
+    graph: CSRGraph, num_peers: int, seed: int = 0
+) -> list[np.ndarray]:
+    """Assign every page to a uniformly random peer (deterministic).
+
+    Every peer is guaranteed at least one page (requires
+    ``num_peers <= num_nodes``).
+    """
+    if num_peers < 1:
+        raise SubgraphError(f"num_peers must be >= 1, got {num_peers}")
+    if num_peers > graph.num_nodes:
+        raise SubgraphError(
+            f"cannot spread {graph.num_nodes} pages over "
+            f"{num_peers} peers"
+        )
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, num_peers, graph.num_nodes)
+    # Guarantee non-empty peers by seeding one distinct page each.
+    seeds = rng.choice(graph.num_nodes, size=num_peers, replace=False)
+    assignment[seeds] = np.arange(num_peers)
+    return [
+        np.flatnonzero(assignment == peer).astype(np.int64)
+        for peer in range(num_peers)
+    ]

@@ -1,0 +1,158 @@
+"""A single peer: one subgraph, one evolving knowledge table.
+
+A peer is authoritative for the pages it hosts.  Its *knowledge table*
+holds its best current estimate of the global score of every page it
+has heard about (NaN when it has heard nothing).  Ranking is always
+one extended-graph walk with an ``E`` built from that table — pure
+IdealRank/ApproxRank machinery; the P2P layer only decides what goes
+into ``E``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extended import build_extended_graph
+from repro.exceptions import SubgraphError
+from repro.graph.digraph import CSRGraph
+from repro.graph.subgraph import membership_mask, normalize_node_set
+from repro.pagerank.solver import PowerIterationSettings
+
+#: Floor weight for pages a peer knows nothing about, so unknown pages
+#: never get exactly zero importance (they may still matter).
+_UNKNOWN_FLOOR = 1e-12
+
+
+class Peer:
+    """One peer of a P2P ranking network.
+
+    Parameters
+    ----------
+    peer_id:
+        Index of this peer in the network.
+    graph:
+        The global graph.  A real peer only reads the rows of pages it
+        crawled plus their boundary edges; the extended-graph builder
+        touches exactly that.
+    local_nodes:
+        Global ids of the pages this peer hosts.
+    settings:
+        Solver knobs for the extended walks.
+    """
+
+    def __init__(
+        self,
+        peer_id: int,
+        graph: CSRGraph,
+        local_nodes: np.ndarray,
+        settings: PowerIterationSettings | None = None,
+    ):
+        self.peer_id = int(peer_id)
+        self._graph = graph
+        self.local_nodes = normalize_node_set(graph, local_nodes)
+        if self.local_nodes.size >= graph.num_nodes:
+            raise SubgraphError(
+                "a peer must host a proper subgraph of the web"
+            )
+        self._settings = settings or PowerIterationSettings()
+        self._local_mask = membership_mask(graph, self.local_nodes)
+        # Best-known global-score estimate per page; NaN = unknown.
+        self.knowledge = np.full(graph.num_nodes, np.nan)
+        # Estimated total external mass (the walk's Lambda score).
+        self.external_mass_estimate = 1.0 - (
+            self.local_nodes.size / graph.num_nodes
+        )
+        self.scores = np.zeros(self.local_nodes.size)
+        self.rounds_ranked = 0
+        self.rerank()
+
+    # ------------------------------------------------------------------
+    # Knowledge
+    # ------------------------------------------------------------------
+
+    @property
+    def num_local(self) -> int:
+        """Number of pages this peer hosts."""
+        return int(self.local_nodes.size)
+
+    def external_coverage(self) -> float:
+        """Fraction of external pages with a known score estimate."""
+        external = ~self._local_mask
+        known = np.isfinite(self.knowledge[external])
+        return float(known.mean())
+
+    def authoritative_estimates(self) -> tuple[np.ndarray, np.ndarray]:
+        """(pages, scores) this peer is authoritative for — its own."""
+        return self.local_nodes, self.scores
+
+    def learn(self, pages: np.ndarray, scores: np.ndarray,
+              authoritative: bool) -> None:
+        """Absorb score estimates received during a meeting.
+
+        Parameters
+        ----------
+        pages / scores:
+            Parallel arrays of global ids and estimated global scores.
+        authoritative:
+            True when the sender hosts these pages (its word always
+            wins); False for gossiped third-party knowledge, which only
+            fills gaps — stale gossip must not overwrite fresher
+            authoritative values.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if pages.shape != scores.shape:
+            raise SubgraphError("pages and scores must be parallel")
+        foreign = ~self._local_mask[pages]
+        pages, scores = pages[foreign], scores[foreign]
+        if authoritative:
+            self.knowledge[pages] = scores
+        else:
+            unknown = ~np.isfinite(self.knowledge[pages])
+            self.knowledge[pages[unknown]] = scores[unknown]
+
+    # ------------------------------------------------------------------
+    # Ranking
+    # ------------------------------------------------------------------
+
+    def build_external_weights(self) -> np.ndarray:
+        """Assemble E from the knowledge table.
+
+        Known external pages are weighted by their estimated scores;
+        unknown pages share the residual external mass
+        (``Lambda estimate − known mass``) uniformly — which collapses
+        to ``E_approx`` when nothing is known and to the exact E when
+        everything is.
+        """
+        n = self._graph.num_nodes
+        weights = np.zeros(n)
+        external = ~self._local_mask
+        known = external & np.isfinite(self.knowledge)
+        unknown = external & ~np.isfinite(self.knowledge)
+        known_values = np.clip(self.knowledge[known], 0.0, None)
+        weights[known] = known_values
+        num_unknown = int(unknown.sum())
+        if num_unknown:
+            residual = self.external_mass_estimate - known_values.sum()
+            per_page = max(residual / num_unknown, _UNKNOWN_FLOOR)
+            weights[unknown] = per_page
+        total = weights.sum()
+        if total <= 0:
+            # Degenerate table (all known scores zero): fall back to
+            # the uniform assumption.
+            weights[external] = 1.0 / external.sum()
+            return weights
+        return weights / total
+
+    def rerank(self) -> None:
+        """Re-run the extended walk under the current knowledge."""
+        extended = build_extended_graph(
+            self._graph,
+            self.local_nodes,
+            self.build_external_weights(),
+            mode="custom",
+        )
+        outcome = extended.solve(self._settings)
+        self.scores = outcome.local_scores.copy()
+        self.external_mass_estimate = outcome.lambda_score
+        self.rounds_ranked += 1

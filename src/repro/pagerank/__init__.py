@@ -1,0 +1,47 @@
+"""PageRank engine: transition matrices and the power-iteration solver.
+
+This package implements standard PageRank exactly as reviewed in §II-A
+of the paper — row-stochastic transition matrix from out-degrees,
+damping factor ε (default 0.85), uniform personalisation, dangling-mass
+redistribution, and L1-based convergence (default tolerance 1e-5) —
+plus the generic solver the IdealRank/ApproxRank extended graphs reuse.
+"""
+
+from repro.pagerank.accelerated import (
+    power_iteration_adaptive,
+    power_iteration_extrapolated,
+)
+from repro.pagerank.diagnostics import ResidualTrace, residual_trace
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.linear import solve_linear_system
+from repro.pagerank.localrank import local_pagerank
+from repro.pagerank.result import RankResult, SubgraphScores
+from repro.pagerank.solver import PowerIterationSettings, power_iteration
+from repro.pagerank.stability import (
+    damping_sweep,
+    edge_perturbation_study,
+    perturbation_bound,
+)
+from repro.pagerank.transition import (
+    transition_matrix,
+    transition_matrix_transpose,
+)
+
+__all__ = [
+    "PowerIterationSettings",
+    "ResidualTrace",
+    "RankResult",
+    "SubgraphScores",
+    "damping_sweep",
+    "edge_perturbation_study",
+    "global_pagerank",
+    "local_pagerank",
+    "perturbation_bound",
+    "power_iteration",
+    "power_iteration_adaptive",
+    "power_iteration_extrapolated",
+    "residual_trace",
+    "solve_linear_system",
+    "transition_matrix",
+    "transition_matrix_transpose",
+]

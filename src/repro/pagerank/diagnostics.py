@@ -1,0 +1,121 @@
+"""Convergence diagnostics for the power iteration.
+
+The paper reports convergence behaviour (131 iterations for the AU
+global solve at L1 tolerance 1e-5); this module exposes the full
+residual trajectory so that behaviour can be inspected, asserted and
+plotted rather than summarised by a single count.  The decay rate also
+verifies the standard theory: the L1 residual of the damped walk
+contracts by (at most) a factor ε per step, so ``log residual`` falls
+linearly with slope ``log ε``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.pagerank.solver import (
+    PowerIterationSettings,
+    _validate_distribution,
+)
+
+
+@dataclass(frozen=True)
+class ResidualTrace:
+    """Residual trajectory of one power-iteration run.
+
+    Attributes
+    ----------
+    residuals:
+        L1 change between successive iterates, one entry per step.
+    converged:
+        Whether the last residual is under the tolerance.
+    scores:
+        The final iterate.
+    """
+
+    residuals: np.ndarray
+    converged: bool
+    scores: np.ndarray
+
+    @property
+    def iterations(self) -> int:
+        """Steps performed."""
+        return int(self.residuals.size)
+
+    def contraction_rate(self, tail: int = 10) -> float:
+        """Mean per-step residual contraction over the last ``tail``
+        steps — should approach the damping factor ε."""
+        if self.residuals.size < 2:
+            return float("nan")
+        tail = min(tail, self.residuals.size - 1)
+        ratios = (
+            self.residuals[-tail:] / self.residuals[-tail - 1: -1]
+        )
+        ratios = ratios[np.isfinite(ratios) & (ratios > 0)]
+        if ratios.size == 0:
+            return float("nan")
+        return float(np.exp(np.mean(np.log(ratios))))
+
+
+def residual_trace(
+    transition_t: sparse.csr_matrix,
+    teleport: np.ndarray,
+    dangling_mask: np.ndarray | None = None,
+    dangling_dist: np.ndarray | None = None,
+    settings: PowerIterationSettings | None = None,
+) -> ResidualTrace:
+    """Run the standard power iteration, recording every residual.
+
+    Parameters are those of
+    :func:`repro.pagerank.solver.power_iteration`; the iteration logic
+    is intentionally identical so the trace describes the production
+    solver, not an approximation of it.
+    """
+    if settings is None:
+        settings = PowerIterationSettings()
+    size = transition_t.shape[0]
+    if size == 0:
+        raise ValueError("cannot trace an empty graph")
+    teleport = _validate_distribution("teleport", teleport, size)
+    if dangling_dist is None:
+        dangling_dist = teleport
+    else:
+        dangling_dist = _validate_distribution(
+            "dangling_dist", dangling_dist, size
+        )
+    if dangling_mask is None:
+        dangling_indices = np.empty(0, dtype=np.int64)
+    else:
+        dangling_indices = np.flatnonzero(
+            np.asarray(dangling_mask, dtype=bool)
+        )
+    damping = settings.damping
+    base = (1.0 - damping) * teleport
+    x = teleport.copy()
+    residuals: list[float] = []
+    for __ in range(settings.max_iterations):
+        dangling_mass = (
+            float(x[dangling_indices].sum())
+            if dangling_indices.size else 0.0
+        )
+        x_next = damping * (transition_t @ x)
+        if dangling_mass:
+            x_next += damping * dangling_mass * dangling_dist
+        x_next += base
+        x_next /= x_next.sum()
+        residual = float(np.abs(x_next - x).sum())
+        residuals.append(residual)
+        x = x_next
+        if residual < settings.tolerance:
+            break
+    trace = np.asarray(residuals)
+    return ResidualTrace(
+        residuals=trace,
+        converged=bool(
+            trace.size and trace[-1] < settings.tolerance
+        ),
+        scores=x,
+    )

@@ -1,0 +1,97 @@
+"""Local PageRank — standard PageRank on an induced subgraph.
+
+Runs the ordinary PageRank equation on the local graph alone, ignoring
+the external world entirely.  Exposed both as a building block (this
+module) and as the first baseline of the paper's evaluation
+(:mod:`repro.baselines.localpr` wraps it in the common
+:class:`~repro.pagerank.result.SubgraphScores` interface).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.digraph import CSRGraph
+from repro.graph.subgraph import induced_subgraph
+from repro.pagerank.result import RankResult, SubgraphScores
+from repro.pagerank.solver import (
+    PowerIterationSettings,
+    power_iteration,
+    uniform_teleport,
+)
+from repro.pagerank.transition import transition_matrix_transpose
+
+
+def local_pagerank(
+    graph: CSRGraph,
+    local_nodes: Iterable[int],
+    settings: PowerIterationSettings | None = None,
+) -> SubgraphScores:
+    """PageRank on the induced subgraph, ignoring external pages.
+
+    Parameters
+    ----------
+    graph:
+        The global graph.
+    local_nodes:
+        Global ids of the local pages.
+    settings:
+        Solver knobs (paper defaults when omitted).
+
+    Returns
+    -------
+    SubgraphScores
+        Scores aligned with the sorted local node ids; they sum to 1
+        over the subgraph.
+    """
+    start = time.perf_counter()
+    induced = induced_subgraph(graph, local_nodes)
+    result = pagerank_on_graph(induced.graph, settings)
+    runtime = time.perf_counter() - start
+    return SubgraphScores(
+        local_nodes=induced.local_to_global.copy(),
+        scores=result.scores.copy(),
+        method="local-pagerank",
+        iterations=result.iterations,
+        residual=result.residual,
+        converged=result.converged,
+        runtime_seconds=runtime,
+    )
+
+
+def pagerank_on_graph(
+    graph: CSRGraph,
+    settings: PowerIterationSettings | None = None,
+    personalization: np.ndarray | None = None,
+) -> RankResult:
+    """Standard PageRank on an arbitrary (usually small) graph.
+
+    Identical math to :func:`repro.pagerank.globalrank.global_pagerank`
+    but labelled as a local computation; SC and LPR2 run this on their
+    constructed graphs.
+    """
+    start = time.perf_counter()
+    transition_t, dangling_mask = transition_matrix_transpose(graph)
+    teleport = (
+        uniform_teleport(graph.num_nodes)
+        if personalization is None
+        else personalization
+    )
+    outcome = power_iteration(
+        transition_t,
+        teleport=teleport,
+        dangling_mask=dangling_mask,
+        settings=settings,
+    )
+    runtime = time.perf_counter() - start
+    return RankResult(
+        scores=outcome.scores,
+        iterations=outcome.iterations,
+        residual=outcome.residual,
+        converged=outcome.converged,
+        runtime_seconds=runtime,
+        method="pagerank",
+    )

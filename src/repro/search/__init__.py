@@ -1,0 +1,31 @@
+"""Query answering over a ranked subgraph.
+
+The applications that motivate the paper — focused crawlers, localized
+search engines (§I, Figure 1) — do not expose PageRank vectors; they
+answer *queries*: "users submit queries to the subgraph collected by a
+focused crawler and local query answers are returned to the user",
+ranked by link-based scores.  And §V-C notes that for "Top-K query
+answering, the accuracy of the ordering ... is more important than the
+accuracy of the scores".
+
+This package closes that loop: a synthetic term model
+(:mod:`repro.search.lexicon`) assigns query terms to pages, and a
+:class:`~repro.search.engine.SubgraphSearchEngine` serves Top-K answers
+from any :class:`~repro.pagerank.result.SubgraphScores`, so the effect
+of ranking quality on actual search results can be measured
+(:func:`~repro.search.engine.compare_engines`).
+"""
+
+from repro.search.engine import (
+    SearchHit,
+    SubgraphSearchEngine,
+    compare_engines,
+)
+from repro.search.lexicon import SyntheticLexicon
+
+__all__ = [
+    "SearchHit",
+    "SubgraphSearchEngine",
+    "SyntheticLexicon",
+    "compare_engines",
+]

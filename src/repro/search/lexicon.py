@@ -1,0 +1,181 @@
+"""Synthetic term assignment for web pages.
+
+Real pages carry terms; synthetic pages need them assigned.  The model
+here captures the two properties query evaluation depends on:
+
+* **Zipfian term popularity** — a few terms match many pages, most
+  match few (so Top-K pruning matters);
+* **group coherence** — pages of the same group (domain/topic) share
+  vocabulary more than random pages do, controlled by ``coherence``.
+
+Terms are integers ``0..num_terms-1`` (callers can map them to strings
+if they like); assignment is a deterministic function of the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import CSRGraph
+
+
+class SyntheticLexicon:
+    """Deterministic page-term assignment with an inverted index.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose pages receive terms.
+    group_of:
+        Optional group index per page (domains/topics); groups share
+        vocabulary.  ``None`` treats all pages as one group.
+    num_terms:
+        Vocabulary size.
+    terms_per_page:
+        Mean number of distinct terms per page (Poisson, min 1).
+    coherence:
+        Probability a page's term is drawn from its group's preferred
+        sub-vocabulary rather than the global Zipf distribution.
+    zipf_exponent:
+        Popularity skew of the global term distribution.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        group_of: np.ndarray | None = None,
+        num_terms: int = 1000,
+        terms_per_page: float = 8.0,
+        coherence: float = 0.5,
+        zipf_exponent: float = 1.1,
+        seed: int = 0,
+    ):
+        if num_terms < 1:
+            raise DatasetError(f"num_terms must be >= 1, got {num_terms}")
+        if terms_per_page <= 0:
+            raise DatasetError(
+                f"terms_per_page must be positive, got {terms_per_page}"
+            )
+        if not 0.0 <= coherence <= 1.0:
+            raise DatasetError(
+                f"coherence must lie in [0, 1], got {coherence}"
+            )
+        if zipf_exponent <= 0:
+            raise DatasetError(
+                f"zipf_exponent must be positive, got {zipf_exponent}"
+            )
+        self.num_terms = int(num_terms)
+        num_pages = graph.num_nodes
+        if group_of is None:
+            group_of = np.zeros(num_pages, dtype=np.int64)
+        else:
+            group_of = np.asarray(group_of, dtype=np.int64)
+            if group_of.shape != (num_pages,):
+                raise DatasetError(
+                    "group_of must label every page, expected shape "
+                    f"({num_pages},), got {group_of.shape}"
+                )
+        rng = np.random.default_rng(seed)
+
+        # Global Zipf weights over terms.
+        ranks = np.arange(1, num_terms + 1, dtype=np.float64)
+        global_weights = ranks ** (-zipf_exponent)
+        global_cdf = np.cumsum(global_weights)
+        global_cdf /= global_cdf[-1]
+
+        # Each group prefers a contiguous slice of the vocabulary.
+        num_groups = int(group_of.max()) + 1
+        slice_size = max(num_terms // max(num_groups, 1), 1)
+        group_start = (
+            rng.integers(0, max(num_terms - slice_size, 1), num_groups)
+            if num_terms > slice_size
+            else np.zeros(num_groups, dtype=np.int64)
+        )
+
+        page_terms: list[np.ndarray] = []
+        postings: dict[int, list[int]] = {}
+        counts = np.maximum(rng.poisson(terms_per_page, num_pages), 1)
+        for page in range(num_pages):
+            count = int(counts[page])
+            use_group = rng.random(count) < coherence
+            terms = np.empty(count, dtype=np.int64)
+            n_global = int((~use_group).sum())
+            if n_global:
+                draws = rng.random(n_global)
+                terms[~use_group] = np.searchsorted(global_cdf, draws)
+            n_group = count - n_global
+            if n_group:
+                start = group_start[group_of[page]]
+                terms[use_group] = start + rng.integers(
+                    0, slice_size, n_group
+                )
+            terms = np.unique(np.clip(terms, 0, num_terms - 1))
+            page_terms.append(terms)
+            for term in terms:
+                postings.setdefault(int(term), []).append(page)
+
+        self._page_terms = page_terms
+        self._postings = {
+            term: np.asarray(pages, dtype=np.int64)
+            for term, pages in postings.items()
+        }
+
+    def terms_of(self, page: int) -> np.ndarray:
+        """Sorted distinct terms of one page."""
+        if not 0 <= page < len(self._page_terms):
+            raise DatasetError(f"unknown page {page}")
+        return self._page_terms[page]
+
+    def pages_with_term(self, term: int) -> np.ndarray:
+        """Sorted ids of pages containing ``term`` (possibly empty)."""
+        if not 0 <= term < self.num_terms:
+            raise DatasetError(
+                f"term {term} outside vocabulary of {self.num_terms}"
+            )
+        return self._postings.get(int(term), np.empty(0, dtype=np.int64))
+
+    def pages_matching(
+        self, terms, mode: str = "all"
+    ) -> np.ndarray:
+        """Pages matching a multi-term query.
+
+        Parameters
+        ----------
+        terms:
+            Query terms.
+        mode:
+            ``"all"`` (conjunctive, default) or ``"any"``
+            (disjunctive).
+        """
+        term_list = list(terms)
+        if not term_list:
+            raise DatasetError("a query needs at least one term")
+        if mode not in ("all", "any"):
+            raise DatasetError(f"mode must be 'all' or 'any', got {mode!r}")
+        posting_lists = [self.pages_with_term(t) for t in term_list]
+        if mode == "all":
+            result = posting_lists[0]
+            for postings in posting_lists[1:]:
+                result = np.intersect1d(result, postings)
+            return result
+        return np.unique(np.concatenate(posting_lists))
+
+    def document_frequency(self, term: int) -> int:
+        """Number of pages containing ``term``."""
+        return int(self.pages_with_term(term).size)
+
+    def popular_terms(self, count: int) -> np.ndarray:
+        """The ``count`` terms with the highest document frequency."""
+        if count < 1:
+            raise DatasetError(f"count must be >= 1, got {count}")
+        frequencies = [
+            (term, postings.size)
+            for term, postings in self._postings.items()
+        ]
+        frequencies.sort(key=lambda item: (-item[1], item[0]))
+        return np.asarray(
+            [term for term, __ in frequencies[:count]], dtype=np.int64
+        )

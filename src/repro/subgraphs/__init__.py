@@ -1,0 +1,22 @@
+"""Subgraph extractors for the three evaluation families of §V.
+
+* **TS** — topic-specific subgraphs: a topic's category pages plus a
+  focused crawl within three links (§V-C).
+* **DS** — domain-specific subgraphs: all pages of one domain (§V-D).
+* **BFS** — breadth-first crawls from a seed page up to a target
+  fraction of the global graph (§V-E).
+"""
+
+from repro.subgraphs.bfs import bfs_subgraph, default_bfs_seed
+from repro.subgraphs.domain import domain_subgraph
+from repro.subgraphs.frontier import dangling_frontier_subgraph
+from repro.subgraphs.topic import focused_crawl, topic_subgraph
+
+__all__ = [
+    "bfs_subgraph",
+    "default_bfs_seed",
+    "dangling_frontier_subgraph",
+    "domain_subgraph",
+    "focused_crawl",
+    "topic_subgraph",
+]

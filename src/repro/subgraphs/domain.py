@@ -1,0 +1,43 @@
+"""DS subgraphs: every page of one domain (§V-D).
+
+"This type of subgraph is a domain specific subgraph, where each
+subgraph contains *all* pages from the domain and hyperlinks between
+local pages within the local domain."  Extraction is a label lookup;
+the interesting structure (how strongly the domain couples to the rest
+of the web) comes from the generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SubgraphError
+from repro.generators.datasets import WebDataset
+
+
+def domain_subgraph(dataset: WebDataset, domain_name: str) -> np.ndarray:
+    """Global ids of all pages in the named domain.
+
+    Parameters
+    ----------
+    dataset:
+        A dataset with a ``"domain"`` label dimension (e.g. the AU-like
+        dataset).
+    domain_name:
+        One of ``dataset.label_names["domain"]``.
+
+    Returns
+    -------
+    Sorted array of global page ids.
+
+    Raises
+    ------
+    SubgraphError
+        When the domain exists but is empty (cannot happen for
+        generated datasets, which guarantee non-empty groups, but can
+        for loaded ones).
+    """
+    pages = dataset.pages_with_label("domain", domain_name)
+    if pages.size == 0:
+        raise SubgraphError(f"domain {domain_name!r} has no pages")
+    return pages

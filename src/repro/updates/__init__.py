@@ -1,0 +1,36 @@
+"""Incremental re-ranking after graph updates (§I's update scenario).
+
+"The ranking of pages needs to be updated frequently, especially for
+the subgraph of the Web that experiences the most change... It is
+desirable that any strategy to update the ranking of this subgraph
+exploits existing PageRank scores for other regions of the graph which
+may remain largely unchanged."
+
+This package operationalises that scenario on top of IdealRank:
+
+1. describe the change as a :class:`~repro.updates.delta.GraphDelta`
+   (edges added/removed, pages appended);
+2. derive the *affected region* — pages whose transition rows changed,
+   plus a configurable forward halo
+   (:func:`~repro.updates.affected.affected_region`);
+3. re-rank only that region with IdealRank, reusing yesterday's scores
+   for the external world, and splice the result into the old vector
+   (:func:`~repro.updates.rerank.incremental_rerank`).
+
+When the update truly is confined to the region, external scores are
+(nearly) unchanged and the splice tracks a full recomputation closely —
+the tests quantify how the residual error grows with update size.
+"""
+
+from repro.updates.affected import affected_region, changed_pages
+from repro.updates.delta import GraphDelta, apply_delta
+from repro.updates.rerank import UpdateResult, incremental_rerank
+
+__all__ = [
+    "GraphDelta",
+    "UpdateResult",
+    "affected_region",
+    "apply_delta",
+    "changed_pages",
+    "incremental_rerank",
+]

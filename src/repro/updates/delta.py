@@ -1,0 +1,133 @@
+"""Describing and applying graph updates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import CSRGraph
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """A batch of changes to a web graph.
+
+    Attributes
+    ----------
+    added_edges:
+        ``(source, target)`` pairs to add.  May reference new pages
+        (ids ``old_N .. old_N + new_pages - 1``).
+    removed_edges:
+        ``(source, target)`` pairs to remove; removing a non-existent
+        edge is an error (it indicates a stale delta).
+    new_pages:
+        Number of pages appended to the graph (crawled frontier pages).
+    """
+
+    added_edges: tuple[tuple[int, int], ...] = field(default=())
+    removed_edges: tuple[tuple[int, int], ...] = field(default=())
+    new_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.new_pages < 0:
+            raise GraphError(
+                f"new_pages must be >= 0, got {self.new_pages}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta changes nothing."""
+        return (
+            not self.added_edges
+            and not self.removed_edges
+            and self.new_pages == 0
+        )
+
+    def touched_sources(self) -> np.ndarray:
+        """Pages whose out-rows this delta modifies (sorted ids)."""
+        sources = [s for s, __ in self.added_edges]
+        sources += [s for s, __ in self.removed_edges]
+        return np.unique(np.asarray(sources, dtype=np.int64))
+
+
+def apply_delta(graph: CSRGraph, delta: GraphDelta) -> CSRGraph:
+    """Produce the post-update graph.
+
+    New pages get ids following the existing ones.  Edge weights are
+    web-style (unit); adding an existing edge is a no-op, removing a
+    missing edge raises :class:`~repro.exceptions.GraphError`.
+    """
+    new_size = graph.num_nodes + delta.new_pages
+    matrix = sparse.lil_matrix((new_size, new_size))
+    old = graph.adjacency.tocoo()
+    matrix[old.row, old.col] = old.data
+
+    for source, target in delta.removed_edges:
+        _check_node(source, new_size)
+        _check_node(target, new_size)
+        if matrix[source, target] == 0:
+            raise GraphError(
+                f"cannot remove missing edge ({source}, {target})"
+            )
+        matrix[source, target] = 0
+    for source, target in delta.added_edges:
+        _check_node(source, new_size)
+        _check_node(target, new_size)
+        if source == target:
+            raise GraphError(
+                f"self-loop ({source}, {source}) not allowed in deltas"
+            )
+        matrix[source, target] = 1.0
+    return CSRGraph(matrix.tocsr())
+
+
+def _check_node(node: int, size: int) -> None:
+    if not 0 <= node < size:
+        raise GraphError(
+            f"node {node} out of range for updated graph of size {size}"
+        )
+
+
+def random_region_delta(
+    graph: CSRGraph,
+    region: np.ndarray,
+    added: int,
+    removed: int = 0,
+    seed: int = 0,
+) -> GraphDelta:
+    """A synthetic update confined to ``region`` (for experiments).
+
+    Adds ``added`` random region-internal edges and removes up to
+    ``removed`` existing region-internal edges, deterministically.
+    """
+    rng = np.random.default_rng(seed)
+    region = np.asarray(region, dtype=np.int64)
+    if region.size < 2:
+        raise GraphError("region must contain at least 2 pages")
+    additions: list[tuple[int, int]] = []
+    attempts = 0
+    while len(additions) < added and attempts < 50 * max(added, 1):
+        attempts += 1
+        source = int(rng.choice(region))
+        target = int(rng.choice(region))
+        if source != target and not graph.has_edge(source, target):
+            additions.append((source, target))
+    removals: list[tuple[int, int]] = []
+    if removed:
+        in_region = np.zeros(graph.num_nodes, dtype=bool)
+        in_region[region] = True
+        sources, targets, __ = graph.edge_array()
+        internal = in_region[sources] & in_region[targets]
+        candidates = np.flatnonzero(internal)
+        take = min(removed, candidates.size)
+        chosen = rng.choice(candidates, size=take, replace=False)
+        removals = [
+            (int(sources[i]), int(targets[i])) for i in chosen
+        ]
+    return GraphDelta(
+        added_edges=tuple(additions),
+        removed_edges=tuple(removals),
+    )

@@ -1,0 +1,34 @@
+"""Unit tests for the local-PageRank baseline wrapper."""
+
+import numpy as np
+
+from repro.baselines.localpr import local_pagerank_baseline
+from repro.pagerank.localrank import local_pagerank
+from tests.conftest import random_digraph
+
+
+class TestWrapper:
+    def test_identical_to_local_pagerank(self, paper_settings):
+        graph = random_digraph(120, seed=1)
+        local = np.arange(20, 60)
+        wrapped = local_pagerank_baseline(graph, local, paper_settings)
+        direct = local_pagerank(graph, local, paper_settings)
+        np.testing.assert_array_equal(wrapped.scores, direct.scores)
+        np.testing.assert_array_equal(
+            wrapped.local_nodes, direct.local_nodes
+        )
+        assert wrapped.method == "local-pagerank"
+
+    def test_is_cheapest_algorithm(self, paper_settings):
+        """Local PR touches only the induced subgraph -- it should be
+        the cheapest of the suite (Tables V/VI shape)."""
+        from repro.baselines.lpr2 import lpr2
+        from repro.baselines.sc import SCSettings, stochastic_complementation
+
+        graph = random_digraph(800, mean_degree=6.0, seed=2)
+        local = np.arange(100)
+        baseline = local_pagerank_baseline(graph, local, paper_settings)
+        sc = stochastic_complementation(
+            graph, local, paper_settings, SCSettings(expansions=10)
+        )
+        assert baseline.runtime_seconds < sc.runtime_seconds

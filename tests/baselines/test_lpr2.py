@@ -1,0 +1,96 @@
+"""Unit tests for the LPR2 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lpr2 import build_lpr2_graph, lpr2
+from repro.graph.builder import graph_from_edges
+from tests.conftest import random_digraph
+
+
+@pytest.fixture
+def boundary_graph():
+    # Locals {0,1,2}: 0 links out twice, 2 receives three external
+    # in-links, 1 has no boundary contact.
+    return graph_from_edges(
+        6,
+        [
+            (0, 1), (1, 2), (2, 0),
+            (0, 3), (0, 4),           # 0 -> external, twice
+            (3, 2), (4, 2), (5, 2),   # external -> 2, three times
+            (3, 5),
+        ],
+    )
+
+
+class TestGraphConstruction:
+    def test_xi_added_with_single_edges(self, boundary_graph):
+        extended, local = build_lpr2_graph(boundary_graph, [0, 1, 2])
+        assert extended.num_nodes == 4
+        xi = 3
+        # 0 links out-of-domain -> single edge 0 -> xi, despite two
+        # global boundary edges (the defect the paper highlights).
+        assert extended.has_edge(0, xi)
+        assert extended.edge_weight(0, xi) == 1.0
+        # 2 is linked from outside -> single edge xi -> 2, despite
+        # three global boundary edges.
+        assert extended.has_edge(xi, 2)
+        assert extended.edge_weight(xi, 2) == 1.0
+        # 1 has no boundary contact: no xi edges.
+        assert not extended.has_edge(1, xi)
+        assert not extended.has_edge(xi, 1)
+        assert local.tolist() == [0, 1, 2]
+
+    def test_internal_edges_preserved(self, boundary_graph):
+        extended, __ = build_lpr2_graph(boundary_graph, [0, 1, 2])
+        assert extended.has_edge(0, 1)
+        assert extended.has_edge(1, 2)
+        assert extended.has_edge(2, 0)
+
+    def test_closed_subgraph_isolated_xi(self):
+        graph = graph_from_edges(4, [(0, 1), (1, 0), (2, 3)])
+        extended, __ = build_lpr2_graph(graph, [0, 1])
+        xi = 2
+        assert extended.out_degrees[xi] == 0
+        assert extended.in_degrees[xi] == 0
+
+
+class TestRanking:
+    def test_result_shape(self, boundary_graph, paper_settings):
+        result = lpr2(boundary_graph, [0, 1, 2], paper_settings)
+        assert result.local_nodes.tolist() == [0, 1, 2]
+        assert result.method == "lpr2"
+        assert "xi_score" in result.extras
+        assert result.scores.sum() + result.extras["xi_score"] == (
+            pytest.approx(1.0, abs=1e-6)
+        )
+
+    def test_cannot_distinguish_multiplicity(self, tight_settings):
+        # Two graphs identical except the number of external in-links
+        # to page 1 (one vs three).  LPR2 produces the same local
+        # scores for both -- exactly its documented blind spot.
+        base_edges = [(0, 1), (1, 0), (0, 2), (3, 4)]
+        graph_one = graph_from_edges(5, base_edges + [(2, 1)])
+        graph_three = graph_from_edges(
+            5, base_edges + [(2, 1), (3, 1), (4, 1)]
+        )
+        a = lpr2(graph_one, [0, 1], tight_settings)
+        b = lpr2(graph_three, [0, 1], tight_settings)
+        np.testing.assert_allclose(a.scores, b.scores, atol=1e-12)
+
+    def test_differs_from_local_pagerank(self, paper_settings):
+        # On a boundary-heavy subgraph, xi's presence must change the
+        # scores relative to plain local PageRank.
+        from repro.baselines.localpr import local_pagerank_baseline
+
+        graph = random_digraph(100, seed=3)
+        local = np.arange(20)
+        with_xi = lpr2(graph, local, paper_settings)
+        without = local_pagerank_baseline(graph, local, paper_settings)
+        assert not np.allclose(
+            with_xi.normalized_scores(), without.normalized_scores()
+        )
+
+    def test_runtime_recorded(self, boundary_graph, paper_settings):
+        result = lpr2(boundary_graph, [0, 1, 2], paper_settings)
+        assert result.runtime_seconds > 0

@@ -1,0 +1,164 @@
+"""Unit tests for the SC (stochastic complementation) competitor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sc import SCSettings, stochastic_complementation
+from repro.exceptions import SubgraphError
+from repro.graph.builder import graph_from_edges
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.solver import PowerIterationSettings
+from tests.conftest import random_digraph
+
+
+class TestSCSettings:
+    def test_paper_defaults(self):
+        settings = SCSettings()
+        assert settings.expansions == 25
+        assert settings.budget_fraction == 1.0
+        assert settings.influence == "first-order"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="expansions"):
+            SCSettings(expansions=0)
+        with pytest.raises(ValueError, match="budget_fraction"):
+            SCSettings(budget_fraction=0.0)
+        with pytest.raises(ValueError, match="influence"):
+            SCSettings(influence="psychic")
+
+
+class TestBasics:
+    def test_result_shape_and_extras(self, paper_settings):
+        graph = random_digraph(200, seed=1)
+        local = np.arange(30)
+        sc_settings = SCSettings(expansions=5)
+        result = stochastic_complementation(
+            graph, local, paper_settings, sc_settings
+        )
+        assert result.local_nodes.tolist() == local.tolist()
+        assert result.method == "sc"
+        assert result.extras["k"] == 6  # ceil(30 / 5)
+        assert result.extras["supergraph_size"] >= 30
+        candidates = result.extras["expansion_candidates"]
+        assert len(candidates) <= 5
+        # Cumulative candidate counts are non-decreasing.
+        assert list(candidates) == sorted(candidates)
+
+    def test_supergraph_growth_bounded_by_budget(self, paper_settings):
+        graph = random_digraph(300, seed=2)
+        local = np.arange(50)
+        sc_settings = SCSettings(expansions=5, budget_fraction=1.0)
+        result = stochastic_complementation(
+            graph, local, paper_settings, sc_settings
+        )
+        # Budget is n external pages (plus per-round ceil rounding).
+        assert result.extras["supergraph_size"] <= 50 + 50 + 5
+
+    def test_rejects_whole_graph(self, paper_settings):
+        graph = random_digraph(40, seed=3)
+        with pytest.raises(SubgraphError, match="external"):
+            stochastic_complementation(
+                graph, range(40), paper_settings
+            )
+
+    def test_deterministic(self, paper_settings):
+        graph = random_digraph(150, seed=4)
+        sc_settings = SCSettings(expansions=4)
+        a = stochastic_complementation(
+            graph, range(25), paper_settings, sc_settings
+        )
+        b = stochastic_complementation(
+            graph, range(25), paper_settings, sc_settings
+        )
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_closed_subgraph_stops_early(self, paper_settings):
+        # Locals with no out-boundary: frontier is empty immediately;
+        # SC degenerates to local PageRank.
+        graph = graph_from_edges(5, [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)])
+        result = stochastic_complementation(
+            graph, [0, 1], paper_settings, SCSettings(expansions=5)
+        )
+        assert result.extras["supergraph_size"] == 2
+        assert len(result.extras["expansion_candidates"]) == 1
+
+
+class TestAccuracy:
+    def test_improves_over_local_pagerank(self, paper_settings):
+        """Growing the supergraph must help on a boundary-heavy case."""
+        from repro.baselines.localpr import local_pagerank_baseline
+        from repro.metrics.footrule import footrule_from_scores
+
+        graph = random_digraph(400, mean_degree=5.0, seed=5)
+        local = np.arange(60)
+        truth = global_pagerank(graph, paper_settings)
+        reference = truth.scores[local]
+        sc = stochastic_complementation(
+            graph, local, paper_settings, SCSettings(expansions=10)
+        )
+        baseline = local_pagerank_baseline(graph, local, paper_settings)
+        assert footrule_from_scores(reference, sc.scores) < (
+            footrule_from_scores(reference, baseline.scores)
+        )
+
+    def test_exact_influence_mode_runs(self, paper_settings):
+        graph = random_digraph(60, seed=6)
+        sc_settings = SCSettings(expansions=2, influence="exact")
+        result = stochastic_complementation(
+            graph, range(10), paper_settings, sc_settings
+        )
+        assert result.extras["supergraph_size"] > 10
+
+    def test_first_order_tracks_exact_selection(self):
+        """The cheap influence estimator should broadly agree with the
+        exact one about which candidates matter: the supergraphs they
+        build should overlap substantially."""
+        settings = PowerIterationSettings(tolerance=1e-8)
+        graph = random_digraph(80, mean_degree=4.0, seed=7)
+        local = np.arange(12)
+        fast = stochastic_complementation(
+            graph, local, settings,
+            SCSettings(expansions=2, influence="first-order"),
+        )
+        exact = stochastic_complementation(
+            graph, local, settings,
+            SCSettings(expansions=2, influence="exact"),
+        )
+        assert fast.extras["supergraph_size"] == (
+            exact.extras["supergraph_size"]
+        )
+
+    def test_more_expansions_do_not_hurt_much(self, paper_settings):
+        from repro.metrics.l1 import l1_distance
+
+        graph = random_digraph(300, seed=8)
+        local = np.arange(40)
+        truth = global_pagerank(graph, paper_settings)
+        reference = truth.scores[local]
+        small = stochastic_complementation(
+            graph, local, paper_settings, SCSettings(expansions=2)
+        )
+        large = stochastic_complementation(
+            graph, local, paper_settings, SCSettings(expansions=10)
+        )
+        small_err = l1_distance(reference, small.scores)
+        large_err = l1_distance(reference, large.scores)
+        assert large_err <= small_err * 1.5
+
+
+class TestRuntimeShape:
+    def test_sc_slower_than_approxrank(self, paper_settings):
+        """The paper's headline runtime claim, at test scale."""
+        from repro.core.approxrank import approxrank
+        from repro.core.precompute import ApproxRankPreprocessor
+
+        graph = random_digraph(1000, mean_degree=6.0, seed=9)
+        local = np.arange(150)
+        prep = ApproxRankPreprocessor(graph)
+        approx = approxrank(
+            graph, local, paper_settings, preprocessor=prep
+        )
+        sc = stochastic_complementation(
+            graph, local, paper_settings, SCSettings(expansions=25)
+        )
+        assert sc.runtime_seconds > approx.runtime_seconds

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.datasets import make_tiny_web
+from repro.generators.simple import two_cliques_bridge
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import CSRGraph
+from repro.pagerank.solver import PowerIterationSettings
+
+
+def random_digraph(
+    num_nodes: int,
+    mean_degree: float = 4.0,
+    dangling_fraction: float = 0.1,
+    seed: int = 0,
+) -> CSRGraph:
+    """A reproducible random digraph with dangling nodes.
+
+    Used across the suite wherever "some realistic messy graph" is
+    needed; dangling nodes are included on purpose because they are the
+    classic source of PageRank implementation bugs.
+    """
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_nodes)
+    for node in range(num_nodes):
+        if rng.random() < dangling_fraction:
+            continue
+        degree = 1 + rng.poisson(max(mean_degree - 1.0, 0.0))
+        targets = rng.integers(0, num_nodes, degree)
+        for target in targets:
+            if int(target) != node:
+                builder.add_edge(node, int(target))
+    return builder.build(dedup=True)
+
+
+@pytest.fixture
+def tight_settings() -> PowerIterationSettings:
+    """Solver settings tight enough for exactness assertions."""
+    return PowerIterationSettings(tolerance=1e-12, max_iterations=20_000)
+
+
+@pytest.fixture
+def paper_settings() -> PowerIterationSettings:
+    """The paper's solver settings (eps 0.85, L1 tol 1e-5)."""
+    return PowerIterationSettings()
+
+
+@pytest.fixture(scope="session")
+def tiny_web():
+    """A session-cached small multi-domain dataset."""
+    return make_tiny_web(num_pages=600, num_groups=4, seed=3)
+
+
+@pytest.fixture
+def messy_graph() -> CSRGraph:
+    """A 200-node random digraph with danglers (function-scoped alias)."""
+    return random_digraph(200, seed=42)
+
+
+@pytest.fixture
+def bridge_graph() -> CSRGraph:
+    """Two 5-cliques joined by a bridge (minimal subgraph scenario)."""
+    return two_cliques_bridge(5)

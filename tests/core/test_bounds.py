@@ -1,0 +1,144 @@
+"""Theorem 2 tests: the ApproxRank error bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    external_estimate_error,
+    theorem2_bound,
+    theorem2_report,
+)
+from repro.core.external import (
+    blended_external_weights,
+    indegree_external_weights,
+)
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.solver import PowerIterationSettings
+from tests.conftest import random_digraph
+
+
+class TestExternalEstimateError:
+    def test_identical_vectors_zero(self):
+        vector = np.array([0.0, 0.5, 0.5])
+        assert external_estimate_error(vector, vector) == 0.0
+
+    def test_simple_l1(self):
+        a = np.array([0.0, 0.7, 0.3])
+        b = np.array([0.0, 0.5, 0.5])
+        assert external_estimate_error(a, b) == pytest.approx(0.4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            external_estimate_error(np.ones(2), np.ones(3))
+
+
+class TestTheorem2Bound:
+    def test_limit_constant_at_paper_damping(self):
+        # eps/(1-eps) = 0.85/0.15 = 5.666...
+        assert theorem2_bound(1.0, 0.85) == pytest.approx(17 / 3)
+
+    def test_finite_iterations_below_limit(self):
+        finite = theorem2_bound(1.0, 0.85, iterations=10)
+        limit = theorem2_bound(1.0, 0.85)
+        assert finite < limit
+
+    def test_finite_sum_formula(self):
+        # eps + eps^2 for m = 2.
+        assert theorem2_bound(1.0, 0.5, iterations=2) == pytest.approx(
+            0.75
+        )
+
+    def test_bound_scales_linearly(self):
+        assert theorem2_bound(0.2, 0.85) == pytest.approx(
+            0.2 * theorem2_bound(1.0, 0.85)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="damping"):
+            theorem2_bound(1.0, 1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            theorem2_bound(-0.1)
+        with pytest.raises(ValueError, match="iterations"):
+            theorem2_bound(1.0, 0.85, iterations=0)
+
+
+class TestTheorem2Empirically:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bound_holds_on_random_graphs(self, seed, paper_settings):
+        graph = random_digraph(150, seed=seed)
+        truth = global_pagerank(graph, paper_settings)
+        report = theorem2_report(
+            graph, range(40), truth.scores, paper_settings
+        )
+        assert report.holds
+        assert report.observed_l1 >= 0
+        assert report.slack >= 0
+
+    def test_bound_holds_with_danglers(self, paper_settings):
+        graph = random_digraph(150, dangling_fraction=0.35, seed=9)
+        truth = global_pagerank(graph, paper_settings)
+        report = theorem2_report(
+            graph, range(50), truth.scores, paper_settings
+        )
+        assert report.holds
+
+    def test_perfect_estimate_gives_zero_error(self, tight_settings):
+        graph = random_digraph(100, seed=10)
+        truth = global_pagerank(graph, tight_settings)
+        local = np.arange(25)
+        exact_estimate = blended_external_weights(
+            graph, local, truth.scores, knowledge=1.0
+        )
+        report = theorem2_report(
+            graph, local, truth.scores, tight_settings,
+            e_estimate=exact_estimate,
+        )
+        assert report.external_error == pytest.approx(0.0, abs=1e-12)
+        assert report.observed_l1 == pytest.approx(0.0, abs=1e-9)
+
+    def test_error_shrinks_with_knowledge(self, paper_settings):
+        graph = random_digraph(200, seed=11)
+        truth = global_pagerank(graph, paper_settings)
+        local = np.arange(50)
+        observed = []
+        for knowledge in (0.0, 0.5, 1.0):
+            estimate = blended_external_weights(
+                graph, local, truth.scores, knowledge
+            )
+            report = theorem2_report(
+                graph, local, truth.scores, paper_settings,
+                e_estimate=estimate,
+            )
+            assert report.holds
+            observed.append(report.observed_l1)
+        assert observed[0] > observed[1] > observed[2]
+
+    def test_indegree_estimate_respects_bound(self, paper_settings):
+        graph = random_digraph(150, seed=12)
+        truth = global_pagerank(graph, paper_settings)
+        local = np.arange(30)
+        estimate = indegree_external_weights(graph, local)
+        report = theorem2_report(
+            graph, local, truth.scores, paper_settings,
+            e_estimate=estimate,
+        )
+        assert report.holds
+
+    def test_stronger_damping_loosens_bound(self):
+        assert theorem2_bound(1.0, 0.95) > theorem2_bound(1.0, 0.85)
+
+    def test_tighter_damping_observed_error(self):
+        # With the same knowledge gap, lower damping must give a
+        # smaller bound and (weakly) smaller observed error.
+        graph = random_digraph(150, seed=13)
+        results = {}
+        for damping in (0.5, 0.9):
+            settings = PowerIterationSettings(
+                damping=damping, tolerance=1e-10, max_iterations=10_000
+            )
+            truth = global_pagerank(graph, settings)
+            results[damping] = theorem2_report(
+                graph, range(40), truth.scores, settings
+            )
+        assert results[0.5].bound < results[0.9].bound
+        assert results[0.5].observed_l1 < results[0.9].observed_l1

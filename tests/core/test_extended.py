@@ -1,0 +1,215 @@
+"""Unit tests for the extended-local-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.extended import (
+    build_extended_graph,
+    p_ideal_vector,
+    validate_external_weights,
+)
+from repro.core.external import (
+    uniform_external_weights,
+    weights_from_scores,
+)
+from repro.exceptions import SubgraphError
+from repro.graph.builder import graph_from_edges
+from repro.graph.subgraph import normalize_node_set
+from repro.pagerank.transition import row_stochastic_check
+from tests.conftest import random_digraph
+
+
+@pytest.fixture
+def paper_figure4_graph():
+    """A graph in the style of the running example of Figures 4-6.
+
+    Local pages A,B,C,D = 0,1,2,3; external X,Y,Z = 4,5,6.  The edge
+    set matches the text's description (A links to two external pages,
+    C receives three external in-links, D one); the exact figure is an
+    image, so expected matrix entries below are derived from *this*
+    edge list with the paper's §IV-B rules rather than copied.
+    """
+    return graph_from_edges(
+        7,
+        [
+            (0, 1), (0, 2), (2, 1), (1, 3), (2, 3), (3, 0),
+            (0, 4), (0, 6),
+            (4, 2), (5, 2), (6, 2), (5, 3),
+            (4, 5), (5, 6),
+        ],
+    )
+
+
+class TestPIdealVector:
+    def test_equation_five(self):
+        vector = p_ideal_vector(num_global=10, num_local=3)
+        assert vector[:3].tolist() == pytest.approx([0.1, 0.1, 0.1])
+        assert vector[3] == pytest.approx(0.7)
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(SubgraphError):
+            p_ideal_vector(5, 5)
+        with pytest.raises(SubgraphError):
+            p_ideal_vector(5, 0)
+
+
+class TestValidateExternalWeights:
+    def test_accepts_valid(self, paper_figure4_graph):
+        local = normalize_node_set(paper_figure4_graph, [0, 1, 2, 3])
+        weights = uniform_external_weights(paper_figure4_graph, local)
+        validate_external_weights(weights, 7, local)
+
+    def test_rejects_wrong_shape(self, paper_figure4_graph):
+        local = normalize_node_set(paper_figure4_graph, [0, 1])
+        with pytest.raises(SubgraphError, match="shape"):
+            validate_external_weights(np.ones(3) / 3, 7, local)
+
+    def test_rejects_mass_on_local_pages(self, paper_figure4_graph):
+        local = normalize_node_set(paper_figure4_graph, [0, 1])
+        weights = np.zeros(7)
+        weights[0] = 1.0
+        with pytest.raises(SubgraphError, match="zero on local"):
+            validate_external_weights(weights, 7, local)
+
+    def test_rejects_not_summing_to_one(self, paper_figure4_graph):
+        local = normalize_node_set(paper_figure4_graph, [0, 1])
+        weights = np.zeros(7)
+        weights[5] = 0.5
+        with pytest.raises(SubgraphError, match="sum to 1"):
+            validate_external_weights(weights, 7, local)
+
+    def test_rejects_negative(self, paper_figure4_graph):
+        local = normalize_node_set(paper_figure4_graph, [0, 1])
+        weights = np.zeros(7)
+        weights[5], weights[6] = 1.5, -0.5
+        with pytest.raises(SubgraphError, match="non-negative"):
+            validate_external_weights(weights, 7, local)
+
+
+class TestPaperWorkedExample:
+    """§IV-B computes concrete A_approx entries for Figure 6."""
+
+    def test_a_to_lambda_is_one_half(self, paper_figure4_graph):
+        # A points to B, C, X, Z: out-degree 4, two external targets.
+        local = [0, 1, 2, 3]
+        weights = uniform_external_weights(paper_figure4_graph, np.array(local))
+        extended = build_extended_graph(
+            paper_figure4_graph, local, weights, mode="approx"
+        )
+        matrix = extended.transition_ext_t.T.tocsr()
+        assert matrix[0, 4] == pytest.approx(0.5)
+
+    def test_lambda_to_c(self, paper_figure4_graph):
+        # (1/D_X + 1/D_Y + 1/D_Z) / 3 = (1/2 + 1/3 + 1) / 3 = 11/18
+        # with D_X=2 (X->C, X->Y), D_Y=3 (Y->C, Y->D, Y->Z), D_Z=1.
+        local = [0, 1, 2, 3]
+        weights = uniform_external_weights(
+            paper_figure4_graph, np.array(local)
+        )
+        extended = build_extended_graph(
+            paper_figure4_graph, local, weights, mode="approx"
+        )
+        matrix = extended.transition_ext_t.T.tocsr()
+        assert matrix[4, 2] == pytest.approx((0.5 + 1 / 3 + 1.0) / 3)
+
+    def test_lambda_self_loop(self, paper_figure4_graph):
+        # External-external flow: X->Y (1/2), Y->Z (1/3); / 3 external
+        # pages = (1/2 + 1/3)/3 = 5/18.
+        local = [0, 1, 2, 3]
+        weights = uniform_external_weights(
+            paper_figure4_graph, np.array(local)
+        )
+        extended = build_extended_graph(
+            paper_figure4_graph, local, weights, mode="approx"
+        )
+        matrix = extended.transition_ext_t.T.tocsr()
+        assert matrix[4, 4] == pytest.approx(5 / 18)
+
+    def test_local_block_copied_from_global(self, paper_figure4_graph):
+        local = [0, 1, 2, 3]
+        weights = uniform_external_weights(
+            paper_figure4_graph, np.array(local)
+        )
+        extended = build_extended_graph(
+            paper_figure4_graph, local, weights, mode="approx"
+        )
+        matrix = extended.transition_ext_t.T.tocsr()
+        # A -> B uses A's *global* out-degree 4.
+        assert matrix[0, 1] == pytest.approx(0.25)
+        # C -> B: C has out-degree 2 (B, D).
+        assert matrix[2, 1] == pytest.approx(0.5)
+
+
+class TestExtendedStructure:
+    def test_rows_stochastic(self):
+        graph = random_digraph(150, seed=9)
+        local = np.arange(20, 60)
+        weights = uniform_external_weights(graph, local)
+        extended = build_extended_graph(graph, local, weights)
+        matrix = extended.transition_ext_t.T.tocsr()
+        assert row_stochastic_check(
+            matrix, extended.dangling_mask_ext, atol=1e-9
+        )
+
+    def test_dangling_locals_flagged(self):
+        graph = graph_from_edges(4, [(0, 1), (2, 3), (3, 0)])
+        # node 1 dangling; local = {0, 1}
+        weights = uniform_external_weights(graph, np.array([0, 1]))
+        extended = build_extended_graph(graph, [0, 1], weights)
+        assert extended.dangling_mask_ext.tolist() == [False, True, False]
+
+    def test_lambda_never_dangling(self):
+        graph = random_digraph(80, dangling_fraction=0.5, seed=2)
+        local = np.arange(10)
+        weights = uniform_external_weights(graph, local)
+        extended = build_extended_graph(graph, local, weights)
+        assert not extended.dangling_mask_ext[extended.lambda_index]
+
+    def test_rejects_whole_graph_as_local(self, paper_figure4_graph):
+        nodes = np.arange(7)
+        weights = np.zeros(7)  # irrelevant; size check fires first
+        with pytest.raises(SubgraphError, match="proper subgraph"):
+            build_extended_graph(paper_figure4_graph, nodes, weights)
+
+    def test_mode_recorded(self, paper_figure4_graph):
+        local = np.array([0, 1])
+        weights = uniform_external_weights(paper_figure4_graph, local)
+        extended = build_extended_graph(
+            paper_figure4_graph, local, weights, mode="approx"
+        )
+        assert extended.mode == "approx"
+        assert extended.num_local == 2
+        assert extended.lambda_index == 2
+        assert extended.num_global == 7
+
+    def test_solve_returns_distribution(self, paper_figure4_graph, tight_settings):
+        local = np.array([0, 1, 2, 3])
+        weights = uniform_external_weights(paper_figure4_graph, local)
+        extended = build_extended_graph(paper_figure4_graph, local, weights)
+        solve = extended.solve(tight_settings)
+        total = solve.local_scores.sum() + solve.lambda_score
+        assert total == pytest.approx(1.0, abs=1e-10)
+        assert solve.converged
+
+
+class TestIdealMatchesWeightedRow:
+    def test_lambda_row_uses_score_weights(
+        self, paper_figure4_graph, tight_settings
+    ):
+        from repro.pagerank.globalrank import global_pagerank
+
+        truth = global_pagerank(paper_figure4_graph, tight_settings)
+        local = np.array([0, 1, 2, 3])
+        weights = weights_from_scores(
+            paper_figure4_graph, local, truth.scores
+        )
+        extended = build_extended_graph(
+            paper_figure4_graph, local, weights, mode="ideal"
+        )
+        matrix = extended.transition_ext_t.T.tocsr()
+        # Lambda -> C should be sum over external j of E[j] * A[j, C]:
+        ext_scores = truth.scores[4:]
+        e = ext_scores / ext_scores.sum()
+        expected = e[0] * 0.5 + e[1] * (1 / 3) + e[2] * 1.0
+        assert matrix[4, 2] == pytest.approx(expected, rel=1e-9)

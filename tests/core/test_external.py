@@ -1,0 +1,119 @@
+"""Unit tests for external-importance vectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.external import (
+    blended_external_weights,
+    indegree_external_weights,
+    uniform_external_weights,
+    weights_from_scores,
+)
+from repro.exceptions import SubgraphError
+from tests.conftest import random_digraph
+
+
+@pytest.fixture
+def graph():
+    return random_digraph(60, seed=4)
+
+
+@pytest.fixture
+def local():
+    return np.arange(15)
+
+
+class TestUniform:
+    def test_equal_mass_on_externals(self, graph, local):
+        weights = uniform_external_weights(graph, local)
+        external = np.setdiff1d(np.arange(60), local)
+        assert np.allclose(weights[external], 1.0 / 45)
+        assert np.all(weights[local] == 0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_whole_graph_rejected(self, graph):
+        with pytest.raises(SubgraphError, match="external"):
+            uniform_external_weights(graph, np.arange(60))
+
+
+class TestFromScores:
+    def test_normalises_external_scores(self, graph, local):
+        scores = np.arange(60, dtype=np.float64) + 1.0
+        weights = weights_from_scores(graph, local, scores)
+        external = np.setdiff1d(np.arange(60), local)
+        assert weights.sum() == pytest.approx(1.0)
+        # Proportionality preserved among externals.
+        ratio = weights[external] / scores[external]
+        assert np.allclose(ratio, ratio[0])
+
+    def test_local_entries_ignored(self, graph, local):
+        scores_a = np.ones(60)
+        scores_b = np.ones(60)
+        scores_b[local] = 999.0  # differ only on local pages
+        a = weights_from_scores(graph, local, scores_a)
+        b = weights_from_scores(graph, local, scores_b)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_wrong_shape(self, graph, local):
+        with pytest.raises(SubgraphError, match="shape"):
+            weights_from_scores(graph, local, np.ones(10))
+
+    def test_rejects_negative_external(self, graph, local):
+        scores = np.ones(60)
+        scores[30] = -1.0
+        with pytest.raises(SubgraphError, match="non-negative"):
+            weights_from_scores(graph, local, scores)
+
+    def test_rejects_zero_external_sum(self, graph, local):
+        scores = np.zeros(60)
+        scores[local] = 1.0
+        with pytest.raises(SubgraphError, match="sum to zero"):
+            weights_from_scores(graph, local, scores)
+
+
+class TestBlended:
+    def test_endpoints(self, graph, local):
+        scores = np.arange(60, dtype=np.float64) + 1.0
+        uniform = uniform_external_weights(graph, local)
+        exact = weights_from_scores(graph, local, scores)
+        np.testing.assert_allclose(
+            blended_external_weights(graph, local, scores, 0.0), uniform
+        )
+        np.testing.assert_allclose(
+            blended_external_weights(graph, local, scores, 1.0), exact
+        )
+
+    def test_midpoint_is_average(self, graph, local):
+        scores = np.arange(60, dtype=np.float64) + 1.0
+        uniform = uniform_external_weights(graph, local)
+        exact = weights_from_scores(graph, local, scores)
+        mid = blended_external_weights(graph, local, scores, 0.5)
+        np.testing.assert_allclose(mid, 0.5 * uniform + 0.5 * exact)
+
+    def test_blend_is_valid_distribution(self, graph, local):
+        scores = np.arange(60, dtype=np.float64) + 1.0
+        for level in (0.1, 0.33, 0.9):
+            weights = blended_external_weights(
+                graph, local, scores, level
+            )
+            assert weights.sum() == pytest.approx(1.0)
+            assert np.all(weights[local] == 0)
+
+    def test_rejects_out_of_range_knowledge(self, graph, local):
+        scores = np.ones(60)
+        with pytest.raises(SubgraphError, match="knowledge"):
+            blended_external_weights(graph, local, scores, 1.5)
+
+
+class TestIndegree:
+    def test_proportional_to_indegree_plus_one(self, graph, local):
+        weights = indegree_external_weights(graph, local)
+        external = np.setdiff1d(np.arange(60), local)
+        expected = graph.in_degrees[external] + 1.0
+        expected = expected / expected.sum()
+        np.testing.assert_allclose(weights[external], expected)
+
+    def test_zero_on_locals_and_sums_to_one(self, graph, local):
+        weights = indegree_external_weights(graph, local)
+        assert np.all(weights[local] == 0)
+        assert weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,123 @@
+"""Theorem 1 tests: IdealRank recovers the true global PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.core.idealrank import idealrank, rank_with_external_weights
+from repro.core.external import uniform_external_weights
+from repro.exceptions import SubgraphError
+from repro.pagerank.globalrank import global_pagerank
+from repro.generators.simple import two_cliques_bridge
+from tests.conftest import random_digraph
+
+
+def assert_theorem1(graph, local_nodes, tight_settings, atol=1e-9):
+    """Assert both claims of Theorem 1 on a concrete instance."""
+    truth = global_pagerank(graph, tight_settings)
+    result = idealrank(graph, local_nodes, truth.scores, tight_settings)
+    reference = truth.scores[np.asarray(sorted(local_nodes))]
+    np.testing.assert_allclose(result.scores, reference, atol=atol)
+    assert result.extras["lambda_score"] == pytest.approx(
+        1.0 - reference.sum(), abs=atol
+    )
+
+
+class TestTheorem1:
+    def test_random_graph_contiguous_subgraph(self, tight_settings):
+        graph = random_digraph(200, seed=1)
+        assert_theorem1(graph, range(40, 90), tight_settings)
+
+    def test_random_graph_scattered_subgraph(self, tight_settings):
+        graph = random_digraph(200, seed=2)
+        rng = np.random.default_rng(0)
+        local = rng.choice(200, size=60, replace=False)
+        assert_theorem1(graph, local.tolist(), tight_settings)
+
+    def test_graph_with_many_danglers(self, tight_settings):
+        graph = random_digraph(150, dangling_fraction=0.4, seed=3)
+        assert_theorem1(graph, range(30, 80), tight_settings)
+
+    def test_dangling_pages_inside_subgraph(self, tight_settings):
+        graph = random_digraph(150, dangling_fraction=0.4, seed=4)
+        dangling_ids = np.flatnonzero(graph.dangling_mask)[:10]
+        local = sorted(set(dangling_ids.tolist()) | set(range(20)))
+        assert_theorem1(graph, local, tight_settings)
+
+    def test_single_page_subgraph(self, tight_settings):
+        graph = random_digraph(100, seed=5)
+        assert_theorem1(graph, [42], tight_settings)
+
+    def test_all_but_one_page(self, tight_settings):
+        graph = random_digraph(100, seed=6)
+        assert_theorem1(graph, range(99), tight_settings)
+
+    def test_bridged_cliques(self, tight_settings):
+        graph = two_cliques_bridge(6)
+        assert_theorem1(graph, range(6), tight_settings)
+
+    def test_subgraph_with_no_boundary_inlinks(self, tight_settings):
+        # Local pages that nothing external points to.
+        from repro.graph.builder import graph_from_edges
+
+        graph = graph_from_edges(
+            5, [(0, 1), (1, 0), (0, 2), (2, 3), (3, 4), (4, 2)]
+        )
+        assert_theorem1(graph, [0, 1], tight_settings)
+
+    def test_ideal_restores_bridge_node_ranking(self, tight_settings):
+        # The case local PageRank gets wrong (see test_localrank):
+        # IdealRank must rank the bridge endpoint first.
+        graph = two_cliques_bridge(4)
+        truth = global_pagerank(graph, tight_settings)
+        result = idealrank(graph, range(4), truth.scores, tight_settings)
+        assert int(np.argmax(result.scores)) == 3
+
+
+class TestInputHandling:
+    def test_unsorted_duplicate_input_canonicalised(self, tight_settings):
+        graph = random_digraph(100, seed=7)
+        truth = global_pagerank(graph, tight_settings)
+        result = idealrank(
+            graph, [30, 10, 20, 10], truth.scores, tight_settings
+        )
+        assert result.local_nodes.tolist() == [10, 20, 30]
+
+    def test_rejects_zero_external_scores(self, tight_settings):
+        graph = random_digraph(50, seed=8)
+        scores = np.zeros(50)
+        scores[:10] = 0.1
+        with pytest.raises(SubgraphError, match="sum to zero"):
+            idealrank(graph, range(10), scores, tight_settings)
+
+    def test_method_label_and_accounting(self, tight_settings):
+        graph = random_digraph(60, seed=9)
+        truth = global_pagerank(graph, tight_settings)
+        result = idealrank(graph, range(20), truth.scores, tight_settings)
+        assert result.method == "idealrank"
+        assert result.converged
+        assert result.runtime_seconds > 0
+
+
+class TestRankWithExternalWeights:
+    def test_uniform_weights_equal_approxrank(self, tight_settings):
+        from repro.core.approxrank import approxrank
+
+        graph = random_digraph(120, seed=10)
+        local = np.arange(30, 70)
+        weights = uniform_external_weights(graph, local)
+        custom = rank_with_external_weights(
+            graph, local, weights, tight_settings
+        )
+        approx = approxrank(graph, local, tight_settings)
+        np.testing.assert_allclose(
+            custom.scores, approx.scores, atol=1e-10
+        )
+
+    def test_method_label_override(self, tight_settings):
+        graph = random_digraph(60, seed=11)
+        local = np.arange(10)
+        weights = uniform_external_weights(graph, local)
+        result = rank_with_external_weights(
+            graph, local, weights, tight_settings, method="my-estimate"
+        )
+        assert result.method == "my-estimate"

@@ -1,0 +1,208 @@
+"""Tests for personalised (non-uniform teleport) extended walks.
+
+Theorem 1's proof only needs ``Q2^T P = P_collapsed``, so IdealRank is
+exact for *any* global teleport distribution — the property that makes
+ObjectRank base-set ranking work through the framework.  These tests
+pin that generalisation down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.extended import (
+    build_extended_graph,
+    collapse_personalization,
+)
+from repro.core.external import (
+    uniform_external_weights,
+    weights_from_scores,
+)
+from repro.core.idealrank import idealrank, rank_with_external_weights
+from repro.exceptions import SubgraphError
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.solver import PowerIterationSettings
+from tests.conftest import random_digraph
+
+TIGHT = PowerIterationSettings(tolerance=1e-12, max_iterations=20_000)
+
+
+def random_personalization(size: int, seed: int, sparse: bool = False):
+    rng = np.random.default_rng(seed)
+    if sparse:
+        vector = np.zeros(size)
+        chosen = rng.choice(size, size=max(size // 10, 1), replace=False)
+        vector[chosen] = rng.random(chosen.size)
+    else:
+        vector = rng.random(size)
+    return vector / vector.sum()
+
+
+class TestCollapse:
+    def test_collapsed_entries(self):
+        graph = random_digraph(20, seed=1)
+        local = np.array([2, 5, 7])
+        personalization = random_personalization(20, seed=2)
+        collapsed = collapse_personalization(personalization, 20, local)
+        np.testing.assert_allclose(
+            collapsed[:3], personalization[local]
+        )
+        assert collapsed[3] == pytest.approx(
+            1.0 - personalization[local].sum()
+        )
+        assert collapsed.sum() == pytest.approx(1.0)
+
+    def test_uniform_collapse_matches_equation5(self):
+        local = np.arange(4)
+        uniform = np.full(10, 0.1)
+        collapsed = collapse_personalization(uniform, 10, local)
+        np.testing.assert_allclose(collapsed[:4], 0.1)
+        assert collapsed[4] == pytest.approx(0.6)
+
+    def test_validation(self):
+        local = np.array([0, 1])
+        with pytest.raises(SubgraphError, match="cover"):
+            collapse_personalization(np.ones(3) / 3, 5, local)
+        with pytest.raises(SubgraphError, match="non-negative"):
+            bad = np.array([0.5, 0.7, -0.2, 0.0, 0.0])
+            collapse_personalization(bad, 5, local)
+        with pytest.raises(SubgraphError, match="sum to 1"):
+            collapse_personalization(np.full(5, 0.1), 5, local)
+
+
+class TestPersonalizedTheorem1:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_idealrank_exact_under_dense_personalization(self, seed):
+        graph = random_digraph(150, dangling_fraction=0.2, seed=seed)
+        personalization = random_personalization(150, seed=seed + 10)
+        truth = global_pagerank(
+            graph, TIGHT, personalization=personalization
+        )
+        local = np.arange(30, 80)
+        result = idealrank(
+            graph, local, truth.scores, TIGHT,
+            personalization=personalization,
+        )
+        np.testing.assert_allclose(
+            result.scores, truth.scores[local], atol=1e-9
+        )
+
+    def test_idealrank_exact_under_sparse_base_set(self):
+        """ObjectRank-style: teleport restricted to a small base set,
+        including the case where the base set is wholly external."""
+        graph = random_digraph(120, seed=5)
+        personalization = np.zeros(120)
+        personalization[90:100] = 0.1  # base set outside the subgraph
+        truth = global_pagerank(
+            graph, TIGHT, personalization=personalization
+        )
+        local = np.arange(0, 40)
+        result = idealrank(
+            graph, local, truth.scores, TIGHT,
+            personalization=personalization,
+        )
+        np.testing.assert_allclose(
+            result.scores, truth.scores[local], atol=1e-9
+        )
+
+    def test_wrong_personalization_breaks_exactness(self):
+        """Sanity: the exactness genuinely depends on matching P."""
+        graph = random_digraph(100, seed=6)
+        personalization = random_personalization(100, seed=7)
+        truth = global_pagerank(
+            graph, TIGHT, personalization=personalization
+        )
+        local = np.arange(25)
+        mismatched = idealrank(graph, local, truth.scores, TIGHT)
+        error = np.abs(mismatched.scores - truth.scores[local]).max()
+        assert error > 1e-6
+
+
+class TestPersonalizedApprox:
+    def test_extended_matrix_rows_unchanged_by_p(self):
+        """P changes teleportation, not the link-following matrix —
+        except the Λ row's dangling-external term."""
+        graph = random_digraph(80, dangling_fraction=0.0, seed=8)
+        local = np.arange(20)
+        weights = uniform_external_weights(graph, local)
+        uniform_build = build_extended_graph(graph, local, weights)
+        personalized_build = build_extended_graph(
+            graph, local, weights,
+            personalization=random_personalization(80, seed=9),
+        )
+        difference = (
+            uniform_build.transition_ext_t
+            - personalized_build.transition_ext_t
+        ).tocoo()
+        max_diff = (
+            np.abs(difference.data).max() if difference.nnz else 0.0
+        )
+        assert max_diff < 1e-12  # no danglers -> identical matrices
+
+    def test_personalized_approx_biases_scores(self):
+        graph = random_digraph(150, seed=10)
+        local = np.arange(40)
+        weights = uniform_external_weights(graph, local)
+        personalization = np.zeros(150)
+        personalization[:5] = 0.2  # teleport only to 5 local pages
+        uniform = rank_with_external_weights(
+            graph, local, weights, TIGHT
+        )
+        biased = rank_with_external_weights(
+            graph, local, weights, TIGHT,
+            personalization=personalization,
+        )
+        assert biased.scores[:5].sum() > uniform.scores[:5].sum()
+
+    def test_personalized_approx_tracks_personalized_truth(self):
+        from repro.metrics.footrule import footrule_from_scores
+
+        graph = random_digraph(200, seed=11)
+        personalization = random_personalization(200, seed=12)
+        truth = global_pagerank(
+            graph, TIGHT, personalization=personalization
+        )
+        local = np.arange(60)
+        weights = uniform_external_weights(graph, local)
+        estimate = rank_with_external_weights(
+            graph, local, weights, TIGHT,
+            personalization=personalization,
+        )
+        assert footrule_from_scores(
+            truth.scores[local], estimate.scores
+        ) < 0.25
+
+
+class TestSemanticBaseSet:
+    def test_base_set_subgraph_rank_exact_with_known_scores(self):
+        from repro.objectrank.dblp import make_dblp_like
+        from repro.objectrank.rank import objectrank, semantic_subgraph_rank
+
+        data = make_dblp_like(
+            num_conferences=3, years_per_conference=2,
+            papers_per_year=8, num_authors=30, seed=4,
+        )
+        papers = data.entities_of_type("paper")
+        base = papers[:4]
+        truth = objectrank(data, TIGHT, base_set=base)
+        result = semantic_subgraph_rank(
+            data, {"paper", "author"}, TIGHT,
+            known_scores=truth.scores, base_set=base,
+        )
+        np.testing.assert_allclose(
+            result.scores, truth.scores[result.local_nodes], atol=1e-8
+        )
+
+    def test_base_set_approx_mode_runs(self):
+        from repro.objectrank.dblp import make_dblp_like
+        from repro.objectrank.rank import semantic_subgraph_rank
+
+        data = make_dblp_like(
+            num_conferences=3, years_per_conference=2,
+            papers_per_year=8, num_authors=30, seed=4,
+        )
+        base = data.entities_of_type("paper")[:4]
+        result = semantic_subgraph_rank(
+            data, {"paper", "author"}, TIGHT, base_set=base
+        )
+        assert result.method == "approxrank"
+        assert result.scores.sum() > 0

@@ -1,0 +1,91 @@
+"""Unit tests for the ApproxRank global preprocessor."""
+
+import numpy as np
+import pytest
+
+from repro.core.extended import build_extended_graph
+from repro.core.external import uniform_external_weights
+from repro.core.precompute import ApproxRankPreprocessor
+from repro.exceptions import SubgraphError
+from repro.pagerank.transition import row_stochastic_check
+from tests.conftest import random_digraph
+
+
+@pytest.fixture
+def graph():
+    return random_digraph(200, dangling_fraction=0.15, seed=21)
+
+
+class TestEquivalence:
+    """The fast colsum-based path must equal the generic matvec path."""
+
+    @pytest.mark.parametrize(
+        "local_spec",
+        [
+            range(0, 50),
+            range(150, 199),
+            [0, 7, 13, 42, 99, 150, 199],
+        ],
+    )
+    def test_extended_matrix_identical(self, graph, local_spec):
+        local = np.asarray(sorted(local_spec), dtype=np.int64)
+        prep = ApproxRankPreprocessor(graph)
+        fast = prep.extended_graph(local)
+        weights = uniform_external_weights(graph, local)
+        generic = build_extended_graph(
+            graph, local, weights, mode="approx"
+        )
+        diff = (
+            fast.transition_ext_t - generic.transition_ext_t
+        ).tocoo()
+        max_diff = np.abs(diff.data).max() if diff.nnz else 0.0
+        assert max_diff < 1e-12
+        np.testing.assert_array_equal(
+            fast.dangling_mask_ext, generic.dangling_mask_ext
+        )
+        np.testing.assert_allclose(fast.p_ideal, generic.p_ideal)
+
+    def test_rank_results_identical(self, graph, tight_settings):
+        local = np.arange(40, 120)
+        prep = ApproxRankPreprocessor(graph)
+        fast = prep.rank(local, tight_settings)
+        weights = uniform_external_weights(graph, local)
+        generic = build_extended_graph(graph, local, weights).solve(
+            tight_settings
+        )
+        np.testing.assert_allclose(
+            fast.scores, generic.local_scores, atol=1e-12
+        )
+
+
+class TestStructure:
+    def test_extended_rows_stochastic(self, graph):
+        prep = ApproxRankPreprocessor(graph)
+        extended = prep.extended_graph(np.arange(30))
+        matrix = extended.transition_ext_t.T.tocsr()
+        assert row_stochastic_check(
+            matrix, extended.dangling_mask_ext, atol=1e-9
+        )
+
+    def test_many_subgraphs_one_preprocess(self, graph, paper_settings):
+        prep = ApproxRankPreprocessor(graph)
+        preprocess_cost = prep.preprocess_seconds
+        results = [
+            prep.rank(np.arange(start, start + 30), paper_settings)
+            for start in (0, 50, 100, 150)
+        ]
+        assert len(results) == 4
+        # Preprocessing happened once, before any rank call.
+        assert prep.preprocess_seconds == preprocess_cost
+        for result in results:
+            assert result.extras["preprocess_seconds"] == preprocess_cost
+
+    def test_rejects_whole_graph(self, graph):
+        prep = ApproxRankPreprocessor(graph)
+        with pytest.raises(SubgraphError, match="proper subgraph"):
+            prep.extended_graph(np.arange(graph.num_nodes))
+
+    def test_graph_property(self, graph):
+        prep = ApproxRankPreprocessor(graph)
+        assert prep.graph is graph
+        assert prep.num_global == graph.num_nodes

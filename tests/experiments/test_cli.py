@@ -1,0 +1,83 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table99"])
+
+    def test_accepts_all_known_experiments(self):
+        parser = build_parser()
+        for name in (
+            "table2", "table3", "table4", "table5", "table6",
+            "figure7", "theorems", "ablation", "all",
+        ):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+
+class TestConfigFromArgs:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        config = config_from_args(args)
+        assert config.au_pages == 50_000
+
+    def test_fast_flag(self):
+        args = build_parser().parse_args(["table2", "--fast"])
+        config = config_from_args(args)
+        assert config.au_pages == 8_000
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table2", "--au-pages", "1234", "--seed", "9"]
+        )
+        config = config_from_args(args)
+        assert config.au_pages == 1234
+        assert config.seed == 9
+
+    def test_fast_then_override(self):
+        args = build_parser().parse_args(
+            ["table2", "--fast", "--politics-pages", "999"]
+        )
+        config = config_from_args(args)
+        assert config.politics_pages == 999
+        assert config.au_pages == 8_000  # fast default preserved
+
+
+class TestMain:
+    def test_table2_text_output(self, capsys):
+        code = main(["table2", "--au-pages", "2500",
+                     "--politics-pages", "2500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "au-like (ours)" in out
+
+    def test_table2_markdown_output(self, capsys):
+        main([
+            "table2", "--au-pages", "2500",
+            "--politics-pages", "2500", "--markdown",
+        ])
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("###")
+        assert "| dataset |" in out
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        main([
+            "table2", "--au-pages", "2500",
+            "--politics-pages", "2500",
+            "--output", str(target),
+        ])
+        assert target.exists()
+        assert "Table II" in target.read_text()

@@ -1,0 +1,71 @@
+"""Unit tests for experiment configuration and shared context."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.pagerank.solver import PowerIterationSettings
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.au_pages == 50_000
+        assert config.sc_expansions == 25
+        assert 0.10 in config.bfs_fractions
+
+    def test_fast_shrinks(self):
+        fast = ExperimentConfig().fast()
+        assert fast.au_pages < ExperimentConfig().au_pages
+        assert fast.sc_expansions < 25
+        assert set(fast.bfs_sc_fractions) <= set(fast.bfs_fractions)
+
+    def test_sc_fractions_subset_of_fractions(self):
+        config = ExperimentConfig()
+        assert set(config.bfs_sc_fractions) <= set(config.bfs_fractions)
+
+
+class TestExperimentContext:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return ExperimentContext(
+            ExperimentConfig(au_pages=3000, politics_pages=3000)
+        )
+
+    def test_datasets_cached(self, context):
+        assert context.au is context.au
+        assert context.politics is context.politics
+
+    def test_dataset_sizes_respect_config(self, context):
+        assert context.au.graph.num_nodes == 3000
+        assert context.politics.graph.num_nodes == 3000
+
+    def test_ground_truth_cached(self, context):
+        a = context.ground_truth(context.au)
+        b = context.ground_truth(context.au)
+        assert a is b
+        assert a.scores.sum() == pytest.approx(1.0, abs=1e-8)
+        assert a.runtime_seconds > 0
+
+    def test_preprocessor_cached(self, context):
+        assert context.preprocessor(context.au) is (
+            context.preprocessor(context.au)
+        )
+
+    def test_default_settings_are_papers(self, context):
+        assert context.settings.damping == 0.85
+        assert context.settings.tolerance == 1e-5
+
+    def test_custom_settings_respected(self):
+        settings = PowerIterationSettings(damping=0.5)
+        context = ExperimentContext(
+            ExperimentConfig(au_pages=2500), settings
+        )
+        assert context.settings.damping == 0.5
+
+    def test_distinct_datasets(self, context):
+        assert not np.array_equal(
+            context.au.labels["domain"],
+            context.politics.labels["topic"],
+        )

@@ -1,0 +1,77 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.experiments.reporting import TableResult, format_cell
+
+
+class TestFormatCell:
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_large_float_grouped(self):
+        assert format_cell(12345.6) == "12,346"
+
+    def test_mid_float_two_decimals(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_small_float_six_decimals(self):
+        assert format_cell(0.012112) == "0.012112"
+
+    def test_tiny_float_scientific(self):
+        assert format_cell(3.2e-9) == "3.20e-09"
+
+    def test_trailing_zeros_stripped(self):
+        assert format_cell(0.5) == "0.5"
+
+
+class TestTableResult:
+    @pytest.fixture
+    def table(self):
+        table = TableResult(
+            experiment_id="test",
+            title="A test table",
+            headers=["name", "value"],
+        )
+        table.add_row("alpha", 0.5)
+        table.add_row("beta", 1500.0)
+        table.notes.append("a note")
+        return table
+
+    def test_add_row_arity_check(self, table):
+        with pytest.raises(ValueError, match="columns"):
+            table.add_row("only-one")
+
+    def test_column_access(self, table):
+        assert table.column("name") == ["alpha", "beta"]
+
+    def test_render_contains_everything(self, table):
+        text = table.render()
+        assert "A test table" in text
+        assert "alpha" in text
+        assert "1,500" in text
+        assert "note: a note" in text
+
+    def test_render_alignment(self, table):
+        lines = table.render().splitlines()
+        header_line = lines[2]
+        separator = lines[3]
+        assert len(header_line) == len(separator)
+
+    def test_markdown_shape(self, table):
+        markdown = table.to_markdown()
+        assert markdown.startswith("### A test table")
+        assert "| name | value |" in markdown
+        assert "| alpha | 0.5 |" in markdown
+        assert "- a note" in markdown
+
+    def test_empty_table_renders(self):
+        table = TableResult("e", "Empty", ["x"])
+        assert "Empty" in table.render()
+        assert "| x |" in table.to_markdown()

@@ -1,0 +1,92 @@
+"""Tests for the run-all driver and report assembly."""
+
+import pytest
+
+from repro.experiments import run_all as run_all_module
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import TableResult
+from repro.experiments.run_all import build_markdown_report, run_all
+
+
+def fake_result(experiment_id: str) -> TableResult:
+    table = TableResult(
+        experiment_id=experiment_id,
+        title=f"Fake {experiment_id}",
+        headers=["a", "b"],
+    )
+    table.add_row(1, 2.5)
+    table.notes.append("fabricated")
+    return table
+
+
+@pytest.fixture
+def patched_experiments(monkeypatch):
+    calls = []
+
+    def make_runner(name):
+        def runner(context):
+            calls.append(name)
+            return fake_result(name)
+
+        return runner
+
+    monkeypatch.setattr(
+        run_all_module,
+        "EXPERIMENTS",
+        (
+            ("alpha", make_runner("alpha")),
+            ("beta", make_runner("beta")),
+        ),
+    )
+    return calls
+
+
+class TestRunAll:
+    def test_runs_in_order_and_returns_keyed(
+        self, patched_experiments, capsys
+    ):
+        context = ExperimentContext(ExperimentConfig(au_pages=2500))
+        results = run_all(context, verbose=False)
+        assert patched_experiments == ["alpha", "beta"]
+        assert list(results) == ["alpha", "beta"]
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_prints_tables(self, patched_experiments, capsys):
+        context = ExperimentContext(ExperimentConfig(au_pages=2500))
+        run_all(context, verbose=True)
+        out = capsys.readouterr().out
+        assert "Fake alpha" in out
+        assert "completed in" in out
+
+    def test_real_experiment_registry_complete(self):
+        # Every paper table/figure plus the supplementary experiments.
+        names = [name for name, __ in run_all_module.EXPERIMENTS]
+        assert names == [
+            "table2", "theorems", "table3", "table4", "figure7",
+            "table5", "table6", "ablation", "extras", "p2p",
+            "crawl",
+        ]
+
+
+class TestMarkdownReport:
+    def test_contains_config_and_tables(self, patched_experiments):
+        context = ExperimentContext(
+            ExperimentConfig(au_pages=2500, politics_pages=2600)
+        )
+        results = run_all(context, verbose=False)
+        report = build_markdown_report(results, context)
+        assert report.startswith("# EXPERIMENTS")
+        assert "AU-like 2500 pages" in report
+        assert "politics-like 2600 pages" in report
+        assert "### Fake alpha" in report
+        assert "### Fake beta" in report
+        assert "| a | b |" in report
+
+    def test_missing_results_skipped(self, patched_experiments):
+        context = ExperimentContext(ExperimentConfig(au_pages=2500))
+        report = build_markdown_report(
+            {"alpha": fake_result("alpha")}, context
+        )
+        assert "Fake alpha" in report
+        assert "Fake beta" not in report

@@ -1,0 +1,93 @@
+"""Integration tests for the supplementary experiments."""
+
+import pytest
+
+from repro.experiments import extras, p2p_convergence
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(
+        ExperimentConfig(
+            au_pages=6000,
+            politics_pages=6000,
+            bfs_fractions=(0.02, 0.10),
+            bfs_sc_fractions=(),
+            sc_expansions=5,
+        )
+    )
+
+
+class TestExtras:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return extras.run(context)
+
+    def test_sweep_rows(self, result, context):
+        assert len(result.rows) == len(context.config.bfs_fractions)
+
+    def test_approxrank_beats_aggregation(self, result):
+        approx = result.column("ApproxRank")
+        aggregation = result.column("BlockRank agg.")
+        # ApproxRank models the actual boundary; aggregation only
+        # block importance.  Allow one tie-ish row at tiny sizes.
+        wins = sum(a < b for a, b in zip(approx, aggregation))
+        assert wins >= len(approx) - 1
+
+    def test_aggregation_beats_local_pr(self, result):
+        aggregation = result.column("BlockRank agg.")
+        local_pr = result.column("localPR")
+        wins = sum(b < l for b, l in zip(aggregation, local_pr))
+        assert wins >= len(aggregation) - 1
+
+
+class TestP2PConvergence:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return p2p_convergence.run(context, rounds=6, num_peers=6)
+
+    def test_rows(self, result):
+        assert len(result.rows) == 7  # round 0 + 6 rounds
+
+    def test_coverage_monotone(self, result):
+        coverage = result.column("mean coverage")
+        assert all(
+            later >= earlier - 1e-12
+            for earlier, later in zip(coverage, coverage[1:])
+        )
+        assert coverage[-1] == pytest.approx(1.0)
+
+    def test_error_falls_substantially(self, result):
+        l1 = result.column("mean L1")
+        footrule = result.column("mean footrule")
+        assert l1[-1] < 0.5 * l1[0]
+        assert footrule[-1] < 0.5 * footrule[0]
+
+
+class TestCrawlValue:
+    def test_table_shape_and_ordering(self, context):
+        from repro.experiments import crawl_value
+
+        result = crawl_value.run(context)
+        assert result.column("strategy") == list(
+            crawl_value.STRATEGY_ORDER
+        )
+        final = dict(
+            zip(result.column("strategy"), result.column("mass@100%"))
+        )
+        # Score-guided crawling beats the unguided baselines.
+        assert final["approxrank"] > final["random"]
+        assert final["approxrank"] > final["bfs"]
+
+    def test_mass_monotone_across_checkpoints(self, context):
+        from repro.experiments import crawl_value
+
+        result = crawl_value.run(context)
+        for row in result.rows:
+            masses = row[1:-1]
+            assert all(
+                later >= earlier - 1e-12
+                for earlier, later in zip(masses, masses[1:])
+            )

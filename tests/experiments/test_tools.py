@@ -1,0 +1,123 @@
+"""Tests for the practitioner tools CLI."""
+
+import numpy as np
+import pytest
+
+from repro.tools import main
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("tools") / "tiny.npz"
+    code = main([
+        "dataset", "--kind", "tiny", "--pages", "400",
+        "--seed", "3", "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestDatasetCommand:
+    def test_file_created_and_loadable(self, dataset_file):
+        from repro.graph.io import load_npz
+
+        graph, metadata = load_npz(dataset_file)
+        assert graph.num_nodes == 400
+        assert "domain" in metadata
+
+    def test_output_mentions_counts(self, dataset_file, capsys):
+        main([
+            "dataset", "--kind", "tiny", "--pages", "300",
+            "--output", str(dataset_file.parent / "t2.npz"),
+        ])
+        out = capsys.readouterr().out
+        assert "300 pages" in out
+        assert "domain" in out
+
+
+class TestStatsCommand:
+    def test_prints_characteristics(self, dataset_file, capsys):
+        code = main(["stats", "--graph", str(dataset_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pages:             400" in out
+        assert "avg out-degree" in out
+        assert "metadata 'domain'" in out
+
+
+class TestRankCommand:
+    def test_rank_by_label(self, dataset_file, capsys):
+        code = main([
+            "rank", "--graph", str(dataset_file),
+            "--label", "domain=0", "--algorithm", "approxrank",
+            "--top", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "approxrank:" in out
+        assert "rank" in out
+
+    def test_rank_by_nodes_file(self, dataset_file, tmp_path, capsys):
+        nodes_path = tmp_path / "nodes.txt"
+        nodes_path.write_text("# subgraph\n10\n11\n12\n13\n14\n")
+        code = main([
+            "rank", "--graph", str(dataset_file),
+            "--nodes-file", str(nodes_path),
+            "--algorithm", "local-pr",
+        ])
+        assert code == 0
+        assert "local-pagerank:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["lpr2", "sc", "idealrank"])
+    def test_all_algorithms_run(
+        self, dataset_file, tmp_path, capsys, algorithm
+    ):
+        nodes_path = tmp_path / "nodes.txt"
+        nodes_path.write_text("\n".join(str(i) for i in range(30)))
+        code = main([
+            "rank", "--graph", str(dataset_file),
+            "--nodes-file", str(nodes_path),
+            "--algorithm", algorithm, "--top", "3",
+        ])
+        assert code == 0
+
+    def test_scores_output_file(self, dataset_file, tmp_path, capsys):
+        nodes_path = tmp_path / "nodes.txt"
+        nodes_path.write_text("\n".join(str(i) for i in range(20)))
+        scores_path = tmp_path / "scores.tsv"
+        main([
+            "rank", "--graph", str(dataset_file),
+            "--nodes-file", str(nodes_path),
+            "--scores-output", str(scores_path),
+        ])
+        lines = scores_path.read_text().strip().splitlines()
+        assert len(lines) == 20
+        page, score = lines[0].split("\t")
+        assert int(page) == 0
+        assert float(score) > 0
+
+    def test_bad_label_errors_cleanly(self, dataset_file, capsys):
+        code = main([
+            "rank", "--graph", str(dataset_file),
+            "--label", "galaxy=0",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_label_errors_cleanly(self, dataset_file, capsys):
+        code = main([
+            "rank", "--graph", str(dataset_file),
+            "--label", "domain",
+        ])
+        assert code == 2
+
+    def test_empty_selection_errors_cleanly(
+        self, dataset_file, tmp_path, capsys
+    ):
+        nodes_path = tmp_path / "empty.txt"
+        nodes_path.write_text("# nothing\n")
+        code = main([
+            "rank", "--graph", str(dataset_file),
+            "--nodes-file", str(nodes_path),
+        ])
+        assert code == 2

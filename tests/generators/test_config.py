@@ -1,0 +1,55 @@
+"""Unit tests for WebGraphConfig validation."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.generators.config import WebGraphConfig
+
+
+class TestValidation:
+    def test_valid_defaults(self):
+        config = WebGraphConfig(num_pages=100)
+        assert config.num_groups == 1
+        assert config.mean_out_degree == 5.5
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(DatasetError, match="num_pages"):
+            WebGraphConfig(num_pages=1)
+
+    def test_rejects_empty_shares(self):
+        with pytest.raises(DatasetError, match="group_shares"):
+            WebGraphConfig(num_pages=10, group_shares=())
+
+    def test_rejects_non_positive_share(self):
+        with pytest.raises(DatasetError, match="positive"):
+            WebGraphConfig(num_pages=10, group_shares=(1.0, 0.0))
+
+    def test_rejects_more_groups_than_pages(self):
+        with pytest.raises(DatasetError, match="more groups"):
+            WebGraphConfig(num_pages=2, group_shares=(1.0, 1.0, 1.0))
+
+    def test_rejects_bad_mean_degree(self):
+        with pytest.raises(DatasetError, match="mean_out_degree"):
+            WebGraphConfig(num_pages=10, mean_out_degree=0.0)
+
+    def test_rejects_infinite_mean_alpha(self):
+        with pytest.raises(DatasetError, match="out_degree_alpha"):
+            WebGraphConfig(num_pages=10, out_degree_alpha=1.0)
+
+    def test_rejects_dangling_fraction_one(self):
+        with pytest.raises(DatasetError, match="dangling_fraction"):
+            WebGraphConfig(num_pages=10, dangling_fraction=1.0)
+
+    def test_rejects_bad_intra_fraction(self):
+        with pytest.raises(DatasetError, match="intra_group_fraction"):
+            WebGraphConfig(num_pages=10, intra_group_fraction=1.2)
+
+    def test_rejects_bad_hub_cap(self):
+        with pytest.raises(DatasetError, match="hub_cap_fraction"):
+            WebGraphConfig(num_pages=10, hub_cap_fraction=0.0)
+
+    def test_num_groups(self):
+        config = WebGraphConfig(
+            num_pages=100, group_shares=(2.0, 1.0, 1.0)
+        )
+        assert config.num_groups == 3

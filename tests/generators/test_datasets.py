@@ -1,0 +1,104 @@
+"""Unit tests for the canonical synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.generators.datasets import (
+    AU_NAMED_DOMAINS,
+    AU_TOTAL_DOMAINS,
+    POLITICS_TOPICS,
+    make_au_like,
+    make_politics_like,
+    make_tiny_web,
+)
+
+
+@pytest.fixture(scope="module")
+def au():
+    return make_au_like(num_pages=20_000, seed=5)
+
+
+@pytest.fixture(scope="module")
+def politics():
+    return make_politics_like(num_pages=20_000, seed=6)
+
+
+class TestAuLike:
+    def test_38_domains(self, au):
+        assert len(au.label_names["domain"]) == AU_TOTAL_DOMAINS
+        assert au.labels["domain"].max() == AU_TOTAL_DOMAINS - 1
+
+    def test_named_domain_shares_match_table4(self, au):
+        n = au.graph.num_nodes
+        for name, share in AU_NAMED_DOMAINS:
+            pages = au.pages_with_label("domain", name)
+            measured = 100.0 * pages.size / n
+            assert measured == pytest.approx(share, abs=0.15), name
+
+    def test_mean_out_degree_matches_crawl(self, au):
+        assert au.graph.out_degrees.mean() == pytest.approx(6.15, rel=0.2)
+
+    def test_deterministic(self):
+        a = make_au_like(num_pages=3000, seed=1)
+        b = make_au_like(num_pages=3000, seed=1)
+        assert (a.graph.adjacency != b.graph.adjacency).nnz == 0
+
+    def test_description_nonempty(self, au):
+        assert "AU" in au.description
+
+
+class TestPoliticsLike:
+    def test_topics_present(self, politics):
+        names = politics.label_names["topic"]
+        assert names[0] == "general"
+        for topic, __ in POLITICS_TOPICS:
+            assert topic in names
+
+    def test_topic_core_shares(self, politics):
+        n = politics.graph.num_nodes
+        for topic, share in POLITICS_TOPICS:
+            pages = politics.pages_with_label("topic", topic)
+            measured = 100.0 * pages.size / n
+            assert measured == pytest.approx(share, abs=0.2), topic
+
+    def test_general_is_majority(self, politics):
+        general = politics.pages_with_label("topic", "general")
+        assert general.size > 0.9 * politics.graph.num_nodes
+
+    def test_mean_out_degree_matches_crawl(self, politics):
+        assert politics.graph.out_degrees.mean() == pytest.approx(
+            3.93, rel=0.2
+        )
+
+
+class TestWebDatasetApi:
+    def test_label_index(self, au):
+        index = au.label_index("domain", "anu.edu.au")
+        assert au.label_names["domain"][index] == "anu.edu.au"
+
+    def test_unknown_dimension(self, au):
+        with pytest.raises(DatasetError, match="dimension"):
+            au.label_index("topic", "anything")
+
+    def test_unknown_label(self, au):
+        with pytest.raises(DatasetError, match="not a domain"):
+            au.label_index("domain", "mit.edu")
+
+    def test_pages_with_label_partition(self, au):
+        total = sum(
+            au.pages_with_label("domain", name).size
+            for name in au.label_names["domain"]
+        )
+        assert total == au.graph.num_nodes
+
+
+class TestTinyWeb:
+    def test_shape(self):
+        tiny = make_tiny_web(num_pages=300, num_groups=3, seed=0)
+        assert tiny.graph.num_nodes == 300
+        assert len(tiny.label_names["domain"]) == 3
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(DatasetError):
+            make_tiny_web(num_groups=0)

@@ -1,0 +1,107 @@
+"""Unit tests for the simple deterministic generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.generators.simple import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    line_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+
+
+class TestCycle:
+    def test_structure(self):
+        graph = cycle_graph(4)
+        assert graph.num_edges == 4
+        assert graph.has_edge(3, 0)
+        assert np.all(graph.out_degrees == 1)
+        assert np.all(graph.in_degrees == 1)
+
+    def test_rejects_small(self):
+        with pytest.raises(DatasetError):
+            cycle_graph(1)
+
+
+class TestComplete:
+    def test_structure(self):
+        graph = complete_graph(4)
+        assert graph.num_edges == 12
+        assert not graph.has_self_loops()
+
+    def test_rejects_small(self):
+        with pytest.raises(DatasetError):
+            complete_graph(1)
+
+
+class TestStar:
+    def test_structure(self):
+        graph = star_graph(5)
+        assert graph.num_nodes == 6
+        assert graph.out_degree(0) == 5
+        assert graph.in_degree(0) == 5
+        assert graph.out_degree(3) == 1
+
+    def test_rejects_no_leaves(self):
+        with pytest.raises(DatasetError):
+            star_graph(0)
+
+
+class TestLine:
+    def test_structure(self):
+        graph = line_graph(4)
+        assert graph.num_edges == 3
+        assert graph.dangling_mask.tolist() == [
+            False, False, False, True,
+        ]
+
+    def test_rejects_small(self):
+        with pytest.raises(DatasetError):
+            line_graph(1)
+
+
+class TestTwoCliquesBridge:
+    def test_structure(self):
+        graph = two_cliques_bridge(3)
+        assert graph.num_nodes == 6
+        # Each clique has 6 internal edges; plus the two bridge edges.
+        assert graph.num_edges == 14
+        assert graph.has_edge(2, 3)
+        assert graph.has_edge(3, 2)
+        assert not graph.has_edge(0, 4)
+
+    def test_rejects_small(self):
+        with pytest.raises(DatasetError):
+            two_cliques_bridge(1)
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        a = erdos_renyi(50, 0.1, seed=1)
+        b = erdos_renyi(50, 0.1, seed=1)
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+    def test_density_near_p(self):
+        graph = erdos_renyi(200, 0.05, seed=2)
+        possible = 200 * 199
+        density = graph.num_edges / possible
+        assert density == pytest.approx(0.05, rel=0.15)
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi(50, 0.5, seed=3)
+        assert not graph.has_self_loops()
+
+    def test_p_zero_empty(self):
+        assert erdos_renyi(20, 0.0, seed=4).num_edges == 0
+
+    def test_p_one_complete(self):
+        graph = erdos_renyi(10, 1.0, seed=5)
+        assert graph.num_edges == 90
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi(10, 1.5)

@@ -1,0 +1,131 @@
+"""Unit tests for the web-graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.generators.config import WebGraphConfig
+from repro.generators.weblike import generate_web_graph, partition_sizes
+
+
+class TestPartitionSizes:
+    def test_exact_split(self):
+        sizes = partition_sizes(10, (1.0, 1.0))
+        assert sizes.tolist() == [5, 5]
+
+    def test_sums_to_total(self):
+        sizes = partition_sizes(100, (0.35, 0.5, 10.42, 88.73))
+        assert sizes.sum() == 100
+
+    def test_every_group_nonempty(self):
+        sizes = partition_sizes(10, (0.0001, 99.9999))
+        assert sizes.min() >= 1
+        assert sizes.sum() == 10
+
+    def test_proportionality(self):
+        sizes = partition_sizes(1000, (1.0, 3.0))
+        assert sizes.tolist() == [250, 750]
+
+    def test_rejects_more_groups_than_items(self):
+        with pytest.raises(DatasetError, match="non-empty"):
+            partition_sizes(2, (1.0, 1.0, 1.0))
+
+    def test_rejects_non_positive_share(self):
+        with pytest.raises(DatasetError, match="positive"):
+            partition_sizes(10, (1.0, -1.0))
+
+    def test_many_tiny_groups(self):
+        sizes = partition_sizes(50, tuple([1.0] * 50))
+        assert sizes.tolist() == [1] * 50
+
+
+class TestGenerateWebGraph:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        config = WebGraphConfig(
+            num_pages=10_000,
+            group_shares=(1.0, 2.0, 3.0, 4.0),
+            mean_out_degree=5.0,
+            dangling_fraction=0.05,
+            intra_group_fraction=0.8,
+            seed=99,
+        )
+        graph, group_of = generate_web_graph(config)
+        return config, graph, group_of
+
+    def test_shapes(self, generated):
+        config, graph, group_of = generated
+        assert graph.num_nodes == config.num_pages
+        assert group_of.shape == (config.num_pages,)
+
+    def test_groups_contiguous_and_proportional(self, generated):
+        __, graph, group_of = generated
+        # contiguous: group indices are non-decreasing
+        assert np.all(np.diff(group_of) >= 0)
+        counts = np.bincount(group_of)
+        assert counts.tolist() == [1000, 2000, 3000, 4000]
+
+    def test_mean_out_degree_near_target(self, generated):
+        config, graph, __ = generated
+        mean = graph.out_degrees.mean()
+        assert mean == pytest.approx(config.mean_out_degree, rel=0.2)
+
+    def test_dangling_fraction_near_target(self, generated):
+        config, graph, __ = generated
+        fraction = graph.dangling_mask.mean()
+        assert fraction == pytest.approx(
+            config.dangling_fraction, abs=0.02
+        )
+
+    def test_intra_fraction_near_target(self, generated):
+        config, graph, group_of = generated
+        sources, targets, __ = graph.edge_array()
+        intra = (group_of[sources] == group_of[targets]).mean()
+        # dedup may remove proportionally more intra duplicates; allow
+        # a band around the target.
+        assert 0.7 <= intra <= 0.95
+
+    def test_no_self_loops(self, generated):
+        __, graph, __ = generated
+        assert not graph.has_self_loops()
+
+    def test_unweighted(self, generated):
+        __, graph, __ = generated
+        assert graph.is_unweighted()
+
+    def test_deterministic(self):
+        config = WebGraphConfig(num_pages=500, seed=7)
+        a, __ = generate_web_graph(config)
+        b, __ = generate_web_graph(config)
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+    def test_seed_changes_graph(self):
+        a, __ = generate_web_graph(WebGraphConfig(num_pages=500, seed=1))
+        b, __ = generate_web_graph(WebGraphConfig(num_pages=500, seed=2))
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_heavy_tailed_in_degree(self, generated):
+        __, graph, __ = generated
+        in_degrees = graph.in_degrees
+        # A heavy-tailed graph has max in-degree far above the mean.
+        assert in_degrees.max() > 10 * in_degrees.mean()
+
+    def test_group_of_read_only(self, generated):
+        __, __, group_of = generated
+        with pytest.raises(ValueError):
+            group_of[0] = 5
+
+    def test_single_group(self):
+        graph, group_of = generate_web_graph(
+            WebGraphConfig(num_pages=300, group_shares=(1.0,), seed=3)
+        )
+        assert np.all(group_of == 0)
+        assert graph.num_edges > 0
+
+    def test_zero_dangling_fraction(self):
+        graph, __ = generate_web_graph(
+            WebGraphConfig(
+                num_pages=300, dangling_fraction=0.0, seed=4
+            )
+        )
+        assert not graph.dangling_mask.any()

@@ -1,0 +1,141 @@
+"""Unit tests for GraphBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphBuildError
+from repro.graph.builder import GraphBuilder, graph_from_edges
+
+
+class TestAddEdge:
+    def test_basic_build(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        graph = builder.build()
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1)
+
+    def test_num_pending_edges(self):
+        builder = GraphBuilder(3)
+        assert builder.num_pending_edges == 0
+        builder.add_edge(0, 1)
+        builder.add_edge(0, 1)
+        assert builder.num_pending_edges == 2
+
+    def test_rejects_negative_num_nodes(self):
+        with pytest.raises(GraphBuildError, match=">= 0"):
+            GraphBuilder(-1)
+
+    def test_rejects_out_of_range_source(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(GraphBuildError, match="source"):
+            builder.add_edge(2, 0)
+
+    def test_rejects_out_of_range_target(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(GraphBuildError, match="target"):
+            builder.add_edge(0, -1)
+
+    def test_rejects_zero_weight(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(GraphBuildError, match="positive"):
+            builder.add_edge(0, 1, 0.0)
+
+    def test_rejects_nan_weight(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(GraphBuildError, match="finite"):
+            builder.add_edge(0, 1, float("nan"))
+
+
+class TestBulkAdd:
+    def test_add_edges_iterable(self):
+        builder = GraphBuilder(4)
+        builder.add_edges([(0, 1), (1, 2), (2, 3)])
+        assert builder.build().num_edges == 3
+
+    def test_add_weighted_edges(self):
+        builder = GraphBuilder(2)
+        builder.add_weighted_edges([(0, 1, 0.5)])
+        assert builder.build().edge_weight(0, 1) == 0.5
+
+    def test_add_edge_arrays(self):
+        builder = GraphBuilder(5)
+        builder.add_edge_arrays([0, 1, 2], [1, 2, 3])
+        graph = builder.build()
+        assert graph.num_edges == 3
+        assert graph.is_unweighted()
+
+    def test_add_edge_arrays_with_weights(self):
+        builder = GraphBuilder(3)
+        builder.add_edge_arrays([0, 1], [1, 2], [2.0, 3.0])
+        graph = builder.build()
+        assert graph.edge_weight(1, 2) == 3.0
+
+    def test_add_edge_arrays_shape_mismatch(self):
+        builder = GraphBuilder(3)
+        with pytest.raises(GraphBuildError, match="equal length"):
+            builder.add_edge_arrays([0, 1], [1])
+
+    def test_add_edge_arrays_range_check(self):
+        builder = GraphBuilder(3)
+        with pytest.raises(GraphBuildError, match="out of range"):
+            builder.add_edge_arrays([0, 5], [1, 2])
+
+    def test_add_edge_arrays_weight_validation(self):
+        builder = GraphBuilder(3)
+        with pytest.raises(GraphBuildError, match="positive"):
+            builder.add_edge_arrays([0], [1], [-1.0])
+
+
+class TestBuildSemantics:
+    def test_duplicates_summed_by_default(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(0, 1, 2.0)
+        graph = builder.build()
+        assert graph.num_edges == 1
+        assert graph.edge_weight(0, 1) == 3.0
+
+    def test_dedup_collapses_to_unit(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1)
+        builder.add_edge(0, 1)
+        graph = builder.build(dedup=True)
+        assert graph.num_edges == 1
+        assert graph.edge_weight(0, 1) == 1.0
+
+    def test_empty_build(self):
+        graph = GraphBuilder(3).build()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+        assert graph.dangling_mask.all()
+
+    def test_builder_reusable_after_build(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1)
+        first = builder.build()
+        builder.add_edge(1, 0)
+        second = builder.build()
+        assert first.num_edges == 1
+        assert second.num_edges == 2
+
+    def test_graph_from_edges_convenience(self):
+        graph = graph_from_edges(3, [(0, 1), (0, 1), (1, 2)])
+        assert graph.num_edges == 2
+        assert graph.edge_weight(0, 1) == 1.0
+
+
+class TestLargeBulk:
+    def test_many_edges_roundtrip(self):
+        rng = np.random.default_rng(5)
+        sources = rng.integers(0, 1000, 20_000)
+        targets = rng.integers(0, 1000, 20_000)
+        builder = GraphBuilder(1000)
+        builder.add_edge_arrays(sources, targets)
+        graph = builder.build(dedup=True)
+        assert graph.num_nodes == 1000
+        # dedup means strictly fewer or equal edges than inserted
+        assert 0 < graph.num_edges <= 20_000
+        # spot-check membership
+        assert graph.has_edge(int(sources[0]), int(targets[0]))

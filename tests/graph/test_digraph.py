@@ -1,0 +1,157 @@
+"""Unit tests for the CSRGraph core type."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder, graph_from_edges
+from repro.graph.digraph import CSRGraph
+
+
+@pytest.fixture
+def small_graph() -> CSRGraph:
+    # 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0, 3 dangling
+    return graph_from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 0)])
+
+
+class TestConstruction:
+    def test_counts(self, small_graph):
+        assert small_graph.num_nodes == 4
+        assert small_graph.num_edges == 4
+        assert len(small_graph) == 4
+
+    def test_rejects_non_square(self):
+        matrix = sparse.csr_matrix(np.ones((2, 3)))
+        with pytest.raises(GraphError, match="square"):
+            CSRGraph(matrix)
+
+    def test_rejects_negative_weights(self):
+        matrix = sparse.csr_matrix(np.array([[0.0, -1.0], [0.0, 0.0]]))
+        with pytest.raises(GraphError, match="non-negative"):
+            CSRGraph(matrix)
+
+    def test_rejects_nan_weights(self):
+        matrix = sparse.csr_matrix(np.array([[0.0, np.nan], [0.0, 0.0]]))
+        with pytest.raises(GraphError, match="finite"):
+            CSRGraph(matrix)
+
+    def test_explicit_zeros_dropped(self):
+        matrix = sparse.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        matrix.data[0] = 0.0  # make the stored entry an explicit zero
+        graph = CSRGraph(matrix)
+        assert graph.num_edges == 0
+
+    def test_empty_graph(self):
+        graph = CSRGraph(sparse.csr_matrix((0, 0)))
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_repr_mentions_sizes(self, small_graph):
+        assert "num_nodes=4" in repr(small_graph)
+        assert "num_edges=4" in repr(small_graph)
+
+
+class TestDegrees:
+    def test_out_degrees(self, small_graph):
+        assert small_graph.out_degrees.tolist() == [2, 1, 1, 0]
+
+    def test_in_degrees(self, small_graph):
+        assert small_graph.in_degrees.tolist() == [1, 1, 2, 0]
+
+    def test_dangling_mask(self, small_graph):
+        assert small_graph.dangling_mask.tolist() == [
+            False, False, False, True,
+        ]
+
+    def test_single_degree_accessors(self, small_graph):
+        assert small_graph.out_degree(0) == 2
+        assert small_graph.in_degree(2) == 2
+
+    def test_degree_out_of_range(self, small_graph):
+        with pytest.raises(GraphError, match="out of range"):
+            small_graph.out_degree(4)
+        with pytest.raises(GraphError, match="out of range"):
+            small_graph.in_degree(-1)
+
+    def test_out_strength_matches_degrees_when_unweighted(self, small_graph):
+        assert np.array_equal(
+            small_graph.out_strength,
+            small_graph.out_degrees.astype(float),
+        )
+
+    def test_out_strength_weighted(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1, 2.5)
+        graph = builder.build()
+        assert graph.out_strength[0] == pytest.approx(2.5)
+
+    def test_degree_arrays_read_only(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.out_degrees[0] = 5
+
+
+class TestNeighborhoods:
+    def test_out_neighbors_sorted(self, small_graph):
+        assert small_graph.out_neighbors(0).tolist() == [1, 2]
+
+    def test_in_neighbors(self, small_graph):
+        assert small_graph.in_neighbors(2).tolist() == [0, 1]
+
+    def test_dangling_has_no_out_neighbors(self, small_graph):
+        assert small_graph.out_neighbors(3).size == 0
+
+    def test_has_edge(self, small_graph):
+        assert small_graph.has_edge(0, 1)
+        assert not small_graph.has_edge(1, 0)
+
+    def test_edge_weight(self, small_graph):
+        assert small_graph.edge_weight(0, 1) == 1.0
+        assert small_graph.edge_weight(1, 0) == 0.0
+
+    def test_iter_edges_complete(self, small_graph):
+        edges = {(s, t) for s, t, __ in small_graph.iter_edges()}
+        assert edges == {(0, 1), (0, 2), (1, 2), (2, 0)}
+
+    def test_edge_array_roundtrip(self, small_graph):
+        sources, targets, weights = small_graph.edge_array()
+        rebuilt = GraphBuilder(4)
+        rebuilt.add_edge_arrays(sources, targets, weights)
+        graph2 = rebuilt.build()
+        assert (
+            graph2.adjacency != small_graph.adjacency
+        ).nnz == 0
+
+
+class TestStructure:
+    def test_is_unweighted(self, small_graph):
+        assert small_graph.is_unweighted()
+
+    def test_weighted_detection(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1, 0.3)
+        assert not builder.build().is_unweighted()
+
+    def test_self_loops(self):
+        graph = graph_from_edges(2, [(0, 0), (0, 1)])
+        assert graph.has_self_loops()
+
+    def test_no_self_loops(self, small_graph):
+        assert not small_graph.has_self_loops()
+
+    def test_reversed_swaps_degrees(self, small_graph):
+        reversed_graph = small_graph.reversed()
+        assert np.array_equal(
+            reversed_graph.out_degrees, small_graph.in_degrees
+        )
+        assert np.array_equal(
+            reversed_graph.in_degrees, small_graph.out_degrees
+        )
+
+    def test_duplicate_edges_summed_by_matrix_constructor(self):
+        matrix = sparse.coo_matrix(
+            ([1.0, 1.0], ([0, 0], [1, 1])), shape=(2, 2)
+        )
+        graph = CSRGraph(matrix)
+        assert graph.num_edges == 1
+        assert graph.edge_weight(0, 1) == 2.0

@@ -1,0 +1,97 @@
+"""Unit tests for graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder, graph_from_edges
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+@pytest.fixture
+def sample_graph():
+    return graph_from_edges(4, [(0, 1), (1, 2), (2, 0)])
+
+
+class TestEdgeList:
+    def test_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == 4
+        assert (loaded.adjacency != sample_graph.adjacency).nnz == 0
+
+    def test_roundtrip_with_weights(self, tmp_path):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1, 0.123456789)
+        graph = builder.build()
+        path = tmp_path / "weighted.tsv"
+        write_edge_list(graph, path, include_weights=True)
+        loaded = read_edge_list(path)
+        assert loaded.edge_weight(0, 1) == pytest.approx(
+            0.123456789, abs=0
+        )
+
+    def test_isolated_trailing_node_survives(self, sample_graph, tmp_path):
+        # Node 3 has no edges; the header keeps the count.
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample_graph, path)
+        assert read_edge_list(path).num_nodes == 4
+
+    def test_num_nodes_override(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample_graph, path)
+        loaded = read_edge_list(path, num_nodes=10)
+        assert loaded.num_nodes == 10
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "manual.tsv"
+        path.write_text("# a comment\n\n0\t1\n\n# another\n1\t0\n")
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == 2
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\t1\n0\t1\t2\t3\n")
+        with pytest.raises(GraphError, match=":2:"):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == 0
+
+
+class TestNpz:
+    def test_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(sample_graph, path)
+        loaded, metadata = load_npz(path)
+        assert (loaded.adjacency != sample_graph.adjacency).nnz == 0
+        assert metadata == {}
+
+    def test_metadata_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        domains = np.array([0, 0, 1, 1])
+        save_npz(sample_graph, path, metadata={"domain": domains})
+        __, metadata = load_npz(path)
+        assert metadata["domain"].tolist() == [0, 0, 1, 1]
+
+    def test_metadata_key_collision_rejected(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        with pytest.raises(GraphError, match="collides"):
+            save_npz(
+                sample_graph, path, metadata={"indptr": np.zeros(1)}
+            )
+
+    def test_weighted_roundtrip(self, tmp_path):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 1, 0.7)
+        builder.add_edge(1, 2, 0.2)
+        graph = builder.build()
+        path = tmp_path / "weighted.npz"
+        save_npz(graph, path)
+        loaded, __ = load_npz(path)
+        assert loaded.edge_weight(0, 1) == 0.7
+        assert loaded.edge_weight(1, 2) == 0.2

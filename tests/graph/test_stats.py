@@ -1,0 +1,91 @@
+"""Unit tests for graph statistics."""
+
+import math
+
+import pytest
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.stats import (
+    compute_stats,
+    degree_histogram,
+    powerlaw_tail_exponent,
+)
+from repro.generators.simple import star_graph
+from repro.generators.weblike import generate_web_graph
+from repro.generators.config import WebGraphConfig
+
+
+@pytest.fixture
+def sample_graph():
+    return graph_from_edges(
+        5, [(0, 1), (0, 2), (1, 2), (2, 2), (3, 0)]
+    )  # node 4 dangling; node 2 has a self-loop
+
+
+class TestComputeStats:
+    def test_counts(self, sample_graph):
+        stats = compute_stats(sample_graph)
+        assert stats.num_nodes == 5
+        assert stats.num_edges == 5
+
+    def test_avg_out_degree(self, sample_graph):
+        stats = compute_stats(sample_graph)
+        assert stats.avg_out_degree == pytest.approx(1.0)
+
+    def test_max_degrees(self, sample_graph):
+        stats = compute_stats(sample_graph)
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 3  # node 2: from 0, 1 and itself
+
+    def test_dangling_fraction(self, sample_graph):
+        assert compute_stats(sample_graph).dangling_fraction == (
+            pytest.approx(0.2)
+        )
+
+    def test_self_loops_counted(self, sample_graph):
+        assert compute_stats(sample_graph).self_loop_count == 1
+
+    def test_as_table_row(self, sample_graph):
+        pages, links, avg = compute_stats(sample_graph).as_table_row()
+        assert pages == pytest.approx(5e-6)
+        assert links == pytest.approx(5e-6)
+        assert avg == pytest.approx(1.0)
+
+
+class TestDegreeHistogram:
+    def test_out_histogram(self, sample_graph):
+        values, counts = degree_histogram(sample_graph, "out")
+        assert values.tolist() == [0, 1, 2]
+        assert counts.tolist() == [1, 3, 1]
+
+    def test_in_histogram_sums_to_nodes(self, sample_graph):
+        __, counts = degree_histogram(sample_graph, "in")
+        assert counts.sum() == 5
+
+    def test_invalid_direction(self, sample_graph):
+        with pytest.raises(ValueError, match="direction"):
+            degree_histogram(sample_graph, "sideways")
+
+
+class TestPowerlawExponent:
+    def test_too_small_returns_nan(self, sample_graph):
+        assert math.isnan(powerlaw_tail_exponent(sample_graph))
+
+    def test_star_graph_is_not_powerlaw_but_finite(self):
+        graph = star_graph(100)
+        # all leaves have in-degree 1, hub 100: tail has 1 node -> nan
+        assert math.isnan(powerlaw_tail_exponent(graph, min_degree=50))
+
+    def test_generated_graph_in_plausible_band(self):
+        config = WebGraphConfig(
+            num_pages=20_000, group_shares=(1.0,), seed=1
+        )
+        graph, __ = generate_web_graph(config)
+        exponent = powerlaw_tail_exponent(graph, "in", min_degree=5)
+        # Real web in-degree exponents sit near 2.1; accept a broad
+        # power-law band, rejecting Poisson-like (which gives >> 4).
+        assert 1.5 < exponent < 4.0
+
+    def test_invalid_direction(self, sample_graph):
+        with pytest.raises(ValueError, match="direction"):
+            powerlaw_tail_exponent(sample_graph, "both")

@@ -1,0 +1,124 @@
+"""Unit tests for graph traversals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import graph_from_edges
+from repro.graph.traversal import (
+    bfs_order,
+    bfs_tree_depths,
+    bfs_within_depth,
+    out_neighbors_of_set,
+    reachable_set,
+    weakly_connected_components,
+)
+from repro.generators.simple import cycle_graph, line_graph
+
+
+@pytest.fixture
+def tree_graph():
+    #        0
+    #      /   \
+    #     1     2
+    #    / \     \
+    #   3   4     5
+    return graph_from_edges(7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+    # node 6 is isolated
+
+
+class TestBfsOrder:
+    def test_visits_in_level_order(self, tree_graph):
+        order = bfs_order(tree_graph, 0)
+        assert order.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_max_nodes_budget(self, tree_graph):
+        order = bfs_order(tree_graph, 0, max_nodes=3)
+        assert order.tolist() == [0, 1, 2]
+
+    def test_multiple_seeds(self, tree_graph):
+        order = bfs_order(tree_graph, [2, 1])
+        # seeds first (ascending), then their children
+        assert order.tolist()[:2] == [1, 2]
+
+    def test_isolated_seed(self, tree_graph):
+        assert bfs_order(tree_graph, 6).tolist() == [6]
+
+    def test_rejects_empty_seed_set(self, tree_graph):
+        with pytest.raises(GraphError, match="at least one seed"):
+            bfs_order(tree_graph, [])
+
+    def test_rejects_out_of_range_seed(self, tree_graph):
+        with pytest.raises(GraphError, match="out of range"):
+            bfs_order(tree_graph, 7)
+
+    def test_rejects_non_positive_budget(self, tree_graph):
+        with pytest.raises(GraphError, match="positive"):
+            bfs_order(tree_graph, 0, max_nodes=0)
+
+    def test_cycle_full_visit(self):
+        graph = cycle_graph(5)
+        assert bfs_order(graph, 2).size == 5
+
+
+class TestDepths:
+    def test_depths(self, tree_graph):
+        depths = bfs_tree_depths(tree_graph, 0)
+        assert depths.tolist() == [0, 1, 1, 2, 2, 2, -1]
+
+    def test_within_depth_zero_is_seeds(self, tree_graph):
+        assert bfs_within_depth(tree_graph, [0, 2], 0).tolist() == [0, 2]
+
+    def test_within_depth_one(self, tree_graph):
+        assert bfs_within_depth(tree_graph, 0, 1).tolist() == [0, 1, 2]
+
+    def test_within_depth_negative_rejected(self, tree_graph):
+        with pytest.raises(GraphError, match=">= 0"):
+            bfs_within_depth(tree_graph, 0, -1)
+
+    def test_reachable_set(self, tree_graph):
+        assert reachable_set(tree_graph, 1).tolist() == [1, 3, 4]
+
+    def test_line_graph_depths(self):
+        graph = line_graph(4)
+        depths = bfs_tree_depths(graph, 0)
+        assert depths.tolist() == [0, 1, 2, 3]
+
+
+class TestComponents:
+    def test_two_components(self, tree_graph):
+        components = weakly_connected_components(tree_graph)
+        assert len(components) == 2
+        assert components[0].tolist() == [0, 1, 2, 3, 4, 5]
+        assert components[1].tolist() == [6]
+
+    def test_directed_edges_treated_undirected(self):
+        # 0 -> 1 and 2 -> 1: all weakly connected despite directions.
+        graph = graph_from_edges(3, [(0, 1), (2, 1)])
+        components = weakly_connected_components(graph)
+        assert len(components) == 1
+
+    def test_edgeless_graph(self):
+        graph = graph_from_edges(3, [])
+        components = weakly_connected_components(graph)
+        assert len(components) == 3
+
+
+class TestNeighborsOfSet:
+    def test_union_of_out_neighbors(self, tree_graph):
+        result = out_neighbors_of_set(tree_graph, [0, 1])
+        assert result.tolist() == [1, 2, 3, 4]
+
+    def test_empty_set(self, tree_graph):
+        assert out_neighbors_of_set(tree_graph, []).size == 0
+
+    def test_dangling_members_contribute_nothing(self, tree_graph):
+        assert out_neighbors_of_set(tree_graph, [5, 6]).size == 0
+
+    def test_matches_bruteforce_on_random_graph(self, messy_graph):
+        nodes = np.arange(0, 50)
+        expected = set()
+        for node in nodes:
+            expected.update(messy_graph.out_neighbors(node).tolist())
+        result = out_neighbors_of_set(messy_graph, nodes)
+        assert set(result.tolist()) == expected

@@ -1,0 +1,124 @@
+"""End-to-end integration tests across the whole library.
+
+Each test tells one of the paper's stories on a generated dataset,
+exercising generators, extractors, rankers and metrics together
+through the public (top-level) API only.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="module")
+def web():
+    return repro.make_au_like(num_pages=8000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def truth(web):
+    return repro.global_pagerank(web.graph)
+
+
+class TestLocalizedSearchStory:
+    """§I: a localized search engine ranks one domain's pages."""
+
+    def test_full_pipeline(self, web, truth):
+        domain_pages = repro.domain_subgraph(web, "csu.edu.au")
+        estimate = repro.approxrank(web.graph, domain_pages)
+        report = repro.evaluate_estimate(truth.scores, estimate)
+        baseline = repro.local_pagerank_baseline(web.graph, domain_pages)
+        baseline_report = repro.evaluate_estimate(truth.scores, baseline)
+        assert report.footrule < baseline_report.footrule
+        assert report.l1 < baseline_report.l1
+
+    def test_top_pages_meaningful(self, web, truth):
+        domain_pages = repro.domain_subgraph(web, "anu.edu.au")
+        estimate = repro.approxrank(web.graph, domain_pages)
+        top = estimate.top_k(10)
+        # The estimated top-10 should overlap the true top-10 heavily.
+        true_order = domain_pages[
+            np.argsort(-truth.scores[domain_pages], kind="stable")
+        ]
+        overlap = np.intersect1d(top, true_order[:10]).size
+        assert overlap >= 5
+
+
+class TestUpdatedRegionStory:
+    """§III: global scores exist; one subgraph changed; IdealRank
+    re-ranks it exactly without a global recomputation."""
+
+    def test_idealrank_reuses_scores(self, web, truth):
+        from repro.subgraphs import default_bfs_seed
+
+        region = repro.bfs_subgraph(
+            web.graph, default_bfs_seed(web.graph), 0.03
+        )
+        ideal = repro.idealrank(web.graph, region, truth.scores)
+        np.testing.assert_allclose(
+            ideal.scores, truth.scores[region], atol=1e-4
+        )
+
+    def test_idealrank_beats_approxrank(self, web, truth):
+        from repro.subgraphs import default_bfs_seed
+
+        region = repro.bfs_subgraph(
+            web.graph, default_bfs_seed(web.graph), 0.03
+        )
+        ideal = repro.idealrank(web.graph, region, truth.scores)
+        approx = repro.approxrank(web.graph, region)
+        reference = truth.scores[region]
+        ideal_l1 = repro.l1_distance(reference, ideal.scores)
+        approx_l1 = repro.l1_distance(reference, approx.scores)
+        assert ideal_l1 <= approx_l1
+
+
+class TestMultiSubgraphAmortisation:
+    """§IV-B: one global pass serves many subgraphs."""
+
+    def test_preprocessor_across_domains(self, web, truth):
+        prep = repro.ApproxRankPreprocessor(web.graph)
+        reports = []
+        for domain in ("acu.edu.au", "bond.edu.au", "csu.edu.au"):
+            pages = repro.domain_subgraph(web, domain)
+            estimate = repro.approxrank(
+                web.graph, pages, preprocessor=prep
+            )
+            reports.append(
+                repro.evaluate_estimate(truth.scores, estimate)
+            )
+        assert all(r.footrule < 0.2 for r in reports)
+
+
+class TestErrorHandling:
+    def test_library_errors_catchable_at_base(self, web):
+        with pytest.raises(repro.ReproError):
+            repro.approxrank(web.graph, [])
+        with pytest.raises(repro.ReproError):
+            repro.domain_subgraph(web, "unknown.example")
+
+    def test_convergence_error_surfaces(self, web):
+        settings = repro.PowerIterationSettings(
+            tolerance=1e-15, max_iterations=2,
+            raise_on_divergence=True,
+        )
+        with pytest.raises(repro.ConvergenceError):
+            repro.global_pagerank(web.graph, settings)
+
+
+class TestSerializationRoundTrip:
+    def test_dataset_to_disk_and_back(self, web, tmp_path):
+        from repro.graph.io import load_npz, save_npz
+
+        path = tmp_path / "au.npz"
+        save_npz(web.graph, path, metadata={
+            "domain": web.labels["domain"],
+        })
+        graph, metadata = load_npz(path)
+        assert graph.num_edges == web.graph.num_edges
+        pages = np.flatnonzero(
+            metadata["domain"] == web.label_index("domain", "acu.edu.au")
+        )
+        estimate = repro.approxrank(graph, pages)
+        assert estimate.num_local == pages.size

@@ -1,0 +1,87 @@
+"""Unit tests for partial-ranking buckets and positions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics.buckets import bucket_positions, buckets_from_scores
+
+
+class TestBucketsFromScores:
+    def test_no_ties_one_bucket_each(self):
+        buckets = buckets_from_scores(np.array([0.1, 0.3, 0.2]))
+        assert [b.tolist() for b in buckets] == [[1], [2], [0]]
+
+    def test_all_tied_single_bucket(self):
+        buckets = buckets_from_scores(np.array([0.5, 0.5, 0.5]))
+        assert len(buckets) == 1
+        assert buckets[0].tolist() == [0, 1, 2]
+
+    def test_mixed_ties(self):
+        buckets = buckets_from_scores(np.array([0.2, 0.9, 0.2, 0.5]))
+        assert [b.tolist() for b in buckets] == [[1], [3], [0, 2]]
+
+    def test_tie_atol_merges_near_values(self):
+        scores = np.array([0.5000, 0.5001, 0.1])
+        exact = buckets_from_scores(scores)
+        loose = buckets_from_scores(scores, tie_atol=0.001)
+        assert len(exact) == 3
+        assert len(loose) == 2
+        assert loose[0].tolist() == [0, 1]
+
+    def test_buckets_partition_items(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(50).round(1)  # force ties
+        buckets = buckets_from_scores(scores)
+        flattened = np.concatenate(buckets)
+        assert np.sort(flattened).tolist() == list(range(50))
+
+    def test_rejects_empty(self):
+        with pytest.raises(MetricError, match="empty"):
+            buckets_from_scores(np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(MetricError, match="finite"):
+            buckets_from_scores(np.array([0.1, np.nan]))
+
+    def test_rejects_negative_atol(self):
+        with pytest.raises(MetricError, match="tie_atol"):
+            buckets_from_scores(np.array([1.0]), tie_atol=-1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(MetricError, match="1-D"):
+            buckets_from_scores(np.ones((2, 2)))
+
+
+class TestBucketPositions:
+    def test_paper_formula_distinct(self):
+        # Scores 0.3 > 0.2 > 0.1: positions 1, 2, 3.
+        positions = bucket_positions(np.array([0.1, 0.3, 0.2]))
+        assert positions.tolist() == [3.0, 1.0, 2.0]
+
+    def test_paper_formula_with_ties(self):
+        # One winner, then a 3-way tie: pos(B2) = 1 + (3+1)/2 = 3.
+        positions = bucket_positions(np.array([0.9, 0.1, 0.1, 0.1]))
+        assert positions.tolist() == [1.0, 3.0, 3.0, 3.0]
+
+    def test_all_tied_average_position(self):
+        # pos(B1) = 0 + (4+1)/2 = 2.5 for every item.
+        positions = bucket_positions(np.full(4, 0.7))
+        assert positions.tolist() == [2.5] * 4
+
+    def test_leading_tie(self):
+        # Two-way tie first: pos = (2+1)/2 = 1.5; then third item at 3.
+        positions = bucket_positions(np.array([0.5, 0.5, 0.2]))
+        assert positions.tolist() == [1.5, 1.5, 3.0]
+
+    def test_positions_sum_invariant(self):
+        # Sum of bucket positions always equals n(n+1)/2 (rank mass is
+        # conserved under tie-averaging).
+        rng = np.random.default_rng(1)
+        for __ in range(5):
+            scores = rng.random(37).round(1)
+            positions = bucket_positions(scores)
+            assert positions.sum() == pytest.approx(37 * 38 / 2)
+
+    def test_single_item(self):
+        assert bucket_positions(np.array([3.0])).tolist() == [1.0]

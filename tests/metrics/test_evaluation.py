@@ -1,0 +1,79 @@
+"""Unit tests for the one-call evaluation helper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics.evaluation import evaluate_estimate
+from repro.pagerank.result import SubgraphScores
+
+
+def make_estimate(nodes, scores, method="test", runtime=0.5):
+    return SubgraphScores(
+        local_nodes=np.asarray(nodes, dtype=np.int64),
+        scores=np.asarray(scores, dtype=np.float64),
+        method=method,
+        iterations=12,
+        residual=1e-7,
+        converged=True,
+        runtime_seconds=runtime,
+    )
+
+
+class TestEvaluateEstimate:
+    def test_perfect_estimate_all_zero_distances(self):
+        global_scores = np.array([0.1, 0.2, 0.3, 0.4])
+        estimate = make_estimate([1, 3], [0.2, 0.4])
+        report = evaluate_estimate(global_scores, estimate)
+        assert report.l1 == pytest.approx(0.0)
+        assert report.footrule == 0.0
+        assert report.kendall == pytest.approx(0.0)
+        assert report.top_100_overlap == 1.0
+
+    def test_carries_accounting(self):
+        global_scores = np.array([0.1, 0.2, 0.3, 0.4])
+        estimate = make_estimate([0, 1], [0.5, 0.5], runtime=1.25)
+        report = evaluate_estimate(global_scores, estimate)
+        assert report.method == "test"
+        assert report.runtime_seconds == 1.25
+        assert report.iterations == 12
+
+    def test_scale_of_estimate_irrelevant(self):
+        global_scores = np.array([0.1, 0.2, 0.3, 0.4])
+        a = evaluate_estimate(
+            global_scores, make_estimate([0, 2], [0.2, 0.3])
+        )
+        b = evaluate_estimate(
+            global_scores, make_estimate([0, 2], [2.0, 3.0])
+        )
+        assert a.l1 == pytest.approx(b.l1)
+        assert a.footrule == b.footrule
+
+    def test_reversed_estimate_penalised(self):
+        global_scores = np.linspace(0.1, 1.0, 10)
+        nodes = np.arange(10)
+        reversed_scores = global_scores[::-1].copy()
+        report = evaluate_estimate(
+            global_scores, make_estimate(nodes, reversed_scores)
+        )
+        assert report.footrule == pytest.approx(1.0)
+        assert report.kendall == pytest.approx(1.0)
+
+    def test_rejects_nodes_beyond_global(self):
+        global_scores = np.array([0.5, 0.5])
+        estimate = make_estimate([0, 5], [0.5, 0.5])
+        with pytest.raises(MetricError, match="beyond"):
+            evaluate_estimate(global_scores, estimate)
+
+    def test_rejects_2d_global(self):
+        estimate = make_estimate([0], [1.0])
+        with pytest.raises(MetricError, match="1-D"):
+            evaluate_estimate(np.ones((2, 2)), estimate)
+
+    def test_tie_atol_forwarded(self):
+        global_scores = np.array([0.5000, 0.5001, 0.1])
+        estimate = make_estimate([0, 1, 2], [0.5001, 0.5000, 0.1])
+        strict = evaluate_estimate(global_scores, estimate)
+        loose = evaluate_estimate(global_scores, estimate, tie_atol=0.01)
+        assert strict.footrule > 0
+        assert loose.footrule == 0.0

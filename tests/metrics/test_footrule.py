@@ -1,0 +1,104 @@
+"""Unit tests for Spearman's footrule with ties (§V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics.buckets import bucket_positions
+from repro.metrics.footrule import footrule_distance, footrule_from_scores
+
+
+class TestFootruleDistance:
+    def test_identical_rankings_zero(self):
+        positions = bucket_positions(np.array([0.3, 0.2, 0.1]))
+        assert footrule_distance(positions, positions) == 0.0
+
+    def test_reversed_ranking_is_one(self):
+        # Full reversal attains the maximum displacement floor(n^2/2)
+        # for even n.
+        n = 6
+        forward = np.arange(1, n + 1, dtype=float)
+        backward = forward[::-1].copy()
+        assert footrule_distance(forward, backward) == pytest.approx(1.0)
+
+    def test_reversed_ranking_odd_n(self):
+        n = 5
+        forward = np.arange(1, n + 1, dtype=float)
+        backward = forward[::-1].copy()
+        # displacement = 2 * (4 + 2) = 12; floor(25/2) = 12.
+        assert footrule_distance(forward, backward) == pytest.approx(1.0)
+
+    def test_adjacent_swap(self):
+        # Swapping two adjacent items displaces each by 1.
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([2.0, 1.0, 3.0, 4.0])
+        assert footrule_distance(a, b) == pytest.approx(2 / 8)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = bucket_positions(rng.random(20))
+        b = bucket_positions(rng.random(20))
+        assert footrule_distance(a, b) == footrule_distance(b, a)
+
+    def test_single_item_zero(self):
+        assert footrule_distance(np.array([1.0]), np.array([1.0])) == 0.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(MetricError, match="aligned"):
+            footrule_distance(np.ones(3), np.ones(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(MetricError, match="empty"):
+            footrule_distance(np.array([]), np.array([]))
+
+
+class TestFootruleFromScores:
+    def test_score_scale_invariance(self):
+        reference = np.array([0.5, 0.3, 0.2])
+        estimate = np.array([0.2, 0.5, 0.3])
+        assert footrule_from_scores(
+            reference, estimate
+        ) == footrule_from_scores(reference * 100, estimate * 7)
+
+    def test_exact_scores_zero(self):
+        scores = np.array([0.4, 0.1, 0.5])
+        assert footrule_from_scores(scores, scores) == 0.0
+
+    def test_same_order_different_values_zero(self):
+        assert footrule_from_scores(
+            np.array([0.9, 0.5, 0.1]), np.array([0.3, 0.2, 0.1])
+        ) == 0.0
+
+    def test_all_ties_vs_strict_order(self):
+        # A constant estimate puts every item at the average position
+        # (n+1)/2; against strict order 1..n the displacement is the
+        # absolute deviation sum.
+        reference = np.array([4.0, 3.0, 2.0, 1.0])
+        estimate = np.ones(4)
+        # positions: ref = [1,2,3,4], est = [2.5]*4 -> total 1.5+0.5+0.5+1.5 = 4
+        assert footrule_from_scores(reference, estimate) == (
+            pytest.approx(4 / 8)
+        )
+
+    def test_ties_handled_identically_on_both_sides(self):
+        reference = np.array([0.5, 0.5, 0.1])
+        estimate = np.array([0.7, 0.7, 0.2])
+        assert footrule_from_scores(reference, estimate) == 0.0
+
+    def test_tie_atol_forwarded(self):
+        reference = np.array([0.5000, 0.5001, 0.1])
+        estimate = np.array([0.5001, 0.5000, 0.1])
+        strict = footrule_from_scores(reference, estimate)
+        loose = footrule_from_scores(reference, estimate, tie_atol=0.01)
+        assert strict > 0
+        assert loose == 0.0
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(3)
+        for __ in range(10):
+            a, b = rng.random(15), rng.random(15)
+            assert 0.0 <= footrule_from_scores(a, b) <= 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MetricError, match="aligned"):
+            footrule_from_scores(np.ones(2), np.ones(3))

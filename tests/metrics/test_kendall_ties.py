@@ -1,0 +1,126 @@
+"""Tests for Fagin's K^(p) Kendall distance with ties."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics.footrule import footrule_from_scores
+from repro.metrics.kendall_ties import kendall_p_distance
+
+
+def naive_kp(reference, estimate, p):
+    """Direct per-pair reference implementation."""
+    n = len(reference)
+    penalty = 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            r = np.sign(reference[i] - reference[j])
+            e = np.sign(estimate[i] - estimate[j])
+            if r != 0 and e != 0:
+                if r != e:
+                    penalty += 1.0
+            elif (r == 0) != (e == 0):
+                penalty += p
+    return penalty
+
+
+class TestBasics:
+    def test_identical_zero(self):
+        scores = np.array([0.5, 0.2, 0.9])
+        assert kendall_p_distance(scores, scores) == 0.0
+
+    def test_identical_with_ties_zero(self):
+        scores = np.array([0.5, 0.5, 0.1, 0.1])
+        assert kendall_p_distance(scores, scores) == 0.0
+
+    def test_reversed_is_one(self):
+        forward = np.array([1.0, 2.0, 3.0, 4.0])
+        assert kendall_p_distance(
+            forward, forward[::-1].copy()
+        ) == pytest.approx(1.0)
+
+    def test_single_swap_unnormalised(self):
+        a = np.array([3.0, 2.0, 1.0])
+        b = np.array([2.0, 3.0, 1.0])
+        assert kendall_p_distance(
+            a, b, normalize=False
+        ) == pytest.approx(1.0)
+
+    def test_tie_vs_order_costs_p(self):
+        a = np.array([1.0, 1.0])   # tied
+        b = np.array([2.0, 1.0])   # ordered
+        assert kendall_p_distance(
+            a, b, p=0.5, normalize=False
+        ) == pytest.approx(0.5)
+        assert kendall_p_distance(
+            a, b, p=0.0, normalize=False
+        ) == 0.0
+
+    def test_both_tied_costs_nothing(self):
+        a = np.array([1.0, 1.0, 2.0])
+        b = np.array([5.0, 5.0, 9.0])
+        assert kendall_p_distance(a, b) == 0.0
+
+    def test_single_item(self):
+        assert kendall_p_distance(
+            np.array([1.0]), np.array([2.0])
+        ) == 0.0
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_matches_reference_implementation(self, seed, p):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 5, 25).astype(float)  # heavy ties
+        b = rng.integers(0, 5, 25).astype(float)
+        fast = kendall_p_distance(a, b, p=p, normalize=False)
+        slow = naive_kp(a, b, p)
+        assert fast == pytest.approx(slow)
+
+
+class TestMetricProperties:
+    def test_symmetry_at_half(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 4, 20).astype(float)
+        b = rng.integers(0, 4, 20).astype(float)
+        assert kendall_p_distance(a, b) == pytest.approx(
+            kendall_p_distance(b, a)
+        )
+
+    def test_bounded(self):
+        rng = np.random.default_rng(6)
+        for __ in range(10):
+            a = rng.integers(0, 6, 15).astype(float)
+            b = rng.integers(0, 6, 15).astype(float)
+            assert 0.0 <= kendall_p_distance(a, b) <= 1.0
+
+    def test_diaconis_graham_band_strict_rankings(self):
+        """On strict rankings, K <= F <= 2K (unnormalised Diaconis–
+        Graham); check via the unnormalised values."""
+        rng = np.random.default_rng(7)
+        for __ in range(5):
+            a = rng.permutation(12).astype(float)
+            b = rng.permutation(12).astype(float)
+            kendall = kendall_p_distance(a, b, normalize=False)
+            # Unnormalised footrule: displacement sum over positions.
+            from repro.metrics.buckets import bucket_positions
+
+            footrule = float(
+                np.abs(
+                    bucket_positions(a) - bucket_positions(b)
+                ).sum()
+            )
+            assert kendall <= footrule <= 2 * kendall + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(MetricError, match="aligned"):
+            kendall_p_distance(np.ones(2), np.ones(3))
+        with pytest.raises(MetricError, match="p must"):
+            kendall_p_distance(np.ones(2), np.ones(2), p=2.0)
+        with pytest.raises(MetricError, match="empty"):
+            kendall_p_distance(np.array([]), np.array([]))
+        with pytest.raises(MetricError, match="finite"):
+            kendall_p_distance(
+                np.array([1.0, np.nan]), np.array([1.0, 2.0])
+            )

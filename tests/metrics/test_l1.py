@@ -1,0 +1,60 @@
+"""Unit tests for the L1 score distance."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics.l1 import l1_distance
+
+
+class TestL1Distance:
+    def test_identical_zero(self):
+        vector = np.array([0.2, 0.8])
+        assert l1_distance(vector, vector) == 0.0
+
+    def test_normalised_comparison(self):
+        # Same distribution at different scales: distance 0 when
+        # normalised.
+        a = np.array([1.0, 3.0])
+        b = np.array([10.0, 30.0])
+        assert l1_distance(a, b) == pytest.approx(0.0)
+
+    def test_raw_comparison(self):
+        a = np.array([0.1, 0.3])
+        b = np.array([0.2, 0.1])
+        assert l1_distance(a, b, normalize=False) == pytest.approx(0.3)
+
+    def test_disjoint_distributions_max_two(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert l1_distance(a, b) == pytest.approx(2.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.random(30), rng.random(30)
+        assert l1_distance(a, b) == l1_distance(b, a)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(5)
+        a, b, c = rng.random(30), rng.random(30), rng.random(30)
+        assert l1_distance(a, c) <= (
+            l1_distance(a, b) + l1_distance(b, c) + 1e-12
+        )
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(MetricError, match="aligned"):
+            l1_distance(np.ones(2), np.ones(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(MetricError, match="empty"):
+            l1_distance(np.array([]), np.array([]))
+
+    def test_rejects_zero_mass_when_normalising(self):
+        with pytest.raises(MetricError, match="non-positive"):
+            l1_distance(np.zeros(3), np.ones(3))
+
+    def test_bounded_by_two_when_normalised(self):
+        rng = np.random.default_rng(6)
+        for __ in range(10):
+            a, b = rng.random(20) + 0.01, rng.random(20) + 0.01
+            assert 0.0 <= l1_distance(a, b) <= 2.0

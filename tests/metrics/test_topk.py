@@ -1,0 +1,57 @@
+"""Unit tests for top-k overlap."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics.topk import top_k_overlap
+
+
+class TestTopKOverlap:
+    def test_identical_full_overlap(self):
+        scores = np.array([0.4, 0.3, 0.2, 0.1])
+        assert top_k_overlap(scores, scores, 2) == 1.0
+
+    def test_disjoint_tops(self):
+        reference = np.array([1.0, 0.9, 0.1, 0.2])
+        estimate = np.array([0.1, 0.2, 1.0, 0.9])
+        assert top_k_overlap(reference, estimate, 2) == 0.0
+
+    def test_partial_overlap(self):
+        reference = np.array([1.0, 0.9, 0.8, 0.1])
+        estimate = np.array([1.0, 0.1, 0.8, 0.9])
+        # top-2: ref {0,1}, est {0,3} -> overlap 1 of 2.
+        assert top_k_overlap(reference, estimate, 2) == 0.5
+
+    def test_k_clipped_to_size(self):
+        scores = np.array([0.6, 0.4])
+        assert top_k_overlap(scores, scores, 100) == 1.0
+
+    def test_set_semantics_order_within_top_ignored(self):
+        reference = np.array([0.9, 0.8, 0.1])
+        estimate = np.array([0.8, 0.9, 0.1])  # swapped top two
+        assert top_k_overlap(reference, estimate, 2) == 1.0
+
+    def test_deterministic_tie_break(self):
+        # Ties broken by ascending index on both sides.
+        reference = np.array([0.5, 0.5, 0.5])
+        estimate = np.array([0.5, 0.5, 0.5])
+        assert top_k_overlap(reference, estimate, 2) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(MetricError, match="k must be positive"):
+            top_k_overlap(np.ones(3), np.ones(3), 0)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(MetricError, match="aligned"):
+            top_k_overlap(np.ones(2), np.ones(3), 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MetricError, match="empty"):
+            top_k_overlap(np.array([]), np.array([]), 1)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(10)
+        for __ in range(10):
+            a, b = rng.random(20), rng.random(20)
+            assert 0.0 <= top_k_overlap(a, b, 5) <= 1.0

@@ -1,0 +1,100 @@
+"""Unit tests for semantic data graphs."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.objectrank.datagraph import DataGraphBuilder
+from repro.objectrank.schema import AuthoritySchema, TransferEdge
+
+
+@pytest.fixture
+def schema():
+    return AuthoritySchema(
+        types=["author", "paper", "venue"],
+        edges=[
+            TransferEdge("author", "paper", 0.2),
+            TransferEdge("paper", "author", 0.3),
+            TransferEdge("venue", "paper", 0.5),
+            # no paper -> venue backward edge
+        ],
+    )
+
+
+class TestBuilder:
+    def test_entities_get_sequential_ids(self, schema):
+        builder = DataGraphBuilder(schema)
+        a = builder.add_entity("author", "Ada")
+        p = builder.add_entity("paper")
+        assert (a, p) == (0, 1)
+        assert builder.num_entities == 2
+
+    def test_relation_creates_declared_directions(self, schema):
+        builder = DataGraphBuilder(schema)
+        a = builder.add_entity("author")
+        p = builder.add_entity("paper")
+        builder.add_relation(a, p)
+        data = builder.build()
+        assert data.graph.edge_weight(a, p) == 0.2
+        assert data.graph.edge_weight(p, a) == 0.3
+
+    def test_one_way_relation(self, schema):
+        builder = DataGraphBuilder(schema)
+        v = builder.add_entity("venue")
+        p = builder.add_entity("paper")
+        builder.add_relation(v, p)
+        data = builder.build()
+        assert data.graph.edge_weight(v, p) == 0.5
+        assert data.graph.edge_weight(p, v) == 0.0
+
+    def test_relation_direction_normalised(self, schema):
+        # add_relation(p, v) must still find the declared venue->paper
+        # direction.
+        builder = DataGraphBuilder(schema)
+        v = builder.add_entity("venue")
+        p = builder.add_entity("paper")
+        builder.add_relation(p, v)
+        data = builder.build()
+        assert data.graph.edge_weight(v, p) == 0.5
+
+    def test_rejects_undeclared_pair(self, schema):
+        builder = DataGraphBuilder(schema)
+        a = builder.add_entity("author")
+        v = builder.add_entity("venue")
+        with pytest.raises(SchemaError, match="no transfer"):
+            builder.add_relation(a, v)
+
+    def test_rejects_unknown_entity(self, schema):
+        builder = DataGraphBuilder(schema)
+        builder.add_entity("author")
+        with pytest.raises(SchemaError, match="unknown entity"):
+            builder.add_relation(0, 5)
+
+    def test_rejects_unknown_type(self, schema):
+        builder = DataGraphBuilder(schema)
+        with pytest.raises(SchemaError, match="not a declared"):
+            builder.add_entity("reviewer")
+
+    def test_default_names(self, schema):
+        builder = DataGraphBuilder(schema)
+        builder.add_entity("author")
+        data = builder.build()
+        assert data.names[0] == "author#0"
+
+
+class TestDataGraphQueries:
+    def test_entities_of_type(self, schema):
+        builder = DataGraphBuilder(schema)
+        builder.add_entity("author")
+        builder.add_entity("paper")
+        builder.add_entity("author")
+        data = builder.build()
+        assert data.entities_of_type("author").tolist() == [0, 2]
+
+    def test_entities_of_types(self, schema):
+        builder = DataGraphBuilder(schema)
+        builder.add_entity("author")
+        builder.add_entity("paper")
+        builder.add_entity("venue")
+        data = builder.build()
+        result = data.entities_of_types({"author", "venue"})
+        assert result.tolist() == [0, 2]

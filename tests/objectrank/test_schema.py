@@ -1,0 +1,74 @@
+"""Unit tests for authority-transfer schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.objectrank.schema import AuthoritySchema, TransferEdge
+
+
+class TestTransferEdge:
+    def test_valid(self):
+        edge = TransferEdge("a", "b", 0.3)
+        assert edge.weight == 0.3
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(SchemaError, match="positive"):
+            TransferEdge("a", "b", 0.0)
+
+    def test_rejects_empty_type(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            TransferEdge("", "b", 0.5)
+
+
+class TestAuthoritySchema:
+    def test_basic(self):
+        schema = AuthoritySchema(
+            types=["author", "paper"],
+            edges=[TransferEdge("author", "paper", 0.2)],
+        )
+        assert schema.types == ("author", "paper")
+        assert schema.transfer_weight("author", "paper") == 0.2
+        assert schema.transfer_weight("paper", "author") is None
+        assert schema.declared_pairs() == (("author", "paper"),)
+
+    def test_type_index_stable(self):
+        schema = AuthoritySchema(["x", "y", "z"], [])
+        assert schema.type_index("y") == 1
+
+    def test_rejects_empty_types(self):
+        with pytest.raises(SchemaError, match="at least one"):
+            AuthoritySchema([], [])
+
+    def test_rejects_duplicate_types(self):
+        with pytest.raises(SchemaError, match="unique"):
+            AuthoritySchema(["a", "a"], [])
+
+    def test_rejects_undeclared_edge_endpoint(self):
+        with pytest.raises(SchemaError, match="undeclared"):
+            AuthoritySchema(
+                ["a"], [TransferEdge("a", "ghost", 0.1)]
+            )
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            AuthoritySchema(
+                ["a", "b"],
+                [
+                    TransferEdge("a", "b", 0.1),
+                    TransferEdge("a", "b", 0.2),
+                ],
+            )
+
+    def test_unknown_type_lookup(self):
+        schema = AuthoritySchema(["a"], [])
+        with pytest.raises(SchemaError, match="not a declared"):
+            schema.type_index("q")
+        with pytest.raises(SchemaError, match="not a declared"):
+            schema.transfer_weight("a", "q")
+
+    def test_self_loop_type_pair_allowed(self):
+        # Citations: paper -> paper.
+        schema = AuthoritySchema(
+            ["paper"], [TransferEdge("paper", "paper", 0.7)]
+        )
+        assert schema.transfer_weight("paper", "paper") == 0.7

@@ -1,0 +1,259 @@
+"""Tests for the P2P ranking network."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SubgraphError
+from repro.generators.datasets import make_tiny_web
+from repro.p2p.network import P2PNetwork
+from repro.p2p.partition import partition_by_label, random_partition
+from repro.p2p.peer import Peer
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.solver import PowerIterationSettings
+from tests.conftest import random_digraph
+
+SETTINGS = PowerIterationSettings(tolerance=1e-8)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return make_tiny_web(num_pages=400, num_groups=4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def tiny_truth(tiny):
+    return global_pagerank(
+        tiny.graph, PowerIterationSettings(tolerance=1e-10)
+    )
+
+
+class TestPartitioners:
+    def test_by_label_covers_graph(self, tiny):
+        parts = partition_by_label(tiny, "domain")
+        assert len(parts) == 4
+        combined = np.sort(np.concatenate(parts))
+        assert combined.tolist() == list(range(tiny.graph.num_nodes))
+
+    def test_by_label_merged(self, tiny):
+        parts = partition_by_label(tiny, "domain", num_peers=2)
+        assert len(parts) == 2
+        combined = np.sort(np.concatenate(parts))
+        assert combined.tolist() == list(range(tiny.graph.num_nodes))
+
+    def test_by_label_unknown_dimension(self, tiny):
+        with pytest.raises(SubgraphError, match="dimension"):
+            partition_by_label(tiny, "galaxy")
+
+    def test_random_partition_disjoint_cover(self):
+        graph = random_digraph(100, seed=1)
+        parts = random_partition(graph, 7, seed=2)
+        combined = np.sort(np.concatenate(parts))
+        assert combined.tolist() == list(range(100))
+        assert all(part.size >= 1 for part in parts)
+
+    def test_random_partition_deterministic(self):
+        graph = random_digraph(60, seed=1)
+        a = random_partition(graph, 4, seed=9)
+        b = random_partition(graph, 4, seed=9)
+        for part_a, part_b in zip(a, b):
+            assert part_a.tolist() == part_b.tolist()
+
+    def test_random_partition_too_many_peers(self):
+        graph = random_digraph(5, seed=1)
+        with pytest.raises(SubgraphError, match="spread"):
+            random_partition(graph, 10)
+
+
+class TestPeer:
+    def test_initial_state_is_approxrank(self, tiny, tiny_truth):
+        from repro.core.approxrank import approxrank
+
+        nodes = tiny.pages_with_label("domain", "site0.example")
+        peer = Peer(0, tiny.graph, nodes, SETTINGS)
+        reference = approxrank(tiny.graph, nodes, SETTINGS)
+        np.testing.assert_allclose(
+            peer.scores, reference.scores, atol=1e-9
+        )
+        assert peer.external_coverage() == 0.0
+
+    def test_learn_authoritative_overwrites(self, tiny):
+        nodes = tiny.pages_with_label("domain", "site0.example")
+        peer = Peer(0, tiny.graph, nodes, SETTINGS)
+        foreign = tiny.pages_with_label("domain", "site1.example")[:3]
+        peer.learn(foreign, np.array([0.1, 0.2, 0.3]), authoritative=True)
+        peer.learn(foreign, np.array([0.9, 0.9, 0.9]), authoritative=False)
+        # Gossip must not overwrite authoritative knowledge.
+        assert peer.knowledge[foreign].tolist() == [0.1, 0.2, 0.3]
+
+    def test_learn_ignores_own_pages(self, tiny):
+        nodes = tiny.pages_with_label("domain", "site0.example")
+        peer = Peer(0, tiny.graph, nodes, SETTINGS)
+        peer.learn(nodes[:2], np.array([9.0, 9.0]), authoritative=True)
+        assert not np.isfinite(peer.knowledge[nodes[:2]]).any()
+
+    def test_full_knowledge_recovers_global_scores(
+        self, tiny, tiny_truth
+    ):
+        """A peer that knows every external score exactly is running
+        IdealRank and must match the global PageRank (Theorem 1)."""
+        nodes = tiny.pages_with_label("domain", "site2.example")
+        tight = PowerIterationSettings(
+            tolerance=1e-12, max_iterations=20_000
+        )
+        peer = Peer(0, tiny.graph, nodes, tight)
+        external = np.setdiff1d(
+            np.arange(tiny.graph.num_nodes), nodes
+        )
+        peer.learn(
+            external, tiny_truth.scores[external], authoritative=True
+        )
+        peer.rerank()
+        np.testing.assert_allclose(
+            peer.scores, tiny_truth.scores[nodes], atol=1e-8
+        )
+
+    def test_external_weights_are_distribution(self, tiny):
+        nodes = tiny.pages_with_label("domain", "site0.example")
+        peer = Peer(0, tiny.graph, nodes, SETTINGS)
+        weights = peer.build_external_weights()
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights[nodes] == 0)
+
+    def test_rejects_whole_graph_peer(self, tiny):
+        with pytest.raises(SubgraphError, match="proper subgraph"):
+            Peer(0, tiny.graph, np.arange(tiny.graph.num_nodes))
+
+
+class TestNetwork:
+    def test_rejects_single_peer(self, tiny):
+        parts = partition_by_label(tiny, "domain", num_peers=2)
+        with pytest.raises(SubgraphError, match="at least 2"):
+            P2PNetwork(tiny.graph, parts[:1])
+
+    def test_rejects_overlapping_partition(self, tiny):
+        parts = partition_by_label(tiny, "domain")
+        parts[1] = np.concatenate([parts[1], parts[0][:1]])
+        with pytest.raises(SubgraphError, match="overlap"):
+            P2PNetwork(tiny.graph, parts)
+
+    def test_coverage_grows_over_rounds(self, tiny):
+        network = P2PNetwork(
+            tiny.graph,
+            partition_by_label(tiny, "domain"),
+            SETTINGS,
+            seed=1,
+        )
+        reports = network.run(4)
+        coverages = [report.mean_coverage for report in reports]
+        assert coverages[-1] > coverages[0]
+        assert all(
+            later >= earlier - 1e-12
+            for earlier, later in zip(coverages, coverages[1:])
+        )
+
+    def test_error_decreases_with_meetings(self, tiny, tiny_truth):
+        """The JXP-style convergence claim: accuracy improves as peers
+        exchange knowledge."""
+        network = P2PNetwork(
+            tiny.graph,
+            partition_by_label(tiny, "domain"),
+            SETTINGS,
+            seed=2,
+        )
+        initial_l1, __ = network.evaluate(tiny_truth.scores)
+        reports = network.run(6, global_scores=tiny_truth.scores)
+        assert reports[-1].mean_l1 < initial_l1
+        # With 4 peers, a handful of rounds reaches full coverage and
+        # near-IdealRank accuracy.
+        assert reports[-1].mean_coverage == pytest.approx(1.0)
+        assert reports[-1].mean_l1 < 0.3 * initial_l1
+
+    def test_meeting_schedule_deterministic(self, tiny, tiny_truth):
+        def build():
+            return P2PNetwork(
+                tiny.graph,
+                partition_by_label(tiny, "domain"),
+                SETTINGS,
+                seed=7,
+            )
+
+        a, b = build(), build()
+        a.run(3)
+        b.run(3)
+        for peer_a, peer_b in zip(a.peers, b.peers):
+            np.testing.assert_array_equal(peer_a.scores, peer_b.scores)
+
+    def test_random_partition_network_runs(self, tiny, tiny_truth):
+        network = P2PNetwork(
+            tiny.graph,
+            random_partition(tiny.graph, 5, seed=3),
+            SETTINGS,
+            seed=3,
+        )
+        reports = network.run(3, global_scores=tiny_truth.scores)
+        assert reports[-1].mean_footrule < 0.5
+
+    def test_partial_coverage_partition_allowed(self, tiny):
+        # Peers hosting only half the web: the rest is external to all.
+        parts = partition_by_label(tiny, "domain")[:2]
+        network = P2PNetwork(tiny.graph, parts, SETTINGS, seed=4)
+        report = network.run_round()
+        # Coverage can never reach 1: nobody hosts the other domains.
+        assert report.mean_coverage < 1.0
+
+
+class TestOverlappingPeers:
+    """The decentralised setting: peers may host the same pages."""
+
+    def overlapping_parts(self, tiny):
+        parts = partition_by_label(tiny, "domain")
+        # Peer 1 additionally hosts half of peer 0's pages.
+        overlap = parts[0][: parts[0].size // 2]
+        parts[1] = np.sort(np.concatenate([parts[1], overlap]))
+        return parts
+
+    def test_rejected_by_default(self, tiny):
+        with pytest.raises(SubgraphError, match="allow_overlap"):
+            P2PNetwork(tiny.graph, self.overlapping_parts(tiny))
+
+    def test_runs_when_allowed(self, tiny, tiny_truth):
+        network = P2PNetwork(
+            tiny.graph,
+            self.overlapping_parts(tiny),
+            SETTINGS,
+            seed=5,
+            allow_overlap=True,
+        )
+        reports = network.run(5, global_scores=tiny_truth.scores)
+        assert reports[-1].mean_l1 < reports[0].mean_l1 * 1.01
+
+    def test_overlapped_pages_converge_on_both_hosts(
+        self, tiny, tiny_truth
+    ):
+        parts = self.overlapping_parts(tiny)
+        network = P2PNetwork(
+            tiny.graph, parts, SETTINGS, seed=6, allow_overlap=True
+        )
+        network.run(6)
+        overlap = np.intersect1d(
+            network.peers[0].local_nodes,
+            network.peers[1].local_nodes,
+        )
+        assert overlap.size > 0  # premise
+        scores_a = np.array([
+            network.peers[0].scores[
+                np.searchsorted(network.peers[0].local_nodes, page)
+            ]
+            for page in overlap
+        ])
+        scores_b = np.array([
+            network.peers[1].scores[
+                np.searchsorted(network.peers[1].local_nodes, page)
+            ]
+            for page in overlap
+        ])
+        truth_vals = tiny_truth.scores[overlap]
+        # Both hosts' estimates for shared pages end up close to the
+        # truth (and hence to each other).
+        assert np.abs(scores_a - truth_vals).sum() < 0.05
+        assert np.abs(scores_b - truth_vals).sum() < 0.05

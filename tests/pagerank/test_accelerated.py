@@ -1,0 +1,180 @@
+"""Unit tests for the accelerated solvers (§II-B variants)."""
+
+import numpy as np
+import pytest
+
+from repro.pagerank.accelerated import (
+    power_iteration_adaptive,
+    power_iteration_extrapolated,
+)
+from repro.pagerank.solver import (
+    PowerIterationSettings,
+    power_iteration,
+    uniform_teleport,
+)
+from repro.pagerank.transition import transition_matrix_transpose
+from tests.conftest import random_digraph
+
+
+def solve_all(graph, settings):
+    transition_t, dangling = transition_matrix_transpose(graph)
+    teleport = uniform_teleport(graph.num_nodes)
+    plain = power_iteration(
+        transition_t, teleport, dangling, settings=settings
+    )
+    extrapolated = power_iteration_extrapolated(
+        transition_t, teleport, dangling, settings=settings
+    )
+    adaptive = power_iteration_adaptive(
+        transition_t, teleport, dangling, settings=settings
+    )
+    return plain, extrapolated, adaptive
+
+
+class TestSameFixedPoint:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_solvers_agree(self, seed):
+        graph = random_digraph(300, seed=seed)
+        settings = PowerIterationSettings(
+            tolerance=1e-10, max_iterations=20_000
+        )
+        plain, extrapolated, adaptive = solve_all(graph, settings)
+        np.testing.assert_allclose(
+            extrapolated.scores, plain.scores, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            adaptive.scores, plain.scores, atol=1e-8
+        )
+
+    def test_agree_with_heavy_dangling(self):
+        graph = random_digraph(200, dangling_fraction=0.4, seed=5)
+        settings = PowerIterationSettings(tolerance=1e-10)
+        plain, extrapolated, adaptive = solve_all(graph, settings)
+        np.testing.assert_allclose(
+            extrapolated.scores, plain.scores, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            adaptive.scores, plain.scores, atol=1e-8
+        )
+
+    def test_scores_remain_distribution(self):
+        graph = random_digraph(150, seed=7)
+        settings = PowerIterationSettings(tolerance=1e-9)
+        __, extrapolated, adaptive = solve_all(graph, settings)
+        assert extrapolated.scores.sum() == pytest.approx(1.0, abs=1e-9)
+        assert adaptive.scores.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(extrapolated.scores >= 0)
+        assert np.all(adaptive.scores >= 0)
+
+
+class TestExtrapolationBehaviour:
+    def test_converges(self):
+        graph = random_digraph(300, seed=3)
+        settings = PowerIterationSettings(tolerance=1e-10)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        outcome = power_iteration_extrapolated(
+            transition_t, uniform_teleport(300), dangling,
+            settings=settings,
+        )
+        assert outcome.converged
+
+    def test_saves_iterations_on_slow_mixing_chain(self):
+        # Extrapolation pays when one subdominant eigenvalue dominates
+        # the error (Kamvar et al.'s setting): two asymmetric cliques
+        # joined by a weak bridge mix extremely slowly at damping
+        # 0.995, and Aitken extrapolation collapses the iteration
+        # count by orders of magnitude.
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder(50)
+        for start, stop in ((0, 35), (35, 50)):
+            for i in range(start, stop):
+                for j in range(start, stop):
+                    if i != j:
+                        builder.add_edge(i, j)
+        builder.add_edge(34, 35)
+        builder.add_edge(35, 34)
+        graph = builder.build()
+        settings = PowerIterationSettings(
+            damping=0.995, tolerance=1e-12, max_iterations=100_000
+        )
+        transition_t, dangling = transition_matrix_transpose(graph)
+        teleport = uniform_teleport(graph.num_nodes)
+        plain = power_iteration(
+            transition_t, teleport, dangling, settings=settings
+        )
+        extrapolated = power_iteration_extrapolated(
+            transition_t, teleport, dangling, settings=settings
+        )
+        assert extrapolated.iterations * 10 < plain.iterations
+        np.testing.assert_allclose(
+            extrapolated.scores, plain.scores, atol=1e-9
+        )
+
+    def test_rejects_tiny_period(self):
+        graph = random_digraph(50, seed=6)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        with pytest.raises(ValueError, match="period"):
+            power_iteration_extrapolated(
+                transition_t, uniform_teleport(50), dangling, period=2
+            )
+
+    def test_unconverged_reported(self):
+        graph = random_digraph(100, seed=8)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        settings = PowerIterationSettings(
+            tolerance=1e-15, max_iterations=4
+        )
+        outcome = power_iteration_extrapolated(
+            transition_t, uniform_teleport(100), dangling,
+            settings=settings,
+        )
+        assert not outcome.converged
+        assert outcome.iterations == 4
+
+
+class TestAdaptiveBehaviour:
+    def test_converges(self):
+        graph = random_digraph(300, seed=9)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        outcome = power_iteration_adaptive(
+            transition_t, uniform_teleport(300), dangling,
+            settings=PowerIterationSettings(tolerance=1e-9),
+        )
+        assert outcome.converged
+
+    def test_rejects_bad_parameters(self):
+        graph = random_digraph(50, seed=10)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        with pytest.raises(ValueError, match="check_period"):
+            power_iteration_adaptive(
+                transition_t, uniform_teleport(50), dangling,
+                check_period=0,
+            )
+        with pytest.raises(ValueError, match="freeze_tolerance"):
+            power_iteration_adaptive(
+                transition_t, uniform_teleport(50), dangling,
+                freeze_tolerance_fraction=0.0,
+            )
+
+    def test_works_on_extended_graph(self, tight_settings):
+        """The accelerated solvers must be drop-in for the extended
+        local graph too (same calling convention)."""
+        from repro.core.external import uniform_external_weights
+        from repro.core.extended import build_extended_graph
+
+        graph = random_digraph(200, seed=11)
+        local = np.arange(50)
+        weights = uniform_external_weights(graph, local)
+        extended = build_extended_graph(graph, local, weights)
+        plain = extended.solve(tight_settings)
+        adaptive = power_iteration_adaptive(
+            extended.transition_ext_t,
+            extended.p_ideal,
+            extended.dangling_mask_ext,
+            extended.p_ideal,
+            settings=tight_settings,
+        )
+        np.testing.assert_allclose(
+            adaptive.scores[:50], plain.local_scores, atol=1e-8
+        )

@@ -1,0 +1,101 @@
+"""Tests for power-iteration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.pagerank.diagnostics import residual_trace
+from repro.pagerank.solver import (
+    PowerIterationSettings,
+    power_iteration,
+    uniform_teleport,
+)
+from repro.pagerank.transition import transition_matrix_transpose
+from tests.conftest import random_digraph
+
+
+@pytest.fixture(scope="module")
+def traced():
+    graph = random_digraph(200, seed=14)
+    transition_t, dangling = transition_matrix_transpose(graph)
+    teleport = uniform_teleport(200)
+    settings = PowerIterationSettings(tolerance=1e-10)
+    trace = residual_trace(
+        transition_t, teleport, dangling, settings=settings
+    )
+    reference = power_iteration(
+        transition_t, teleport, dangling, settings=settings
+    )
+    return trace, reference
+
+
+class TestResidualTrace:
+    def test_matches_production_solver(self, traced):
+        trace, reference = traced
+        assert trace.converged
+        assert trace.iterations == reference.iterations
+        np.testing.assert_allclose(
+            trace.scores, reference.scores, atol=1e-12
+        )
+        assert trace.residuals[-1] == pytest.approx(
+            reference.residual
+        )
+
+    def test_residuals_eventually_decrease(self, traced):
+        trace, __ = traced
+        # The tail is strictly contracting (early steps may wobble).
+        tail = trace.residuals[-10:]
+        assert np.all(np.diff(tail) < 0)
+
+    def test_contraction_rate_near_damping(self, traced):
+        trace, __ = traced
+        rate = trace.contraction_rate()
+        # The asymptotic rate is |lambda_2| <= damping; random graphs
+        # sit close to the damping factor but may mix faster.
+        assert 0.3 < rate <= 0.87
+
+    def test_stronger_damping_slower_contraction(self):
+        graph = random_digraph(150, seed=15)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        teleport = uniform_teleport(150)
+        rates = {}
+        for damping in (0.5, 0.95):
+            settings = PowerIterationSettings(
+                damping=damping, tolerance=1e-10,
+                max_iterations=10_000,
+            )
+            trace = residual_trace(
+                transition_t, teleport, dangling, settings=settings
+            )
+            rates[damping] = trace.contraction_rate()
+        assert rates[0.95] > rates[0.5]
+
+    def test_iteration_cap_respected(self):
+        graph = random_digraph(100, seed=16)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        settings = PowerIterationSettings(
+            tolerance=1e-15, max_iterations=7
+        )
+        trace = residual_trace(
+            transition_t, uniform_teleport(100), dangling,
+            settings=settings,
+        )
+        assert trace.iterations == 7
+        assert not trace.converged
+
+    def test_rejects_empty(self):
+        from scipy import sparse
+
+        with pytest.raises(ValueError, match="empty"):
+            residual_trace(sparse.csr_matrix((0, 0)), np.empty(0))
+
+    def test_single_step_rate_is_nan(self):
+        graph = random_digraph(50, seed=17)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        settings = PowerIterationSettings(
+            tolerance=1e-15, max_iterations=1
+        )
+        trace = residual_trace(
+            transition_t, uniform_teleport(50), dangling,
+            settings=settings,
+        )
+        assert np.isnan(trace.contraction_rate())

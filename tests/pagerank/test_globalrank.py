@@ -1,0 +1,118 @@
+"""Unit tests for global PageRank against closed-form/known results."""
+
+import numpy as np
+import pytest
+
+from repro.generators.simple import (
+    complete_graph,
+    cycle_graph,
+    line_graph,
+    star_graph,
+)
+from repro.graph.builder import graph_from_edges
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.solver import PowerIterationSettings
+
+
+class TestKnownGraphs:
+    def test_cycle_is_uniform(self, tight_settings):
+        result = global_pagerank(cycle_graph(6), tight_settings)
+        assert result.scores == pytest.approx(np.full(6, 1 / 6), abs=1e-10)
+
+    def test_complete_graph_is_uniform(self, tight_settings):
+        result = global_pagerank(complete_graph(5), tight_settings)
+        assert result.scores == pytest.approx(np.full(5, 0.2), abs=1e-10)
+
+    def test_star_hub_dominates(self, tight_settings):
+        result = global_pagerank(star_graph(10), tight_settings)
+        hub = result.scores[0]
+        leaves = result.scores[1:]
+        assert np.all(hub > leaves)
+        assert np.allclose(leaves, leaves[0])
+
+    def test_two_node_closed_form(self, tight_settings):
+        # 0 <-> 1 is symmetric: both get 1/2 for any damping.
+        graph = graph_from_edges(2, [(0, 1), (1, 0)])
+        result = global_pagerank(graph, tight_settings)
+        assert result.scores == pytest.approx([0.5, 0.5], abs=1e-12)
+
+    def test_chain_closed_form(self, tight_settings):
+        # 0 -> 1, 1 dangling, uniform teleport/dangling jump.
+        # x1 = e*(x0 + x1/2) + (1-e)/2 ; x0 = e*x1/2 + (1-e)/2
+        graph = line_graph(2)
+        eps = 0.85
+        result = global_pagerank(graph, tight_settings)
+        x0, x1 = result.scores
+        assert x0 == pytest.approx(
+            eps * x1 / 2 + (1 - eps) / 2, abs=1e-10
+        )
+        assert x0 + x1 == pytest.approx(1.0, abs=1e-12)
+        assert x1 > x0  # 1 receives 0's full endorsement
+
+
+class TestProperties:
+    def test_scores_form_distribution(self, messy_graph, paper_settings):
+        result = global_pagerank(messy_graph, paper_settings)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(result.scores > 0)
+
+    def test_converges_and_reports(self, messy_graph, paper_settings):
+        result = global_pagerank(messy_graph, paper_settings)
+        assert result.converged
+        assert result.iterations > 1
+        assert result.residual < paper_settings.tolerance
+        assert result.runtime_seconds >= 0
+        assert result.method == "global-pagerank"
+
+    def test_deterministic(self, messy_graph, paper_settings):
+        a = global_pagerank(messy_graph, paper_settings)
+        b = global_pagerank(messy_graph, paper_settings)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_personalization_biases_scores(
+        self, messy_graph, tight_settings
+    ):
+        n = messy_graph.num_nodes
+        biased = np.zeros(n)
+        biased[:10] = 0.1
+        uniform_result = global_pagerank(messy_graph, tight_settings)
+        biased_result = global_pagerank(
+            messy_graph, tight_settings, personalization=biased
+        )
+        # Mass concentrates on/near the personalised pages.
+        assert (
+            biased_result.scores[:10].sum()
+            > uniform_result.scores[:10].sum()
+        )
+
+    def test_all_dangling_graph(self, tight_settings):
+        # No edges at all: every step teleports; scores are uniform.
+        graph = graph_from_edges(4, [])
+        result = global_pagerank(graph, tight_settings)
+        assert result.scores == pytest.approx(np.full(4, 0.25), abs=1e-12)
+
+    def test_more_inlinks_more_score(self, tight_settings):
+        # 2 receives two endorsements, 3 receives one.
+        graph = graph_from_edges(
+            4, [(0, 2), (1, 2), (0, 3), (2, 0), (3, 0), (1, 0)]
+        )
+        result = global_pagerank(graph, tight_settings)
+        assert result.scores[2] > result.scores[3]
+
+    def test_top_k_ordering(self, messy_graph, paper_settings):
+        result = global_pagerank(messy_graph, paper_settings)
+        top = result.top_k(5)
+        scores = result.scores[top]
+        assert np.all(np.diff(scores) <= 0)
+        assert result.scores[top[0]] == result.scores.max()
+
+
+class TestIterationAccounting:
+    def test_tighter_tolerance_costs_more_iterations(self, messy_graph):
+        loose = global_pagerank(
+            messy_graph, PowerIterationSettings(tolerance=1e-3)
+        )
+        tight = global_pagerank(
+            messy_graph, PowerIterationSettings(tolerance=1e-10)
+        )
+        assert tight.iterations > loose.iterations

@@ -1,0 +1,136 @@
+"""Tests for the linear-system PageRank solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.pagerank.linear import solve_linear_system
+from repro.pagerank.solver import (
+    PowerIterationSettings,
+    power_iteration,
+    uniform_teleport,
+)
+from repro.pagerank.transition import transition_matrix_transpose
+from tests.conftest import random_digraph
+
+TIGHT = PowerIterationSettings(tolerance=1e-11, max_iterations=20_000)
+
+
+class TestAgreementWithPowerIteration:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_fixed_point(self, seed):
+        graph = random_digraph(250, seed=seed)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        teleport = uniform_teleport(250)
+        power = power_iteration(
+            transition_t, teleport, dangling, settings=TIGHT
+        )
+        linear = solve_linear_system(
+            transition_t, teleport, dangling, settings=TIGHT
+        )
+        assert linear.converged
+        np.testing.assert_allclose(
+            linear.scores, power.scores, atol=1e-8
+        )
+
+    def test_heavy_dangling(self):
+        graph = random_digraph(150, dangling_fraction=0.5, seed=3)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        teleport = uniform_teleport(150)
+        power = power_iteration(
+            transition_t, teleport, dangling, settings=TIGHT
+        )
+        linear = solve_linear_system(
+            transition_t, teleport, dangling, settings=TIGHT
+        )
+        np.testing.assert_allclose(
+            linear.scores, power.scores, atol=1e-8
+        )
+
+    def test_personalized_teleport(self):
+        graph = random_digraph(120, seed=4)
+        rng = np.random.default_rng(5)
+        teleport = rng.random(120)
+        teleport /= teleport.sum()
+        transition_t, dangling = transition_matrix_transpose(graph)
+        power = power_iteration(
+            transition_t, teleport, dangling, settings=TIGHT
+        )
+        linear = solve_linear_system(
+            transition_t, teleport, dangling, settings=TIGHT
+        )
+        np.testing.assert_allclose(
+            linear.scores, power.scores, atol=1e-8
+        )
+
+    def test_extended_graph_drop_in(self, tight_settings):
+        """The linear solver works on the Λ-extended system too."""
+        from repro.core.extended import build_extended_graph
+        from repro.core.external import uniform_external_weights
+
+        graph = random_digraph(200, seed=6)
+        local = np.arange(60)
+        weights = uniform_external_weights(graph, local)
+        extended = build_extended_graph(graph, local, weights)
+        power = extended.solve(tight_settings)
+        linear = solve_linear_system(
+            extended.transition_ext_t,
+            extended.p_ideal,
+            extended.dangling_mask_ext,
+            extended.p_ideal,
+            settings=TIGHT,
+        )
+        np.testing.assert_allclose(
+            linear.scores[:60], power.local_scores, atol=1e-8
+        )
+
+
+class TestBehaviour:
+    def test_scores_form_distribution(self):
+        graph = random_digraph(100, seed=7)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        outcome = solve_linear_system(
+            transition_t, uniform_teleport(100), dangling,
+            settings=TIGHT,
+        )
+        assert outcome.scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_iteration_accounting(self):
+        graph = random_digraph(100, seed=8)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        outcome = solve_linear_system(
+            transition_t, uniform_teleport(100), dangling,
+            settings=TIGHT,
+        )
+        assert outcome.iterations > 0
+        assert outcome.runtime_seconds >= 0
+
+    def test_divergence_raises_when_requested(self):
+        graph = random_digraph(100, seed=9)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        settings = PowerIterationSettings(
+            tolerance=1e-14, max_iterations=1,
+            raise_on_divergence=True,
+        )
+        with pytest.raises(ConvergenceError):
+            solve_linear_system(
+                transition_t, uniform_teleport(100), dangling,
+                settings=settings,
+            )
+
+    def test_rejects_empty(self):
+        from scipy import sparse
+
+        with pytest.raises(ValueError, match="empty"):
+            solve_linear_system(
+                sparse.csr_matrix((0, 0)), np.empty(0)
+            )
+
+    def test_rejects_bad_mask(self):
+        graph = random_digraph(10, seed=10)
+        transition_t, __ = transition_matrix_transpose(graph)
+        with pytest.raises(ValueError, match="dangling_mask"):
+            solve_linear_system(
+                transition_t, uniform_teleport(10),
+                dangling_mask=np.array([True]),
+            )

@@ -1,0 +1,82 @@
+"""Unit tests for local PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import graph_from_edges
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.localrank import local_pagerank, pagerank_on_graph
+from repro.generators.simple import two_cliques_bridge
+
+
+class TestLocalPagerank:
+    def test_result_aligned_with_sorted_nodes(self, messy_graph, paper_settings):
+        result = local_pagerank(messy_graph, [30, 10, 20], paper_settings)
+        assert result.local_nodes.tolist() == [10, 20, 30]
+        assert result.scores.size == 3
+
+    def test_scores_sum_to_one(self, messy_graph, paper_settings):
+        result = local_pagerank(
+            messy_graph, range(0, 50), paper_settings
+        )
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_ignores_external_structure(self, tight_settings):
+        # Two disconnected 3-cycles; local PR of {0,1,2} is the same
+        # whether or not the other cycle exists.
+        graph_a = graph_from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        )
+        graph_b = graph_from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (3, 0), (0, 3)],
+        )
+        a = local_pagerank(graph_a, [0, 1, 2], tight_settings)
+        b = local_pagerank(graph_b, [0, 1, 2], tight_settings)
+        # The induced subgraph over {0,1,2} is identical in both, so
+        # local PR cannot see the difference -- that is its defect.
+        assert a.scores == pytest.approx(b.scores, abs=1e-12)
+
+    def test_whole_graph_equals_global(self, messy_graph, tight_settings):
+        local = local_pagerank(
+            messy_graph, range(messy_graph.num_nodes), tight_settings
+        )
+        global_result = global_pagerank(messy_graph, tight_settings)
+        assert local.scores == pytest.approx(
+            global_result.scores, abs=1e-10
+        )
+
+    def test_method_label(self, messy_graph, paper_settings):
+        result = local_pagerank(messy_graph, [0, 1], paper_settings)
+        assert result.method == "local-pagerank"
+
+    def test_misjudges_bridged_clique(self, tight_settings):
+        # In the bridged-cliques graph the bridge endpoint of clique A
+        # receives external endorsement that local PR cannot see.
+        graph = two_cliques_bridge(4)
+        local_nodes = [0, 1, 2, 3]
+        global_result = global_pagerank(graph, tight_settings)
+        local = local_pagerank(graph, local_nodes, tight_settings)
+        true_local = global_result.scores[local_nodes]
+        # Globally the bridge node (3) is the top page of the clique...
+        assert int(np.argmax(true_local)) == 3
+        # ...while local PR sees a symmetric clique +1 out-edge and
+        # ranks 3 no higher than its peers.
+        assert local.scores[3] <= local.scores[0] + 1e-12
+
+
+class TestPagerankOnGraph:
+    def test_runs_on_arbitrary_graph(self, bridge_graph, paper_settings):
+        result = pagerank_on_graph(bridge_graph, paper_settings)
+        assert result.num_nodes == bridge_graph.num_nodes
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_personalization_supported(self, bridge_graph, tight_settings):
+        n = bridge_graph.num_nodes
+        personalization = np.zeros(n)
+        personalization[0] = 1.0
+        result = pagerank_on_graph(
+            bridge_graph, tight_settings, personalization=personalization
+        )
+        uniform = pagerank_on_graph(bridge_graph, tight_settings)
+        assert result.scores[0] > uniform.scores[0]

@@ -1,0 +1,103 @@
+"""Unit tests for result containers."""
+
+import numpy as np
+import pytest
+
+from repro.pagerank.result import RankResult, SubgraphScores
+
+
+def make_rank_result(scores):
+    return RankResult(
+        scores=np.asarray(scores, dtype=np.float64),
+        iterations=10,
+        residual=1e-6,
+        converged=True,
+        runtime_seconds=0.01,
+        method="test",
+    )
+
+
+def make_subgraph_scores(nodes, scores, extras=None):
+    return SubgraphScores(
+        local_nodes=np.asarray(nodes, dtype=np.int64),
+        scores=np.asarray(scores, dtype=np.float64),
+        method="test",
+        iterations=5,
+        residual=1e-6,
+        converged=True,
+        runtime_seconds=0.02,
+        extras=extras or {},
+    )
+
+
+class TestRankResult:
+    def test_scores_read_only(self):
+        result = make_rank_result([0.5, 0.5])
+        with pytest.raises(ValueError):
+            result.scores[0] = 1.0
+
+    def test_top_k_orders_descending(self):
+        result = make_rank_result([0.1, 0.4, 0.2, 0.3])
+        assert result.top_k(2).tolist() == [1, 3]
+
+    def test_top_k_tie_breaks_by_id(self):
+        result = make_rank_result([0.3, 0.3, 0.4])
+        assert result.top_k(3).tolist() == [2, 0, 1]
+
+    def test_top_k_clipped(self):
+        result = make_rank_result([0.5, 0.5])
+        assert result.top_k(10).size == 2
+
+    def test_num_nodes(self):
+        assert make_rank_result([0.2, 0.3, 0.5]).num_nodes == 3
+
+
+class TestSubgraphScores:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            make_subgraph_scores([1, 2, 3], [0.5, 0.5])
+
+    def test_arrays_read_only(self):
+        result = make_subgraph_scores([1, 2], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            result.scores[0] = 0.9
+        with pytest.raises(ValueError):
+            result.local_nodes[0] = 7
+
+    def test_normalized_scores(self):
+        result = make_subgraph_scores([1, 2], [0.2, 0.6])
+        assert result.normalized_scores().tolist() == pytest.approx(
+            [0.25, 0.75]
+        )
+
+    def test_normalized_zero_mass_falls_back_to_uniform(self):
+        result = make_subgraph_scores([1, 2], [0.0, 0.0])
+        assert result.normalized_scores().tolist() == [0.5, 0.5]
+
+    def test_score_of_known_page(self):
+        result = make_subgraph_scores([10, 20], [0.3, 0.7])
+        assert result.score_of(20) == 0.7
+
+    def test_score_of_unknown_page(self):
+        result = make_subgraph_scores([10, 20], [0.3, 0.7])
+        with pytest.raises(KeyError, match="15"):
+            result.score_of(15)
+
+    def test_ranking_descending_with_id_tiebreak(self):
+        result = make_subgraph_scores(
+            [10, 20, 30, 40], [0.2, 0.4, 0.2, 0.1]
+        )
+        assert result.ranking().tolist() == [20, 10, 30, 40]
+
+    def test_top_k(self):
+        result = make_subgraph_scores([10, 20, 30], [0.1, 0.6, 0.3])
+        assert result.top_k(2).tolist() == [20, 30]
+
+    def test_num_local(self):
+        assert make_subgraph_scores([5, 9], [0.4, 0.6]).num_local == 2
+
+    def test_extras_accessible(self):
+        result = make_subgraph_scores(
+            [1], [1.0], extras={"lambda_score": 0.8}
+        )
+        assert result.extras["lambda_score"] == 0.8

@@ -1,0 +1,205 @@
+"""Unit tests for the power-iteration solver."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import ConvergenceError
+from repro.pagerank.solver import (
+    DEFAULT_DAMPING,
+    PowerIterationSettings,
+    power_iteration,
+    uniform_teleport,
+)
+
+
+def two_node_transition_t():
+    # 0 <-> 1: transition matrix is the swap; transpose equals itself.
+    matrix = sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    return matrix
+
+
+class TestSettings:
+    def test_defaults_match_paper(self):
+        settings = PowerIterationSettings()
+        assert settings.damping == 0.85
+        assert settings.tolerance == 1e-5
+
+    @pytest.mark.parametrize("damping", [0.0, 1.0, -0.1, 1.5])
+    def test_damping_bounds(self, damping):
+        with pytest.raises(ValueError, match="damping"):
+            PowerIterationSettings(damping=damping)
+
+    def test_tolerance_positive(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            PowerIterationSettings(tolerance=0.0)
+
+    def test_max_iterations_positive(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            PowerIterationSettings(max_iterations=0)
+
+
+class TestUniformTeleport:
+    def test_sums_to_one(self):
+        assert uniform_teleport(7).sum() == pytest.approx(1.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            uniform_teleport(0)
+
+
+class TestPowerIteration:
+    def test_symmetric_two_nodes(self, tight_settings):
+        outcome = power_iteration(
+            two_node_transition_t(),
+            teleport=uniform_teleport(2),
+            settings=tight_settings,
+        )
+        assert outcome.converged
+        assert outcome.scores.tolist() == pytest.approx([0.5, 0.5])
+
+    def test_scores_sum_to_one(self, tight_settings, messy_graph):
+        from repro.pagerank.transition import transition_matrix_transpose
+
+        transition_t, dangling = transition_matrix_transpose(messy_graph)
+        outcome = power_iteration(
+            transition_t,
+            teleport=uniform_teleport(messy_graph.num_nodes),
+            dangling_mask=dangling,
+            settings=tight_settings,
+        )
+        assert outcome.scores.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(outcome.scores > 0)
+
+    def test_initial_vector_does_not_change_fixed_point(
+        self, tight_settings
+    ):
+        transition_t = two_node_transition_t()
+        teleport = np.array([0.3, 0.7])
+        a = power_iteration(
+            transition_t, teleport, settings=tight_settings
+        )
+        b = power_iteration(
+            transition_t, teleport,
+            settings=tight_settings,
+            initial=np.array([0.99, 0.01]),
+        )
+        assert a.scores == pytest.approx(b.scores, abs=1e-9)
+
+    def test_dangling_mass_goes_to_dangling_dist(self, tight_settings):
+        # 0 -> 1, node 1 dangling.  With dangling_dist pinned on node 0
+        # the chain keeps all mass cycling 0 -> 1 -> 0.
+        transition = sparse.csr_matrix(
+            np.array([[0.0, 1.0], [0.0, 0.0]])
+        )
+        outcome = power_iteration(
+            transition.T.tocsr(),
+            teleport=np.array([1.0, 0.0]),
+            dangling_mask=np.array([False, True]),
+            dangling_dist=np.array([1.0, 0.0]),
+            settings=tight_settings,
+        )
+        # Stationarity: x0 = 0.85 * x1 + 0.15, x1 = 0.85 * x0
+        x0 = outcome.scores[0]
+        assert x0 == pytest.approx(0.15 / (1 - 0.85**2), rel=1e-6)
+
+    def test_divergence_returns_unconverged(self):
+        settings = PowerIterationSettings(
+            tolerance=1e-15, max_iterations=3
+        )
+        outcome = power_iteration(
+            two_node_transition_t(),
+            teleport=np.array([0.9, 0.1]),
+            settings=settings,
+        )
+        assert not outcome.converged
+        assert outcome.iterations == 3
+
+    def test_divergence_raises_when_requested(self):
+        settings = PowerIterationSettings(
+            tolerance=1e-15, max_iterations=3, raise_on_divergence=True
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            power_iteration(
+                two_node_transition_t(),
+                teleport=np.array([0.9, 0.1]),
+                settings=settings,
+            )
+        assert excinfo.value.iterations == 3
+        assert excinfo.value.residual > 0
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        matrix = sparse.csr_matrix(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            power_iteration(matrix, teleport=uniform_teleport(2))
+
+    def test_rejects_empty(self):
+        matrix = sparse.csr_matrix((0, 0))
+        with pytest.raises(ValueError, match="empty"):
+            power_iteration(matrix, teleport=np.empty(0))
+
+    def test_rejects_teleport_not_summing_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            power_iteration(
+                two_node_transition_t(), teleport=np.array([0.5, 0.6])
+            )
+
+    def test_rejects_negative_teleport(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            power_iteration(
+                two_node_transition_t(), teleport=np.array([-0.5, 1.5])
+            )
+
+    def test_rejects_bad_dangling_mask_shape(self):
+        with pytest.raises(ValueError, match="dangling_mask"):
+            power_iteration(
+                two_node_transition_t(),
+                teleport=uniform_teleport(2),
+                dangling_mask=np.array([True]),
+            )
+
+    def test_rejects_zero_mass_initial(self):
+        with pytest.raises(ValueError, match="positive mass"):
+            power_iteration(
+                two_node_transition_t(),
+                teleport=uniform_teleport(2),
+                initial=np.zeros(2),
+            )
+
+    def test_rejects_bad_initial_shape(self):
+        with pytest.raises(ValueError, match="initial"):
+            power_iteration(
+                two_node_transition_t(),
+                teleport=uniform_teleport(2),
+                initial=np.ones(3),
+            )
+
+
+class TestDampingEffect:
+    def test_lower_damping_flattens_scores(self, tight_settings):
+        # Star transition: all leaves point at the hub.
+        from repro.generators.simple import star_graph
+        from repro.pagerank.transition import transition_matrix_transpose
+
+        graph = star_graph(20)
+        transition_t, dangling = transition_matrix_transpose(graph)
+        teleport = uniform_teleport(graph.num_nodes)
+        strong = power_iteration(
+            transition_t, teleport, dangling_mask=dangling,
+            settings=PowerIterationSettings(
+                damping=0.95, tolerance=1e-12, max_iterations=20_000
+            ),
+        )
+        weak = power_iteration(
+            transition_t, teleport, dangling_mask=dangling,
+            settings=PowerIterationSettings(
+                damping=0.5, tolerance=1e-12, max_iterations=20_000
+            ),
+        )
+        # The hub (node 0) dominates more under stronger damping.
+        assert strong.scores[0] > weak.scores[0]
+
+    def test_default_damping_constant(self):
+        assert DEFAULT_DAMPING == 0.85

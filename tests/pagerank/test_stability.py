@@ -1,0 +1,80 @@
+"""Tests for the stability analysis (refs [32]/[33] sibling bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.pagerank.stability import (
+    damping_sweep,
+    edge_perturbation_study,
+    perturbation_bound,
+)
+from tests.conftest import random_digraph
+
+
+class TestPerturbationBound:
+    def test_formula(self):
+        scores = np.array([0.1, 0.2, 0.3, 0.4])
+        bound = perturbation_bound(scores, np.array([1, 3]), 0.85)
+        assert bound == pytest.approx(2 * 0.85 / 0.15 * 0.6)
+
+    def test_empty_change_set(self):
+        scores = np.array([0.5, 0.5])
+        assert perturbation_bound(
+            scores, np.empty(0, dtype=np.int64)
+        ) == 0.0
+
+    def test_validation(self):
+        scores = np.array([0.5, 0.5])
+        with pytest.raises(GraphError, match="damping"):
+            perturbation_bound(scores, np.array([0]), damping=1.0)
+        with pytest.raises(GraphError, match="out of range"):
+            perturbation_bound(scores, np.array([5]))
+
+
+class TestPerturbationStudy:
+    @pytest.fixture(scope="class")
+    def trials(self):
+        graph = random_digraph(400, mean_degree=5.0, seed=30)
+        return edge_perturbation_study(
+            graph, trials=5, edges_per_trial=15, seed=1
+        )
+
+    def test_bound_holds_on_every_trial(self, trials):
+        """The Ng et al. theorem, checked empirically — the same
+        flavour of guarantee the paper's Theorem 2 provides for
+        ApproxRank."""
+        assert len(trials) == 5
+        for trial in trials:
+            assert trial.holds, (
+                trial.observed_l1, trial.bound
+            )
+
+    def test_movement_is_nontrivial(self, trials):
+        # Perturbations genuinely move scores (the test would be
+        # vacuous otherwise).
+        assert any(trial.observed_l1 > 1e-6 for trial in trials)
+
+    def test_footrule_recorded(self, trials):
+        for trial in trials:
+            assert 0.0 <= trial.footrule <= 1.0
+
+    def test_rejects_bad_trials(self):
+        graph = random_digraph(50, seed=31)
+        with pytest.raises(GraphError, match="trials"):
+            edge_perturbation_study(graph, trials=0)
+
+
+class TestDampingSweep:
+    def test_reference_point_is_zero(self):
+        graph = random_digraph(200, seed=32)
+        sweep = dict(damping_sweep(graph, dampings=(0.85,)))
+        assert sweep[0.85] == pytest.approx(0.0, abs=1e-6)
+
+    def test_drift_grows_away_from_reference(self):
+        graph = random_digraph(300, seed=33)
+        sweep = dict(
+            damping_sweep(graph, dampings=(0.5, 0.7, 0.85, 0.95))
+        )
+        assert sweep[0.5] > sweep[0.7] > sweep[0.85]
+        assert sweep[0.95] > sweep[0.85]

@@ -1,0 +1,80 @@
+"""Unit tests for transition-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder, graph_from_edges
+from repro.pagerank.transition import (
+    row_stochastic_check,
+    transition_matrix,
+    transition_matrix_transpose,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self, messy_graph):
+        matrix, dangling = transition_matrix(messy_graph)
+        assert row_stochastic_check(matrix, dangling)
+
+    def test_entry_is_inverse_outdegree(self):
+        graph = graph_from_edges(3, [(0, 1), (0, 2), (1, 0)])
+        matrix, __ = transition_matrix(graph)
+        assert matrix[0, 1] == pytest.approx(0.5)
+        assert matrix[0, 2] == pytest.approx(0.5)
+        assert matrix[1, 0] == pytest.approx(1.0)
+
+    def test_dangling_rows_empty(self):
+        graph = graph_from_edges(3, [(0, 1)])
+        matrix, dangling = transition_matrix(graph)
+        assert dangling.tolist() == [False, True, True]
+        assert matrix[1].nnz == 0
+        assert matrix[2].nnz == 0
+
+    def test_weighted_normalisation(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 1, 3.0)
+        builder.add_edge(0, 2, 1.0)
+        graph = builder.build()
+        matrix, __ = transition_matrix(graph)
+        assert matrix[0, 1] == pytest.approx(0.75)
+        assert matrix[0, 2] == pytest.approx(0.25)
+
+    def test_self_loop_participates(self):
+        graph = graph_from_edges(2, [(0, 0), (0, 1)])
+        matrix, __ = transition_matrix(graph)
+        assert matrix[0, 0] == pytest.approx(0.5)
+
+
+class TestTranspose:
+    def test_transpose_matches(self, messy_graph):
+        matrix, __ = transition_matrix(messy_graph)
+        transposed, __ = transition_matrix_transpose(messy_graph)
+        assert (transposed != matrix.T.tocsr()).nnz == 0
+
+    def test_columns_of_transpose_sum_to_one(self):
+        graph = graph_from_edges(3, [(0, 1), (0, 2), (1, 0), (2, 0)])
+        transposed, dangling = transition_matrix_transpose(graph)
+        column_sums = np.asarray(transposed.sum(axis=0)).ravel()
+        assert not dangling.any()
+        assert column_sums == pytest.approx([1.0, 1.0, 1.0])
+
+
+class TestRowStochasticCheck:
+    def test_detects_violation(self):
+        graph = graph_from_edges(2, [(0, 1)])
+        matrix, dangling = transition_matrix(graph)
+        matrix = matrix * 0.9  # break stochasticity
+        assert not row_stochastic_check(matrix, dangling)
+
+    def test_detects_dangling_violation(self):
+        graph = graph_from_edges(2, [(0, 1), (1, 0)])
+        matrix, __ = transition_matrix(graph)
+        # claim node 1 is dangling although its row sums to 1
+        assert not row_stochastic_check(
+            matrix, np.array([False, True])
+        )
+
+    def test_none_mask_means_all_active(self):
+        graph = graph_from_edges(2, [(0, 1), (1, 0)])
+        matrix, __ = transition_matrix(graph)
+        assert row_stochastic_check(matrix, None)

@@ -1,0 +1,102 @@
+"""Property-based tests: Theorems 1 and 2 on arbitrary graphs.
+
+These are the strongest tests in the suite: for *any* random digraph
+and *any* proper subgraph, IdealRank must recover the exact global
+PageRank (Theorem 1) and ApproxRank's deviation must respect the
+analytic bound (Theorem 2).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.core.approxrank import approxrank
+from repro.core.bounds import theorem2_report
+from repro.core.extended import build_extended_graph
+from repro.core.external import uniform_external_weights
+from repro.core.idealrank import idealrank
+from repro.graph.builder import GraphBuilder
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.solver import PowerIterationSettings
+from repro.pagerank.transition import row_stochastic_check
+
+SOLVER = PowerIterationSettings(tolerance=1e-11, max_iterations=20_000)
+
+
+@st.composite
+def graph_with_subgraph(draw):
+    """A digraph plus a proper non-empty local node subset."""
+    num_nodes = draw(st.integers(min_value=2, max_value=25))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+            ),
+            max_size=4 * num_nodes,
+        )
+    )
+    local_size = draw(st.integers(1, num_nodes - 1))
+    local = draw(
+        st.permutations(range(num_nodes)).map(
+            lambda p: sorted(p[:local_size])
+        )
+    )
+    return num_nodes, edges, local
+
+
+def build(num_nodes, edges):
+    builder = GraphBuilder(num_nodes)
+    builder.add_edges(edges)
+    return builder.build(dedup=True)
+
+
+class TestTheorem1Property:
+    @given(graph_with_subgraph())
+    @hsettings(max_examples=50, deadline=None)
+    def test_idealrank_exact(self, spec):
+        num_nodes, edges, local = spec
+        graph = build(num_nodes, edges)
+        truth = global_pagerank(graph, SOLVER)
+        result = idealrank(graph, local, truth.scores, SOLVER)
+        np.testing.assert_allclose(
+            result.scores, truth.scores[local], atol=1e-7
+        )
+        assert result.extras["lambda_score"] == pytest.approx(
+            1.0 - truth.scores[local].sum(), abs=1e-7
+        )
+
+
+class TestTheorem2Property:
+    @given(graph_with_subgraph())
+    @hsettings(max_examples=50, deadline=None)
+    def test_bound_holds(self, spec):
+        num_nodes, edges, local = spec
+        graph = build(num_nodes, edges)
+        truth = global_pagerank(graph, SOLVER)
+        report = theorem2_report(graph, local, truth.scores, SOLVER)
+        assert report.observed_l1 <= report.bound + 1e-7
+
+
+class TestExtendedInvariants:
+    @given(graph_with_subgraph())
+    @hsettings(max_examples=50, deadline=None)
+    def test_extended_matrix_stochastic(self, spec):
+        num_nodes, edges, local = spec
+        graph = build(num_nodes, edges)
+        weights = uniform_external_weights(graph, np.asarray(local))
+        extended = build_extended_graph(graph, local, weights)
+        matrix = extended.transition_ext_t.T.tocsr()
+        assert row_stochastic_check(
+            matrix, extended.dangling_mask_ext, atol=1e-8
+        )
+
+    @given(graph_with_subgraph())
+    @hsettings(max_examples=50, deadline=None)
+    def test_approxrank_mass_conservation(self, spec):
+        num_nodes, edges, local = spec
+        graph = build(num_nodes, edges)
+        result = approxrank(graph, local, SOLVER)
+        total = result.scores.sum() + result.extras["lambda_score"]
+        assert total == pytest.approx(1.0, abs=1e-8)
+        assert np.all(result.scores >= 0)

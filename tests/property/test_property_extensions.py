@@ -1,0 +1,206 @@
+"""Property-based tests for the extension subsystems.
+
+Invariants under arbitrary graphs/updates/partitions:
+
+* update splicing conserves probability mass and only moves scores
+  inside the affected region;
+* a peer's assembled E vector is always a valid external distribution,
+  whatever it has learned;
+* personalisation collapse preserves mass and local entries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.core.extended import collapse_personalization
+from repro.graph.builder import GraphBuilder
+from repro.p2p.peer import Peer
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.solver import PowerIterationSettings
+from repro.updates.delta import GraphDelta, apply_delta
+from repro.updates.rerank import incremental_rerank
+
+SOLVER = PowerIterationSettings(tolerance=1e-9, max_iterations=10_000)
+
+
+@st.composite
+def graph_and_delta(draw):
+    """A digraph plus a valid delta confined to existing pages."""
+    num_nodes = draw(st.integers(min_value=4, max_value=20))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+            ),
+            min_size=2,
+            max_size=4 * num_nodes,
+        )
+    )
+    edges = [(s, t) for s, t in edges if s != t]
+    builder = GraphBuilder(num_nodes)
+    builder.add_edges(edges)
+    graph = builder.build(dedup=True)
+
+    added = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+            ),
+            max_size=6,
+        )
+    )
+    added = tuple(
+        (s, t) for s, t in added if s != t
+    )
+    existing = [(s, t) for s, t, __ in graph.iter_edges()]
+    removable_count = draw(
+        st.integers(0, min(2, len(existing)))
+    )
+    removed = tuple(existing[:removable_count])
+    new_pages = draw(st.integers(0, 2))
+    delta = GraphDelta(
+        added_edges=added, removed_edges=removed, new_pages=new_pages
+    )
+    return graph, delta
+
+
+class TestUpdateProperties:
+    @given(graph_and_delta())
+    @hsettings(max_examples=50, deadline=None)
+    def test_splice_is_distribution(self, spec):
+        graph, delta = spec
+        updated = apply_delta(graph, delta)
+        old_truth = global_pagerank(graph, SOLVER)
+        try:
+            result = incremental_rerank(
+                graph, updated, old_truth.scores, delta=delta,
+                settings=SOLVER,
+            )
+        except Exception as exc:  # whole-graph updates are rejected
+            from repro.exceptions import SubgraphError
+
+            assert isinstance(exc, SubgraphError)
+            return
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(result.scores >= 0)
+
+    @given(graph_and_delta())
+    @hsettings(max_examples=50, deadline=None)
+    def test_untouched_pages_keep_relative_scores(self, spec):
+        graph, delta = spec
+        updated = apply_delta(graph, delta)
+        old_truth = global_pagerank(graph, SOLVER)
+        from repro.exceptions import SubgraphError
+
+        try:
+            result = incremental_rerank(
+                graph, updated, old_truth.scores, delta=delta,
+                settings=SOLVER,
+            )
+        except SubgraphError:
+            return
+        outside = np.setdiff1d(
+            np.arange(graph.num_nodes), result.region
+        )
+        if outside.size == 0:
+            return
+        # Outside the region the splice only renormalises, so score
+        # ratios are preserved exactly.
+        old_vals = old_truth.scores[outside]
+        new_vals = result.scores[outside]
+        scale = new_vals[0] / old_vals[0]
+        np.testing.assert_allclose(
+            new_vals, old_vals * scale, rtol=1e-9
+        )
+
+
+@st.composite
+def peer_with_knowledge(draw):
+    num_nodes = draw(st.integers(min_value=4, max_value=18))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+            ),
+            max_size=3 * num_nodes,
+        )
+    )
+    builder = GraphBuilder(num_nodes)
+    builder.add_edges((s, t) for s, t in edges if s != t)
+    graph = builder.build(dedup=True)
+    local_size = draw(st.integers(1, num_nodes - 1))
+    local = sorted(
+        draw(st.permutations(range(num_nodes)))[:local_size]
+    )
+    # Arbitrary knowledge about some external pages.
+    external = sorted(set(range(num_nodes)) - set(local))
+    learn_count = draw(st.integers(0, len(external)))
+    learned_pages = np.asarray(external[:learn_count], dtype=np.int64)
+    learned_scores = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=learn_count, max_size=learn_count,
+        )
+    )
+    return graph, local, learned_pages, np.asarray(learned_scores)
+
+
+class TestPeerProperties:
+    @given(peer_with_knowledge())
+    @hsettings(max_examples=50, deadline=None)
+    def test_external_weights_always_valid(self, spec):
+        graph, local, pages, scores = spec
+        peer = Peer(0, graph, np.asarray(local), SOLVER)
+        if pages.size:
+            peer.learn(pages, scores, authoritative=True)
+        weights = peer.build_external_weights()
+        assert weights.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(weights >= 0)
+        assert np.all(weights[np.asarray(local)] == 0)
+
+    @given(peer_with_knowledge())
+    @hsettings(max_examples=30, deadline=None)
+    def test_rerank_keeps_mass_conserved(self, spec):
+        graph, local, pages, scores = spec
+        peer = Peer(0, graph, np.asarray(local), SOLVER)
+        if pages.size:
+            peer.learn(pages, scores, authoritative=True)
+        peer.rerank()
+        total = peer.scores.sum() + peer.external_mass_estimate
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+
+class TestPersonalizationProperties:
+    @given(
+        st.integers(3, 30).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.floats(min_value=0.01, max_value=1.0),
+                    min_size=n, max_size=n,
+                ),
+                st.integers(1, n - 1),
+            )
+        )
+    )
+    @hsettings(max_examples=80, deadline=None)
+    def test_collapse_preserves_mass_and_entries(self, spec):
+        size, raw, local_size = spec
+        personalization = np.asarray(raw)
+        personalization /= personalization.sum()
+        local = np.arange(local_size, dtype=np.int64)
+        collapsed = collapse_personalization(
+            personalization, size, local
+        )
+        assert collapsed.sum() == pytest.approx(1.0, abs=1e-9)
+        np.testing.assert_allclose(
+            collapsed[:local_size], personalization[local]
+        )
+        assert collapsed[-1] == pytest.approx(
+            personalization[local_size:].sum(), abs=1e-9
+        )

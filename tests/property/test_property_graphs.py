@@ -1,0 +1,126 @@
+"""Property-based tests: graph substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.subgraph import (
+    boundary_in_edges,
+    boundary_out_edges,
+    induced_subgraph,
+)
+from repro.graph.traversal import (
+    bfs_order,
+    bfs_tree_depths,
+    weakly_connected_components,
+)
+
+
+@st.composite
+def digraph_specs(draw, max_nodes=25):
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+            ),
+            max_size=3 * num_nodes,
+        )
+    )
+    return num_nodes, edges
+
+
+def build(num_nodes, edges):
+    builder = GraphBuilder(num_nodes)
+    builder.add_edges(edges)
+    return builder.build(dedup=True)
+
+
+class TestDegreeInvariants:
+    @given(digraph_specs())
+    @hsettings(max_examples=100, deadline=None)
+    def test_degree_sums_equal_edges(self, spec):
+        graph = build(*spec)
+        assert graph.out_degrees.sum() == graph.num_edges
+        assert graph.in_degrees.sum() == graph.num_edges
+
+    @given(digraph_specs())
+    @hsettings(max_examples=100, deadline=None)
+    def test_reversal_involution(self, spec):
+        graph = build(*spec)
+        double = graph.reversed().reversed()
+        assert (double.adjacency != graph.adjacency).nnz == 0
+
+
+class TestSubgraphInvariants:
+    @given(digraph_specs(), st.data())
+    @hsettings(max_examples=80, deadline=None)
+    def test_edge_partition(self, spec, data):
+        """Every edge leaving a local node is internal or out-boundary;
+        every edge entering one is internal or in-boundary."""
+        num_nodes, edges = spec
+        graph = build(num_nodes, edges)
+        local_size = data.draw(st.integers(1, num_nodes))
+        local = sorted(
+            data.draw(
+                st.permutations(range(num_nodes))
+            )[:local_size]
+        )
+        induced = induced_subgraph(graph, local)
+        out_src, __, __ = boundary_out_edges(graph, local)
+        in_src, __, __ = boundary_in_edges(graph, local)
+        local_set = set(local)
+        out_from_local = sum(
+            1 for s, t, __ in graph.iter_edges() if s in local_set
+        )
+        into_local = sum(
+            1 for s, t, __ in graph.iter_edges() if t in local_set
+        )
+        assert induced.graph.num_edges + out_src.size == out_from_local
+        assert induced.graph.num_edges + in_src.size == into_local
+
+    @given(digraph_specs(), st.data())
+    @hsettings(max_examples=80, deadline=None)
+    def test_mapping_roundtrip(self, spec, data):
+        num_nodes, edges = spec
+        graph = build(num_nodes, edges)
+        local_size = data.draw(st.integers(1, num_nodes))
+        local = sorted(
+            data.draw(st.permutations(range(num_nodes)))[:local_size]
+        )
+        induced = induced_subgraph(graph, local)
+        local_ids = np.arange(induced.num_local)
+        round_trip = induced.to_local(induced.to_global(local_ids))
+        assert round_trip.tolist() == local_ids.tolist()
+
+
+class TestTraversalInvariants:
+    @given(digraph_specs())
+    @hsettings(max_examples=80, deadline=None)
+    def test_bfs_no_duplicates(self, spec):
+        graph = build(*spec)
+        order = bfs_order(graph, 0)
+        assert len(set(order.tolist())) == order.size
+
+    @given(digraph_specs())
+    @hsettings(max_examples=80, deadline=None)
+    def test_depths_consistent_with_order(self, spec):
+        graph = build(*spec)
+        order = bfs_order(graph, 0)
+        depths = bfs_tree_depths(graph, 0)
+        # Visit order is sorted by depth.
+        visit_depths = depths[order]
+        assert np.all(np.diff(visit_depths) >= 0)
+        # Exactly the reachable nodes are visited.
+        assert order.size == int((depths >= 0).sum())
+
+    @given(digraph_specs())
+    @hsettings(max_examples=80, deadline=None)
+    def test_components_partition_nodes(self, spec):
+        graph = build(*spec)
+        components = weakly_connected_components(graph)
+        combined = np.sort(np.concatenate(components))
+        assert combined.tolist() == list(range(graph.num_nodes))
+        sizes = [c.size for c in components]
+        assert sizes == sorted(sizes, reverse=True)

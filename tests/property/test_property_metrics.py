@@ -1,0 +1,150 @@
+"""Property-based tests: metric axioms for the ranking distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.buckets import bucket_positions, buckets_from_scores
+from repro.metrics.footrule import footrule_distance, footrule_from_scores
+from repro.metrics.kendall import kendall_distance
+from repro.metrics.l1 import l1_distance
+from repro.metrics.topk import top_k_overlap
+
+score_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 40),
+    elements=st.floats(
+        min_value=0.0, max_value=100.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+)
+
+
+@st.composite
+def aligned_score_pairs(draw):
+    size = draw(st.integers(1, 40))
+    elements = st.floats(
+        min_value=0.0, max_value=100.0,
+        allow_nan=False, allow_infinity=False,
+    )
+    a = draw(hnp.arrays(np.float64, size, elements=elements))
+    b = draw(hnp.arrays(np.float64, size, elements=elements))
+    return a, b
+
+
+class TestBucketProperties:
+    @given(score_arrays)
+    @hsettings(max_examples=100, deadline=None)
+    def test_buckets_partition(self, scores):
+        buckets = buckets_from_scores(scores)
+        flattened = np.sort(np.concatenate(buckets))
+        assert flattened.tolist() == list(range(scores.size))
+
+    @given(score_arrays)
+    @hsettings(max_examples=100, deadline=None)
+    def test_positions_conserve_rank_mass(self, scores):
+        positions = bucket_positions(scores)
+        n = scores.size
+        assert positions.sum() == pytest.approx(n * (n + 1) / 2)
+
+    @given(score_arrays)
+    @hsettings(max_examples=100, deadline=None)
+    def test_higher_score_never_worse_position(self, scores):
+        positions = bucket_positions(scores)
+        order = np.argsort(-scores, kind="stable")
+        sorted_positions = positions[order]
+        assert np.all(np.diff(sorted_positions) >= -1e-12)
+
+
+class TestFootruleAxioms:
+    @given(score_arrays)
+    @hsettings(max_examples=100, deadline=None)
+    def test_identity(self, scores):
+        assert footrule_from_scores(scores, scores) == 0.0
+
+    @given(aligned_score_pairs())
+    @hsettings(max_examples=100, deadline=None)
+    def test_symmetry_and_bounds(self, pair):
+        a, b = pair
+        forward = footrule_from_scores(a, b)
+        backward = footrule_from_scores(b, a)
+        assert forward == pytest.approx(backward)
+        assert 0.0 <= forward <= 1.0
+
+    @given(
+        st.integers(1, 40).flatmap(
+            lambda n: st.tuples(
+                hnp.arrays(
+                    np.float64, n,
+                    elements=st.integers(0, 6400).map(lambda v: v / 64.0),
+                ),
+                hnp.arrays(
+                    np.float64, n,
+                    elements=st.integers(0, 6400).map(lambda v: v / 64.0),
+                ),
+            )
+        )
+    )
+    @hsettings(max_examples=100, deadline=None)
+    def test_monotone_transform_invariance(self, pair):
+        # Scores quantised to multiples of 1/64 so the affine transforms
+        # are exact in binary and cannot merge or split ties.
+        a, b = pair
+        assert footrule_from_scores(a, b) == pytest.approx(
+            footrule_from_scores(a * 3.0 + 1.0, b * 7.0 + 2.0)
+        )
+
+    @given(aligned_score_pairs())
+    @hsettings(max_examples=60, deadline=None)
+    def test_triangle_inequality_positions(self, pair):
+        a, b = pair
+        pa, pb = bucket_positions(a), bucket_positions(b)
+        pc = bucket_positions(np.sort(a)[::-1].copy())
+        assert footrule_distance(pa, pc) <= (
+            footrule_distance(pa, pb) + footrule_distance(pb, pc) + 1e-9
+        )
+
+
+class TestKendallAxioms:
+    @given(score_arrays)
+    @hsettings(max_examples=60, deadline=None)
+    def test_identity_and_bounds(self, scores):
+        assert kendall_distance(scores, scores) == pytest.approx(
+            0.0, abs=1e-12
+        ) or kendall_distance(scores, scores) == 0.5  # constant vector
+        assert 0.0 <= kendall_distance(scores, scores) <= 1.0
+
+    @given(aligned_score_pairs())
+    @hsettings(max_examples=60, deadline=None)
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert kendall_distance(a, b) == pytest.approx(
+            kendall_distance(b, a)
+        )
+
+
+class TestL1Axioms:
+    @given(aligned_score_pairs())
+    @hsettings(max_examples=100, deadline=None)
+    def test_symmetry_nonneg(self, pair):
+        a, b = pair
+        d = l1_distance(a, b, normalize=False)
+        assert d >= 0
+        assert d == pytest.approx(l1_distance(b, a, normalize=False))
+
+    @given(aligned_score_pairs())
+    @hsettings(max_examples=100, deadline=None)
+    def test_normalised_bounded_by_two(self, pair):
+        a, b = pair
+        if a.sum() > 0 and b.sum() > 0:
+            assert 0.0 <= l1_distance(a, b) <= 2.0 + 1e-12
+
+
+class TestTopKAxioms:
+    @given(aligned_score_pairs(), st.integers(1, 10))
+    @hsettings(max_examples=100, deadline=None)
+    def test_bounds_and_identity(self, pair, k):
+        a, b = pair
+        assert 0.0 <= top_k_overlap(a, b, k) <= 1.0
+        assert top_k_overlap(a, a, k) == 1.0

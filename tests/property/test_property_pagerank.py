@@ -1,0 +1,94 @@
+"""Property-based tests: PageRank invariants on arbitrary graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.solver import PowerIterationSettings
+from repro.pagerank.transition import (
+    row_stochastic_check,
+    transition_matrix,
+)
+
+SOLVER = PowerIterationSettings(tolerance=1e-10, max_iterations=10_000)
+
+
+@st.composite
+def digraphs(draw, max_nodes=30):
+    """An arbitrary small digraph as (num_nodes, edge list)."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+            ),
+            max_size=4 * num_nodes,
+        )
+    )
+    return num_nodes, edges
+
+
+def build(num_nodes, edges):
+    builder = GraphBuilder(num_nodes)
+    builder.add_edges(edges)
+    return builder.build(dedup=True)
+
+
+class TestPagerankInvariants:
+    @given(digraphs())
+    @hsettings(max_examples=60, deadline=None)
+    def test_scores_are_probability_distribution(self, spec):
+        graph = build(*spec)
+        result = global_pagerank(graph, SOLVER)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(result.scores > 0)  # damping makes all reachable
+
+    @given(digraphs())
+    @hsettings(max_examples=60, deadline=None)
+    def test_minimum_score_is_teleport_share(self, spec):
+        # Every page receives at least (1 - eps)/N from teleportation.
+        graph = build(*spec)
+        result = global_pagerank(graph, SOLVER)
+        floor = (1 - SOLVER.damping) / graph.num_nodes
+        assert np.all(result.scores >= floor - 1e-9)
+
+    @given(digraphs())
+    @hsettings(max_examples=60, deadline=None)
+    def test_transition_rows_stochastic(self, spec):
+        graph = build(*spec)
+        matrix, dangling = transition_matrix(graph)
+        assert row_stochastic_check(matrix, dangling, atol=1e-9)
+
+    @given(digraphs(), st.integers(0, 2**31 - 1))
+    @hsettings(max_examples=30, deadline=None)
+    def test_fixed_point_property(self, spec, seed):
+        """The returned vector satisfies its own defining equation."""
+        graph = build(*spec)
+        result = global_pagerank(graph, SOLVER)
+        matrix, dangling = transition_matrix(graph)
+        n = graph.num_nodes
+        teleport = np.full(n, 1.0 / n)
+        x = result.scores
+        dangling_mass = x[dangling].sum()
+        expected = (
+            SOLVER.damping * (matrix.T @ x + dangling_mass * teleport)
+            + (1 - SOLVER.damping) * teleport
+        )
+        np.testing.assert_allclose(x, expected, atol=1e-8)
+
+    @given(digraphs())
+    @hsettings(max_examples=40, deadline=None)
+    def test_node_relabelling_equivariance(self, spec):
+        """Permuting node ids permutes scores identically."""
+        num_nodes, edges = spec
+        graph = build(num_nodes, edges)
+        rng = np.random.default_rng(123)
+        perm = rng.permutation(num_nodes)
+        permuted_edges = [(int(perm[s]), int(perm[t])) for s, t in edges]
+        permuted = build(num_nodes, permuted_edges)
+        a = global_pagerank(graph, SOLVER).scores
+        b = global_pagerank(permuted, SOLVER).scores
+        np.testing.assert_allclose(b[perm], a, atol=1e-8)
