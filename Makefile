@@ -1,0 +1,25 @@
+# Developer entry points.  Tier-1 is the correctness suite the repo
+# gates every change on; tier-2 adds the performance gates (benchmark
+# smoke runs), which are slower and hardware-sensitive.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-tier2 test-all bench-kernels bench-kernels-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-tier2:
+	$(PYTHON) -m pytest -q -m tier2 tests/perf
+
+test-all: test test-tier2
+
+# Full benchmark; writes BENCH_solver.json at the repo root.
+bench-kernels:
+	$(PYTHON) benchmarks/bench_solver_kernels.py
+
+# CI tier-2 gate: small workload, non-zero exit when the batched
+# solver is not faster than K sequential single solves.
+bench-kernels-smoke:
+	$(PYTHON) benchmarks/bench_solver_kernels.py --smoke --output /tmp/BENCH_solver_smoke.json

@@ -60,8 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(SINGLE_EXPERIMENTS) + ["all"],
-        help="which experiment to run",
+        choices=sorted(SINGLE_EXPERIMENTS) + ["all", "bench-kernels"],
+        help=(
+            "which experiment to run; 'bench-kernels' runs the solver "
+            "kernel benchmark and writes BENCH_solver.json"
+        ),
     )
     parser.add_argument(
         "--au-pages", type=int, default=None,
@@ -113,6 +116,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.experiment == "bench-kernels":
+        # Perf benchmark, not a paper table: --fast maps to smoke mode
+        # (small workload + hard gate), --output overrides the record
+        # path, --seed seeds the workload.
+        from repro.perf.bench import format_summary, run_kernel_benchmark
+
+        record = run_kernel_benchmark(
+            smoke=args.fast,
+            seed=args.seed if args.seed is not None else 2009,
+            output_path=args.output or "BENCH_solver.json",
+        )
+        print(format_summary(record))
+        return 0 if (not args.fast or record["gate_passed"]) else 1
+
     context = ExperimentContext(config_from_args(args))
 
     if args.experiment == "all":

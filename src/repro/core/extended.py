@@ -43,12 +43,13 @@ from scipy import sparse
 from repro.exceptions import SubgraphError
 from repro.graph.digraph import CSRGraph
 from repro.graph.subgraph import normalize_node_set
+from repro.pagerank.batched import batched_power_iteration, stack_teleports
 from repro.pagerank.result import SubgraphScores
 from repro.pagerank.solver import (
     PowerIterationSettings,
     power_iteration,
 )
-from repro.pagerank.transition import transition_matrix
+from repro.pagerank.transition import csr_transpose
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,56 @@ class ExtendedLocalGraph:
             converged=outcome.converged,
             runtime_seconds=outcome.runtime_seconds,
         )
+
+    def solve_many(
+        self,
+        teleports: "list[np.ndarray] | np.ndarray",
+        settings: PowerIterationSettings | None = None,
+    ) -> "list[ExtendedSolveOutcome]":
+        """Solve several personalisations of this graph in one batch.
+
+        All K walks share the extended matrix, so they run through
+        :func:`repro.pagerank.batched.batched_power_iteration` — one
+        sparse mat-mat per iteration instead of K mat-vecs — with each
+        column redistributing dangling mass through its own teleport
+        vector, exactly as K :meth:`solve` calls would.
+
+        Parameters
+        ----------
+        teleports:
+            Either a list of length-(n+1) distributions or an
+            ``(n+1, K)`` block.  Pass ``self.p_ideal`` as a column to
+            include the paper's default walk in the batch.
+        settings:
+            Solver knobs shared by every column.
+
+        Returns
+        -------
+        list[ExtendedSolveOutcome], one per column, in input order.
+        """
+        size = self.num_local + 1
+        if isinstance(teleports, np.ndarray) and teleports.ndim == 2:
+            block = np.ascontiguousarray(teleports, dtype=np.float64)
+        else:
+            block = stack_teleports(list(teleports), size)
+        outcome = batched_power_iteration(
+            self.transition_ext_t,
+            teleports=block,
+            dangling_mask=self.dangling_mask_ext,
+            settings=settings,
+        )
+        per_column = outcome.runtime_seconds / outcome.num_columns
+        return [
+            ExtendedSolveOutcome(
+                local_scores=outcome.scores[: self.num_local, k].copy(),
+                lambda_score=float(outcome.scores[self.lambda_index, k]),
+                iterations=int(outcome.iterations[k]),
+                residual=float(outcome.residuals[k]),
+                converged=bool(outcome.converged[k]),
+                runtime_seconds=per_column,
+            )
+            for k in range(outcome.num_columns)
+        ]
 
 
 @dataclass(frozen=True)
@@ -278,22 +329,29 @@ def build_extended_graph(
         )
     weights = validate_external_weights(external_weights, num_global, local)
 
+    from repro.perf.cache import cached_local_block, cached_transition_matrix
+
+    # Upper-left block plus derived vectors: memoized per (graph,
+    # subgraph) — everything E-independent — so sweeping external
+    # estimates over one subgraph assembles the local structure once.
+    #   * local_block: global transition entries between local pages;
+    #   * to_lambda: residual row mass = total probability of a local
+    #     page stepping outside the subgraph (dangling local pages have
+    #     zero rows here; their patched mass goes through P_ideal).
     if _transition is None or _dangling_mask is None:
-        transition, dangling_mask = transition_matrix(graph)
+        transition, dangling_mask = cached_transition_matrix(graph)
+        bundle = cached_local_block(graph, local)
+        local_block = bundle.local_block
+        local_dangling = bundle.local_dangling
+        to_lambda = bundle.to_lambda
     else:
         transition, dangling_mask = _transition, _dangling_mask
-
-    # Upper-left block: global transition entries between local pages.
-    local_block = transition[local][:, local].tocsr()
-
-    # Upper-right column: residual row mass = total probability of a
-    # local page stepping outside the subgraph.  Dangling local pages
-    # have zero rows here; their (patched) mass goes through P_ideal.
-    row_sums = np.asarray(local_block.sum(axis=1)).ravel()
-    local_dangling = dangling_mask[local]
-    to_lambda = np.where(local_dangling, 0.0, 1.0 - row_sums)
-    # Guard against -1e-17 style float residue.
-    np.clip(to_lambda, 0.0, 1.0, out=to_lambda)
+        local_block = transition[local][:, local].tocsr()
+        row_sums = np.asarray(local_block.sum(axis=1)).ravel()
+        local_dangling = dangling_mask[local]
+        to_lambda = np.where(local_dangling, 0.0, 1.0 - row_sums)
+        # Guard against -1e-17 style float residue.
+        np.clip(to_lambda, 0.0, 1.0, out=to_lambda)
 
     # Bottom row: E-weighted average of the external pages' rows,
     # restricted to local columns.  (A^T w)[local] covers non-dangling
@@ -328,7 +386,7 @@ def build_extended_graph(
 
     return ExtendedLocalGraph(
         local_nodes=local,
-        transition_ext_t=extended.T.tocsr(),
+        transition_ext_t=csr_transpose(extended),
         dangling_mask_ext=dangling_ext,
         p_ideal=p_ext,
         num_global=num_global,

@@ -37,7 +37,8 @@ from repro.graph.digraph import CSRGraph
 from repro.graph.subgraph import normalize_node_set
 from repro.pagerank.result import SubgraphScores
 from repro.pagerank.solver import PowerIterationSettings
-from repro.pagerank.transition import transition_matrix
+from repro.pagerank.transition import csr_transpose
+from repro.perf.cache import cached_local_block, cached_transition_matrix
 
 
 class ApproxRankPreprocessor:
@@ -53,7 +54,12 @@ class ApproxRankPreprocessor:
     def __init__(self, graph: CSRGraph):
         start = time.perf_counter()
         self._graph = graph
-        self._transition, self._dangling_mask = transition_matrix(graph)
+        # The global pass routes through the shared transition cache,
+        # so a preprocessor built after any other solve on this graph
+        # (or a second preprocessor) pays nothing for the matrix.
+        self._transition, self._dangling_mask = cached_transition_matrix(
+            graph
+        )
         self._colsum = np.asarray(self._transition.sum(axis=0)).ravel()
         self._num_dangling = int(np.count_nonzero(self._dangling_mask))
         self.preprocess_seconds = time.perf_counter() - start
@@ -82,18 +88,19 @@ class ApproxRankPreprocessor:
             )
         num_external = num_global - num_local
 
-        local_block = self._transition[local][:, local].tocsr()
-        row_sums = np.asarray(local_block.sum(axis=1)).ravel()
-        local_dangling = self._dangling_mask[local]
-        to_lambda = np.where(local_dangling, 0.0, 1.0 - row_sums)
-        np.clip(to_lambda, 0.0, 1.0, out=to_lambda)
+        # Subgraph-dependent structure comes from the shared cache, so
+        # re-ranking the same subgraph (or ranking it under several E
+        # estimates elsewhere) never re-slices the global matrix.
+        bundle = cached_local_block(self._graph, local)
+        local_block = bundle.local_block
+        local_dangling = bundle.local_dangling
+        to_lambda = bundle.to_lambda
 
         # E_approx is uniform 1/(N-n); the Λ-row entry for local page k
         # is the average inbound probability from external pages:
         #   (Σ_j A[j,k]  −  Σ_{j local} A[j,k]) / (N − n)
         # plus the patched-uniform rows of dangling external pages.
-        block_colsum = np.asarray(local_block.sum(axis=0)).ravel()
-        external_inflow = self._colsum[local] - block_colsum
+        external_inflow = self._colsum[local] - bundle.block_colsum
         np.clip(external_inflow, 0.0, None, out=external_inflow)
         dangling_external = self._num_dangling - int(
             np.count_nonzero(local_dangling)
@@ -110,7 +117,7 @@ class ApproxRankPreprocessor:
         dangling_ext[:num_local] = local_dangling
         return ExtendedLocalGraph(
             local_nodes=local,
-            transition_ext_t=extended.T.tocsr(),
+            transition_ext_t=csr_transpose(extended),
             dangling_mask_ext=dangling_ext,
             p_ideal=p_ideal_vector(num_global, num_local),
             num_global=num_global,

@@ -45,7 +45,16 @@ class CSRGraph:
         contains non-finite weights.
     """
 
-    __slots__ = ("_adj", "_adj_t", "_out_degrees", "_in_degrees", "_out_strength")
+    # __weakref__ lets repro.perf.cache key derived matrices on graph
+    # identity without keeping collected graphs alive.
+    __slots__ = (
+        "_adj",
+        "_adj_t",
+        "_out_degrees",
+        "_in_degrees",
+        "_out_strength",
+        "__weakref__",
+    )
 
     def __init__(self, adjacency: sparse.spmatrix):
         adj = sparse.csr_matrix(adjacency, dtype=np.float64)

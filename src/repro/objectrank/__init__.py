@@ -16,7 +16,11 @@ applied to estimate ObjectRank scores as well" claim is executable.
 
 from repro.objectrank.datagraph import DataGraph, DataGraphBuilder
 from repro.objectrank.dblp import dblp_schema, make_dblp_like
-from repro.objectrank.rank import objectrank, semantic_subgraph_rank
+from repro.objectrank.rank import (
+    objectrank,
+    objectrank_multi,
+    semantic_subgraph_rank,
+)
 from repro.objectrank.schema import AuthoritySchema, TransferEdge
 
 __all__ = [
@@ -27,5 +31,6 @@ __all__ = [
     "dblp_schema",
     "make_dblp_like",
     "objectrank",
+    "objectrank_multi",
     "semantic_subgraph_rank",
 ]

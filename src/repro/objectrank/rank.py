@@ -4,6 +4,10 @@
   (the expensive computation a search engine cannot afford "for all
   possible combinations of keywords and authority transfer
   assignments", §I).
+* :func:`objectrank_multi` — the per-keyword workload done right: K
+  base sets share the data graph's transition matrix, so their walks
+  run as one batched multi-vector solve (one sparse mat-mat per
+  iteration) instead of K independent solves.
 * :func:`semantic_subgraph_rank` — the Figure 3 scenario: restrict
   attention to the entity types a domain expert cares about and
   estimate their scores with ApproxRank (or IdealRank when a previous
@@ -12,7 +16,8 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+import time
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -20,9 +25,11 @@ from repro.core.approxrank import approxrank
 from repro.core.idealrank import idealrank
 from repro.exceptions import SubgraphError
 from repro.objectrank.datagraph import DataGraph
+from repro.pagerank.batched import batched_power_iteration
 from repro.pagerank.localrank import pagerank_on_graph
 from repro.pagerank.result import RankResult, SubgraphScores
-from repro.pagerank.solver import PowerIterationSettings
+from repro.pagerank.solver import PowerIterationSettings, uniform_teleport
+from repro.perf.cache import cached_transition_matrix_transpose
 
 
 def objectrank(
@@ -53,6 +60,75 @@ def objectrank(
     return pagerank_on_graph(
         data.graph, settings, personalization=personalization
     )
+
+
+def objectrank_multi(
+    data: DataGraph,
+    base_sets: Sequence[np.ndarray | None],
+    settings: PowerIterationSettings | None = None,
+) -> list[RankResult]:
+    """ObjectRank for several keyword base sets in one batched solve.
+
+    Every keyword shares the data graph's transition matrix; only the
+    teleport (base-set) vector differs.  Stacking the K personalisation
+    vectors into an ``(N, K)`` block and driving them through
+    :func:`repro.pagerank.batched.batched_power_iteration` reads the
+    matrix once per iteration for all keywords, which is the whole cost
+    of sparse PageRank at scale — the per-keyword results match
+    :func:`objectrank` to solver tolerance.
+
+    Parameters
+    ----------
+    data:
+        The instantiated data graph.
+    base_sets:
+        One entry per keyword: node ids whose entities match the
+        keyword (teleportation restricted to them), or ``None`` for the
+        query-independent uniform walk.
+    settings:
+        Solver knobs shared by every keyword.
+
+    Returns
+    -------
+    list[RankResult], one per base set, in input order.
+    """
+    if len(base_sets) == 0:
+        raise SubgraphError("base_sets must not be empty")
+    num_nodes = data.graph.num_nodes
+    start = time.perf_counter()
+    teleports = np.empty((num_nodes, len(base_sets)), dtype=np.float64)
+    for k, base_set in enumerate(base_sets):
+        if base_set is None:
+            teleports[:, k] = uniform_teleport(num_nodes)
+            continue
+        base_set = np.asarray(base_set, dtype=np.int64)
+        if base_set.size == 0:
+            raise SubgraphError(f"base set {k} must not be empty")
+        column = np.zeros(num_nodes, dtype=np.float64)
+        column[base_set] = 1.0 / base_set.size
+        teleports[:, k] = column
+    transition_t, dangling_mask = cached_transition_matrix_transpose(
+        data.graph
+    )
+    outcome = batched_power_iteration(
+        transition_t,
+        teleports=teleports,
+        dangling_mask=dangling_mask,
+        settings=settings,
+    )
+    runtime = time.perf_counter() - start
+    per_keyword = runtime / outcome.num_columns
+    return [
+        RankResult(
+            scores=outcome.scores[:, k].copy(),
+            iterations=int(outcome.iterations[k]),
+            residual=float(outcome.residuals[k]),
+            converged=bool(outcome.converged[k]),
+            runtime_seconds=per_keyword,
+            method="objectrank-batched",
+        )
+        for k in range(outcome.num_columns)
+    ]
 
 
 def semantic_subgraph_rank(

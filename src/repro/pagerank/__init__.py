@@ -5,14 +5,34 @@ of the paper — row-stochastic transition matrix from out-degrees,
 damping factor ε (default 0.85), uniform personalisation, dangling-mass
 redistribution, and L1-based convergence (default tolerance 1e-5) —
 plus the generic solver the IdealRank/ApproxRank extended graphs reuse.
+
+Performance layer
+-----------------
+All solver variants run on the allocation-free kernels of
+:mod:`repro.pagerank.kernels` (preallocated iterate/scratch buffers,
+in-place sparse mat-vecs).  Workloads that solve many walks over one
+matrix — per-keyword ObjectRank, damping sweeps, multiple extended
+personalisations — go through the batched multi-vector solver of
+:mod:`repro.pagerank.batched`, and transition matrices themselves are
+memoized per graph by :mod:`repro.perf.cache`.
 """
 
 from repro.pagerank.accelerated import (
     power_iteration_adaptive,
     power_iteration_extrapolated,
 )
+from repro.pagerank.batched import (
+    BatchedOutcome,
+    batched_power_iteration,
+    stack_teleports,
+)
 from repro.pagerank.diagnostics import ResidualTrace, residual_trace
 from repro.pagerank.globalrank import global_pagerank
+from repro.pagerank.kernels import (
+    PowerIterationWorkspace,
+    csr_matmat_dense_into,
+    csr_matvec_into,
+)
 from repro.pagerank.linear import solve_linear_system
 from repro.pagerank.localrank import local_pagerank
 from repro.pagerank.result import RankResult, SubgraphScores
@@ -23,15 +43,22 @@ from repro.pagerank.stability import (
     perturbation_bound,
 )
 from repro.pagerank.transition import (
+    csr_transpose,
     transition_matrix,
     transition_matrix_transpose,
 )
 
 __all__ = [
+    "BatchedOutcome",
     "PowerIterationSettings",
+    "PowerIterationWorkspace",
     "ResidualTrace",
     "RankResult",
     "SubgraphScores",
+    "batched_power_iteration",
+    "csr_matmat_dense_into",
+    "csr_matvec_into",
+    "csr_transpose",
     "damping_sweep",
     "edge_perturbation_study",
     "global_pagerank",
@@ -42,6 +69,7 @@ __all__ = [
     "power_iteration_extrapolated",
     "residual_trace",
     "solve_linear_system",
+    "stack_teleports",
     "transition_matrix",
     "transition_matrix_transpose",
 ]

@@ -18,7 +18,11 @@ engine matches the state of practice the paper assumes:
 
 Both solvers converge to the same fixed point as the plain power
 iteration (the tests assert agreement to solver tolerance) and report
-the same :class:`~repro.pagerank.solver.PowerIterationOutcome`.
+the same :class:`~repro.pagerank.solver.PowerIterationOutcome`.  Like
+the plain solver, their inner loops run on the allocation-free kernels
+of :mod:`repro.pagerank.kernels`: iterate, scratch and (for the
+extrapolated variant) history buffers are preallocated once and every
+step is in-place arithmetic.
 """
 
 from __future__ import annotations
@@ -29,6 +33,13 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import ConvergenceError
+from repro.pagerank.kernels import (
+    PowerIterationWorkspace,
+    csr_matvec_into,
+    damped_step_into,
+    dangling_mass,
+    l1_residual_into,
+)
 from repro.pagerank.solver import (
     PowerIterationOutcome,
     PowerIterationSettings,
@@ -87,40 +98,52 @@ def power_iteration_extrapolated(
     damping = settings.damping
     base = (1.0 - damping) * teleport
 
-    def step(vector: np.ndarray) -> np.ndarray:
-        dangling_mass = (
-            float(vector[dangling_indices].sum())
-            if dangling_indices.size else 0.0
-        )
-        result = damping * (transition_t @ vector)
-        if dangling_mass:
-            result += damping * dangling_mass * dangling_dist
-        result += base
-        return result / result.sum()
+    workspace = PowerIterationWorkspace(size)
+    np.copyto(workspace.x, teleport)
+    # Rotating three-slot history of iterates (oldest first); slots are
+    # preallocated and recycled, never reallocated.
+    history = [np.empty(size, dtype=np.float64) for _ in range(3)]
+    np.copyto(history[0], workspace.x)
+    hist_len = 1
 
-    x = teleport.copy()
-    previous = [x]
     start = time.perf_counter()
     residual = np.inf
     iterations = 0
     for iterations in range(1, settings.max_iterations + 1):
-        x_next = step(x)
-        residual = float(np.abs(x_next - x).sum())
-        previous.append(x_next)
-        if len(previous) > 3:
-            previous.pop(0)
-        x = x_next
+        damped_step_into(
+            transition_t,
+            workspace.x,
+            workspace.x_next,
+            damping=damping,
+            base=base,
+            dangling_indices=dangling_indices,
+            dangling_dist=dangling_dist,
+            scratch=workspace.scratch,
+            workspace=workspace,
+        )
+        residual = l1_residual_into(
+            workspace.x_next, workspace.x, workspace.scratch
+        )
+        if hist_len < 3:
+            np.copyto(history[hist_len], workspace.x_next)
+            hist_len += 1
+        else:
+            history.append(history.pop(0))
+            np.copyto(history[2], workspace.x_next)
+        workspace.swap()
         if residual < settings.tolerance:
             return PowerIterationOutcome(
-                scores=x,
+                scores=workspace.x,
                 iterations=iterations,
                 residual=residual,
                 converged=True,
                 runtime_seconds=time.perf_counter() - start,
             )
-        if iterations % period == 0 and len(previous) == 3:
-            x = _aitken_extrapolate(*previous)
-            previous = [x]
+        if iterations % period == 0 and hist_len == 3:
+            extrapolated = _aitken_extrapolate(*history)
+            np.copyto(workspace.x, extrapolated)
+            np.copyto(history[0], extrapolated)
+            hist_len = 1
     if settings.raise_on_divergence:
         raise ConvergenceError(
             "extrapolated power iteration did not converge within "
@@ -130,7 +153,7 @@ def power_iteration_extrapolated(
             residual=residual,
         )
     return PowerIterationOutcome(
-        scores=x,
+        scores=workspace.x,
         iterations=iterations,
         residual=residual,
         converged=False,
@@ -211,27 +234,32 @@ def power_iteration_adaptive(
         freeze_tolerance_fraction * settings.tolerance / size
     )
 
-    x = teleport.copy()
+    workspace = PowerIterationWorkspace(size)
+    np.copyto(workspace.x, teleport)
+    x, x_next, scratch = workspace.x, workspace.x_next, workspace.scratch
     frozen = np.zeros(size, dtype=bool)
     start = time.perf_counter()
     residual = np.inf
     stall_residual = np.inf
     iterations = 0
     for iterations in range(1, settings.max_iterations + 1):
-        dangling_mass = (
-            float(x[dangling_indices].sum())
-            if dangling_indices.size else 0.0
-        )
-        x_next = damping * (transition_t @ x)
-        if dangling_mass:
-            x_next += damping * dangling_mass * dangling_dist
+        # The plain damped step, un-normalised, so the frozen pages can
+        # be pinned *before* the renormalisation (matching the original
+        # update order exactly).
+        mass = dangling_mass(x, dangling_indices, workspace)
+        csr_matvec_into(transition_t, x, x_next)
+        x_next *= damping
+        if mass:
+            np.multiply(dangling_dist, damping * mass, out=scratch)
+            x_next += scratch
         x_next += base
         # Frozen pages keep their previous value.
-        x_next[frozen] = x[frozen]
+        np.copyto(x_next, x, where=frozen)
         x_next /= x_next.sum()
-        change = np.abs(x_next - x)
-        residual = float(change.sum())
-        x = x_next
+        np.subtract(x_next, x, out=scratch)
+        np.abs(scratch, out=scratch)
+        residual = float(scratch.sum())
+        x, x_next = x_next, x
         if residual < settings.tolerance:
             return PowerIterationOutcome(
                 scores=x,
@@ -241,7 +269,7 @@ def power_iteration_adaptive(
                 runtime_seconds=time.perf_counter() - start,
             )
         if iterations % check_period == 0:
-            frozen = frozen | (change < freeze_threshold)
+            frozen |= scratch < freeze_threshold
             # Thaw everything if progress stalled: frozen components
             # may be holding the residual up.
             if residual >= 0.5 * stall_residual:

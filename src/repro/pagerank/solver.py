@@ -24,6 +24,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import ConvergenceError
+from repro.pagerank.kernels import PowerIterationWorkspace, run_power_loop
 
 
 #: Damping factor ε used throughout the paper's experiments (§V-A).
@@ -105,8 +106,14 @@ def power_iteration(
     dangling_dist: np.ndarray | None = None,
     settings: PowerIterationSettings | None = None,
     initial: np.ndarray | None = None,
+    workspace: PowerIterationWorkspace | None = None,
 ) -> PowerIterationOutcome:
     """Run the damped power iteration to its stationary distribution.
+
+    The iteration itself runs on the allocation-free kernels of
+    :mod:`repro.pagerank.kernels`: iterate and scratch buffers are
+    preallocated once (or supplied by the caller) and every step is
+    in-place sparse mat-vec plus in-place vector arithmetic.
 
     Parameters
     ----------
@@ -125,6 +132,11 @@ def power_iteration(
     initial:
         Starting vector; defaults to ``teleport``.  It is normalised to
         sum to 1.
+    workspace:
+        Optional preallocated
+        :class:`~repro.pagerank.kernels.PowerIterationWorkspace` of the
+        right size; pass one when solving repeatedly on the same graph
+        so the steady state allocates nothing.
 
     Returns
     -------
@@ -164,46 +176,45 @@ def power_iteration(
             )
         dangling_indices = np.flatnonzero(dangling_mask)
 
+    caller_workspace = workspace is not None
+    if workspace is None:
+        workspace = PowerIterationWorkspace(size)
+    elif workspace.size != size:
+        raise ValueError(
+            f"workspace is sized for {workspace.size}, problem is {size}"
+        )
+
     if initial is None:
-        x = teleport.copy()
+        np.copyto(workspace.x, teleport)
     else:
-        x = np.asarray(initial, dtype=np.float64).copy()
-        if x.shape != (size,):
+        initial = np.asarray(initial, dtype=np.float64)
+        if initial.shape != (size,):
             raise ValueError(
-                f"initial must have shape ({size},), got {x.shape}"
+                f"initial must have shape ({size},), got {initial.shape}"
             )
-        total = x.sum()
+        total = initial.sum()
         if total <= 0:
             raise ValueError("initial vector must have positive mass")
-        x /= total
+        np.divide(initial, total, out=workspace.x)
 
     damping = settings.damping
     base = (1.0 - damping) * teleport
     start = time.perf_counter()
-    residual = np.inf
-    iterations = 0
-    for iterations in range(1, settings.max_iterations + 1):
-        dangling_mass = float(x[dangling_indices].sum()) if dangling_indices.size else 0.0
-        x_next = damping * (transition_t @ x)
-        if dangling_mass:
-            x_next += damping * dangling_mass * dangling_dist
-        x_next += base
-        # Stochasticity keeps the total at 1; renormalise to stop
-        # floating-point drift from accumulating over hundreds of steps.
-        x_next /= x_next.sum()
-        residual = float(np.abs(x_next - x).sum())
-        x = x_next
-        if residual < settings.tolerance:
-            runtime = time.perf_counter() - start
-            return PowerIterationOutcome(
-                scores=x,
-                iterations=iterations,
-                residual=residual,
-                converged=True,
-                runtime_seconds=runtime,
-            )
+    iterations, residual, converged = run_power_loop(
+        transition_t,
+        damping=damping,
+        base=base,
+        dangling_indices=dangling_indices,
+        dangling_dist=dangling_dist,
+        tolerance=settings.tolerance,
+        max_iterations=settings.max_iterations,
+        workspace=workspace,
+    )
     runtime = time.perf_counter() - start
-    if settings.raise_on_divergence:
+    # A caller-owned workspace will be reused; hand back a private copy
+    # of the final iterate so the next solve cannot clobber it.
+    scores = workspace.x.copy() if caller_workspace else workspace.x
+    if not converged and settings.raise_on_divergence:
         raise ConvergenceError(
             f"power iteration did not reach tolerance "
             f"{settings.tolerance} within {settings.max_iterations} "
@@ -212,10 +223,10 @@ def power_iteration(
             residual=residual,
         )
     return PowerIterationOutcome(
-        scores=x,
+        scores=scores,
         iterations=iterations,
         residual=residual,
-        converged=False,
+        converged=converged,
         runtime_seconds=runtime,
     )
 

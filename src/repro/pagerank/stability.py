@@ -143,27 +143,41 @@ def damping_sweep(
     Returns ``(damping, footrule distance to the reference-damping
     ranking)`` pairs — 0 for the reference itself, growing as ε moves
     away from it.
+
+    All the sweep points share the graph's transition matrix and only
+    differ in ε, so the reference and every sweep value run as one
+    batched multi-vector solve with per-column damping (one matrix
+    sweep per iteration for the whole study).
     """
-    reference = global_pagerank(
-        graph,
-        PowerIterationSettings(
-            damping=reference_damping, tolerance=tolerance,
-            max_iterations=50_000,
-        ),
+    from repro.pagerank.batched import batched_power_iteration
+    from repro.pagerank.solver import uniform_teleport
+    from repro.perf.cache import cached_transition_matrix_transpose
+
+    all_dampings = np.array(
+        [float(reference_damping)] + [float(d) for d in dampings],
+        dtype=np.float64,
     )
-    results = []
-    for damping in dampings:
-        scores = global_pagerank(
-            graph,
-            PowerIterationSettings(
-                damping=damping, tolerance=tolerance,
-                max_iterations=50_000,
+    transition_t, dangling_mask = cached_transition_matrix_transpose(graph)
+    teleport = uniform_teleport(graph.num_nodes)
+    teleports = np.repeat(
+        teleport[:, np.newaxis], all_dampings.size, axis=1
+    )
+    outcome = batched_power_iteration(
+        transition_t,
+        teleports=teleports,
+        dangling_mask=dangling_mask,
+        settings=PowerIterationSettings(
+            tolerance=tolerance, max_iterations=50_000,
+        ),
+        dampings=all_dampings,
+    )
+    reference_scores = outcome.scores[:, 0]
+    return [
+        (
+            float(damping),
+            footrule_from_scores(
+                reference_scores, outcome.scores[:, k + 1]
             ),
-        ).scores
-        results.append(
-            (
-                float(damping),
-                footrule_from_scores(reference.scores, scores),
-            )
         )
-    return results
+        for k, damping in enumerate(dampings)
+    ]

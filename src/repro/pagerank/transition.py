@@ -37,6 +37,25 @@ def transition_matrix(graph: CSRGraph) -> tuple[sparse.csr_matrix, np.ndarray]:
     return matrix, dangling_mask
 
 
+def csr_transpose(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Transpose a CSR matrix into CSR form without an extra copy.
+
+    ``matrix.T.tocsr()`` goes CSR → CSC view → CSR, materialising a
+    second full copy of the matrix during the conversion.  A CSC matrix
+    and its CSR transpose share the exact same ``(data, indices,
+    indptr)`` arrays, so converting to CSC once and reinterpreting the
+    buffers as CSR yields ``A^T`` with a single O(nnz) pass and no
+    second materialisation.
+    """
+    csc = matrix.tocsc()
+    csc.sort_indices()
+    return sparse.csr_matrix(
+        (csc.data, csc.indices, csc.indptr),
+        shape=(matrix.shape[1], matrix.shape[0]),
+        copy=False,
+    )
+
+
 def transition_matrix_transpose(
     graph: CSRGraph,
 ) -> tuple[sparse.csr_matrix, np.ndarray]:
@@ -45,9 +64,29 @@ def transition_matrix_transpose(
     The solver computes ``A^T @ x`` every step, and multiplying by a
     CSR matrix is fastest when that matrix *is* the transpose, so this
     is the form algorithms actually request.
+
+    Rather than building ``A`` and transposing it, this scales the
+    graph's cached in-link adjacency column-wise:
+    ``A^T[j, i] = w(i → j) / strength(i)``, so ``A^T`` shares the
+    transposed adjacency's index structure and only a fresh data array
+    is allocated — no sparse product and no CSR↔CSC conversions beyond
+    the one the graph caches for every consumer of in-links.
     """
-    matrix, dangling_mask = transition_matrix(graph)
-    return matrix.T.tocsr(), dangling_mask
+    adj_t = graph.adjacency_t
+    strength = graph.out_strength
+    dangling_mask = strength == 0
+    inverse = np.zeros_like(strength)
+    nonzero = ~dangling_mask
+    inverse[nonzero] = 1.0 / strength[nonzero]
+    # Column j of A^T is row j of A scaled by 1/strength(j); in CSR
+    # terms that is a per-entry scale by the entry's column index.
+    data = adj_t.data * inverse[adj_t.indices]
+    transpose = sparse.csr_matrix(
+        (data, adj_t.indices, adj_t.indptr),
+        shape=adj_t.shape,
+        copy=False,
+    )
+    return transpose, dangling_mask
 
 
 def row_stochastic_check(

@@ -1,0 +1,32 @@
+"""Performance infrastructure: caches and benchmark harnesses.
+
+This package holds the machinery that keeps repeated ranking work from
+redoing structural computation:
+
+* :mod:`repro.perf.cache` — a graph-identity-keyed cache of transition
+  matrices, their transposes and per-subgraph local-block bundles, so
+  repeated solves on the same (sub)graph never rebuild CSR structures.
+* :mod:`repro.perf.bench` — the solver-kernel benchmark behind
+  ``benchmarks/bench_solver_kernels.py`` and the
+  ``python -m repro bench-kernels`` CLI subcommand.
+"""
+
+from repro.perf.cache import (
+    GLOBAL_TRANSITION_CACHE,
+    CacheStats,
+    LocalBlockBundle,
+    TransitionCache,
+    cached_local_block,
+    cached_transition_matrix,
+    cached_transition_matrix_transpose,
+)
+
+__all__ = [
+    "CacheStats",
+    "GLOBAL_TRANSITION_CACHE",
+    "LocalBlockBundle",
+    "TransitionCache",
+    "cached_local_block",
+    "cached_transition_matrix",
+    "cached_transition_matrix_transpose",
+]
