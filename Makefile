@@ -5,13 +5,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-tier2 test-all bench-kernels bench-kernels-smoke
+.PHONY: test test-tier2 test-all bench-kernels bench-kernels-smoke \
+	bench-parallel bench-parallel-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-tier2:
-	$(PYTHON) -m pytest -q -m tier2 tests/perf
+	$(PYTHON) -m pytest -q -m tier2 tests/perf tests/parallel
 
 test-all: test test-tier2
 
@@ -23,3 +24,12 @@ bench-kernels:
 # solver is not faster than K sequential single solves.
 bench-kernels-smoke:
 	$(PYTHON) benchmarks/bench_solver_kernels.py --smoke --output /tmp/BENCH_solver_smoke.json
+
+# Full scaling benchmark; writes BENCH_parallel.json at the repo root.
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel.py
+
+# CI tier-2 gate: small workload; requires exact serial/parallel score
+# agreement always, and a wall-clock win when the machine has cores.
+bench-parallel-smoke:
+	$(PYTHON) benchmarks/bench_parallel.py --smoke --output /tmp/BENCH_parallel_smoke.json

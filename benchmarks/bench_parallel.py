@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Benchmark multi-subgraph scaling and emit ``BENCH_parallel.json``.
+
+Times :func:`repro.parallel.rank_many` on the paper's Table IV
+workload — the 12 named DS domains of the AU-like dataset, each ranked
+by ApproxRank against one shared global graph — serially and at 2 and
+4 worker processes attached to a shared-memory copy of the graph.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py           # full
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke   # CI gate
+
+Exit code is non-zero when the smoke gate fails.  The gate always
+requires exact serial/parallel score agreement; the wall-clock speedup
+clause applies only on machines that actually have multiple CPU cores
+(a single-core container cannot beat serial with processes, and the
+record says so instead of lying).  See ``make bench-parallel-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.parallel_bench import (
+    DEFAULT_OUTPUT,
+    format_parallel_summary,
+    run_parallel_benchmark,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark serial vs process-parallel multi-subgraph "
+            "ranking over a shared-memory graph."
+        )
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload + hard gate (CI tier-2 mode)",
+    )
+    parser.add_argument(
+        "--pages", type=int, default=None,
+        help="override the AU-like dataset size (pages)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2009, help="RNG seed",
+    )
+    parser.add_argument(
+        "--output", type=str, default=DEFAULT_OUTPUT,
+        help=f"JSON record path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    record = run_parallel_benchmark(
+        smoke=args.smoke,
+        pages=args.pages,
+        seed=args.seed,
+        output_path=args.output,
+    )
+    print(format_parallel_summary(record))
+    if args.smoke and not record["gate_passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,10 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(SINGLE_EXPERIMENTS) + ["all", "bench-kernels"],
+        choices=sorted(SINGLE_EXPERIMENTS)
+        + ["all", "bench-kernels", "bench-parallel"],
         help=(
             "which experiment to run; 'bench-kernels' runs the solver "
-            "kernel benchmark and writes BENCH_solver.json"
+            "kernel benchmark (BENCH_solver.json), 'bench-parallel' "
+            "the multi-subgraph scaling benchmark (BENCH_parallel.json)"
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "worker processes for the per-subgraph experiment loops "
+            "(default: serial); scores are identical, only wall-clock "
+            "changes"
         ),
     )
     parser.add_argument(
@@ -131,7 +141,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_summary(record))
         return 0 if (not args.fast or record["gate_passed"]) else 1
 
-    context = ExperimentContext(config_from_args(args))
+    if args.experiment == "bench-parallel":
+        # Scaling benchmark for the multi-subgraph batch engine;
+        # --fast maps to smoke mode (small workload + hard gate).
+        from repro.perf.parallel_bench import (
+            format_parallel_summary,
+            run_parallel_benchmark,
+        )
+
+        record = run_parallel_benchmark(
+            smoke=args.fast,
+            seed=args.seed if args.seed is not None else 2009,
+            output_path=args.output or "BENCH_parallel.json",
+        )
+        print(format_parallel_summary(record))
+        return 0 if (not args.fast or record["gate_passed"]) else 1
+
+    context = ExperimentContext(
+        config_from_args(args), workers=args.workers
+    )
 
     if args.experiment == "all":
         results = run_all(context, verbose=not args.markdown)

@@ -51,6 +51,15 @@ class ConvergenceError(ReproError):
         self.residual = residual
 
 
+class ParallelError(ReproError):
+    """Multi-process ranking failed.
+
+    Raised by :mod:`repro.parallel` when a worker task fails (the
+    message names the failing subgraph and carries the worker-side
+    traceback) or when the process pool itself breaks.
+    """
+
+
 class MetricError(ReproError):
     """Inputs to a ranking metric are incompatible (e.g. length mismatch)."""
 

@@ -52,15 +52,23 @@ class ExperimentContext:
     settings:
         Solver knobs applied uniformly to every algorithm (the paper's
         ε = 0.85 and L1 tolerance 1e-5 by default).
+    workers:
+        Worker-process count for the per-subgraph loops of the
+        evaluation tables (see :mod:`repro.parallel`).  ``None`` or
+        ``1`` keeps the historical serial path; parallel runs produce
+        *bit-identical* scores, so tables are unaffected beyond their
+        runtime columns being measured inside workers.
     """
 
     def __init__(
         self,
         config: ExperimentConfig | None = None,
         settings: PowerIterationSettings | None = None,
+        workers: int | None = None,
     ):
         self.config = config or ExperimentConfig()
         self.settings = settings or PowerIterationSettings()
+        self.workers = workers
         self._datasets: dict[str, WebDataset] = {}
         self._truths: dict[str, GroundTruth] = {}
         self._preprocessors: dict[str, ApproxRankPreprocessor] = {}

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.experiments.context import ExperimentContext
 from repro.experiments.reporting import TableResult
-from repro.experiments.runner import run_algorithms, standard_rankers
+from repro.experiments.runner import run_algorithms_many
 from repro.subgraphs.bfs import bfs_subgraph, default_bfs_seed
 
 #: The two reference points the paper quotes in the text for the 10%
@@ -44,22 +44,28 @@ def run(context: ExperimentContext | None = None) -> TableResult:
             "localPR", "LPR2", "ApproxRank", "SC",
         ],
     )
-    rankers = standard_rankers(context, dataset)
     seed_page = (
         config.bfs_seed_page
         if config.bfs_seed_page is not None
         else default_bfs_seed(dataset.graph)
     )
+    named_nodes = []
+    algorithms_per = []
     for fraction in config.bfs_fractions:
         nodes = bfs_subgraph(dataset.graph, seed_page, fraction)
         with_sc = fraction in config.bfs_sc_fractions
         algorithms = ["local-pr", "lpr2", "approxrank"]
         if with_sc:
             algorithms.append("sc")
-        runs = run_algorithms(
-            context, dataset, nodes, rankers=rankers,
-            algorithms=algorithms,
-        )
+        named_nodes.append((f"bfs-{100.0 * fraction:g}%", nodes))
+        algorithms_per.append(tuple(algorithms))
+    all_runs = run_algorithms_many(
+        context, dataset, named_nodes, algorithms=algorithms_per
+    )
+    for fraction, (__, nodes), runs in zip(
+        config.bfs_fractions, named_nodes, all_runs
+    ):
+        with_sc = fraction in config.bfs_sc_fractions
         table.add_row(
             100.0 * fraction,
             int(nodes.size),

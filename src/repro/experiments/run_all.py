@@ -48,9 +48,21 @@ EXPERIMENTS: tuple[tuple[str, Callable[[ExperimentContext], TableResult]], ...] 
 def run_all(
     context: ExperimentContext | None = None,
     verbose: bool = True,
+    workers: int | None = None,
 ) -> dict[str, TableResult]:
-    """Execute every experiment; returns results keyed by experiment id."""
+    """Execute every experiment; returns results keyed by experiment id.
+
+    Parameters
+    ----------
+    workers:
+        Fan each table's per-subgraph loop across this many worker
+        processes (see :mod:`repro.parallel`); overrides the
+        context's setting when given.  Scores are bit-identical to a
+        serial run — only wall-clock changes.
+    """
     context = context or ExperimentContext()
+    if workers is not None:
+        context.workers = workers
     results: dict[str, TableResult] = {}
     for name, runner in EXPERIMENTS:
         start = time.perf_counter()

@@ -10,7 +10,7 @@ plus row formatting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -121,3 +121,75 @@ def run_algorithms(
             name=name, estimate=estimate, report=report
         )
     return runs
+
+
+def run_algorithms_many(
+    context: ExperimentContext,
+    dataset: WebDataset,
+    named_nodes: Sequence[tuple[str, np.ndarray]],
+    algorithms: Sequence[str] | Sequence[Sequence[str]],
+) -> list[dict[str, AlgorithmRun]]:
+    """Run the suite over *many* subgraphs, in parallel when configured.
+
+    The multi-subgraph counterpart of :func:`run_algorithms` — the
+    shape of every evaluation table (12 DS domains, the TS topics, the
+    Figure 7 BFS sweep).  With ``context.workers`` unset (or 1) this
+    is exactly the historical serial loop; with more workers the
+    (subgraph × algorithm) solves fan out through
+    :func:`repro.parallel.rank_many_suite` over a shared-memory copy
+    of the graph, and only evaluation/formatting stays in the parent.
+    The parallel path produces bit-identical scores (pinned by the
+    parallel test suite), so table contents do not depend on the
+    worker count.
+
+    Parameters
+    ----------
+    named_nodes:
+        ``(label, nodes)`` pairs; labels appear in error messages.
+    algorithms:
+        One sequence of algorithm names applied to every subgraph, or
+        one sequence per subgraph (Figure 7 adds SC only on the
+        smallest crawls).
+
+    Returns
+    -------
+    One ``{algorithm: AlgorithmRun}`` dict per subgraph, in input
+    order.
+    """
+    if algorithms and isinstance(algorithms[0], str):
+        per_subgraph: list[Sequence[str]] = (
+            [tuple(algorithms)] * len(named_nodes)  # type: ignore[arg-type]
+        )
+    else:
+        per_subgraph = [tuple(a) for a in algorithms]  # type: ignore[union-attr]
+    workers = getattr(context, "workers", None) or 1
+    if workers <= 1:
+        rankers = standard_rankers(context, dataset)
+        return [
+            run_algorithms(
+                context, dataset, nodes, rankers=rankers, algorithms=algos
+            )
+            for (__, nodes), algos in zip(named_nodes, per_subgraph)
+        ]
+
+    from repro.parallel import rank_many_suite
+
+    truth = context.ground_truth(dataset)
+    estimates = rank_many_suite(
+        dataset.graph,
+        list(named_nodes),
+        algorithms=per_subgraph,
+        settings=context.settings,
+        workers=workers,
+        sc_settings=SCSettings(expansions=context.config.sc_expansions),
+    )
+    results: list[dict[str, AlgorithmRun]] = []
+    for per_algo in estimates:
+        runs: dict[str, AlgorithmRun] = {}
+        for name, estimate in per_algo.items():
+            report = evaluate_estimate(truth.scores, estimate)
+            runs[name] = AlgorithmRun(
+                name=name, estimate=estimate, report=report
+            )
+        results.append(runs)
+    return results

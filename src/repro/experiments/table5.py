@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.experiments.context import ExperimentContext
 from repro.experiments.reporting import TableResult
-from repro.experiments.runner import run_algorithms, standard_rankers
+from repro.experiments.runner import run_algorithms_many
 from repro.experiments.table3 import TS_SUBGRAPHS
 from repro.subgraphs.topic import topic_subgraph
 
@@ -46,13 +46,14 @@ def run(context: ExperimentContext | None = None) -> TableResult:
             "cand. exp1", "cand. exp2", "cand. exp3",
         ],
     )
-    rankers = standard_rankers(context, dataset)
-    for topic in TS_SUBGRAPHS:
-        nodes = topic_subgraph(dataset, topic)
-        runs = run_algorithms(
-            context, dataset, nodes, rankers=rankers,
-            algorithms=("local-pr", "approxrank", "sc"),
-        )
+    named_nodes = [
+        (topic, topic_subgraph(dataset, topic)) for topic in TS_SUBGRAPHS
+    ]
+    all_runs = run_algorithms_many(
+        context, dataset, named_nodes,
+        algorithms=("local-pr", "approxrank", "sc"),
+    )
+    for (topic, nodes), runs in zip(named_nodes, all_runs):
         sc_extras = runs["sc"].estimate.extras
         candidates = tuple(sc_extras["expansion_candidates"])
         padded = candidates + ("-",) * (3 - min(len(candidates), 3))

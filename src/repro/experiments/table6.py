@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments.context import ExperimentContext
 from repro.experiments.reporting import TableResult
-from repro.experiments.runner import run_algorithms, standard_rankers
+from repro.experiments.runner import run_algorithms_many
 from repro.generators.datasets import AU_NAMED_DOMAINS
 from repro.subgraphs.domain import domain_subgraph
 
@@ -49,13 +49,15 @@ def run(context: ExperimentContext | None = None) -> TableResult:
             "cand. exp1", "cand. exp2", "cand. exp3",
         ],
     )
-    rankers = standard_rankers(context, dataset)
-    for domain, __ in AU_NAMED_DOMAINS:
-        nodes = domain_subgraph(dataset, domain)
-        runs = run_algorithms(
-            context, dataset, nodes, rankers=rankers,
-            algorithms=("local-pr", "approxrank", "sc"),
-        )
+    named_nodes = [
+        (domain, domain_subgraph(dataset, domain))
+        for domain, __ in AU_NAMED_DOMAINS
+    ]
+    all_runs = run_algorithms_many(
+        context, dataset, named_nodes,
+        algorithms=("local-pr", "approxrank", "sc"),
+    )
+    for (domain, nodes), runs in zip(named_nodes, all_runs):
         sc_extras = runs["sc"].estimate.extras
         candidates = tuple(sc_extras["expansion_candidates"])
         padded = candidates + ("-",) * (3 - min(len(candidates), 3))

@@ -76,6 +76,44 @@ class CSRGraph:
         self._in_degrees: np.ndarray | None = None
         self._out_strength: np.ndarray | None = None
 
+    @classmethod
+    def from_shared(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        num_nodes: int,
+    ) -> "CSRGraph":
+        """Wrap *canonical* CSR arrays without copying or validating.
+
+        The trusted zero-copy constructor used by
+        :mod:`repro.parallel.shm` (worker processes attaching a
+        published graph) and by :func:`repro.graph.io.load_npz` in
+        mmap mode.  The arrays must come from an existing
+        :class:`CSRGraph` — sorted indices, no duplicates, no explicit
+        zeros, non-negative finite float64 data — because none of the
+        ``__init__`` canonicalisation runs here.  Crucially the arrays
+        are *not* written to (they may live in read-only shared-memory
+        segments or memory-mapped files); the adjacency is flagged
+        canonical so downstream scipy code never attempts an in-place
+        ``sum_duplicates``/``sort_indices`` pass.
+        """
+        matrix = sparse.csr_matrix(
+            (data, indices, indptr),
+            shape=(num_nodes, num_nodes),
+            copy=False,
+        )
+        # The arrays are canonical by construction; recording that
+        # stops scipy from ever mutating (read-only) buffers.
+        matrix.has_canonical_format = True
+        self = object.__new__(cls)
+        self._adj = matrix
+        self._adj_t = None
+        self._out_degrees = None
+        self._in_degrees = None
+        self._out_strength = None
+        return self
+
     # ------------------------------------------------------------------
     # Basic shape
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Graph persistence: plain-text edge lists and compressed npz archives.
+"""Graph persistence: plain-text edge lists and npz archives.
 
 Two formats are supported:
 
@@ -6,13 +6,20 @@ Two formats are supported:
   per edge, ``#`` comments allowed — interchange format compatible with
   SNAP/WebGraph-style dumps.
 * **npz**: the CSR arrays plus optional named metadata arrays (domain
-  ids, topic ids, ...) in one compressed file — the fast path used by
-  the experiment harness to cache generated datasets.
+  ids, topic ids, ...) in one file — the fast path used by the
+  experiment harness to cache generated datasets.  Compressed by
+  default; ``save_npz(..., compressed=False)`` plus
+  ``load_npz(..., mmap=True)`` gives a zero-decompression,
+  memory-mapped load for large cached datasets.
 """
 
 from __future__ import annotations
 
+import io as _io
 import os
+import re
+import struct
+import zipfile
 from typing import Mapping
 
 import numpy as np
@@ -20,6 +27,16 @@ from scipy import sparse
 
 from repro.exceptions import GraphError
 from repro.graph.digraph import CSRGraph
+
+#: Edges formatted per ``writelines`` batch (keeps the line buffer a
+#: few MiB even for multi-million-edge graphs).
+_WRITE_CHUNK = 65_536
+
+#: Matches every comment line (full-file scan at regex-engine speed).
+_COMMENT_RE = re.compile(r"(?m)^[ \t]*#(.*)$")
+
+#: Matches the first non-blank, non-comment line (data presence probe).
+_DATA_LINE_RE = re.compile(r"(?m)^(?![ \t]*#)[ \t]*\S")
 
 
 def write_edge_list(
@@ -29,15 +46,94 @@ def write_edge_list(
 
     The first comment line records the node count so that isolated
     trailing nodes survive a round-trip.
+
+    Edges are formatted in :data:`_WRITE_CHUNK`-sized batches and
+    streamed through ``writelines`` — one buffered syscall per batch
+    instead of one ``write`` per edge.  Weights are emitted with full
+    round-trip precision (``%.17g``) only when the graph is actually
+    weighted; the unweighted path skips the float formatting entirely
+    and writes the constant ``1``.
     """
+    sources, targets, weights = graph.edge_array()
+    src = sources.tolist()
+    dst = targets.tolist()
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"# nodes: {graph.num_nodes}\n")
         handle.write(f"# edges: {graph.num_edges}\n")
-        for source, target, weight in graph.iter_edges():
-            if include_weights:
-                handle.write(f"{source}\t{target}\t{weight:.17g}\n")
-            else:
-                handle.write(f"{source}\t{target}\n")
+        if include_weights and not graph.is_unweighted():
+            wts = weights.tolist()
+            for start in range(0, len(src), _WRITE_CHUNK):
+                stop = start + _WRITE_CHUNK
+                handle.writelines(
+                    f"{s}\t{t}\t{w:.17g}\n"
+                    for s, t, w in zip(
+                        src[start:stop], dst[start:stop], wts[start:stop]
+                    )
+                )
+        elif include_weights:
+            for start in range(0, len(src), _WRITE_CHUNK):
+                stop = start + _WRITE_CHUNK
+                handle.writelines(
+                    f"{s}\t{t}\t1\n"
+                    for s, t in zip(src[start:stop], dst[start:stop])
+                )
+        else:
+            for start in range(0, len(src), _WRITE_CHUNK):
+                stop = start + _WRITE_CHUNK
+                handle.writelines(
+                    f"{s}\t{t}\n"
+                    for s, t in zip(src[start:stop], dst[start:stop])
+                )
+
+
+def _header_nodes_from_comments(text: str) -> int | None:
+    """Extract the (last) ``# nodes:`` header from the comment lines."""
+    header: int | None = None
+    for match in _COMMENT_RE.finditer(text):
+        body = match.group(1).strip()
+        if body.startswith("nodes:"):
+            header = int(body.split(":", 1)[1])
+    return header
+
+
+def _read_edge_list_slow(
+    text: str, path: str | os.PathLike
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int | None]:
+    """Line-by-line reference parser.
+
+    Precise-diagnostics fallback for files the bulk path cannot handle:
+    mixed 2/3-column rows, malformed rows (reported with their line
+    number), non-integer ids (reported with the same ``ValueError`` the
+    historical parser raised).
+    """
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    header_nodes: int | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("nodes:"):
+                header_nodes = int(body.split(":", 1)[1])
+            continue
+        parts = line.split("\t")
+        if len(parts) not in (2, 3):
+            raise GraphError(
+                f"{path}:{line_no}: expected 2 or 3 tab-separated "
+                f"fields, got {len(parts)}"
+            )
+        sources.append(int(parts[0]))
+        targets.append(int(parts[1]))
+        weights.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    return (
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+        header_nodes,
+    )
 
 
 def read_edge_list(
@@ -52,45 +148,73 @@ def read_edge_list(
     num_nodes:
         Override the node count; by default it is taken from the
         ``# nodes:`` header, falling back to ``max id + 1``.
+
+    Notes
+    -----
+    Parsing is vectorised: comments are collected with one regex scan
+    and the body is bulk-parsed by ``numpy.loadtxt`` (C tokeniser, no
+    per-line Python loop) — an order of magnitude faster than the
+    historical append-per-line parser on large edge lists.  Files the
+    bulk path cannot represent (mixed 2/3-column rows, malformed or
+    non-integer fields) fall back to the line-by-line parser, which
+    preserves the exact historical diagnostics including line numbers.
     """
-    sources: list[int] = []
-    targets: list[int] = []
-    weights: list[float] = []
-    header_nodes: int | None = None
     with open(path, "r", encoding="utf-8") as handle:
-        for line_no, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                body = line[1:].strip()
-                if body.startswith("nodes:"):
-                    header_nodes = int(body.split(":", 1)[1])
-                continue
-            parts = line.split("\t")
-            if len(parts) not in (2, 3):
-                raise GraphError(
-                    f"{path}:{line_no}: expected 2 or 3 tab-separated "
-                    f"fields, got {len(parts)}"
+        text = handle.read()
+
+    sources = targets = weights = None
+    header_nodes: int | None = None
+    if _DATA_LINE_RE.search(text) is None:
+        # Comments/blank lines only: no body to bulk-parse.
+        header_nodes = _header_nodes_from_comments(text)
+        sources = np.empty(0, dtype=np.int64)
+        targets = np.empty(0, dtype=np.int64)
+        weights = np.empty(0, dtype=np.float64)
+    else:
+        try:
+            table = np.loadtxt(
+                _io.StringIO(text),
+                comments="#",
+                delimiter="\t",
+                dtype=np.float64,
+                ndmin=2,
+            )
+            if table.shape[1] not in (2, 3):
+                raise ValueError(
+                    f"expected 2 or 3 columns, got {table.shape[1]}"
                 )
-            sources.append(int(parts[0]))
-            targets.append(int(parts[1]))
-            weights.append(float(parts[2]) if len(parts) == 3 else 1.0)
+            src_f = table[:, 0]
+            dst_f = table[:, 1]
+            if not (
+                np.all(src_f == np.floor(src_f))
+                and np.all(dst_f == np.floor(dst_f))
+            ):
+                raise ValueError("non-integer node ids")
+        except ValueError:
+            # Precise diagnostics (and mixed-width support) live in
+            # the reference parser.
+            sources, targets, weights, header_nodes = (
+                _read_edge_list_slow(text, path)
+            )
+        else:
+            header_nodes = _header_nodes_from_comments(text)
+            sources = src_f.astype(np.int64)
+            targets = dst_f.astype(np.int64)
+            weights = (
+                table[:, 2].copy()
+                if table.shape[1] == 3
+                else np.ones(table.shape[0], dtype=np.float64)
+            )
+
     if num_nodes is None:
         if header_nodes is not None:
             num_nodes = header_nodes
-        elif sources:
-            num_nodes = max(max(sources), max(targets)) + 1
+        elif sources.size:
+            num_nodes = int(max(sources.max(), targets.max())) + 1
         else:
             num_nodes = 0
     matrix = sparse.coo_matrix(
-        (
-            np.asarray(weights, dtype=np.float64),
-            (
-                np.asarray(sources, dtype=np.int64),
-                np.asarray(targets, dtype=np.int64),
-            ),
-        ),
+        (weights, (sources, targets)),
         shape=(num_nodes, num_nodes),
     )
     return CSRGraph(matrix.tocsr())
@@ -100,11 +224,22 @@ def save_npz(
     graph: CSRGraph,
     path: str | os.PathLike,
     metadata: Mapping[str, np.ndarray] | None = None,
+    compressed: bool = True,
 ) -> None:
     """Save a graph (and optional per-node metadata arrays) to npz.
 
     Metadata keys are stored under a ``meta_`` prefix to keep them
     separate from the CSR arrays.
+
+    Parameters
+    ----------
+    compressed:
+        ``True`` (default) writes a deflate-compressed archive —
+        smallest on disk.  ``False`` stores the arrays raw, which is
+        what enables the :func:`load_npz` ``mmap=True`` fast path:
+        stored (uncompressed) members can be memory-mapped in place,
+        so loading a large cached dataset costs page-table setup
+        instead of a decompress-and-copy of every array.
     """
     adj = graph.adjacency
     payload: dict[str, np.ndarray] = {
@@ -117,13 +252,85 @@ def save_npz(
         if key in payload:
             raise GraphError(f"metadata key {key!r} collides with CSR field")
         payload[f"meta_{key}"] = np.asarray(value)
-    np.savez_compressed(path, **payload)
+    if compressed:
+        np.savez_compressed(path, **payload)
+    else:
+        np.savez(path, **payload)
+
+
+def _mmap_npz_arrays(path: str | os.PathLike) -> dict[str, np.ndarray] | None:
+    """Memory-map every member of an *uncompressed* npz archive.
+
+    Returns None when any member cannot be mapped (deflated member,
+    fortran order, object dtype) — the caller then falls back to the
+    copying loader.  For stored members the bytes inside the zip are
+    exactly an ``.npy`` file, so the array data lives at a computable
+    file offset: local-header size from the zip record, npy header
+    size from the npy magic — everything after that is raw array
+    bytes, mappable with ``np.memmap``.
+    """
+    from numpy.lib import format as npy_format
+
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            # Local file header: fixed 30 bytes, then name + extra.
+            raw.seek(info.header_offset)
+            local = raw.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            npy_start = info.header_offset + 30 + name_len + extra_len
+            raw.seek(npy_start)
+            try:
+                version = npy_format.read_magic(raw)
+                if version == (1, 0):
+                    shape, fortran, dtype = (
+                        npy_format.read_array_header_1_0(raw)
+                    )
+                elif version == (2, 0):
+                    shape, fortran, dtype = (
+                        npy_format.read_array_header_2_0(raw)
+                    )
+                else:
+                    return None
+            except ValueError:
+                return None
+            if fortran or dtype.hasobject:
+                return None
+            key = info.filename
+            if key.endswith(".npy"):
+                key = key[: -len(".npy")]
+            arrays[key] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=raw.tell(),
+                shape=shape,
+            )
+    return arrays
 
 
 def load_npz(
     path: str | os.PathLike,
+    mmap: bool = False,
 ) -> tuple[CSRGraph, dict[str, np.ndarray]]:
     """Load a graph saved by :func:`save_npz`.
+
+    Parameters
+    ----------
+    mmap:
+        When True and the archive was written with
+        ``compressed=False``, the CSR and metadata arrays are
+        memory-mapped read-only straight out of the file — no
+        decompression, no copy; pages fault in on first touch.  The
+        graph is rebuilt through the trusted
+        :meth:`~repro.graph.digraph.CSRGraph.from_shared` constructor
+        (the arrays are canonical by construction and must not be
+        written to).  Compressed archives silently fall back to the
+        regular copying load.
 
     Returns
     -------
@@ -131,6 +338,22 @@ def load_npz(
         The graph and a dict of metadata arrays (``meta_`` prefix
         stripped).
     """
+    if mmap:
+        arrays = _mmap_npz_arrays(path)
+        if arrays is not None:
+            shape = tuple(int(x) for x in arrays["shape"])
+            graph = CSRGraph.from_shared(
+                arrays["indptr"],
+                arrays["indices"],
+                arrays["data"],
+                shape[0],
+            )
+            metadata = {
+                key[len("meta_"):]: value
+                for key, value in arrays.items()
+                if key.startswith("meta_")
+            }
+            return graph, metadata
     with np.load(path) as archive:
         shape = tuple(int(x) for x in archive["shape"])
         matrix = sparse.csr_matrix(

@@ -1,0 +1,40 @@
+"""Process-parallel multi-subgraph ranking over shared-memory graphs.
+
+The paper's cost model (§IV-B, Tables V/VI) makes ranking many
+subgraphs of one global graph embarrassingly parallel: after a single
+shared global pass, each ApproxRank solve touches only local state.
+This package turns that observation into a multi-core batch engine:
+
+* :class:`~repro.parallel.shm.SharedGraphStore` publishes a
+  :class:`~repro.graph.digraph.CSRGraph`'s CSR arrays (plus optional
+  per-node metadata) through ``multiprocessing.shared_memory`` so
+  worker processes attach zero-copy instead of unpickling a full copy
+  of the graph per task;
+* :func:`~repro.parallel.executor.rank_many` fans K subgraph solves
+  (ApproxRank or any of the paper's baselines) across a
+  ``ProcessPoolExecutor`` with chunked scheduling, deterministic
+  result ordering, per-worker reuse of the precomputed global pass,
+  and a serial fallback that produces bit-identical scores.
+"""
+
+from repro.parallel.executor import (
+    PARALLEL_ALGORITHMS,
+    rank_many,
+    rank_many_suite,
+)
+from repro.parallel.shm import (
+    SharedGraphHandle,
+    SharedGraphStore,
+    attach_shared_graph,
+    shared_memory_available,
+)
+
+__all__ = [
+    "PARALLEL_ALGORITHMS",
+    "SharedGraphHandle",
+    "SharedGraphStore",
+    "attach_shared_graph",
+    "rank_many",
+    "rank_many_suite",
+    "shared_memory_available",
+]

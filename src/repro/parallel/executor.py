@@ -1,0 +1,411 @@
+"""Fan K subgraph solves across a process pool.
+
+:func:`rank_many` is the batch front door the experiment layer and the
+serving scenarios use: given one global graph and K subgraphs, run one
+ranking algorithm per subgraph across ``workers`` processes and return
+the K :class:`~repro.pagerank.result.SubgraphScores` **in input
+order**, regardless of completion order.  :func:`rank_many_suite`
+generalises to a per-subgraph *list* of algorithms (the shape of the
+paper's evaluation tables, where every subgraph is ranked by up to
+four competitors).
+
+Design
+------
+* **Zero-copy dispatch** — the graph crosses the process boundary once
+  as a :class:`~repro.parallel.shm.SharedGraphStore` segment; tasks
+  pickle only node arrays and option scalars.
+* **Chunked scheduling** — tasks are submitted in chunks (default
+  ~4 chunks per worker) so a thousand tiny subgraphs do not pay a
+  thousand executor round-trips, while chunks stay small enough for
+  load balancing.
+* **Per-worker global-pass reuse** — each worker process builds the
+  :class:`~repro.core.precompute.ApproxRankPreprocessor` for the
+  attached graph once and serves every ApproxRank task from it; the
+  underlying transition structures route through the PR-1
+  :mod:`repro.perf.cache` exactly as in the serial library, so the
+  paper's "one global pass, then local cost per subgraph" accounting
+  holds per worker.
+* **Serial fallback** — ``workers<=1`` (or shared memory being
+  unavailable) runs the identical solve code in-process.  Both paths
+  execute the same deterministic float64 operations on bit-identical
+  arrays, so parallel and serial scores agree *exactly* (``atol=0``);
+  the test suite pins that.
+* **Error propagation** — a failing task surfaces as
+  :class:`~repro.exceptions.ParallelError` naming the subgraph and the
+  algorithm, with the worker-side traceback in the message.  The
+  shared segment is always released, success or failure.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.localpr import local_pagerank_baseline
+from repro.baselines.lpr2 import lpr2
+from repro.baselines.sc import SCSettings, stochastic_complementation
+from repro.core.approxrank import approxrank
+from repro.core.precompute import ApproxRankPreprocessor
+from repro.exceptions import ParallelError
+from repro.graph.digraph import CSRGraph
+from repro.graph.subgraph import normalize_node_set
+from repro.pagerank.result import SubgraphScores
+from repro.pagerank.solver import PowerIterationSettings
+from repro.parallel.shm import (
+    SharedGraphHandle,
+    SharedGraphStore,
+    attach_shared_graph,
+    shared_memory_available,
+)
+
+#: Algorithms :func:`rank_many` can dispatch, keyed by the paper's
+#: labels (the same names the experiment harness uses).
+PARALLEL_ALGORITHMS: tuple[str, ...] = (
+    "approxrank",
+    "local-pr",
+    "lpr2",
+    "sc",
+)
+
+#: Chunks submitted per worker (load-balance vs dispatch overhead).
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class _TaskSpec:
+    """One (subgraph, algorithm) solve, picklable."""
+
+    index: int
+    name: str
+    nodes: np.ndarray
+    algorithm: str
+
+
+# ----------------------------------------------------------------------
+# The solve itself — identical code on the serial and worker paths.
+# ----------------------------------------------------------------------
+
+
+def _solve_one(
+    graph: CSRGraph,
+    task: _TaskSpec,
+    settings: PowerIterationSettings | None,
+    sc_settings: SCSettings | None,
+    preprocessor: ApproxRankPreprocessor | None,
+) -> SubgraphScores:
+    if task.algorithm == "approxrank":
+        if preprocessor is None:
+            preprocessor = ApproxRankPreprocessor(graph)
+        return approxrank(
+            graph, task.nodes, settings, preprocessor=preprocessor
+        )
+    if task.algorithm == "local-pr":
+        return local_pagerank_baseline(graph, task.nodes, settings)
+    if task.algorithm == "lpr2":
+        return lpr2(graph, task.nodes, settings)
+    if task.algorithm == "sc":
+        return stochastic_complementation(
+            graph, task.nodes, settings, sc_settings
+        )
+    raise ParallelError(
+        f"unknown algorithm {task.algorithm!r}; "
+        f"available: {PARALLEL_ALGORITHMS}"
+    )
+
+
+#: Worker-side preprocessor cache: one global pass per (process,
+#: segment); every ApproxRank task in the worker reuses it.
+_WORKER_PREPROCESSORS: dict[str, ApproxRankPreprocessor] = {}
+
+
+def _worker_rank_chunk(
+    handle: SharedGraphHandle,
+    tasks: Sequence[_TaskSpec],
+    settings: PowerIterationSettings | None,
+    sc_settings: SCSettings | None,
+) -> list[tuple[int, SubgraphScores]]:
+    """Process-pool entry point: attach once, solve a chunk of tasks."""
+    graph, __ = attach_shared_graph(handle)
+    preprocessor = None
+    if any(task.algorithm == "approxrank" for task in tasks):
+        preprocessor = _WORKER_PREPROCESSORS.get(handle.segment_name)
+        if preprocessor is None:
+            preprocessor = ApproxRankPreprocessor(graph)
+            _WORKER_PREPROCESSORS[handle.segment_name] = preprocessor
+    results: list[tuple[int, SubgraphScores]] = []
+    for task in tasks:
+        try:
+            results.append(
+                (
+                    task.index,
+                    _solve_one(
+                        graph, task, settings, sc_settings, preprocessor
+                    ),
+                )
+            )
+        except Exception as exc:
+            # Re-raise as a single-string (hence picklable) error that
+            # names the subgraph; the raw traceback would otherwise be
+            # lost at the process boundary.
+            raise ParallelError(
+                f"subgraph {task.name!r} ({task.algorithm}) failed in "
+                f"worker: {type(exc).__name__}: {exc}\n"
+                f"{traceback.format_exc()}"
+            ) from None
+    return results
+
+
+# ----------------------------------------------------------------------
+# Input normalisation
+# ----------------------------------------------------------------------
+
+
+def _named_subgraphs(
+    graph: CSRGraph,
+    subgraphs,
+) -> list[tuple[str, np.ndarray]]:
+    """Canonicalise the accepted subgraph shapes to (name, nodes) pairs.
+
+    Accepts a mapping ``{name: nodes}``, a sequence of ``(name,
+    nodes)`` pairs, or a bare sequence of node collections (named
+    ``subgraph[i]``).  Node sets are validated and normalised *here*,
+    in the parent, so malformed input fails fast with the library's
+    usual :class:`~repro.exceptions.SubgraphError` instead of inside a
+    worker.
+    """
+    pairs: list[tuple[str, object]] = []
+    if isinstance(subgraphs, Mapping):
+        pairs = list(subgraphs.items())
+    else:
+        items = list(subgraphs)
+        for position, item in enumerate(items):
+            if (
+                isinstance(item, tuple)
+                and len(item) == 2
+                and isinstance(item[0], str)
+            ):
+                pairs.append(item)
+            else:
+                pairs.append((f"subgraph[{position}]", item))
+    return [
+        (str(name), normalize_node_set(graph, nodes))
+        for name, nodes in pairs
+    ]
+
+
+def _effective_workers(workers: int | None) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(int(workers), 1)
+
+
+def _chunk(
+    tasks: Sequence[_TaskSpec], chunksize: int
+) -> list[list[_TaskSpec]]:
+    return [
+        list(tasks[start:start + chunksize])
+        for start in range(0, len(tasks), chunksize)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Execution core
+# ----------------------------------------------------------------------
+
+
+def _execute(
+    graph: CSRGraph,
+    tasks: list[_TaskSpec],
+    settings: PowerIterationSettings | None,
+    sc_settings: SCSettings | None,
+    workers: int | None,
+    chunksize: int | None,
+) -> list[SubgraphScores]:
+    """Run the tasks, parallel when possible, and order the results."""
+    for task in tasks:
+        if task.algorithm not in PARALLEL_ALGORITHMS:
+            raise ParallelError(
+                f"unknown algorithm {task.algorithm!r} for subgraph "
+                f"{task.name!r}; available: {PARALLEL_ALGORITHMS}"
+            )
+    results: list[SubgraphScores | None] = [None] * len(tasks)
+    if not tasks:
+        return []
+
+    effective = min(_effective_workers(workers), len(tasks))
+    if effective <= 1 or not shared_memory_available():
+        # Serial fallback: same solve code, one shared preprocessor.
+        preprocessor = (
+            ApproxRankPreprocessor(graph)
+            if any(t.algorithm == "approxrank" for t in tasks)
+            else None
+        )
+        for task in tasks:
+            try:
+                results[task.index] = _solve_one(
+                    graph, task, settings, sc_settings, preprocessor
+                )
+            except ParallelError:
+                raise
+            except Exception as exc:
+                raise ParallelError(
+                    f"subgraph {task.name!r} ({task.algorithm}) "
+                    f"failed: {type(exc).__name__}: {exc}"
+                ) from exc
+        return results  # type: ignore[return-value]
+
+    if chunksize is None:
+        chunksize = max(
+            1, -(-len(tasks) // (effective * _CHUNKS_PER_WORKER))
+        )
+    chunks = _chunk(tasks, chunksize)
+
+    store = SharedGraphStore(graph)
+    try:
+        with ProcessPoolExecutor(max_workers=effective) as pool:
+            futures = {
+                pool.submit(
+                    _worker_rank_chunk,
+                    store.handle,
+                    chunk,
+                    settings,
+                    sc_settings,
+                ): chunk
+                for chunk in chunks
+            }
+            for future, chunk in futures.items():
+                try:
+                    for index, scores in future.result():
+                        results[index] = scores
+                except ParallelError:
+                    raise
+                except Exception as exc:
+                    names = ", ".join(repr(t.name) for t in chunk)
+                    raise ParallelError(
+                        f"worker pool failed while ranking subgraphs "
+                        f"[{names}]: {type(exc).__name__}: {exc}"
+                    ) from exc
+    finally:
+        store.close()
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def rank_many(
+    graph: CSRGraph,
+    subgraphs,
+    algorithm: str = "approxrank",
+    settings: PowerIterationSettings | None = None,
+    workers: int | None = None,
+    chunksize: int | None = None,
+    sc_settings: SCSettings | None = None,
+) -> list[SubgraphScores]:
+    """Rank K subgraphs of one global graph, in parallel.
+
+    Parameters
+    ----------
+    graph:
+        The global graph ``G_g``, published to workers via shared
+        memory (never pickled).
+    subgraphs:
+        The K local node sets: a mapping ``{name: nodes}``, a sequence
+        of ``(name, nodes)`` pairs, or a bare sequence of node
+        collections.  Names appear in error messages.
+    algorithm:
+        One of :data:`PARALLEL_ALGORITHMS` (default ApproxRank).
+    settings:
+        Solver knobs shared by every task (paper defaults when
+        omitted).
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``.  ``<=1`` (or
+        shared memory being unavailable) runs the identical solves
+        serially in-process — same scores, bit for bit.
+    chunksize:
+        Tasks per pool submission; default ~4 chunks per worker.
+    sc_settings:
+        Expansion knobs for ``algorithm="sc"``.
+
+    Returns
+    -------
+    list[SubgraphScores]
+        One result per subgraph, **in input order** — completion order
+        never leaks into the output.
+
+    Raises
+    ------
+    ParallelError
+        A task failed; the message names the subgraph and carries the
+        worker traceback.
+    """
+    named = _named_subgraphs(graph, subgraphs)
+    tasks = [
+        _TaskSpec(index=i, name=name, nodes=nodes, algorithm=algorithm)
+        for i, (name, nodes) in enumerate(named)
+    ]
+    return _execute(
+        graph, tasks, settings, sc_settings, workers, chunksize
+    )
+
+
+def rank_many_suite(
+    graph: CSRGraph,
+    subgraphs,
+    algorithms: Sequence[str] | Sequence[Sequence[str]],
+    settings: PowerIterationSettings | None = None,
+    workers: int | None = None,
+    chunksize: int | None = None,
+    sc_settings: SCSettings | None = None,
+) -> list[dict[str, SubgraphScores]]:
+    """Rank every subgraph with several algorithms (table workloads).
+
+    ``algorithms`` is either one tuple of names applied to every
+    subgraph, or a per-subgraph sequence of tuples (Figure 7 runs SC
+    on only the smallest crawls).  The unit of parallelism is one
+    (subgraph, algorithm) solve, so a slow SC task never serialises
+    the cheap ApproxRank tasks behind it.
+
+    Returns one insertion-ordered ``{algorithm: SubgraphScores}`` dict
+    per subgraph, in subgraph input order.
+    """
+    named = _named_subgraphs(graph, subgraphs)
+    if algorithms and isinstance(algorithms[0], str):
+        per_subgraph: list[Sequence[str]] = [
+            tuple(algorithms)  # type: ignore[arg-type]
+        ] * len(named)
+    else:
+        per_subgraph = [tuple(a) for a in algorithms]  # type: ignore[union-attr]
+        if len(per_subgraph) != len(named):
+            raise ParallelError(
+                f"got {len(per_subgraph)} algorithm lists for "
+                f"{len(named)} subgraphs"
+            )
+    tasks: list[_TaskSpec] = []
+    layout: list[list[tuple[str, int]]] = []
+    for (name, nodes), algo_list in zip(named, per_subgraph):
+        slots: list[tuple[str, int]] = []
+        for algo in algo_list:
+            slots.append((algo, len(tasks)))
+            tasks.append(
+                _TaskSpec(
+                    index=len(tasks),
+                    name=name,
+                    nodes=nodes,
+                    algorithm=algo,
+                )
+            )
+        layout.append(slots)
+    flat = _execute(
+        graph, tasks, settings, sc_settings, workers, chunksize
+    )
+    return [
+        {algo: flat[index] for algo, index in slots} for slots in layout
+    ]

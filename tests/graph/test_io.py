@@ -62,6 +62,76 @@ class TestEdgeList:
         loaded = read_edge_list(path)
         assert loaded.num_nodes == 0
 
+    def test_unweighted_write_has_two_columns(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample_graph, path)
+        data_lines = [
+            line
+            for line in path.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert all(len(line.split("\t")) == 2 for line in data_lines)
+
+    def test_unweighted_include_weights_writes_ones(
+        self, sample_graph, tmp_path
+    ):
+        # include_weights on an unweighted graph takes the constant-1
+        # path (no float formatting); the file must still round-trip.
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample_graph, path, include_weights=True)
+        data_lines = [
+            line
+            for line in path.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert all(line.endswith("\t1") for line in data_lines)
+        loaded = read_edge_list(path)
+        assert (loaded.adjacency != sample_graph.adjacency).nnz == 0
+
+    def test_mixed_width_rows_fall_back_and_parse(self, tmp_path):
+        # 2- and 3-column rows in one file defeat the bulk loadtxt
+        # path; the line-by-line fallback must accept them.
+        path = tmp_path / "mixed.tsv"
+        path.write_text("0\t1\n1\t2\t0.5\n2\t0\n")
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == 3
+        assert loaded.edge_weight(1, 2) == 0.5
+        assert loaded.edge_weight(0, 1) == 1.0
+
+    def test_last_nodes_header_wins(self, tmp_path):
+        # Both parsers honour the last `# nodes:` header, wherever it
+        # appears in the file.
+        path = tmp_path / "hdr.tsv"
+        path.write_text("# nodes: 3\n0\t1\n# nodes: 9\n1\t0\n")
+        assert read_edge_list(path).num_nodes == 9
+        mixed = tmp_path / "hdr_mixed.tsv"
+        mixed.write_text("# nodes: 3\n0\t1\n# nodes: 9\n1\t0\t2.0\n")
+        assert read_edge_list(mixed).num_nodes == 9
+
+    def test_bulk_and_slow_paths_agree(self, tmp_path):
+        # Same edges, one file bulk-parsable and one forced onto the
+        # fallback: identical graphs either way.
+        edges = [(i, (i * 7 + 1) % 50) for i in range(200)]
+        bulk = tmp_path / "bulk.tsv"
+        bulk.write_text(
+            "".join(f"{s}\t{t}\n" for s, t in edges)
+        )
+        slow = tmp_path / "slow.tsv"
+        slow.write_text(
+            # One weighted row forces mixed widths -> fallback.
+            "".join(f"{s}\t{t}\n" for s, t in edges[:-1])
+            + f"{edges[-1][0]}\t{edges[-1][1]}\t1\n"
+        )
+        a = read_edge_list(bulk)
+        b = read_edge_list(slow)
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+    def test_non_integer_ids_rejected(self, tmp_path):
+        path = tmp_path / "floats.tsv"
+        path.write_text("0.5\t1\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
 
 class TestNpz:
     def test_roundtrip(self, sample_graph, tmp_path):
@@ -95,3 +165,77 @@ class TestNpz:
         loaded, __ = load_npz(path)
         assert loaded.edge_weight(0, 1) == 0.7
         assert loaded.edge_weight(1, 2) == 0.2
+
+
+def _base_chain(array):
+    """Walk ndarray.base links to the last ndarray owning the buffer.
+
+    For a mapped load the chain is view -> np.memmap -> mmap.mmap; we
+    stop at the memmap (the last ndarray) so callers can isinstance it.
+    """
+    while isinstance(array.base, np.ndarray):
+        array = array.base
+    return array
+
+
+class TestNpzMmap:
+    def test_uncompressed_roundtrip(self, tmp_path):
+        graph = graph_from_edges(4, [(0, 1), (1, 2), (2, 0)])
+        path = tmp_path / "raw.npz"
+        save_npz(graph, path, compressed=False)
+        loaded, metadata = load_npz(path)
+        assert (loaded.adjacency != graph.adjacency).nnz == 0
+        assert metadata == {}
+
+    def test_mmap_load_is_zero_copy(self, tmp_path):
+        graph = graph_from_edges(4, [(0, 1), (1, 2), (2, 0)])
+        domains = np.array([0, 1, 1, 0])
+        path = tmp_path / "raw.npz"
+        save_npz(graph, path, metadata={"domain": domains}, compressed=False)
+        loaded, metadata = load_npz(path, mmap=True)
+        assert (loaded.adjacency != graph.adjacency).nnz == 0
+        # scipy wraps the arrays in views, so walk the base chain: the
+        # buffer owner must be the file mapping, not a heap copy.
+        assert isinstance(
+            _base_chain(loaded.adjacency.data), np.memmap
+        )
+        assert isinstance(
+            _base_chain(loaded.adjacency.indices), np.memmap
+        )
+        assert isinstance(metadata["domain"], np.memmap)
+        assert metadata["domain"].tolist() == domains.tolist()
+
+    def test_mmap_views_are_read_only(self, tmp_path):
+        graph = graph_from_edges(3, [(0, 1), (1, 2)])
+        path = tmp_path / "raw.npz"
+        save_npz(graph, path, compressed=False)
+        loaded, __ = load_npz(path, mmap=True)
+        with pytest.raises(ValueError):
+            loaded.adjacency.data[0] = 42.0
+
+    def test_mmap_falls_back_on_compressed_archive(self, tmp_path):
+        graph = graph_from_edges(4, [(0, 1), (1, 2), (2, 0)])
+        path = tmp_path / "deflated.npz"
+        save_npz(graph, path, compressed=True)
+        loaded, __ = load_npz(path, mmap=True)  # silent copy fallback
+        assert (loaded.adjacency != graph.adjacency).nnz == 0
+        assert not isinstance(
+            _base_chain(loaded.adjacency.data), np.memmap
+        )
+
+    def test_mmap_graph_solves_identically(self, tmp_path):
+        # The acid test for has_canonical_format handling: running the
+        # solver must not try to write the read-only mapped arrays,
+        # and must produce bit-identical scores.
+        from repro.core.approxrank import approxrank
+
+        from tests.conftest import random_digraph
+
+        graph = random_digraph(120, dangling_fraction=0.3, seed=5)
+        path = tmp_path / "solve.npz"
+        save_npz(graph, path, compressed=False)
+        mapped, __ = load_npz(path, mmap=True)
+        nodes = list(range(0, 30))
+        original = approxrank(graph, nodes)
+        via_mmap = approxrank(mapped, nodes)
+        assert np.array_equal(original.scores, via_mmap.scores)

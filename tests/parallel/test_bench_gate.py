@@ -1,0 +1,53 @@
+"""Tier-2 gate: the multi-subgraph scaling benchmark in smoke mode.
+
+Excluded from the tier-1 run by the ``tier2`` marker; CI runs it via
+``make test-tier2`` or ``make bench-parallel-smoke``.  The gate always
+requires exact serial/parallel score agreement; the wall-clock speedup
+clause applies only on machines with more than one CPU core (a
+single-core container cannot beat serial with process parallelism, and
+the record says so via ``speedup_gate_waived`` instead of lying).
+"""
+
+import os
+
+import pytest
+
+from repro.perf.parallel_bench import (
+    TARGET_SPEEDUP,
+    WORKER_SWEEP,
+    format_parallel_summary,
+    run_parallel_benchmark,
+)
+
+pytestmark = pytest.mark.tier2
+
+
+@pytest.fixture(scope="module")
+def smoke_record():
+    return run_parallel_benchmark(smoke=True, output_path=None)
+
+
+class TestSmokeGate:
+    def test_gate_passes(self, smoke_record):
+        assert smoke_record["gate_passed"], format_parallel_summary(
+            smoke_record
+        )
+
+    def test_every_configuration_is_exact(self, smoke_record):
+        for entry in smoke_record["sweep"]:
+            assert entry["exact_match_vs_serial"], (
+                f"workers={entry['workers']} diverged from serial"
+            )
+        assert smoke_record["all_exact"]
+
+    def test_full_sweep_recorded(self, smoke_record):
+        assert [e["workers"] for e in smoke_record["sweep"]] == list(
+            WORKER_SWEEP
+        )
+        assert smoke_record["target_speedup"] == TARGET_SPEEDUP
+
+    def test_speedup_when_cores_exist(self, smoke_record):
+        if (os.cpu_count() or 1) < 2:
+            assert smoke_record["speedup_gate_waived"]
+            pytest.skip("single-core machine: speedup clause waived")
+        assert smoke_record["best_parallel_speedup"] > 1.0

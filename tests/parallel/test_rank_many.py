@@ -1,0 +1,231 @@
+"""Batch executor tests: ordering, exactness, errors, fallback.
+
+The load-bearing guarantee is **exact** serial/parallel agreement:
+``rank_many(..., workers=N)`` must reproduce the serial scores bit for
+bit (``atol=0``), because both paths run the same deterministic float64
+operations on bit-identical arrays.  Dangling-heavy graphs are used on
+purpose — they exercise the renormalisation paths where PageRank
+implementations usually diverge.
+
+Serial-path behaviour (input shapes, ordering, error naming) is tier-1;
+the multi-process variants are tier-2 except for one deliberately tiny
+tier-1 smoke test that keeps the worker path exercised on every run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sc import SCSettings
+from repro.exceptions import ParallelError, SubgraphError
+from repro.graph.builder import graph_from_edges
+from repro.pagerank.solver import PowerIterationSettings
+from repro.parallel import PARALLEL_ALGORITHMS, rank_many, rank_many_suite
+from tests.conftest import random_digraph
+
+
+def make_tiny():
+    return graph_from_edges(
+        8,
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 0)],
+    )
+
+
+def dangling_heavy():
+    # 40% dangling nodes: the classic source of PageRank bugs.
+    return random_digraph(300, dangling_fraction=0.4, seed=7)
+
+
+def assert_exact(result_a, result_b):
+    assert len(result_a) == len(result_b)
+    for a, b in zip(result_a, result_b):
+        assert np.array_equal(a.local_nodes, b.local_nodes)
+        assert np.array_equal(a.scores, b.scores)
+
+
+class TestSerialPath:
+    def test_accepts_mapping_pairs_and_bare_sequences(self):
+        graph = make_tiny()
+        nodes = [0, 1, 2]
+        as_mapping = rank_many(graph, {"trio": nodes}, workers=1)
+        as_pairs = rank_many(graph, [("trio", nodes)], workers=1)
+        as_bare = rank_many(graph, [nodes], workers=1)
+        assert_exact(as_mapping, as_pairs)
+        assert_exact(as_mapping, as_bare)
+
+    def test_results_follow_input_order(self):
+        graph = make_tiny()
+        subgraphs = [("a", [0, 1]), ("b", [3, 4, 5]), ("c", [2, 6])]
+        results = rank_many(graph, subgraphs, workers=1)
+        for (___, nodes), scores in zip(subgraphs, results):
+            assert sorted(scores.local_nodes.tolist()) == sorted(nodes)
+
+    def test_empty_batch(self):
+        assert rank_many(make_tiny(), [], workers=1) == []
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ParallelError, match="unknown algorithm"):
+            rank_many(
+                make_tiny(), [[0, 1]], algorithm="simrank", workers=1
+            )
+        assert "simrank" not in PARALLEL_ALGORITHMS
+
+    def test_error_names_failing_subgraph(self):
+        graph = make_tiny()
+        everything = list(range(graph.num_nodes))  # no external part
+        with pytest.raises(ParallelError, match="'everything'"):
+            rank_many(
+                graph,
+                [("fine", [0, 1]), ("everything", everything)],
+                workers=1,
+            )
+
+    def test_malformed_nodes_fail_fast_in_parent(self):
+        # Validation happens before any worker machinery spins up.
+        with pytest.raises(SubgraphError):
+            rank_many(make_tiny(), [[0, 999]], workers=1)
+
+    def test_suite_per_subgraph_algorithms(self):
+        graph = make_tiny()
+        results = rank_many_suite(
+            graph,
+            [("a", [0, 1]), ("b", [3, 4])],
+            algorithms=[("approxrank", "local-pr"), ("approxrank",)],
+            workers=1,
+        )
+        assert [tuple(r) for r in results] == [
+            ("approxrank", "local-pr"),
+            ("approxrank",),
+        ]
+
+    def test_suite_algorithm_count_mismatch(self):
+        with pytest.raises(ParallelError, match="algorithm lists"):
+            rank_many_suite(
+                make_tiny(),
+                [("a", [0, 1])],
+                algorithms=[("approxrank",), ("local-pr",)],
+                workers=1,
+            )
+
+
+def test_two_worker_smoke():
+    """Tier-1 canary: the full store/attach/solve worker path on a
+    graph small enough to keep process spawn the dominant cost."""
+    graph = make_tiny()
+    subgraphs = [("left", [0, 1, 2]), ("right", [3, 4, 5])]
+    parallel = rank_many(graph, subgraphs, workers=2, chunksize=1)
+    serial = rank_many(graph, subgraphs, workers=1)
+    assert_exact(parallel, serial)
+
+
+@pytest.mark.tier2
+class TestParallelAgreement:
+    def test_exact_agreement_dangling_heavy(self):
+        graph = dangling_heavy()
+        rng = np.random.default_rng(11)
+        subgraphs = [
+            (f"s{i}", rng.choice(300, size=size, replace=False))
+            for i, size in enumerate([10, 40, 80, 25, 60, 15])
+        ]
+        serial = rank_many(graph, subgraphs, workers=1)
+        parallel = rank_many(graph, subgraphs, workers=2)
+        assert_exact(serial, parallel)
+
+    def test_exact_agreement_every_algorithm(self):
+        graph = dangling_heavy()
+        subgraphs = [("a", range(0, 30)), ("b", range(100, 160))]
+        sc_settings = SCSettings(expansions=2)
+        for algorithm in PARALLEL_ALGORITHMS:
+            serial = rank_many(
+                graph,
+                subgraphs,
+                algorithm=algorithm,
+                workers=1,
+                sc_settings=sc_settings,
+            )
+            parallel = rank_many(
+                graph,
+                subgraphs,
+                algorithm=algorithm,
+                workers=2,
+                chunksize=1,
+                sc_settings=sc_settings,
+            )
+            assert_exact(serial, parallel)
+
+    def test_ordering_deterministic_under_uneven_chunks(self):
+        # Wildly uneven subgraph sizes + chunksize=1 means completion
+        # order differs from submission order; results must not.
+        graph = dangling_heavy()
+        sizes = [150, 5, 120, 8, 90, 12, 60, 20]
+        subgraphs = [
+            (f"s{i}", list(range(i, i + size)))
+            for i, size in enumerate(sizes)
+        ]
+        serial = rank_many(graph, subgraphs, workers=1)
+        for attempt in range(3):
+            parallel = rank_many(
+                graph, subgraphs, workers=2, chunksize=1
+            )
+            assert_exact(serial, parallel)
+        for (___, nodes), scores in zip(subgraphs, serial):
+            assert sorted(scores.local_nodes.tolist()) == sorted(nodes)
+
+    def test_suite_agreement(self):
+        graph = dangling_heavy()
+        subgraphs = [("a", range(0, 40)), ("b", range(50, 90))]
+        algorithms = ("approxrank", "local-pr", "lpr2")
+        serial = rank_many_suite(
+            graph, subgraphs, algorithms, workers=1
+        )
+        parallel = rank_many_suite(
+            graph, subgraphs, algorithms, workers=2, chunksize=1
+        )
+        for ser, par in zip(serial, parallel):
+            assert tuple(ser) == tuple(par) == algorithms
+            for name in algorithms:
+                assert np.array_equal(
+                    ser[name].scores, par[name].scores
+                )
+
+    def test_worker_error_names_subgraph(self):
+        graph = make_tiny()
+        everything = list(range(graph.num_nodes))
+        with pytest.raises(ParallelError, match="'everything'"):
+            rank_many(
+                graph,
+                [("fine", [0, 1]), ("everything", everything)],
+                workers=2,
+                chunksize=1,
+            )
+
+    def test_no_shm_leak_after_parallel_run(self):
+        import os
+        from pathlib import Path
+
+        from repro.parallel.shm import _SEGMENT_PREFIX
+
+        graph = make_tiny()
+        rank_many(graph, [("a", [0, 1]), ("b", [3, 4])], workers=2)
+        shm_dir = Path("/dev/shm")
+        if shm_dir.is_dir():
+            leftovers = list(
+                shm_dir.glob(f"{_SEGMENT_PREFIX}{os.getpid()}_*")
+            )
+            assert leftovers == []
+
+    def test_custom_settings_respected(self):
+        graph = dangling_heavy()
+        loose = PowerIterationSettings(tolerance=1e-3)
+        tight = PowerIterationSettings(tolerance=1e-10)
+        subgraphs = [("a", range(0, 50))]
+        loose_scores = rank_many(
+            graph, subgraphs, settings=loose, workers=2
+        )[0]
+        tight_scores = rank_many(
+            graph, subgraphs, settings=tight, workers=2
+        )[0]
+        assert not np.array_equal(
+            loose_scores.scores, tight_scores.scores
+        )
