@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-tier2 test-all bench-kernels bench-kernels-smoke \
+.PHONY: test test-tier2 test-all chaos bench-kernels bench-kernels-smoke \
 	bench-parallel bench-parallel-smoke
 
 test:
@@ -14,7 +14,13 @@ test:
 test-tier2:
 	$(PYTHON) -m pytest -q -m tier2 tests/perf tests/parallel
 
-test-all: test test-tier2
+# Chaos suite: deterministic fault injection against the parallel
+# pipeline (SIGKILLed workers, hung chunks, vanished shm segments,
+# checkpoint truncation at every journal length).
+chaos:
+	$(PYTHON) -m pytest -q -m chaos tests/resilience
+
+test-all: test test-tier2 chaos
 
 # Full benchmark; writes BENCH_solver.json at the repo root.
 bench-kernels:

@@ -36,10 +36,14 @@ from repro.core import (
     theorem2_report,
 )
 from repro.exceptions import (
+    CheckpointError,
+    ChunkTimeoutError,
     ConvergenceError,
     DatasetError,
+    DivergenceError,
     GraphError,
     MetricError,
+    ParallelError,
     ReproError,
     SchemaError,
     SubgraphError,
@@ -110,11 +114,15 @@ __all__ = [
     "incremental_rerank",
     "partition_by_label",
     "random_partition",
+    "CheckpointError",
+    "ChunkTimeoutError",
     "ConvergenceError",
     "DatasetError",
+    "DivergenceError",
     "GraphBuilder",
     "GraphError",
     "MetricError",
+    "ParallelError",
     "PowerIterationSettings",
     "RankResult",
     "ReproError",

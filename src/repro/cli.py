@@ -97,6 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit GitHub markdown instead of aligned text",
     )
     parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "('all' only) replay experiments already recorded in the "
+            "checkpoint journal instead of recomputing them; the "
+            "resumed report is byte-identical to an uninterrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help=(
+            "('all' only) checkpoint journal path (default: "
+            ".repro-checkpoint.jsonl); completed experiments are "
+            "appended as they finish"
+        ),
+    )
+    parser.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help=(
+            "chaos-testing fault injection spec, e.g. "
+            "'kill_worker:p=0.2,seed=7;transient:p=0.1' (equivalent to "
+            "setting REPRO_FAULTS); faults fire only inside worker "
+            "processes"
+        ),
+    )
+    parser.add_argument(
         "--output", type=str, default=None,
         help="also write the report to this file",
     )
@@ -126,6 +151,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.faults is not None:
+        # Validate the spec up front (a typo should fail the CLI, not
+        # a worker), then arm it for every pool this process builds.
+        import os
+
+        from repro.resilience.faults import parse_faults
+
+        parse_faults(args.faults)
+        os.environ["REPRO_FAULTS"] = args.faults
 
     if args.experiment == "bench-kernels":
         # Perf benchmark, not a paper table: --fast maps to smoke mode
@@ -162,7 +197,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     if args.experiment == "all":
-        results = run_all(context, verbose=not args.markdown)
+        from repro.experiments.run_all import DEFAULT_CHECKPOINT
+
+        results = run_all(
+            context,
+            verbose=not args.markdown,
+            checkpoint=args.checkpoint or DEFAULT_CHECKPOINT,
+            resume=args.resume,
+        )
         report = build_markdown_report(results, context)
         if args.markdown:
             print(report)

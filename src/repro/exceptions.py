@@ -50,13 +50,143 @@ class ConvergenceError(ReproError):
         self.iterations = iterations
         self.residual = residual
 
+    def __reduce__(self):
+        # Keyword-only constructor arguments do not survive the default
+        # Exception pickling (args-only); rebuild through kwargs so the
+        # error can cross a process boundary intact.
+        return (
+            _rebuild_convergence_error,
+            (type(self), self.args[0] if self.args else "", self.__dict__.copy()),
+        )
+
+
+def _rebuild_convergence_error(cls, message, state):
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, message)
+    exc.__dict__.update(state)
+    return exc
+
+
+class DivergenceError(ConvergenceError):
+    """An iterative solver is actively diverging (not merely slow).
+
+    Raised by the solver guards when the residual becomes non-finite
+    (NaN/Inf contamination) or stops improving for a sustained stretch
+    of sweeps — conditions under which running to the iteration cap
+    would only waste time or overflow.
+
+    Attributes
+    ----------
+    residual_trace:
+        The per-sweep L1 residuals observed up to the failure, newest
+        last — the forensic record of *how* the iteration went wrong.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iterations: int,
+        residual: float,
+        residual_trace: "tuple[float, ...] | list[float]" = (),
+    ):
+        super().__init__(message, iterations=iterations, residual=residual)
+        self.residual_trace = tuple(float(r) for r in residual_trace)
+
 
 class ParallelError(ReproError):
     """Multi-process ranking failed.
 
-    Raised by :mod:`repro.parallel` when a worker task fails (the
-    message names the failing subgraph and carries the worker-side
-    traceback) or when the process pool itself breaks.
+    Raised by :mod:`repro.parallel` when a worker task fails fatally or
+    when every recovery path (chunk retries, pool rebuilds, the serial
+    fallback) has been exhausted.  The message is the historical
+    human-readable string; structured context rides along as
+    attributes.
+
+    Attributes
+    ----------
+    subgraph:
+        Name of the failing subgraph, when one task is to blame.
+    algorithm:
+        Algorithm of the failing task, when known.
+    attempts:
+        Tuple of :class:`repro.resilience.policy.AttemptRecord` — the
+        full recovery history (retries, pool rebuilds, the serial
+        fallback) that preceded this error.
+    worker_traceback:
+        Formatted traceback captured inside the worker process, when
+        the failure happened on the far side of the pool.
+    error_type:
+        Class name of the original worker-side exception; the parent's
+        retry machinery classifies retryable-vs-fatal from it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        subgraph: str | None = None,
+        algorithm: str | None = None,
+        attempts: tuple = (),
+        worker_traceback: str | None = None,
+        error_type: str | None = None,
+    ):
+        super().__init__(message)
+        self.subgraph = subgraph
+        self.algorithm = algorithm
+        self.attempts = tuple(attempts)
+        self.worker_traceback = worker_traceback
+        self.error_type = error_type
+
+    def __reduce__(self):
+        # Preserve the structured fields across pickling (the pool
+        # round-trips worker exceptions through pickle).
+        return (
+            _rebuild_parallel_error,
+            (type(self), self.args[0] if self.args else "", self.__dict__.copy()),
+        )
+
+
+def _rebuild_parallel_error(cls, message, state):
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, message)
+    exc.__dict__.update(state)
+    return exc
+
+
+class ChunkTimeoutError(ParallelError):
+    """A chunk of parallel ranking work missed its per-attempt deadline.
+
+    Attributes
+    ----------
+    timeout_seconds:
+        The deadline that was exceeded.
+    """
+
+    def __init__(self, message: str, *, timeout_seconds: float | None = None, **kwargs):
+        super().__init__(message, **kwargs)
+        self.timeout_seconds = timeout_seconds
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal is unusable or inconsistent with the run.
+
+    Raised when a journal cannot be written, or when resuming against a
+    journal whose recorded configuration fingerprint does not match the
+    current run (resuming would silently mix results from two different
+    experiments).
+    """
+
+
+class InjectedFaultError(ReproError):
+    """Base class for failures raised by the chaos fault injector."""
+
+
+class TransientFaultError(InjectedFaultError):
+    """An injected *transient* failure — retryable by definition.
+
+    The fault injector raises this inside worker chunks to exercise the
+    retry path; the error classifier always treats it as retryable.
     """
 
 

@@ -58,6 +58,12 @@ class ExperimentContext:
         ``1`` keeps the historical serial path; parallel runs produce
         *bit-identical* scores, so tables are unaffected beyond their
         runtime columns being measured inside workers.
+    journal:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointJournal`
+        receiving fine-grained progress records (one per completed
+        (subgraph, algorithm) batch) alongside the per-experiment
+        checkpoints ``run_all`` writes.  ``None`` (the default)
+        journals nothing.
     """
 
     def __init__(
@@ -65,10 +71,12 @@ class ExperimentContext:
         config: ExperimentConfig | None = None,
         settings: PowerIterationSettings | None = None,
         workers: int | None = None,
+        journal=None,
     ):
         self.config = config or ExperimentConfig()
         self.settings = settings or PowerIterationSettings()
         self.workers = workers
+        self.journal = journal
         self._datasets: dict[str, WebDataset] = {}
         self._truths: dict[str, GroundTruth] = {}
         self._preprocessors: dict[str, ApproxRankPreprocessor] = {}

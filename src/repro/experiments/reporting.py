@@ -11,6 +11,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+import numpy as np
+
+
+def _json_cell(value: Any) -> Any:
+    """One cell as a JSON-native value, formatting-preserving.
+
+    numpy scalars are converted to the Python type that renders the
+    same way under :func:`format_cell` (``np.float64`` subclasses
+    ``float``, so both hit the float branch; ``str(np.int64(5))`` is
+    ``"5"``).  Anything else falls back to its ``str`` form, which is
+    exactly what :func:`format_cell` would have printed.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, str) or value is None:
+        return value
+    return str(value)
+
 
 def format_cell(value: Any) -> str:
     """Render one cell: floats get context-appropriate precision."""
@@ -92,6 +114,34 @@ class TableResult:
             lines.append("")
             lines.extend(f"  note: {note}" for note in self.notes)
         return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        """JSON-safe snapshot for the checkpoint journal.
+
+        The payload survives a ``json`` round trip with rendering
+        fidelity: Python floats serialise via shortest-repr (exact
+        round trip), so a table restored by :meth:`from_payload`
+        renders **byte-identically** to the live one — the property
+        checkpoint-resume relies on.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": [str(h) for h in self.headers],
+            "rows": [[_json_cell(c) for c in row] for row in self.rows],
+            "notes": [str(n) for n in self.notes],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TableResult":
+        """Rebuild a table from a :meth:`to_payload` snapshot."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[tuple(row) for row in payload["rows"]],
+            notes=list(payload["notes"]),
+        )
 
     def to_markdown(self) -> str:
         """GitHub-markdown rendering for EXPERIMENTS.md."""

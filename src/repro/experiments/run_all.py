@@ -5,6 +5,23 @@ each table/figure experiment against one shared
 :class:`~repro.experiments.context.ExperimentContext` and returns the
 results; :func:`build_markdown_report` renders the EXPERIMENTS.md
 content from an actual run.
+
+Checkpoint-resume
+-----------------
+With a checkpoint path, every completed experiment is journalled to an
+append-only JSONL file (:mod:`repro.resilience.checkpoint`) together
+with a fingerprint of the run configuration.  ``resume=True`` replays
+the journalled experiments instead of recomputing them — an
+interrupted ``python -m repro all --resume`` run picks up at the first
+unfinished experiment.  Replayed tables are **byte-identical** to the
+run that recorded them (payloads round-trip through JSON exactly; the
+chaos suite pins this at every truncation point of the journal), so
+the only cells that can differ from an uninterrupted run are the
+wall-clock columns of tables that still had to execute — the same
+cells that differ between any two fresh runs.
+A fingerprint mismatch (different scales, seed or solver knobs) raises
+:class:`~repro.exceptions.CheckpointError` instead of silently mixing
+incompatible results.
 """
 
 from __future__ import annotations
@@ -12,6 +29,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro.exceptions import CheckpointError
 from repro.experiments import (
     ablation,
     crawl_value,
@@ -27,6 +45,10 @@ from repro.experiments import (
 )
 from repro.experiments.context import ExperimentContext
 from repro.experiments.reporting import TableResult
+from repro.resilience.checkpoint import CheckpointJournal
+
+#: Default journal location used by ``python -m repro all``.
+DEFAULT_CHECKPOINT = ".repro-checkpoint.jsonl"
 
 #: Execution order: cheap context first, runtime tables last (they
 #: re-run SC, the slow competitor).
@@ -45,10 +67,29 @@ EXPERIMENTS: tuple[tuple[str, Callable[[ExperimentContext], TableResult]], ...] 
 )
 
 
+def _config_fingerprint(context: ExperimentContext) -> dict:
+    """The knobs that determine experiment *content* (not wall-clock).
+
+    ``workers`` is deliberately excluded: parallel scores are
+    bit-identical to serial ones, so a run checkpointed serially may
+    be resumed in parallel and vice versa.
+    """
+    return {
+        "au_pages": context.config.au_pages,
+        "politics_pages": context.config.politics_pages,
+        "seed": context.config.seed,
+        "damping": context.settings.damping,
+        "tolerance": context.settings.tolerance,
+        "max_iterations": context.settings.max_iterations,
+    }
+
+
 def run_all(
     context: ExperimentContext | None = None,
     verbose: bool = True,
     workers: int | None = None,
+    checkpoint: "str | CheckpointJournal | None" = None,
+    resume: bool = False,
 ) -> dict[str, TableResult]:
     """Execute every experiment; returns results keyed by experiment id.
 
@@ -59,16 +100,82 @@ def run_all(
         processes (see :mod:`repro.parallel`); overrides the
         context's setting when given.  Scores are bit-identical to a
         serial run — only wall-clock changes.
+    checkpoint:
+        Journal path (or a prebuilt
+        :class:`~repro.resilience.checkpoint.CheckpointJournal`);
+        completed experiments are appended as they finish.  ``None``
+        disables journalling (the historical behaviour).
+    resume:
+        Replay experiments already present in the journal instead of
+        recomputing them; requires ``checkpoint``.  A fresh run
+        (``resume=False``) resets an existing journal first.
+
+    Raises
+    ------
+    CheckpointError
+        ``resume`` without a ``checkpoint``, or the journal was
+        written under a different experiment configuration.
     """
     context = context or ExperimentContext()
     if workers is not None:
         context.workers = workers
+
+    journal: CheckpointJournal | None = None
+    if checkpoint is not None:
+        journal = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointJournal)
+            else CheckpointJournal(checkpoint)
+        )
+    elif resume:
+        raise CheckpointError("resume=True requires a checkpoint path")
+
+    completed: dict[str, dict] = {}
+    fingerprint = _config_fingerprint(context)
+    if journal is not None:
+        if resume:
+            state = journal.load()
+            recorded = state.get("config")
+            if recorded is not None and recorded != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint {journal.path!r} was written under a "
+                    f"different configuration ({recorded} != "
+                    f"{fingerprint}); rerun without --resume to start "
+                    f"fresh"
+                )
+            completed = {
+                key[len("experiment/"):]: payload
+                for key, payload in state.items()
+                if key.startswith("experiment/")
+            }
+        else:
+            journal.reset()
+        if "config" not in (journal.load() if resume else {}):
+            journal.append("config", fingerprint)
+    context.journal = journal
+
     results: dict[str, TableResult] = {}
     for name, runner in EXPERIMENTS:
+        if name in completed:
+            results[name] = TableResult.from_payload(
+                completed[name]["result"]
+            )
+            if verbose:
+                print(results[name].render())
+                print(f"\n[{name} restored from checkpoint]\n")
+            continue
         start = time.perf_counter()
         result = runner(context)
         elapsed = time.perf_counter() - start
         results[name] = result
+        if journal is not None:
+            journal.append(
+                f"experiment/{name}",
+                {
+                    "result": result.to_payload(),
+                    "elapsed_seconds": elapsed,
+                },
+            )
         if verbose:
             print(result.render())
             print(f"\n[{name} completed in {elapsed:.1f} s]\n")

@@ -9,6 +9,7 @@ plus row formatting.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -25,6 +26,35 @@ from repro.pagerank.result import SubgraphScores
 
 #: Signature every ranker exposes to the harness.
 Ranker = Callable[[np.ndarray], SubgraphScores]
+
+
+def _journal_progress(
+    context: ExperimentContext,
+    dataset: WebDataset,
+    label: str,
+    runs: "dict[str, AlgorithmRun]",
+) -> None:
+    """Record one subgraph's completed solves in the context journal.
+
+    Fine-grained progress breadcrumbs (score digest, iteration count,
+    solver runtime) under ``progress/<dataset>/<label>/<algo>`` keys —
+    forensic state for diagnosing an interrupted ``--resume`` run.
+    Resume *replay* happens at experiment granularity in ``run_all``;
+    these records are append-only telemetry and never change results.
+    """
+    journal = getattr(context, "journal", None)
+    if journal is None:
+        return
+    for algo, run in runs.items():
+        scores = np.ascontiguousarray(run.estimate.scores)
+        journal.append(
+            f"progress/{dataset.name}/{label}/{algo}",
+            {
+                "score_sha256": hashlib.sha256(scores.tobytes()).hexdigest(),
+                "iterations": int(run.estimate.iterations),
+                "runtime_seconds": float(run.estimate.runtime_seconds),
+            },
+        )
 
 
 @dataclass(frozen=True)
@@ -165,12 +195,14 @@ def run_algorithms_many(
     workers = getattr(context, "workers", None) or 1
     if workers <= 1:
         rankers = standard_rankers(context, dataset)
-        return [
-            run_algorithms(
+        serial_results: list[dict[str, AlgorithmRun]] = []
+        for (label, nodes), algos in zip(named_nodes, per_subgraph):
+            runs = run_algorithms(
                 context, dataset, nodes, rankers=rankers, algorithms=algos
             )
-            for (__, nodes), algos in zip(named_nodes, per_subgraph)
-        ]
+            _journal_progress(context, dataset, label, runs)
+            serial_results.append(runs)
+        return serial_results
 
     from repro.parallel import rank_many_suite
 
@@ -184,12 +216,13 @@ def run_algorithms_many(
         sc_settings=SCSettings(expansions=context.config.sc_expansions),
     )
     results: list[dict[str, AlgorithmRun]] = []
-    for per_algo in estimates:
+    for (label, __), per_algo in zip(named_nodes, estimates):
         runs: dict[str, AlgorithmRun] = {}
         for name, estimate in per_algo.items():
             report = evaluate_estimate(truth.scores, estimate)
             runs[name] = AlgorithmRun(
                 name=name, estimate=estimate, report=report
             )
+        _journal_progress(context, dataset, label, runs)
         results.append(runs)
     return results

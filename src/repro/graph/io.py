@@ -280,12 +280,24 @@ def _mmap_npz_arrays(path: str | os.PathLike) -> dict[str, np.ndarray] | None:
             raw.seek(info.header_offset)
             local = raw.read(30)
             if len(local) != 30 or local[:4] != b"PK\x03\x04":
-                return None
+                # The central directory points at garbage: that is a
+                # corrupt archive, not a merely-unmappable one.
+                raise GraphError(
+                    f"corrupt npz archive {os.fspath(path)!r}: zip "
+                    f"member {info.filename!r} has a malformed local "
+                    f"header"
+                )
             name_len, extra_len = struct.unpack("<HH", local[26:30])
             npy_start = info.header_offset + 30 + name_len + extra_len
             raw.seek(npy_start)
             try:
                 version = npy_format.read_magic(raw)
+            except ValueError as exc:
+                raise GraphError(
+                    f"corrupt npz archive {os.fspath(path)!r}: member "
+                    f"{info.filename!r} is not a valid npy file: {exc}"
+                ) from exc
+            try:
                 if version == (1, 0):
                     shape, fortran, dtype = (
                         npy_format.read_array_header_1_0(raw)
@@ -295,9 +307,14 @@ def _mmap_npz_arrays(path: str | os.PathLike) -> dict[str, np.ndarray] | None:
                         npy_format.read_array_header_2_0(raw)
                     )
                 else:
+                    # Unknown-but-well-formed npy version: let the
+                    # copying loader deal with it.
                     return None
-            except ValueError:
-                return None
+            except ValueError as exc:
+                raise GraphError(
+                    f"corrupt npz archive {os.fspath(path)!r}: member "
+                    f"{info.filename!r} has a malformed npy header: {exc}"
+                ) from exc
             if fortran or dtype.hasobject:
                 return None
             key = info.filename
@@ -339,30 +356,68 @@ def load_npz(
         stripped).
     """
     if mmap:
-        arrays = _mmap_npz_arrays(path)
+        # A truncated or otherwise corrupt archive must surface as a
+        # typed GraphError naming the file — never as a raw
+        # BadZipFile/ValueError, and never as a silent fall-through to
+        # the copying loader (which would fail again, more
+        # confusingly).  Only *mappability* gaps (compressed members,
+        # fortran order, object dtypes, exotic npy versions) fall back.
+        try:
+            arrays = _mmap_npz_arrays(path)
+        except GraphError:
+            raise
+        except (zipfile.BadZipFile, struct.error, EOFError, ValueError) as exc:
+            raise GraphError(
+                f"corrupt npz archive {os.fspath(path)!r}: {exc}"
+            ) from exc
         if arrays is not None:
-            shape = tuple(int(x) for x in arrays["shape"])
-            graph = CSRGraph.from_shared(
-                arrays["indptr"],
-                arrays["indices"],
-                arrays["data"],
-                shape[0],
-            )
+            try:
+                shape = tuple(int(x) for x in arrays["shape"])
+                graph = CSRGraph.from_shared(
+                    arrays["indptr"],
+                    arrays["indices"],
+                    arrays["data"],
+                    shape[0],
+                )
+            except KeyError as exc:
+                raise GraphError(
+                    f"npz archive {os.fspath(path)!r} is not a graph "
+                    f"archive: missing member {exc}"
+                ) from exc
             metadata = {
                 key[len("meta_"):]: value
                 for key, value in arrays.items()
                 if key.startswith("meta_")
             }
             return graph, metadata
-    with np.load(path) as archive:
-        shape = tuple(int(x) for x in archive["shape"])
-        matrix = sparse.csr_matrix(
-            (archive["data"], archive["indices"], archive["indptr"]),
-            shape=shape,
-        )
-        metadata = {
-            key[len("meta_"):]: archive[key]
-            for key in archive.files
-            if key.startswith("meta_")
-        }
+    try:
+        with np.load(path) as archive:
+            try:
+                shape = tuple(int(x) for x in archive["shape"])
+                matrix = sparse.csr_matrix(
+                    (
+                        archive["data"],
+                        archive["indices"],
+                        archive["indptr"],
+                    ),
+                    shape=shape,
+                )
+            except KeyError as exc:
+                raise GraphError(
+                    f"npz archive {os.fspath(path)!r} is not a graph "
+                    f"archive: missing member {exc}"
+                ) from exc
+            metadata = {
+                key[len("meta_"):]: archive[key]
+                for key in archive.files
+                if key.startswith("meta_")
+            }
+    except GraphError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, ValueError, OSError) as exc:
+        raise GraphError(
+            f"corrupt npz archive {os.fspath(path)!r}: {exc}"
+        ) from exc
     return CSRGraph(matrix), metadata

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
-from repro.exceptions import ConvergenceError
+from repro.exceptions import ConvergenceError, DivergenceError
 from repro.pagerank.kernels import (
     csr_matmat_dense_accumulate,
     csr_matmat_dense_into,
@@ -291,6 +291,14 @@ def batched_power_iteration(
     converged = np.zeros(k, dtype=bool)
     active = np.ones(k, dtype=bool)
 
+    # Divergence guards (see PowerIterationSettings): per-column best
+    # residual + non-improving streaks, and a sweep-level residual
+    # trace for the DivergenceError forensics.
+    guarded = settings.check_finite or settings.divergence_patience > 0
+    best_residuals = np.full(k, np.inf, dtype=np.float64)
+    stall_streaks = np.zeros(k, dtype=np.int64)
+    residual_history: list[float] = []
+
     start = time.perf_counter()
     sweeps = 0
     for sweeps in range(1, settings.max_iterations + 1):
@@ -355,6 +363,45 @@ def batched_power_iteration(
         np.abs(scratch, out=scratch)
         np.dot(ones, scratch, out=column_residuals)
         x, x_next = x_next, x
+        if guarded:
+            residual_history.append(
+                float(np.max(column_residuals[active]))
+                if active.any()
+                else 0.0
+            )
+        if settings.check_finite and not np.all(
+            np.isfinite(column_residuals[active])
+        ):
+            bad = int(
+                np.flatnonzero(active & ~np.isfinite(column_residuals))[0]
+            )
+            raise DivergenceError(
+                f"batched power iteration: column {bad} produced a "
+                f"non-finite residual at sweep {sweeps}: the iterate "
+                f"is contaminated with NaN/Inf",
+                iterations=sweeps,
+                residual=float(column_residuals[bad]),
+                residual_trace=residual_history,
+            )
+        if settings.divergence_patience > 0:
+            still_off = active & (column_residuals >= settings.tolerance)
+            worse = still_off & (column_residuals >= best_residuals)
+            improved = still_off & (column_residuals < best_residuals)
+            stall_streaks[worse] += 1
+            stall_streaks[improved] = 0
+            best_residuals[improved] = column_residuals[improved]
+            if np.any(stall_streaks >= settings.divergence_patience):
+                bad = int(np.argmax(stall_streaks))
+                raise DivergenceError(
+                    f"batched power iteration: column {bad} has not "
+                    f"improved for {int(stall_streaks[bad])} consecutive "
+                    f"sweeps (best {float(best_residuals[bad]):.3e}, "
+                    f"current {float(column_residuals[bad]):.3e} at "
+                    f"sweep {sweeps}): diverging or cycling",
+                    iterations=sweeps,
+                    residual=float(column_residuals[bad]),
+                    residual_trace=residual_history,
+                )
         newly_done = active & (column_residuals < settings.tolerance)
         iterations[active] = sweeps
         residuals[active] = column_residuals[active]

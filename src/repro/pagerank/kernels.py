@@ -32,6 +32,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.exceptions import DivergenceError
+
 try:  # scipy's C kernels accumulate y += A @ x with zero allocation
     from scipy.sparse import _sparsetools
 
@@ -230,15 +232,37 @@ def run_power_loop(
     tolerance: float,
     max_iterations: int,
     workspace: PowerIterationWorkspace,
+    check_finite: bool = False,
+    divergence_patience: int = 0,
+    residual_trace: "list[float] | None" = None,
 ) -> tuple[int, float, bool]:
     """Drive the damped step to convergence over a workspace.
 
     ``workspace.x`` must hold the (normalised) starting vector; on
     return it holds the final iterate.  Returns ``(iterations,
     residual, converged)``.
+
+    Guards (both off by default; the solver layer enables them):
+
+    * ``check_finite`` — a NaN/Inf residual means the iterate is
+      contaminated; raise :class:`~repro.exceptions.DivergenceError`
+      immediately instead of iterating garbage to the cap.  The check
+      is one scalar ``isfinite`` per sweep — NaN anywhere in the
+      iterate propagates into the L1 residual, so no extra pass over
+      the vector is needed.
+    * ``divergence_patience`` — when > 0, raise after that many
+      *consecutive* sweeps whose residual failed to improve on the
+      best seen.  The damped update is a ``damping``-contraction in
+      L1, so healthy runs improve every sweep; a sustained
+      non-improving streak means divergence or a cycle.
+
+    ``residual_trace``, when given, accumulates the per-sweep residual
+    (the forensic trail carried by :class:`DivergenceError`).
     """
     residual = np.inf
     iterations = 0
+    best_residual = np.inf
+    stall_streak = 0
     for iterations in range(1, max_iterations + 1):
         damped_step_into(
             transition_t,
@@ -254,7 +278,34 @@ def run_power_loop(
         residual = l1_residual_into(
             workspace.x_next, workspace.x, workspace.scratch
         )
+        if residual_trace is not None:
+            residual_trace.append(float(residual))
         workspace.swap()
         if residual < tolerance:
             return iterations, residual, True
+        if check_finite and not np.isfinite(residual):
+            raise DivergenceError(
+                f"power iteration produced a non-finite residual at "
+                f"sweep {iterations}: the iterate is contaminated with "
+                f"NaN/Inf",
+                iterations=iterations,
+                residual=float(residual),
+                residual_trace=residual_trace or (),
+            )
+        if divergence_patience > 0:
+            if residual >= best_residual:
+                stall_streak += 1
+                if stall_streak >= divergence_patience:
+                    raise DivergenceError(
+                        f"power iteration residual has not improved for "
+                        f"{stall_streak} consecutive sweeps (best "
+                        f"{best_residual:.3e}, current {residual:.3e} at "
+                        f"sweep {iterations}): diverging or cycling",
+                        iterations=iterations,
+                        residual=float(residual),
+                        residual_trace=residual_trace or (),
+                    )
+            else:
+                best_residual = residual
+                stall_streak = 0
     return iterations, residual, False

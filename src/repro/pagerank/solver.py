@@ -17,14 +17,17 @@ iterates drops below the tolerance, matching the paper's criterion
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
 
-from repro.exceptions import ConvergenceError
+from repro.exceptions import ConvergenceError, DivergenceError
 from repro.pagerank.kernels import PowerIterationWorkspace, run_power_loop
+
+log = logging.getLogger("repro.resilience")
 
 
 #: Damping factor ε used throughout the paper's experiments (§V-A).
@@ -54,12 +57,30 @@ class PowerIterationSettings:
         When True, failing to converge raises
         :class:`~repro.exceptions.ConvergenceError`; when False the
         best iterate is returned with ``converged=False``.
+    check_finite:
+        Guard every sweep against NaN/Inf contamination of the iterate
+        (one scalar ``isfinite`` on the residual); on detection raise
+        :class:`~repro.exceptions.DivergenceError` immediately instead
+        of iterating garbage to the cap.
+    divergence_patience:
+        Raise :class:`~repro.exceptions.DivergenceError` after this
+        many *consecutive* sweeps whose residual failed to improve on
+        the best seen (the damped update contracts in L1, so a healthy
+        run improves every sweep).  ``0`` disables the guard.
+    safe_restart:
+        When a guard trips on a solve that started from a caller-
+        supplied ``initial`` vector, retry once from the
+        personalisation vector (a corrupted warm start is the common
+        cause of divergence); the restart keeps every guard armed.
     """
 
     damping: float = DEFAULT_DAMPING
     tolerance: float = DEFAULT_TOLERANCE
     max_iterations: int = DEFAULT_MAX_ITERATIONS
     raise_on_divergence: bool = False
+    check_finite: bool = True
+    divergence_patience: int = 25
+    safe_restart: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.damping < 1.0:
@@ -71,6 +92,11 @@ class PowerIterationSettings:
         if self.max_iterations < 1:
             raise ValueError(
                 f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.divergence_patience < 0:
+            raise ValueError(
+                f"divergence_patience must be >= 0, "
+                f"got {self.divergence_patience}"
             )
 
 
@@ -90,6 +116,16 @@ def _validate_distribution(name: str, vector: np.ndarray, size: int) -> np.ndarr
     if vector.shape != (size,):
         raise ValueError(
             f"{name} must have shape ({size},), got {vector.shape}"
+        )
+    # Non-finite entries must be rejected explicitly: every elementwise
+    # comparison against NaN is False, so a NaN-carrying vector would
+    # otherwise sail past the sign check and surface only as a
+    # baffling "sums to nan" (or, with compensating Infs, not at all).
+    if not np.all(np.isfinite(vector)):
+        bad = int(np.flatnonzero(~np.isfinite(vector))[0])
+        raise ValueError(
+            f"{name} must contain only finite values; "
+            f"entry {bad} is {vector[bad]!r}"
         )
     if np.any(vector < 0):
         raise ValueError(f"{name} must be non-negative")
@@ -184,6 +220,7 @@ def power_iteration(
             f"workspace is sized for {workspace.size}, problem is {size}"
         )
 
+    warm_start = initial is not None
     if initial is None:
         np.copyto(workspace.x, teleport)
     else:
@@ -199,17 +236,50 @@ def power_iteration(
 
     damping = settings.damping
     base = (1.0 - damping) * teleport
+    guarded = settings.check_finite or settings.divergence_patience > 0
+    trace: list[float] | None = [] if guarded else None
     start = time.perf_counter()
-    iterations, residual, converged = run_power_loop(
-        transition_t,
-        damping=damping,
-        base=base,
-        dangling_indices=dangling_indices,
-        dangling_dist=dangling_dist,
-        tolerance=settings.tolerance,
-        max_iterations=settings.max_iterations,
-        workspace=workspace,
-    )
+    try:
+        iterations, residual, converged = run_power_loop(
+            transition_t,
+            damping=damping,
+            base=base,
+            dangling_indices=dangling_indices,
+            dangling_dist=dangling_dist,
+            tolerance=settings.tolerance,
+            max_iterations=settings.max_iterations,
+            workspace=workspace,
+            check_finite=settings.check_finite,
+            divergence_patience=settings.divergence_patience,
+            residual_trace=trace,
+        )
+    except DivergenceError as exc:
+        if not (settings.safe_restart and warm_start):
+            raise
+        # Safe restart: a guard tripped on a caller-supplied warm
+        # start; rerun once from the personalisation vector with the
+        # guards still armed.  A structurally bad problem (NaN in the
+        # matrix, say) diverges again and the second error propagates.
+        log.warning(
+            "solver guard tripped (%s); restarting from the "
+            "personalisation vector",
+            exc,
+        )
+        np.copyto(workspace.x, teleport)
+        trace = [] if guarded else None
+        iterations, residual, converged = run_power_loop(
+            transition_t,
+            damping=damping,
+            base=base,
+            dangling_indices=dangling_indices,
+            dangling_dist=dangling_dist,
+            tolerance=settings.tolerance,
+            max_iterations=settings.max_iterations,
+            workspace=workspace,
+            check_finite=settings.check_finite,
+            divergence_patience=settings.divergence_patience,
+            residual_trace=trace,
+        )
     runtime = time.perf_counter() - start
     # A caller-owned workspace will be reused; hand back a private copy
     # of the final iterate so the next solve cannot clobber it.

@@ -15,6 +15,13 @@ This package turns that observation into a multi-core batch engine:
   ``ProcessPoolExecutor`` with chunked scheduling, deterministic
   result ordering, per-worker reuse of the precomputed global pass,
   and a serial fallback that produces bit-identical scores.
+
+The executor is fault tolerant: infrastructure failures (killed
+workers, hung chunks, vanished segments) are retried under a
+:class:`~repro.resilience.policy.RetryPolicy` and, when the retry
+budget runs out, execution degrades gracefully to the bit-identical
+serial path.  See :mod:`repro.resilience` for the policy, the fault
+injector and the checkpoint journal.
 """
 
 from repro.parallel.executor import (
@@ -22,6 +29,7 @@ from repro.parallel.executor import (
     rank_many,
     rank_many_suite,
 )
+from repro.resilience.policy import RetryPolicy
 from repro.parallel.shm import (
     SharedGraphHandle,
     SharedGraphStore,
@@ -31,6 +39,7 @@ from repro.parallel.shm import (
 
 __all__ = [
     "PARALLEL_ALGORITHMS",
+    "RetryPolicy",
     "SharedGraphHandle",
     "SharedGraphStore",
     "attach_shared_graph",

@@ -30,17 +30,34 @@ Design
   execute the same deterministic float64 operations on bit-identical
   arrays, so parallel and serial scores agree *exactly* (``atol=0``);
   the test suite pins that.
+* **Fault tolerance** — failures are split retryable-vs-fatal by
+  :func:`repro.resilience.policy.classify_failure`.  Infrastructure
+  failures (a worker killed mid-chunk, a hung chunk tripping its
+  :class:`~repro.exceptions.ChunkTimeoutError`, a vanished shm
+  segment, injected transient faults) are retried under a
+  :class:`~repro.resilience.policy.RetryPolicy` — healthy pools are
+  reused, broken or hung pools are rebuilt and only the *unfinished*
+  chunks resubmitted — and when the retry budget is exhausted the
+  executor **degrades gracefully to serial execution**, which returns
+  bit-identical scores.  Deterministic task failures (invalid
+  subgraphs, solver divergence) raise immediately: retrying replays
+  the bug.
 * **Error propagation** — a failing task surfaces as
   :class:`~repro.exceptions.ParallelError` naming the subgraph and the
-  algorithm, with the worker-side traceback in the message.  The
-  shared segment is always released, success or failure.
+  algorithm, with the worker-side traceback and the full recovery
+  attempt history as structured fields.  ``ParallelError`` is raised
+  only when the serial fallback itself fails (or the failure is
+  fatal).  The shared segment is always released, success or failure.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -51,7 +68,7 @@ from repro.baselines.lpr2 import lpr2
 from repro.baselines.sc import SCSettings, stochastic_complementation
 from repro.core.approxrank import approxrank
 from repro.core.precompute import ApproxRankPreprocessor
-from repro.exceptions import ParallelError
+from repro.exceptions import ChunkTimeoutError, ParallelError
 from repro.graph.digraph import CSRGraph
 from repro.graph.subgraph import normalize_node_set
 from repro.pagerank.result import SubgraphScores
@@ -62,6 +79,14 @@ from repro.parallel.shm import (
     attach_shared_graph,
     shared_memory_available,
 )
+from repro.resilience import faults
+from repro.resilience.policy import (
+    AttemptRecord,
+    RetryPolicy,
+    classify_failure,
+)
+
+log = logging.getLogger("repro.resilience")
 
 #: Algorithms :func:`rank_many` can dispatch, keyed by the paper's
 #: labels (the same names the experiment harness uses).
@@ -130,6 +155,11 @@ def _worker_rank_chunk(
     sc_settings: SCSettings | None,
 ) -> list[tuple[int, SubgraphScores]]:
     """Process-pool entry point: attach once, solve a chunk of tasks."""
+    # Chaos injection sites (no-ops unless REPRO_FAULTS arms them, and
+    # only ever in worker processes): a SIGKILL here breaks the pool
+    # mid-chunk, a delay here outlives the chunk timeout.
+    faults.maybe_inject("kill_worker")
+    faults.maybe_inject("delay_chunk")
     graph, __ = attach_shared_graph(handle)
     preprocessor = None
     if any(task.algorithm == "approxrank" for task in tasks):
@@ -140,6 +170,7 @@ def _worker_rank_chunk(
     results: list[tuple[int, SubgraphScores]] = []
     for task in tasks:
         try:
+            faults.maybe_inject("transient")
             results.append(
                 (
                     task.index,
@@ -149,13 +180,19 @@ def _worker_rank_chunk(
                 )
             )
         except Exception as exc:
-            # Re-raise as a single-string (hence picklable) error that
-            # names the subgraph; the raw traceback would otherwise be
-            # lost at the process boundary.
+            # Re-raise as a picklable error that names the subgraph and
+            # carries the original error class name (the parent's
+            # retry machinery classifies retryable-vs-fatal from it);
+            # the raw traceback would otherwise be lost at the process
+            # boundary.
             raise ParallelError(
                 f"subgraph {task.name!r} ({task.algorithm}) failed in "
                 f"worker: {type(exc).__name__}: {exc}\n"
-                f"{traceback.format_exc()}"
+                f"{traceback.format_exc()}",
+                subgraph=task.name,
+                algorithm=task.algorithm,
+                error_type=type(exc).__name__,
+                worker_traceback=traceback.format_exc(),
             ) from None
     return results
 
@@ -218,6 +255,204 @@ def _chunk(
 # ----------------------------------------------------------------------
 
 
+def _run_serial(
+    graph: CSRGraph,
+    tasks: Sequence[_TaskSpec],
+    results: "list[SubgraphScores | None]",
+    settings: PowerIterationSettings | None,
+    sc_settings: SCSettings | None,
+    attempts: tuple = (),
+) -> None:
+    """Solve ``tasks`` in-process (the serial path and the fallback).
+
+    Fills ``results`` at each task's index.  Identical solve code to
+    the worker path, so scores agree bit for bit.
+    """
+    preprocessor = (
+        ApproxRankPreprocessor(graph)
+        if any(t.algorithm == "approxrank" for t in tasks)
+        else None
+    )
+    for task in tasks:
+        try:
+            results[task.index] = _solve_one(
+                graph, task, settings, sc_settings, preprocessor
+            )
+        except ParallelError as exc:
+            if attempts and not exc.attempts:
+                exc.attempts = tuple(attempts)
+            raise
+        except Exception as exc:
+            raise ParallelError(
+                f"subgraph {task.name!r} ({task.algorithm}) "
+                f"failed: {type(exc).__name__}: {exc}",
+                subgraph=task.name,
+                algorithm=task.algorithm,
+                error_type=type(exc).__name__,
+                attempts=tuple(attempts),
+            ) from exc
+
+
+def _record_attempt(
+    attempts: "list[AttemptRecord]",
+    *,
+    stage: str,
+    exc: BaseException,
+    retryable: bool,
+    action: str,
+    started: float,
+) -> AttemptRecord:
+    """Append one recovery-history entry, logging the decision."""
+    record = AttemptRecord(
+        attempt=len(attempts) + 1,
+        stage=stage,
+        error_type=type(exc).__name__,
+        message=str(exc).split("\n", 1)[0][:300],
+        retryable=retryable,
+        action=action,
+        elapsed_seconds=time.monotonic() - started,
+    )
+    attempts.append(record)
+    log.warning("parallel ranking: %s", record.describe())
+    return record
+
+
+def _drop_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a broken or hung pool without blocking on it."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown of a wrecked pool
+        pass
+
+
+def _parallel_round(
+    pool: ProcessPoolExecutor,
+    store: SharedGraphStore,
+    pending: "dict[int, list[_TaskSpec]]",
+    results: "list[SubgraphScores | None]",
+    policy: RetryPolicy,
+    attempts: "list[AttemptRecord]",
+    started: float,
+    settings: PowerIterationSettings | None,
+    sc_settings: SCSettings | None,
+) -> bool:
+    """Submit every pending chunk and consume what completes.
+
+    Completed chunks are removed from ``pending``; chunks that failed
+    retryably stay for the next round.  Returns False when the pool
+    must be rebuilt (broken or hung); raises ``ParallelError`` — with
+    the attempt history attached — on a fatal task failure.
+    """
+    try:
+        futures = {
+            cid: pool.submit(
+                _worker_rank_chunk,
+                store.handle,
+                pending[cid],
+                settings,
+                sc_settings,
+            )
+            for cid in sorted(pending)
+        }
+    except Exception as exc:  # the pool broke before/while submitting
+        _record_attempt(
+            attempts,
+            stage="parallel",
+            exc=exc,
+            retryable=True,
+            action="rebuild-pool",
+            started=started,
+        )
+        return False
+
+    for cid, future in futures.items():
+        timeout = policy.effective_timeout(time.monotonic() - started)
+        try:
+            chunk_results = future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            names = ", ".join(repr(t.name) for t in pending[cid])
+            timeout_exc = ChunkTimeoutError(
+                f"chunk [{names}] missed its {timeout:.3g}s deadline",
+                timeout_seconds=timeout,
+            )
+            _record_attempt(
+                attempts,
+                stage="parallel",
+                exc=timeout_exc,
+                retryable=True,
+                action="rebuild-pool",
+                started=started,
+            )
+            # A hung worker poisons the whole pool: stop consuming and
+            # let the caller rebuild.  Unconsumed chunks stay pending
+            # (recomputing an already-finished chunk is deterministic).
+            return False
+        except ParallelError as exc:
+            decision = classify_failure(exc)
+            if decision.retryable:
+                _record_attempt(
+                    attempts,
+                    stage="parallel",
+                    exc=exc,
+                    retryable=True,
+                    action="retry",
+                    started=started,
+                )
+                continue  # chunk stays pending; the pool is healthy
+            _record_attempt(
+                attempts,
+                stage="parallel",
+                exc=exc,
+                retryable=False,
+                action="raise",
+                started=started,
+            )
+            exc.attempts = tuple(attempts)
+            raise
+        except BrokenExecutor as exc:
+            _record_attempt(
+                attempts,
+                stage="parallel",
+                exc=exc,
+                retryable=True,
+                action="rebuild-pool",
+                started=started,
+            )
+            return False
+        except Exception as exc:
+            decision = classify_failure(exc)
+            if decision.retryable:
+                _record_attempt(
+                    attempts,
+                    stage="parallel",
+                    exc=exc,
+                    retryable=True,
+                    action="rebuild-pool",
+                    started=started,
+                )
+                return False
+            _record_attempt(
+                attempts,
+                stage="parallel",
+                exc=exc,
+                retryable=False,
+                action="raise",
+                started=started,
+            )
+            names = ", ".join(repr(t.name) for t in pending[cid])
+            raise ParallelError(
+                f"worker pool failed while ranking subgraphs "
+                f"[{names}]: {type(exc).__name__}: {exc}",
+                error_type=type(exc).__name__,
+                attempts=tuple(attempts),
+            ) from exc
+        else:
+            for index, scores in chunk_results:
+                results[index] = scores
+            del pending[cid]
+    return True
+
+
 def _execute(
     graph: CSRGraph,
     tasks: list[_TaskSpec],
@@ -225,6 +460,7 @@ def _execute(
     sc_settings: SCSettings | None,
     workers: int | None,
     chunksize: int | None,
+    retry: RetryPolicy | None = None,
 ) -> list[SubgraphScores]:
     """Run the tasks, parallel when possible, and order the results."""
     for task in tasks:
@@ -239,59 +475,97 @@ def _execute(
 
     effective = min(_effective_workers(workers), len(tasks))
     if effective <= 1 or not shared_memory_available():
-        # Serial fallback: same solve code, one shared preprocessor.
-        preprocessor = (
-            ApproxRankPreprocessor(graph)
-            if any(t.algorithm == "approxrank" for t in tasks)
-            else None
-        )
-        for task in tasks:
-            try:
-                results[task.index] = _solve_one(
-                    graph, task, settings, sc_settings, preprocessor
-                )
-            except ParallelError:
-                raise
-            except Exception as exc:
-                raise ParallelError(
-                    f"subgraph {task.name!r} ({task.algorithm}) "
-                    f"failed: {type(exc).__name__}: {exc}"
-                ) from exc
+        # Serial path: same solve code, one shared preprocessor.
+        _run_serial(graph, tasks, results, settings, sc_settings)
         return results  # type: ignore[return-value]
 
+    policy = retry if retry is not None else RetryPolicy()
     if chunksize is None:
         chunksize = max(
             1, -(-len(tasks) // (effective * _CHUNKS_PER_WORKER))
         )
     chunks = _chunk(tasks, chunksize)
+    pending: dict[int, list[_TaskSpec]] = dict(enumerate(chunks))
+    attempts: list[AttemptRecord] = []
+    started = time.monotonic()
 
     store = SharedGraphStore(graph)
+    pool: ProcessPoolExecutor | None = None
     try:
-        with ProcessPoolExecutor(max_workers=effective) as pool:
-            futures = {
-                pool.submit(
-                    _worker_rank_chunk,
-                    store.handle,
-                    chunk,
-                    settings,
-                    sc_settings,
-                ): chunk
-                for chunk in chunks
-            }
-            for future, chunk in futures.items():
-                try:
-                    for index, scores in future.result():
-                        results[index] = scores
-                except ParallelError:
-                    raise
-                except Exception as exc:
-                    names = ", ".join(repr(t.name) for t in chunk)
-                    raise ParallelError(
-                        f"worker pool failed while ranking subgraphs "
-                        f"[{names}]: {type(exc).__name__}: {exc}"
-                    ) from exc
+        for round_no in range(1, policy.max_attempts + 1):
+            if not pending:
+                break
+            if policy.deadline_exceeded(time.monotonic() - started):
+                log.warning(
+                    "parallel ranking exceeded its %.3gs total deadline "
+                    "with %d chunks unfinished; degrading to serial",
+                    policy.total_deadline,
+                    len(pending),
+                )
+                break
+            if round_no > 1:
+                delay = policy.backoff(round_no - 1)
+                if delay:
+                    time.sleep(delay)
+            if pool is None:
+                # The initializer arms fault injection (and only
+                # there: the parent, hence the serial fallback, never
+                # injects — that is what makes graceful degradation a
+                # guaranteed recovery).
+                pool = ProcessPoolExecutor(
+                    max_workers=min(effective, len(pending)),
+                    initializer=faults.mark_worker_process,
+                )
+            healthy = _parallel_round(
+                pool,
+                store,
+                pending,
+                results,
+                policy,
+                attempts,
+                started,
+                settings,
+                sc_settings,
+            )
+            if not healthy:
+                _drop_pool(pool)
+                pool = None
     finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
         store.close()
+
+    if pending:
+        remaining = [
+            task for cid in sorted(pending) for task in pending[cid]
+        ]
+        log.warning(
+            "parallel ranking: degrading to serial execution for %d "
+            "unfinished tasks after %d failed recovery attempts "
+            "(scores are bit-identical on both paths)",
+            len(remaining),
+            len(attempts),
+        )
+        try:
+            _run_serial(
+                graph,
+                remaining,
+                results,
+                settings,
+                sc_settings,
+                attempts=tuple(attempts),
+            )
+        except ParallelError as exc:
+            _record_attempt(
+                attempts,
+                stage="serial",
+                exc=exc,
+                retryable=False,
+                action="raise",
+                started=started,
+            )
+            exc.attempts = tuple(attempts)
+            raise
     return results  # type: ignore[return-value]
 
 
@@ -308,6 +582,7 @@ def rank_many(
     workers: int | None = None,
     chunksize: int | None = None,
     sc_settings: SCSettings | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[SubgraphScores]:
     """Rank K subgraphs of one global graph, in parallel.
 
@@ -333,6 +608,10 @@ def rank_many(
         Tasks per pool submission; default ~4 chunks per worker.
     sc_settings:
         Expansion knobs for ``algorithm="sc"``.
+    retry:
+        :class:`~repro.resilience.policy.RetryPolicy` governing chunk
+        timeouts, retry rounds and the total deadline; defaults to
+        ``RetryPolicy()`` (3 rounds, no timeouts).
 
     Returns
     -------
@@ -352,7 +631,7 @@ def rank_many(
         for i, (name, nodes) in enumerate(named)
     ]
     return _execute(
-        graph, tasks, settings, sc_settings, workers, chunksize
+        graph, tasks, settings, sc_settings, workers, chunksize, retry
     )
 
 
@@ -364,6 +643,7 @@ def rank_many_suite(
     workers: int | None = None,
     chunksize: int | None = None,
     sc_settings: SCSettings | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[dict[str, SubgraphScores]]:
     """Rank every subgraph with several algorithms (table workloads).
 
@@ -404,7 +684,7 @@ def rank_many_suite(
             )
         layout.append(slots)
     flat = _execute(
-        graph, tasks, settings, sc_settings, workers, chunksize
+        graph, tasks, settings, sc_settings, workers, chunksize, retry
     )
     return [
         {algo: flat[index] for algo, index in slots} for slots in layout

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.exceptions import ParallelError
 from repro.graph.digraph import CSRGraph
+from repro.resilience import faults
 
 try:  # pragma: no cover - import succeeds on every supported python
     from multiprocessing import shared_memory as _shared_memory
@@ -303,6 +304,7 @@ def attach_shared_graph(
             "cannot attach shared graph: shared memory unavailable"
         )
     try:
+        faults.maybe_inject("fail_attach")
         try:
             # 3.13+: opt out of resource tracking for non-owners, so a
             # worker's tracker never unlinks a segment the parent still
@@ -317,9 +319,13 @@ def attach_shared_graph(
             # the owner's unlink() performs the single unregister.
             shm = _shared_memory.SharedMemory(name=handle.segment_name)
     except FileNotFoundError as exc:
+        # error_type carries the cause class across the pickle
+        # boundary; the parent's retry machinery classifies a vanished
+        # segment as retryable (a fresh pool re-attaches fine).
         raise ParallelError(
             f"shared graph segment {handle.segment_name!r} is gone "
-            "(owner closed the store before workers finished?)"
+            "(owner closed the store before workers finished?)",
+            error_type=type(exc).__name__,
         ) from exc
 
     views: dict[str, np.ndarray] = {}

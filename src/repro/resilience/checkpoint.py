@@ -1,0 +1,264 @@
+"""Append-only, hash-verified JSONL checkpoint journal.
+
+``python -m repro all`` can take minutes; a crash at experiment 9 of
+11 used to mean starting over.  The experiment driver now journals
+each completed unit of work to a :class:`CheckpointJournal` and, on
+``--resume``, replays the journal instead of recomputing — producing
+byte-identical reports to an uninterrupted run.
+
+Format: one JSON object per line::
+
+    {"key": "experiment/table4", "payload": {...}, "sha256": "..."}
+
+``sha256`` is the hex digest of the canonical (sorted-keys, compact)
+JSON encoding of ``{"key": ..., "payload": ...}``.  On load, lines are
+verified in order and reading stops at the first invalid line — a torn
+tail after a crash is expected and simply means that record was never
+durably completed.  Each append is flushed and fsynced, so a journal
+can lose at most the record being written when the process dies.
+
+Floats survive the round-trip exactly: ``json`` emits ``repr``-style
+shortest representations, which parse back to the identical float64 —
+that is what makes replayed reports byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import CheckpointError
+
+log = logging.getLogger("repro.resilience")
+
+
+def _canonical(key: str, payload: Any) -> str:
+    return json.dumps(
+        {"key": key, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _digest(key: str, payload: Any) -> str:
+    return hashlib.sha256(
+        _canonical(key, payload).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One verified journal entry."""
+
+    key: str
+    payload: Any
+
+
+class CheckpointJournal:
+    """Append-only journal of completed work, one JSON record per line.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parent directories) on first
+        append.  A missing file reads as an empty journal.
+    """
+
+    def __init__(self, path: "str | os.PathLike"):
+        self.path = Path(path)
+        self._tail_repaired = False
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, key: str, payload: Any) -> None:
+        """Durably append one completed-work record.
+
+        The payload must be JSON-serialisable.  The line is flushed and
+        fsynced before returning, so a subsequent crash cannot lose it.
+
+        Before the first append of this journal instance, any invalid
+        tail (a torn line from a crash mid-write) is truncated away —
+        reading stops at the first invalid line, so appending after a
+        torn tail without repairing it would make every new record
+        unreachable.
+        """
+        self._repair_tail()
+        try:
+            line = json.dumps(
+                {
+                    "key": key,
+                    "payload": payload,
+                    "sha256": _digest(key, payload),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint payload for {key!r} is not JSON-serialisable: "
+                f"{exc}"
+            ) from exc
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot append to checkpoint journal {self.path}: {exc}"
+            ) from exc
+
+    def reset(self) -> None:
+        """Truncate the journal (start of a fresh, non-resumed run)."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot reset checkpoint journal {self.path}: {exc}"
+            ) from exc
+        self._tail_repaired = True
+
+    def _repair_tail(self) -> None:
+        """Truncate any invalid tail so appends extend the valid prefix."""
+        if self._tail_repaired:
+            return
+        self._tail_repaired = True
+        if not self.path.exists():
+            return
+        __, valid_end, newline_missing = self._scan()
+        size = self.path.stat().st_size
+        if valid_end == size and not newline_missing:
+            return
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+                if newline_missing:
+                    handle.seek(valid_end)
+                    handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot repair checkpoint journal {self.path}: {exc}"
+            ) from exc
+        if valid_end < size:
+            log.warning(
+                "checkpoint journal %s: discarded %d bytes of "
+                "torn/invalid tail before appending",
+                self.path,
+                size - valid_end,
+            )
+        else:
+            log.warning(
+                "checkpoint journal %s: restored the lost trailing "
+                "newline before appending",
+                self.path,
+            )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _scan(self) -> tuple[list[CheckpointRecord], int, bool]:
+        """Verify the journal and locate the end of its valid prefix.
+
+        Returns ``(records, valid_end, newline_missing)``:
+        ``valid_end`` is the byte offset just past the last verified
+        line (newline included when present); ``newline_missing`` is
+        True when that line's content is intact but its trailing
+        newline was lost — the record still counts, but a raw append
+        would concatenate onto it.
+        """
+        if not self.path.exists():
+            return [], 0, False
+        try:
+            raw = self.path.read_bytes()
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint journal {self.path}: {exc}"
+            ) from exc
+        records: list[CheckpointRecord] = []
+        valid_end = 0
+        newline_missing = False
+        start = 0
+        line_no = 0
+        while start < len(raw):
+            line_no += 1
+            newline_at = raw.find(b"\n", start)
+            end = len(raw) if newline_at == -1 else newline_at + 1
+            try:
+                line = raw[start:end].decode("utf-8")
+            except UnicodeDecodeError:
+                line = None
+            if line is not None and not line.strip():
+                valid_end = end
+                newline_missing = newline_at == -1
+                start = end
+                continue
+            entry = None
+            if line is not None:
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    payload = entry["payload"]
+                    recorded = entry["sha256"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    entry = None
+            if entry is None:
+                log.warning(
+                    "checkpoint journal %s: discarding invalid record at "
+                    "line %d and everything after it",
+                    self.path,
+                    line_no,
+                )
+                break
+            if _digest(key, payload) != recorded:
+                log.warning(
+                    "checkpoint journal %s: integrity hash mismatch at "
+                    "line %d; discarding it and everything after it",
+                    self.path,
+                    line_no,
+                )
+                break
+            records.append(CheckpointRecord(key=key, payload=payload))
+            valid_end = end
+            newline_missing = newline_at == -1
+            start = end
+        return records, valid_end, newline_missing
+
+    def records(self) -> list[CheckpointRecord]:
+        """All verified records, in journal order.
+
+        Verification stops at the first corrupt or truncated line (the
+        valid prefix is returned); a non-empty invalid tail is logged.
+        A missing journal file is an empty journal.
+        """
+        return self._scan()[0]
+
+    def load(self) -> dict[str, Any]:
+        """Verified records as an ordered ``{key: payload}`` map.
+
+        Later records win on duplicate keys (re-running a unit of work
+        after a resume appends a fresh record rather than editing the
+        journal in place).
+        """
+        return {record.key: record.payload for record in self.records()}
+
+    def __iter__(self) -> Iterator[CheckpointRecord]:
+        return iter(self.records())
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def __repr__(self) -> str:
+        return f"CheckpointJournal({str(self.path)!r})"

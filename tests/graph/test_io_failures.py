@@ -1,0 +1,84 @@
+"""npz failure modes: corrupt archives must raise a typed GraphError.
+
+``load_npz(mmap=True)`` reads zip structure by hand, so a truncated or
+garbage file used to surface as raw ``BadZipFile``/``ValueError``
+noise (or worse, a confusing second failure from the copying
+fallback).  These tests pin the contract: corruption → ``GraphError``
+naming the path; only *mappability* gaps fall back silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import graph_from_edges
+from repro.graph.io import load_npz, save_npz
+
+
+def make_graph():
+    return graph_from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4)])
+
+
+@pytest.fixture(params=[True, False], ids=["mmap", "copy"])
+def mmap(request):
+    return request.param
+
+
+class TestCorruptArchives:
+    def test_garbage_bytes_raise_graph_error_naming_the_path(
+        self, tmp_path, mmap
+    ):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(GraphError, match="garbage.npz"):
+            load_npz(path, mmap=mmap)
+
+    def test_truncated_archive_raises_graph_error(self, tmp_path, mmap):
+        path = tmp_path / "truncated.npz"
+        save_npz(make_graph(), path, compressed=False)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(GraphError, match="truncated.npz"):
+            load_npz(path, mmap=mmap)
+
+    def test_corrupt_npy_member_raises_graph_error(self, tmp_path):
+        # Valid zip structure, but a member's npy magic is smashed —
+        # only the hand-rolled mmap reader ever sees this layer.
+        path = tmp_path / "bad-member.npz"
+        save_npz(make_graph(), path, compressed=False)
+        raw = bytearray(path.read_bytes())
+        magic_at = raw.find(b"\x93NUMPY")
+        assert magic_at != -1
+        raw[magic_at : magic_at + 6] = b"\x00GARBA"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GraphError, match="bad-member.npz"):
+            load_npz(path, mmap=True)
+
+    def test_valid_zip_without_csr_members_is_not_a_graph_archive(
+        self, tmp_path, mmap
+    ):
+        path = tmp_path / "notgraph.npz"
+        np.savez(path, unrelated=np.arange(4))
+        with pytest.raises(GraphError, match="not a graph archive"):
+            load_npz(path, mmap=mmap)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path, mmap):
+        # Absence is not corruption: the standard error passes through
+        # so callers can distinguish "no cache yet" from "cache rotted".
+        with pytest.raises(FileNotFoundError):
+            load_npz(tmp_path / "nope.npz", mmap=mmap)
+
+
+class TestMappabilityFallback:
+    def test_compressed_archive_still_loads_with_mmap_flag(self, tmp_path):
+        # Deflated members cannot be mapped; the flag silently falls
+        # back to the copying loader instead of erroring.
+        path = tmp_path / "compressed.npz"
+        graph = make_graph()
+        save_npz(graph, path, compressed=True)
+        loaded, __ = load_npz(path, mmap=True)
+        assert np.array_equal(
+            loaded.adjacency.toarray(), graph.adjacency.toarray()
+        )

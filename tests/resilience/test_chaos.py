@@ -1,0 +1,324 @@
+"""Chaos suite: injected faults against the full recovery machinery.
+
+Marked ``chaos`` (run via ``make chaos``): these tests SIGKILL worker
+processes, hang chunks past their timeout, vanish shared-memory
+attaches, and truncate checkpoint journals at every length — then
+assert the library's two load-bearing promises:
+
+* every recovery path converges to scores **bit-identical** to a
+  fault-free serial run;
+* a resumed experiment sweep produces a report **byte-identical** to
+  an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.parallel import RetryPolicy, rank_many
+from repro.parallel.shm import _SEGMENT_PREFIX
+from tests.conftest import random_digraph
+
+pytestmark = pytest.mark.chaos
+
+
+def make_graph():
+    return random_digraph(120, dangling_fraction=0.3, seed=5)
+
+
+def subgraph_batch():
+    rng = np.random.default_rng(13)
+    return [
+        (f"s{i}", rng.choice(120, size=size, replace=False).tolist())
+        for i, size in enumerate([10, 25, 18, 30])
+    ]
+
+
+def assert_no_shm_leak():
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        leftovers = list(shm_dir.glob(f"{_SEGMENT_PREFIX}{os.getpid()}_*"))
+        assert leftovers == []
+
+
+def assert_exact(result_a, result_b):
+    assert len(result_a) == len(result_b)
+    for a, b in zip(result_a, result_b):
+        assert np.array_equal(a.local_nodes, b.local_nodes)
+        assert np.array_equal(a.scores, b.scores)
+
+
+class TestFaultRecovery:
+    def test_sigkilled_workers_degrade_to_serial_bit_identical(
+        self, monkeypatch
+    ):
+        # p=1: every rebuilt pool is killed again, so the parallel
+        # phase can never finish — recovery must come from the serial
+        # fallback, and the scores must not care.
+        graph = make_graph()
+        batch = subgraph_batch()
+        serial = rank_many(graph, batch, workers=1)
+        monkeypatch.setenv("REPRO_FAULTS", "kill_worker:p=1")
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        survived = rank_many(
+            graph, batch, workers=2, chunksize=1, retry=policy
+        )
+        assert_exact(survived, serial)
+        assert_no_shm_leak()
+
+    def test_hung_chunk_times_out_then_serial_fallback(self, monkeypatch):
+        # Every worker chunk sleeps past the 0.25s chunk timeout; the
+        # executor must detect the hang, rebuild, give up, and still
+        # return exact scores via the serial path.
+        graph = make_graph()
+        batch = subgraph_batch()[:2]
+        serial = rank_many(graph, batch, workers=1)
+        monkeypatch.setenv("REPRO_FAULTS", "delay_chunk:p=1,delay=1.5")
+        policy = RetryPolicy(
+            max_attempts=2,
+            backoff_base=0.0,
+            jitter=0.0,
+            chunk_timeout=0.25,
+        )
+        survived = rank_many(
+            graph, batch, workers=2, chunksize=1, retry=policy
+        )
+        assert_exact(survived, serial)
+        assert_no_shm_leak()
+
+    def test_total_deadline_short_circuits_to_serial(self, monkeypatch):
+        graph = make_graph()
+        batch = subgraph_batch()[:2]
+        serial = rank_many(graph, batch, workers=1)
+        monkeypatch.setenv("REPRO_FAULTS", "delay_chunk:p=1,delay=1.5")
+        policy = RetryPolicy(
+            max_attempts=5,
+            backoff_base=0.0,
+            jitter=0.0,
+            chunk_timeout=0.2,
+            total_deadline=0.5,
+        )
+        survived = rank_many(
+            graph, batch, workers=2, chunksize=1, retry=policy
+        )
+        assert_exact(survived, serial)
+        assert_no_shm_leak()
+
+    def test_vanished_segment_attach_recovers_in_parallel(
+        self, monkeypatch
+    ):
+        # max=1 per process and the pool is *reused* across retry
+        # rounds (it is healthy — the chunk failed, not the pool), so
+        # with 2 workers and 3 rounds every process has used up its
+        # one injected attach failure and the batch completes in
+        # parallel, no serial fallback needed.
+        graph = make_graph()
+        batch = subgraph_batch()
+        serial = rank_many(graph, batch, workers=1)
+        monkeypatch.setenv("REPRO_FAULTS", "fail_attach:p=1,max=1")
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+        survived = rank_many(
+            graph, batch, workers=2, chunksize=1, retry=policy
+        )
+        assert_exact(survived, serial)
+        assert_no_shm_leak()
+
+    def test_probabilistic_fault_mix_still_exact(self, monkeypatch):
+        # The deterministic-schedule stress case: a mix of fault kinds
+        # at p<1, seeded, over several rounds.
+        graph = make_graph()
+        batch = subgraph_batch()
+        serial = rank_many(graph, batch, workers=1)
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "transient:p=0.5,seed=3;fail_attach:p=0.3,seed=4,max=2",
+        )
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.0, jitter=0.0)
+        survived = rank_many(
+            graph, batch, workers=2, chunksize=1, retry=policy
+        )
+        assert_exact(survived, serial)
+        assert_no_shm_leak()
+
+
+class TestCheckpointResume:
+    def _install_fake_experiments(self, monkeypatch, call_log):
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.reporting import TableResult
+
+        def make(name, value):
+            def run(context):
+                call_log.append(name)
+                table = TableResult(
+                    experiment_id=name,
+                    title=f"{name} (fake)",
+                    headers=["metric", "value", "runtime (s)"],
+                )
+                table.add_row("alpha", value, np.float64(value) / 3.0)
+                table.add_row("count", np.int64(7), 2.0 / 3.0)
+                table.notes.append(f"note for {name}")
+                return table
+
+            return run
+
+        fakes = tuple(
+            (name, make(name, value))
+            for name, value in [("fa", 0.1), ("fb", 1e-17), ("fc", 123.456)]
+        )
+        monkeypatch.setattr(run_all_module, "EXPERIMENTS", fakes)
+        return run_all_module
+
+    def test_resume_is_byte_identical_at_every_journal_length(
+        self, monkeypatch, tmp_path
+    ):
+        calls: list[str] = []
+        run_all_module = self._install_fake_experiments(monkeypatch, calls)
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.run_all import build_markdown_report, run_all
+
+        journal_path = tmp_path / "checkpoint.jsonl"
+        context = ExperimentContext()
+        results = run_all(
+            context, verbose=False, checkpoint=str(journal_path)
+        )
+        reference = build_markdown_report(results, context)
+        assert calls == ["fa", "fb", "fc"]
+        full_lines = journal_path.read_text().splitlines(keepends=True)
+        assert len(full_lines) == 4  # config + three experiments
+
+        for keep in range(len(full_lines) + 1):
+            calls.clear()
+            resumed_path = tmp_path / f"resume-{keep}.jsonl"
+            resumed_path.write_text("".join(full_lines[:keep]))
+            resumed_context = ExperimentContext()
+            resumed = run_all(
+                resumed_context,
+                verbose=False,
+                checkpoint=str(resumed_path),
+                resume=True,
+            )
+            report = build_markdown_report(resumed, resumed_context)
+            assert report == reference, f"report diverged at {keep} lines"
+            # Only the experiments missing from the journal re-ran.
+            expected_reruns = [
+                name for name, __ in run_all_module.EXPERIMENTS
+            ][max(keep - 1, 0):]
+            assert calls == expected_reruns
+
+    def test_resume_survives_a_torn_tail(self, monkeypatch, tmp_path):
+        calls: list[str] = []
+        self._install_fake_experiments(monkeypatch, calls)
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.run_all import build_markdown_report, run_all
+
+        journal_path = tmp_path / "checkpoint.jsonl"
+        context = ExperimentContext()
+        reference = build_markdown_report(
+            run_all(context, verbose=False, checkpoint=str(journal_path)),
+            context,
+        )
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[: len(raw) - 9])  # tear last record
+        calls.clear()
+        resumed_context = ExperimentContext()
+        resumed = run_all(
+            resumed_context,
+            verbose=False,
+            checkpoint=str(journal_path),
+            resume=True,
+        )
+        assert build_markdown_report(resumed, resumed_context) == reference
+        assert calls == ["fc"]  # only the torn experiment re-ran
+
+    def test_second_resume_replays_work_journalled_after_a_tear(
+        self, monkeypatch, tmp_path
+    ):
+        # Regression: a resumed run appends its recomputed work to the
+        # journal; if the torn tail were left in place those appends
+        # would land behind the tear and be invisible to the *next*
+        # resume, silently re-running everything forever.
+        calls: list[str] = []
+        self._install_fake_experiments(monkeypatch, calls)
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.run_all import build_markdown_report, run_all
+
+        journal_path = tmp_path / "checkpoint.jsonl"
+        run_all(
+            ExperimentContext(), verbose=False, checkpoint=str(journal_path)
+        )
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[: len(raw) - 9])  # tear last record
+        calls.clear()
+        first_context = ExperimentContext()
+        first = run_all(
+            first_context,
+            verbose=False,
+            checkpoint=str(journal_path),
+            resume=True,
+        )
+        assert calls == ["fc"]  # recomputed and re-journalled
+        calls.clear()
+        second_context = ExperimentContext()
+        second = run_all(
+            second_context,
+            verbose=False,
+            checkpoint=str(journal_path),
+            resume=True,
+        )
+        assert calls == []  # everything replayed, nothing recomputed
+        assert build_markdown_report(
+            second, second_context
+        ) == build_markdown_report(first, first_context)
+
+    def test_config_fingerprint_mismatch_refuses_resume(
+        self, monkeypatch, tmp_path
+    ):
+        calls: list[str] = []
+        self._install_fake_experiments(monkeypatch, calls)
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.run_all import run_all
+
+        journal_path = tmp_path / "checkpoint.jsonl"
+        run_all(
+            ExperimentContext(),
+            verbose=False,
+            checkpoint=str(journal_path),
+        )
+        other = ExperimentContext(ExperimentConfig(seed=4242))
+        with pytest.raises(CheckpointError, match="configuration"):
+            run_all(
+                other,
+                verbose=False,
+                checkpoint=str(journal_path),
+                resume=True,
+            )
+
+    def test_resume_requires_a_checkpoint(self, monkeypatch):
+        calls: list[str] = []
+        self._install_fake_experiments(monkeypatch, calls)
+        from repro.experiments.run_all import run_all
+
+        with pytest.raises(CheckpointError, match="requires a checkpoint"):
+            run_all(verbose=False, resume=True)
+
+    def test_fresh_run_resets_a_stale_journal(self, monkeypatch, tmp_path):
+        calls: list[str] = []
+        self._install_fake_experiments(monkeypatch, calls)
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.run_all import run_all
+
+        journal_path = tmp_path / "checkpoint.jsonl"
+        journal_path.write_text("stale garbage\n")
+        run_all(
+            ExperimentContext(),
+            verbose=False,
+            checkpoint=str(journal_path),
+        )
+        assert calls == ["fa", "fb", "fc"]
+        assert "stale garbage" not in journal_path.read_text()

@@ -1,0 +1,157 @@
+"""Checkpoint journal: durability, integrity hashes, torn tails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.resilience.checkpoint import CheckpointJournal, CheckpointRecord
+
+
+class TestRoundTrip:
+    def test_append_and_load(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        journal.append("config", {"seed": 2009})
+        journal.append("experiment/table2", {"rows": [1, 2.5, "x"]})
+        assert journal.load() == {
+            "config": {"seed": 2009},
+            "experiment/table2": {"rows": [1, 2.5, "x"]},
+        }
+        assert len(journal) == 2
+        assert list(journal)[0] == CheckpointRecord(
+            key="config", payload={"seed": 2009}
+        )
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        values = [0.1, 1e-17, 2.0 / 3.0, 123456.789012345]
+        journal.append("floats", values)
+        assert journal.load()["floats"] == values
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "missing.jsonl")
+        assert journal.records() == []
+        assert journal.load() == {}
+
+    def test_duplicate_keys_last_wins(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        journal.append("k", 1)
+        journal.append("k", 2)
+        assert journal.load() == {"k": 2}
+
+    def test_reset_truncates(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        journal.append("k", 1)
+        journal.reset()
+        assert journal.load() == {}
+
+    def test_creates_parent_directories(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "deep" / "dir" / "j.jsonl")
+        journal.append("k", 1)
+        assert journal.load() == {"k": 1}
+
+    def test_non_json_payload_raises(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        with pytest.raises(CheckpointError, match="not JSON-serialisable"):
+            journal.append("bad", object())
+        assert journal.load() == {}  # nothing was written
+
+
+class TestCorruption:
+    def _journal_with_records(self, tmp_path, n=3):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        for i in range(n):
+            journal.append(f"k{i}", {"i": i})
+        return journal
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        journal = self._journal_with_records(tmp_path)
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[: len(raw) - 7])  # tear the last line
+        assert journal.load() == {"k0": {"i": 0}, "k1": {"i": 1}}
+
+    def test_every_byte_truncation_yields_a_valid_prefix(self, tmp_path):
+        journal = self._journal_with_records(tmp_path)
+        raw = journal.path.read_bytes()
+        line_ends = [i for i, b in enumerate(raw) if b == ord("\n")]
+        for cut in range(len(raw) + 1):
+            journal.path.write_bytes(raw[:cut])
+            # A record survives once all its content bytes are present
+            # (losing only the trailing newline still parses); any cut
+            # inside the content discards it and everything after.
+            expected = sum(1 for end in line_ends if end <= cut)
+            assert len(journal.records()) == expected, f"cut at byte {cut}"
+
+    def test_hash_mismatch_stops_reading(self, tmp_path):
+        journal = self._journal_with_records(tmp_path)
+        lines = journal.path.read_text().splitlines()
+        entry = json.loads(lines[1])
+        entry["payload"] = {"i": 999}  # tamper without fixing the hash
+        lines[1] = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        journal.path.write_text("\n".join(lines) + "\n")
+        # The valid prefix survives; the tampered record and everything
+        # after it are discarded.
+        assert journal.load() == {"k0": {"i": 0}}
+
+    def test_garbage_line_stops_reading(self, tmp_path):
+        journal = self._journal_with_records(tmp_path, n=2)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        journal.append("k2", {"i": 2})  # appended after the garbage
+        # Reading stops at the garbage; the later valid record is not
+        # trusted (append-only semantics: order is meaning).
+        assert journal.load() == {"k0": {"i": 0}, "k1": {"i": 1}}
+
+    def test_append_after_torn_tail_repairs_the_journal(self, tmp_path):
+        # Reading stops at the first invalid line, so appending after
+        # a torn tail without repairing it would strand every new
+        # record behind the tear — a resumed run would journal its
+        # work into an unreachable suffix.
+        journal = self._journal_with_records(tmp_path)
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[: len(raw) - 7])
+        fresh = CheckpointJournal(journal.path)  # new process, new instance
+        fresh.append("k3", {"i": 3})
+        assert fresh.load() == {
+            "k0": {"i": 0},
+            "k1": {"i": 1},
+            "k3": {"i": 3},
+        }
+
+    def test_append_after_garbage_tail_repairs_the_journal(self, tmp_path):
+        journal = self._journal_with_records(tmp_path, n=2)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        fresh = CheckpointJournal(journal.path)
+        fresh.append("k2", {"i": 2})
+        assert fresh.load() == {
+            "k0": {"i": 0},
+            "k1": {"i": 1},
+            "k2": {"i": 2},
+        }
+        assert "not json" not in journal.path.read_text()
+
+    def test_append_after_lost_trailing_newline(self, tmp_path):
+        # The content of the last record survived but its newline did
+        # not: the record must be kept AND the next append must not
+        # concatenate onto it.
+        journal = self._journal_with_records(tmp_path, n=2)
+        raw = journal.path.read_bytes()
+        assert raw.endswith(b"\n")
+        journal.path.write_bytes(raw[:-1])
+        fresh = CheckpointJournal(journal.path)
+        fresh.append("k2", {"i": 2})
+        assert fresh.load() == {
+            "k0": {"i": 0},
+            "k1": {"i": 1},
+            "k2": {"i": 2},
+        }
+
+    def test_unwritable_path_raises(self, tmp_path):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        journal = CheckpointJournal(target)
+        with pytest.raises(CheckpointError):
+            journal.append("k", 1)

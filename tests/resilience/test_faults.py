@@ -1,0 +1,129 @@
+"""Fault-injector parsing, determinism and worker-only gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError, TransientFaultError
+from repro.resilience import faults
+from repro.resilience.faults import FaultInjector, FaultSpec, parse_faults
+
+
+@pytest.fixture(autouse=True)
+def _reset_injector_state(monkeypatch):
+    """Each test starts as a plain parent process with no injector."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.setattr(faults, "_IN_WORKER", False)
+    faults.set_injector(None)
+    yield
+    faults.set_injector(None)
+
+
+class TestParsing:
+    def test_full_spec(self):
+        specs = parse_faults(
+            "kill_worker:p=0.2,seed=7;transient:p=1,max=1;"
+            "delay_chunk:delay=0.5"
+        )
+        by_kind = {s.kind: s for s in specs}
+        assert by_kind["kill_worker"].probability == 0.2
+        assert by_kind["kill_worker"].seed == 7
+        assert by_kind["transient"].max_fires == 1
+        assert by_kind["delay_chunk"].delay == 0.5
+
+    def test_bare_kind_defaults(self):
+        (spec,) = parse_faults("transient")
+        assert spec.probability == 1.0
+        assert spec.max_fires is None
+
+    def test_empty_spec_is_no_faults(self):
+        assert parse_faults("") == ()
+        assert parse_faults(" ; ") == ()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "meteor_strike",
+            "transient:p=2.0",
+            "transient:probability=1",
+            "transient:p",
+            "transient:max=-1",
+            "transient:p=abc",
+            "delay_chunk:delay=-1",
+        ],
+    )
+    def test_malformed_specs_fail_loudly(self, bad):
+        with pytest.raises(ReproError):
+            parse_faults(bad)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        spec = "transient:p=0.5,seed=42"
+        schedule_a = [
+            FaultInjector.from_spec(spec).should_fire("transient")
+            for __ in range(1)
+        ]
+        injector_a = FaultInjector.from_spec(spec)
+        injector_b = FaultInjector.from_spec(spec)
+        schedule_a = [injector_a.should_fire("transient") for __ in range(64)]
+        schedule_b = [injector_b.should_fire("transient") for __ in range(64)]
+        assert schedule_a == schedule_b
+        assert any(schedule_a) and not all(schedule_a)
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector.from_spec("transient:p=0.5,seed=1")
+        b = FaultInjector.from_spec("transient:p=0.5,seed=2")
+        assert [a.should_fire("transient") for __ in range(64)] != [
+            b.should_fire("transient") for __ in range(64)
+        ]
+
+    def test_max_fires_cap(self):
+        injector = FaultInjector.from_spec("transient:p=1,max=2")
+        fires = [injector.should_fire("transient") for __ in range(10)]
+        assert fires == [True, True] + [False] * 8
+        assert injector.fired("transient") == 2
+
+    def test_unconfigured_kind_never_fires(self):
+        injector = FaultInjector.from_spec("transient:p=1")
+        assert not injector.should_fire("kill_worker")
+
+    def test_inject_raises_the_right_errors(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="transient"), FaultSpec(kind="fail_attach")]
+        )
+        injector.should_fire("transient")
+        with pytest.raises(TransientFaultError):
+            injector.inject("transient")
+        injector.should_fire("fail_attach")
+        with pytest.raises(FileNotFoundError):
+            injector.inject("fail_attach")
+
+
+class TestProcessGating:
+    def test_parent_process_is_immune(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "transient:p=1")
+        faults.set_injector(None)
+        # Not a worker: the site must no-op even with faults configured.
+        faults.maybe_inject("transient")
+
+    def test_worker_process_fires(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "transient:p=1,max=1")
+        faults.mark_worker_process()
+        with pytest.raises(TransientFaultError):
+            faults.maybe_inject("transient")
+        # max=1: the second opportunity passes clean.
+        faults.maybe_inject("transient")
+
+    def test_mark_worker_reparses_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "transient:p=1")
+        faults.set_injector(None)
+        assert faults.get_injector() is not None
+        monkeypatch.delenv(faults.ENV_VAR)
+        faults.mark_worker_process()
+        assert faults.get_injector() is None
+
+    def test_no_env_means_no_injector(self):
+        assert faults.get_injector() is None
+        faults.mark_worker_process()
+        faults.maybe_inject("transient")  # no-op, nothing armed

@@ -1,0 +1,209 @@
+"""RetryPolicy arithmetic and the retryable-vs-fatal classifier."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import (
+    CheckpointError,
+    ChunkTimeoutError,
+    ConvergenceError,
+    DivergenceError,
+    InjectedFaultError,
+    ParallelError,
+    ReproError,
+    SubgraphError,
+    TransientFaultError,
+)
+from repro.resilience.policy import (
+    AttemptRecord,
+    RetryPolicy,
+    classify_failure,
+    classify_failure_name,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3, jitter=0.0
+        )
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)  # capped
+        assert policy.backoff(10) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(jitter=0.5, seed=7)
+        b = RetryPolicy(jitter=0.5, seed=7)
+        c = RetryPolicy(jitter=0.5, seed=8)
+        schedule_a = [a.backoff(i) for i in range(1, 5)]
+        schedule_b = [b.backoff(i) for i in range(1, 5)]
+        schedule_c = [c.backoff(i) for i in range(1, 5)]
+        assert schedule_a == schedule_b
+        assert schedule_a != schedule_c
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_max=10.0, jitter=0.1, seed=3
+        )
+        for attempt in range(1, 6):
+            raw = min(1.0 * 2.0 ** (attempt - 1), 10.0)
+            assert abs(policy.backoff(attempt) - raw) <= 0.1 * raw + 1e-12
+
+    def test_effective_timeout_is_tighter_of_chunk_and_total(self):
+        policy = RetryPolicy(chunk_timeout=5.0, total_deadline=8.0)
+        assert policy.effective_timeout(0.0) == pytest.approx(5.0)
+        assert policy.effective_timeout(5.0) == pytest.approx(3.0)
+        assert policy.effective_timeout(9.0) == pytest.approx(0.0)
+        unbounded = RetryPolicy()
+        assert unbounded.effective_timeout(100.0) is None
+
+    def test_deadline_exceeded(self):
+        policy = RetryPolicy(total_deadline=1.0)
+        assert not policy.deadline_exceeded(0.5)
+        assert policy.deadline_exceeded(1.5)
+        assert not RetryPolicy().deadline_exceeded(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(chunk_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestClassifier:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "BrokenProcessPool",
+            "ChunkTimeoutError",
+            "FileNotFoundError",
+            "OSError",
+            "TimeoutError",
+            "TransientFaultError",
+        ],
+    )
+    def test_infrastructure_names_are_retryable(self, name):
+        assert classify_failure_name(name).retryable
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "SubgraphError",
+            "ValueError",
+            "DivergenceError",
+            "GraphError",
+            "KeyError",
+        ],
+    )
+    def test_deterministic_names_are_fatal(self, name):
+        assert not classify_failure_name(name).retryable
+
+    def test_unknown_names_are_fatal(self):
+        decision = classify_failure_name("SomeBrandNewError")
+        assert not decision.retryable
+        assert "unrecognised" in decision.reason
+
+    def test_parallel_error_classifies_by_worker_error_type(self):
+        retryable = ParallelError("boom", error_type="TransientFaultError")
+        fatal = ParallelError("boom", error_type="SubgraphError")
+        bare = ParallelError("boom")
+        assert classify_failure(retryable).retryable
+        assert not classify_failure(fatal).retryable
+        assert not classify_failure(bare).retryable
+
+    def test_direct_instances(self):
+        assert classify_failure(
+            ChunkTimeoutError("slow", timeout_seconds=1.0)
+        ).retryable
+        assert classify_failure(TransientFaultError("flaky")).retryable
+        assert classify_failure(OSError("io")).retryable
+        assert not classify_failure(ValueError("bad")).retryable
+        assert not classify_failure(SubgraphError("bad nodes")).retryable
+        assert not classify_failure(
+            DivergenceError("diverged", iterations=3, residual=9.0)
+        ).retryable
+
+
+class TestExceptionTypes:
+    def test_hierarchy(self):
+        assert issubclass(DivergenceError, ConvergenceError)
+        assert issubclass(ChunkTimeoutError, ParallelError)
+        assert issubclass(TransientFaultError, InjectedFaultError)
+        for exc_type in (CheckpointError, InjectedFaultError, ParallelError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_divergence_error_carries_trace(self):
+        exc = DivergenceError(
+            "nope",
+            iterations=4,
+            residual=float("nan"),
+            residual_trace=[1.0, 0.5, 2.0],
+        )
+        assert exc.residual_trace == (1.0, 0.5, 2.0)
+        assert exc.iterations == 4
+
+    def test_parallel_error_pickles_with_fields(self):
+        record = AttemptRecord(
+            attempt=1,
+            stage="parallel",
+            error_type="TransientFaultError",
+            message="flaky",
+            retryable=True,
+            action="retry",
+            elapsed_seconds=0.1,
+        )
+        exc = ParallelError(
+            "subgraph 'a' failed",
+            subgraph="a",
+            algorithm="approxrank",
+            attempts=(record,),
+            worker_traceback="Traceback ...",
+            error_type="TransientFaultError",
+        )
+        clone = pickle.loads(pickle.dumps(exc))
+        assert str(clone) == str(exc)
+        assert clone.subgraph == "a"
+        assert clone.algorithm == "approxrank"
+        assert clone.error_type == "TransientFaultError"
+        assert clone.worker_traceback == "Traceback ..."
+        assert clone.attempts == (record,)
+
+    def test_divergence_error_pickles(self):
+        exc = DivergenceError(
+            "diverged", iterations=7, residual=2.5, residual_trace=(1.0,)
+        )
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, DivergenceError)
+        assert clone.iterations == 7
+        assert clone.residual == 2.5
+        assert clone.residual_trace == (1.0,)
+
+    def test_chunk_timeout_error_pickles(self):
+        exc = ChunkTimeoutError("slow chunk", timeout_seconds=0.25)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, ChunkTimeoutError)
+        assert clone.timeout_seconds == 0.25
+
+    def test_attempt_record_describe(self):
+        record = AttemptRecord(
+            attempt=2,
+            stage="parallel",
+            error_type="ChunkTimeoutError",
+            message="chunk missed its deadline",
+            retryable=True,
+            action="rebuild-pool",
+            elapsed_seconds=1.25,
+        )
+        line = record.describe()
+        assert "attempt 2" in line
+        assert "ChunkTimeoutError" in line
+        assert "retryable" in line
+        assert "rebuild-pool" in line

@@ -1,0 +1,40 @@
+"""Tier-1 resilience smoke: one injected transient fault, retried.
+
+The full chaos matrix (SIGKILL, hangs, attach failures, resume
+truncation sweeps) lives in ``test_chaos.py`` behind the ``chaos``
+marker; this single fast case keeps the retry path exercised on every
+default test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import graph_from_edges
+from repro.parallel import RetryPolicy, rank_many
+
+
+def make_tiny():
+    return graph_from_edges(
+        8,
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 0)],
+    )
+
+
+def test_injected_transient_fault_is_retried_to_success(monkeypatch):
+    # Every worker process fails its first task with a transient error
+    # (p=1, max=1 per process); the executor must classify it
+    # retryable, resubmit against the same healthy pool, and end up
+    # with scores bit-identical to the fault-free serial run.
+    monkeypatch.setenv("REPRO_FAULTS", "transient:p=1,max=1")
+    graph = make_tiny()
+    subgraphs = [("left", [0, 1, 2]), ("right", [3, 4, 5])]
+    policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+    parallel = rank_many(
+        graph, subgraphs, workers=2, chunksize=1, retry=policy
+    )
+    monkeypatch.delenv("REPRO_FAULTS")
+    serial = rank_many(graph, subgraphs, workers=1)
+    for par, ser in zip(parallel, serial):
+        assert np.array_equal(par.local_nodes, ser.local_nodes)
+        assert np.array_equal(par.scores, ser.scores)
