@@ -5,8 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-tier2 test-all chaos bench-kernels bench-kernels-smoke \
-	bench-parallel bench-parallel-smoke
+.PHONY: test test-tier2 test-all chaos obs-smoke bench-kernels \
+	bench-kernels-smoke bench-parallel bench-parallel-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,14 @@ chaos:
 	$(PYTHON) -m pytest -q -m chaos tests/resilience
 
 test-all: test test-tier2 chaos
+
+# Observability smoke: the obs test suite (registry, tracing, export,
+# bit-identical-scores pin), then an end-to-end --obs run on a toy
+# dataset rendered through obs-report.
+obs-smoke:
+	$(PYTHON) -m pytest -q -m "obs and not chaos" tests/obs
+	$(PYTHON) -m repro table4 --fast --obs --obs-out /tmp/obs_smoke.json > /dev/null
+	$(PYTHON) -m repro obs-report /tmp/obs_smoke.json
 
 # Full benchmark; writes BENCH_solver.json at the repo root.
 bench-kernels:

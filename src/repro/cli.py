@@ -61,11 +61,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(SINGLE_EXPERIMENTS)
-        + ["all", "bench-kernels", "bench-parallel"],
+        + ["all", "bench-kernels", "bench-parallel", "obs-report"],
         help=(
             "which experiment to run; 'bench-kernels' runs the solver "
             "kernel benchmark (BENCH_solver.json), 'bench-parallel' "
-            "the multi-subgraph scaling benchmark (BENCH_parallel.json)"
+            "the multi-subgraph scaling benchmark (BENCH_parallel.json), "
+            "'obs-report' renders an observability snapshot written by "
+            "--obs-out"
+        ),
+    )
+    parser.add_argument(
+        "snapshot", nargs="?", default=None, metavar="SNAPSHOT",
+        help=(
+            "('obs-report' only) path of the obs.json snapshot to "
+            "render (default: obs.json)"
         ),
     )
     parser.add_argument(
@@ -125,6 +134,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None,
         help="also write the report to this file",
     )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help=(
+            "enable full observability (span tracing + convergence "
+            "telemetry; equivalent to REPRO_OBS=1); scores are "
+            "bit-identical with or without it"
+        ),
+    )
+    parser.add_argument(
+        "--obs-out", type=str, default=None, metavar="PATH",
+        help=(
+            "write an observability snapshot (metrics + span tree + "
+            "solve history) to this JSON file when the run finishes; "
+            "implies --obs; render it with 'python -m repro obs-report "
+            "PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help=(
+            "log the library's repro.* loggers (executor retries, "
+            "solver restarts, fault injections) to stderr at INFO level"
+        ),
+    )
     return parser
 
 
@@ -151,6 +184,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    from repro import obs
+
+    if args.verbose:
+        import logging
+
+        obs.configure_logging(logging.INFO)
+    if args.obs or args.obs_out:
+        obs.enable()
+
+    if args.experiment == "obs-report":
+        snapshot = obs.load_snapshot(args.snapshot or "obs.json")
+        report = obs.render_report(snapshot)
+        print(report, end="")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            print(f"[written to {args.output}]", file=sys.stderr)
+        return 0
 
     if args.faults is not None:
         # Validate the spec up front (a typo should fail the CLI, not
@@ -219,6 +271,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
         print(f"[written to {args.output}]", file=sys.stderr)
+
+    if args.obs_out:
+        obs.write_snapshot(args.obs_out)
+        print(
+            f"[observability snapshot written to {args.obs_out}; "
+            f"render with: python -m repro obs-report {args.obs_out}]",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -45,6 +45,8 @@ from repro.experiments import (
 )
 from repro.experiments.context import ExperimentContext
 from repro.experiments.reporting import TableResult
+from repro.obs.metrics import REGISTRY, SECONDS_BUCKETS
+from repro.obs.tracing import span
 from repro.resilience.checkpoint import CheckpointJournal
 
 #: Default journal location used by ``python -m repro all``.
@@ -165,8 +167,15 @@ def run_all(
                 print(f"\n[{name} restored from checkpoint]\n")
             continue
         start = time.perf_counter()
-        result = runner(context)
+        with span(f"experiment:{name}"):
+            result = runner(context)
         elapsed = time.perf_counter() - start
+        REGISTRY.histogram(
+            "repro_experiment_seconds",
+            "Wall-clock per experiment",
+            buckets=SECONDS_BUCKETS,
+            experiment=name,
+        ).observe(elapsed)
         results[name] = result
         if journal is not None:
             journal.append(

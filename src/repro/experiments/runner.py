@@ -22,6 +22,8 @@ from repro.core.approxrank import approxrank
 from repro.experiments.context import ExperimentContext
 from repro.generators.datasets import WebDataset
 from repro.metrics.evaluation import EvaluationReport, evaluate_estimate
+from repro.obs.metrics import ITERATION_BUCKETS, REGISTRY, SECONDS_BUCKETS
+from repro.obs.tracing import span
 from repro.pagerank.result import SubgraphScores
 
 #: Signature every ranker exposes to the harness.
@@ -64,6 +66,33 @@ class AlgorithmRun:
     name: str
     estimate: SubgraphScores
     report: EvaluationReport
+
+
+def _record_estimate(name: str, estimate: SubgraphScores) -> None:
+    """Route one ranker result's accounting into the metrics registry.
+
+    Recorded in the parent for both the serial and parallel paths, so
+    per-algorithm runtime/iteration metrics do not depend on the
+    worker count (worker registries additionally ship the lower-level
+    solver metrics when observability is on).
+    """
+    REGISTRY.counter(
+        "repro_algorithm_runs_total",
+        "Evaluated (subgraph, algorithm) solves",
+        algorithm=name,
+    ).inc()
+    REGISTRY.histogram(
+        "repro_algorithm_runtime_seconds",
+        "Ranker wall-clock per subgraph solve",
+        buckets=SECONDS_BUCKETS,
+        algorithm=name,
+    ).observe(float(estimate.runtime_seconds))
+    REGISTRY.histogram(
+        "repro_algorithm_iterations",
+        "Solver iterations per subgraph solve",
+        buckets=ITERATION_BUCKETS,
+        algorithm=name,
+    ).observe(int(estimate.iterations))
 
 
 def standard_rankers(
@@ -145,7 +174,9 @@ def run_algorithms(
             raise KeyError(
                 f"unknown algorithm {name!r}; available: {sorted(rankers)}"
             )
-        estimate = rankers[name](local_nodes)
+        with span(f"solve:{name}"):
+            estimate = rankers[name](local_nodes)
+        _record_estimate(name, estimate)
         report = evaluate_estimate(truth.scores, estimate)
         runs[name] = AlgorithmRun(
             name=name, estimate=estimate, report=report
@@ -219,6 +250,7 @@ def run_algorithms_many(
     for (label, __), per_algo in zip(named_nodes, estimates):
         runs: dict[str, AlgorithmRun] = {}
         for name, estimate in per_algo.items():
+            _record_estimate(name, estimate)
             report = evaluate_estimate(truth.scores, estimate)
             runs[name] = AlgorithmRun(
                 name=name, estimate=estimate, report=report

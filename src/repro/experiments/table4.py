@@ -57,6 +57,7 @@ def run(context: ExperimentContext | None = None) -> TableResult:
             "SC (paper)", "SC (ours)",
             "LPR2 (paper)", "LPR2 (ours)",
             "AR (paper)", "AR (ours)",
+            "AR (s)", "AR iters",
         ],
     )
     num_global = dataset.graph.num_nodes
@@ -80,6 +81,8 @@ def run(context: ExperimentContext | None = None) -> TableResult:
             paper[1], runs["sc"].report.footrule,
             paper[2], runs["lpr2"].report.footrule,
             paper[3], runs["approxrank"].report.footrule,
+            runs["approxrank"].report.runtime_seconds,
+            int(runs["approxrank"].estimate.iterations),
         )
     table.notes.append(
         "Expected shape: ApproxRank best on every domain; distances "

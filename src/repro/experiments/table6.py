@@ -47,6 +47,7 @@ def run(context: ExperimentContext | None = None) -> TableResult:
             "localPR (s)", "ApproxRank (s)", "SC (s)",
             "SC/AR (ours)", "SC/AR (paper)", "k",
             "cand. exp1", "cand. exp2", "cand. exp3",
+            "AR iters",
         ],
     )
     named_nodes = [
@@ -76,6 +77,7 @@ def run(context: ExperimentContext | None = None) -> TableResult:
             paper_ratio,
             sc_extras["k"],
             padded[0], padded[1], padded[2],
+            int(runs["approxrank"].estimate.iterations),
         )
     table.notes.append(
         f"Global PageRank (ours): {truth.runtime_seconds:.2f} s, "

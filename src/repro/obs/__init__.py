@@ -1,0 +1,95 @@
+"""Dependency-free observability: metrics, tracing, telemetry, export.
+
+Usage sketch::
+
+    from repro import obs
+
+    obs.enable()                       # or REPRO_OBS=1 / --obs
+    with obs.span("experiment:table4"):
+        ...
+    obs.write_snapshot("obs.json")     # metrics + spans + solve history
+
+The metrics registry (:data:`REGISTRY`) is always on — counters are
+cheap at the library's per-solve/per-chunk event granularity — while
+span trees and solver residual ring buffers only record when
+observability is enabled.  See DESIGN.md §9 for the architecture and
+the full metric reference.
+"""
+
+from __future__ import annotations
+
+from repro.obs import state
+from repro.obs.export import (
+    build_snapshot,
+    load_snapshot,
+    render_report,
+    to_prometheus_text,
+    write_snapshot,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.state import configure_logging
+from repro.obs.tracing import (
+    NullTracer,
+    SpanNode,
+    Tracer,
+    add_span_counter,
+    current_span,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "NullTracer",
+    "SpanNode",
+    "span",
+    "current_span",
+    "add_span_counter",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "enabled",
+    "configure_logging",
+    "build_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "to_prometheus_text",
+    "render_report",
+]
+
+
+def enabled() -> bool:
+    """Whether full observability (tracing + telemetry buffers) is on."""
+    return state.enabled()
+
+
+def enable() -> None:
+    """Turn on full observability for this process (and future workers).
+
+    Sets the ``REPRO_OBS`` flag (exported to the environment so worker
+    processes inherit it) and installs a real :class:`Tracer` if the
+    active tracer is the :class:`NullTracer`.
+    """
+    state.set_enabled(True)
+    if isinstance(get_tracer(), NullTracer):
+        set_tracer(Tracer())
+
+
+def disable() -> None:
+    """Turn full observability off and restore the zero-overhead tracer."""
+    state.set_enabled(False)
+    if not isinstance(get_tracer(), NullTracer):
+        set_tracer(NullTracer())

@@ -1,0 +1,410 @@
+"""Observability sinks: JSON snapshots, Prometheus text, report tables.
+
+Three output formats off the same data:
+
+* :func:`build_snapshot` — a JSON-safe dict bundling the metrics
+  registry, the active tracer's span tree and the solver telemetry
+  history.  :func:`write_snapshot` serialises it to disk; this is what
+  ``python -m repro all --obs-out obs.json`` writes.
+* :func:`to_prometheus_text` — the Prometheus text exposition format
+  (``# HELP``/``# TYPE``, cumulative ``_bucket{le=...}`` plus
+  ``_sum``/``_count`` for histograms) rendered from a metrics
+  snapshot, for scraping or diffing against a golden file.
+* :func:`render_report` — a human-readable summary (cache hit rate,
+  executor retries/fallbacks, per-solver iteration tables, indented
+  span tree) used by ``python -m repro obs-report obs.json``.
+
+Everything operates on snapshot *payloads*, so reports can be rendered
+from a file written by a different process or an earlier run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs import state, telemetry, tracing
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "build_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "to_prometheus_text",
+    "render_report",
+]
+
+#: Version tag embedded in snapshots so future readers can migrate.
+SNAPSHOT_SCHEMA = 1
+
+
+def build_snapshot(registry: MetricsRegistry | None = None) -> dict:
+    """Bundle metrics + span tree + solve history into one payload."""
+    reg = registry if registry is not None else REGISTRY
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "generated_unix": time.time(),
+        "obs_enabled": state.enabled(),
+        "metrics": reg.snapshot(),
+        "spans": tracing.get_tracer().to_payload(),
+        "solve_history": telemetry.history_payload(),
+    }
+
+
+def write_snapshot(
+    path: str | Path, registry: MetricsRegistry | None = None
+) -> dict:
+    """Write :func:`build_snapshot` to ``path`` as JSON; return it."""
+    snapshot = build_snapshot(registry)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return snapshot
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read a snapshot previously written by :func:`write_snapshot`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        raise ValueError(f"{path} is not a repro obs snapshot")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{k}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    """Render integers without a trailing ``.0`` (Prometheus style)."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def to_prometheus_text(metrics_snapshot: Mapping) -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    Families and samples come out in the snapshot's (sorted) order, so
+    the output for a fixed workload is deterministic — the golden-file
+    test relies on this.
+    """
+    lines: list[str] = []
+    for name, family in metrics_snapshot.get("families", {}).items():
+        kind = family["kind"]
+        help_text = family.get("help") or ""
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            bounds = family.get("buckets") or []
+            for sample in family["samples"]:
+                labels = sample["labels"]
+                cumulative = 0
+                for bound, count in zip(bounds, sample["bucket_counts"]):
+                    cumulative += count
+                    label_str = _format_labels(
+                        labels, f'le="{_format_bound(bound)}"'
+                    )
+                    lines.append(
+                        f"{name}_bucket{label_str} {cumulative}"
+                    )
+                cumulative += sample["bucket_counts"][-1]
+                label_str = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{label_str} {cumulative}")
+                plain = _format_labels(labels)
+                lines.append(
+                    f"{name}_sum{plain} {_format_value(sample['sum'])}"
+                )
+                lines.append(f"{name}_count{plain} {sample['count']}")
+        else:
+            for sample in family["samples"]:
+                label_str = _format_labels(sample["labels"])
+                lines.append(
+                    f"{name}{label_str} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Human-readable report
+# ----------------------------------------------------------------------
+
+
+def _sample_map(metrics: Mapping, name: str) -> list[dict]:
+    family = metrics.get("families", {}).get(name)
+    if not family:
+        return []
+    return family["samples"]
+
+
+def _metric_total(metrics: Mapping, name: str, **match: str) -> float:
+    total = 0.0
+    for sample in _sample_map(metrics, name):
+        labels = sample["labels"]
+        if all(labels.get(k) == v for k, v in match.items()):
+            total += sample.get("value", 0.0)
+    return total
+
+
+def _cache_section(metrics: Mapping) -> list[str]:
+    hits = _metric_total(metrics, "repro_cache_hits_total")
+    misses = _metric_total(metrics, "repro_cache_misses_total")
+    evictions = _metric_total(metrics, "repro_cache_evictions_total")
+    total = hits + misses
+    if total == 0 and evictions == 0:
+        return []
+    rate = hits / total if total else 0.0
+    return [
+        "Transition cache",
+        f"  hits {int(hits)}  misses {int(misses)}  "
+        f"evictions {int(evictions)}  hit-rate {rate:.1%}",
+    ]
+
+
+def _executor_section(metrics: Mapping) -> list[str]:
+    rows = []
+    for label, name in (
+        ("chunks completed", "repro_executor_chunks_completed_total"),
+        ("chunk attempts", "repro_executor_chunk_attempts_total"),
+        ("retries", "repro_executor_retries_total"),
+        ("timeouts", "repro_executor_timeouts_total"),
+        ("pool rebuilds", "repro_executor_pool_rebuilds_total"),
+        ("serial fallback chunks", "repro_executor_serial_fallback_total"),
+        ("backoff sleeps", "repro_executor_backoff_sleeps_total"),
+    ):
+        value = _metric_total(metrics, name)
+        if value:
+            rows.append(f"  {label} {int(value)}")
+    failures = _sample_map(metrics, "repro_executor_failures_total")
+    for sample in failures:
+        labels = sample["labels"]
+        tag = "{}/{}→{}".format(
+            labels.get("stage", "?"),
+            labels.get("error", "?"),
+            labels.get("action", "?"),
+        )
+        if sample.get("value"):
+            rows.append(f"  failures[{tag}] {int(sample['value'])}")
+    if not rows:
+        return []
+    return ["Parallel executor"] + rows
+
+
+def _faults_section(metrics: Mapping) -> list[str]:
+    samples = _sample_map(metrics, "repro_faults_injected_total")
+    rows = [
+        f"  {sample['labels'].get('kind', '?')} {int(sample['value'])}"
+        for sample in samples
+        if sample.get("value")
+    ]
+    if not rows:
+        return []
+    return ["Injected faults"] + rows
+
+
+def _solver_section(metrics: Mapping) -> list[str]:
+    iteration_family = metrics.get("families", {}).get(
+        "repro_solver_iterations"
+    )
+    if not iteration_family:
+        return []
+    bounds = iteration_family.get("buckets") or []
+    rows = ["Solver iterations (per solve)"]
+    header = "  {:<12} {:>7} {:>9} {:>9}".format(
+        "solver", "solves", "mean", "max<="
+    )
+    rows.append(header)
+    for sample in iteration_family["samples"]:
+        solver = sample["labels"].get("solver", "?")
+        count = sample["count"]
+        if not count:
+            continue
+        mean = sample["sum"] / count
+        top = "+Inf"
+        cumulative = 0
+        for bound, bucket in zip(bounds, sample["bucket_counts"]):
+            cumulative += bucket
+            if cumulative >= count:
+                top = _format_value(bound)
+                break
+        rows.append(
+            "  {:<12} {:>7} {:>9.1f} {:>9}".format(
+                solver, count, mean, top
+            )
+        )
+        runtime = _sample_map(metrics, "repro_solver_runtime_seconds")
+        for rt in runtime:
+            if rt["labels"].get("solver") == solver and rt["count"]:
+                rows[-1] += "   total {:.3f}s".format(rt["sum"])
+                break
+    unconverged = _metric_total(metrics, "repro_solver_unconverged_total")
+    divergences = _metric_total(
+        metrics, "repro_solver_divergence_trips_total"
+    )
+    restarts = _metric_total(metrics, "repro_solver_safe_restarts_total")
+    if unconverged or divergences or restarts:
+        rows.append(
+            f"  unconverged {int(unconverged)}  divergence trips "
+            f"{int(divergences)}  safe restarts {int(restarts)}"
+        )
+    return rows if len(rows) > 2 else []
+
+
+def _algorithm_section(metrics: Mapping) -> list[str]:
+    runtime_family = metrics.get("families", {}).get(
+        "repro_algorithm_runtime_seconds"
+    )
+    iteration_samples = _sample_map(metrics, "repro_algorithm_iterations")
+    if not runtime_family:
+        return []
+    iters_by_algo = {
+        s["labels"].get("algorithm"): s for s in iteration_samples
+    }
+    rows = ["Algorithms (per subgraph solve)"]
+    rows.append(
+        "  {:<12} {:>7} {:>11} {:>12}".format(
+            "algorithm", "solves", "total (s)", "mean iters"
+        )
+    )
+    for sample in runtime_family["samples"]:
+        algo = sample["labels"].get("algorithm", "?")
+        count = sample["count"]
+        if not count:
+            continue
+        iters = iters_by_algo.get(algo)
+        mean_iters = (
+            iters["sum"] / iters["count"]
+            if iters and iters["count"]
+            else 0.0
+        )
+        rows.append(
+            "  {:<12} {:>7} {:>11.3f} {:>12.1f}".format(
+                algo, count, sample["sum"], mean_iters
+            )
+        )
+    return rows if len(rows) > 2 else []
+
+
+def _experiment_section(metrics: Mapping) -> list[str]:
+    samples = _sample_map(metrics, "repro_experiment_seconds")
+    rows = []
+    for sample in samples:
+        if not sample.get("count"):
+            continue
+        name = sample["labels"].get("experiment", "?")
+        rows.append(f"  {name:<12} {sample['sum']:.3f}s")
+    if not rows:
+        return []
+    return ["Experiment wall-clock"] + rows
+
+
+def _span_lines(node: Mapping, depth: int, out: list[str]) -> None:
+    indent = "  " * depth
+    error = f"  !{node['error']}" if node.get("error") else ""
+    counters = node.get("counters") or {}
+    counter_str = (
+        "  [" + ", ".join(
+            f"{k}={_format_value(v)}" for k, v in sorted(counters.items())
+        ) + "]"
+        if counters
+        else ""
+    )
+    out.append(
+        f"  {indent}{node['name']}  wall {node['wall_seconds']:.3f}s  "
+        f"cpu {node['cpu_seconds']:.3f}s{counter_str}{error}"
+    )
+    for child in node.get("children", []):
+        _span_lines(child, depth + 1, out)
+
+
+def _span_section(snapshot: Mapping) -> list[str]:
+    spans = snapshot.get("spans") or []
+    if not spans:
+        return []
+    rows = ["Span tree"]
+    for root in spans:
+        _span_lines(root, 0, rows)
+    return rows
+
+
+def _history_section(snapshot: Mapping) -> list[str]:
+    history = snapshot.get("solve_history") or []
+    if not history:
+        return []
+    rows = ["Recent solves (newest last, ring-buffered)"]
+    for record in history[-10:]:
+        tail = record.get("residual_tail") or []
+        tail_str = (
+            "  tail " + ">".join(f"{r:.1e}" for r in tail[-4:])
+            if tail
+            else ""
+        )
+        status = "ok" if record.get("converged") else "UNCONVERGED"
+        rows.append(
+            "  {solver:<10} iters {iterations:>4}  residual "
+            "{residual:.2e}  {status}{tail}".format(
+                solver=record.get("solver", "?"),
+                iterations=record.get("iterations", 0),
+                residual=record.get("residual", 0.0),
+                status=status,
+                tail=tail_str,
+            )
+        )
+    return rows
+
+
+def render_report(snapshot: Mapping) -> str:
+    """Render a snapshot as the ``obs-report`` plain-text summary."""
+    metrics = snapshot.get("metrics", {})
+    sections = [
+        section
+        for section in (
+            _cache_section(metrics),
+            _executor_section(metrics),
+            _faults_section(metrics),
+            _solver_section(metrics),
+            _algorithm_section(metrics),
+            _experiment_section(metrics),
+            _span_section(snapshot),
+            _history_section(snapshot),
+        )
+        if section
+    ]
+    if not sections:
+        return "observability report: no recorded activity\n"
+    header = "observability report (schema {}, obs {})".format(
+        snapshot.get("schema", "?"),
+        "enabled" if snapshot.get("obs_enabled") else "disabled",
+    )
+    body = "\n\n".join("\n".join(section) for section in sections)
+    return f"{header}\n\n{body}\n"

@@ -1,0 +1,458 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the library's single source of runtime numbers — cache
+hit rates, executor retries, solver iteration distributions — replacing
+the scattered private counters that predated it.  Design points:
+
+* **Three metric types.**  :class:`Counter` (monotone, ``inc``),
+  :class:`Gauge` (set-to-current, ``set``/``inc``) and fixed-bucket
+  :class:`Histogram` (``observe``; cumulative-bucket semantics match
+  Prometheus, so the text exposition in :mod:`repro.obs.export` is a
+  direct rendering).
+* **Labels.**  A metric *family* (one name, one type, one help string)
+  holds one child per label set: ``registry.counter("repro_solver_"
+  "solves_total", solver="batched")``.  Children are created on first
+  touch and cached, so the steady-state cost of an increment is one
+  dict lookup plus a locked float add.
+* **Thread safety.**  One reentrant lock per registry guards family
+  creation, child creation and every value update.  The lock is
+  registry-wide rather than per-child because contention is negligible
+  at the library's event granularity (per solve / per chunk, not per
+  sweep).
+* **Worker→parent merge.**  Parallel workers accumulate into their own
+  process-local registry and ship a :meth:`MetricsRegistry.drain`
+  snapshot back through the executor's result channel; the parent
+  :meth:`MetricsRegistry.merge`\\ s it in.  ``drain`` atomically
+  snapshots *and zeroes* the values, so repeated shipments never double
+  count; counters and histogram buckets merge additively, gauges
+  last-write-wins.
+* **Collectors.**  Pull-style sources (the transition cache's hit/miss
+  counters) register a callback that is invoked at every
+  ``snapshot``/``drain``, bridging externally-maintained counts into
+  the registry as deltas.
+
+The process-wide instance is :data:`REGISTRY`; independent registries
+can be instantiated for isolation in tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "ITERATION_BUCKETS",
+    "SECONDS_BUCKETS",
+]
+
+#: Generic default histogram buckets (upper bounds; +Inf is implicit).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for solver iteration / sweep counts (the paper's global runs
+#: converge in ~131 iterations; the cap is 1000).
+ITERATION_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 150, 250, 500, 1000,
+)
+
+#: Buckets for wall-clock durations in seconds.
+SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+#: Label-set key: sorted (name, value) tuple.
+_LabelKey = "tuple[tuple[str, str], ...]"
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("labels", "_lock", "_value")
+
+    def __init__(self, labels: Mapping[str, str], lock: threading.RLock):
+        self.labels = dict(labels)
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (last write wins on merge)."""
+
+    __slots__ = ("labels", "_lock", "_value")
+
+    def __init__(self, labels: Mapping[str, str], lock: threading.RLock):
+        self.labels = dict(labels)
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus cumulative semantics.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches everything above the last bound.
+    An observation equal to a bound lands in that bound's bucket
+    (``le`` is inclusive, as in Prometheus).
+    """
+
+    __slots__ = ("labels", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        labels: Mapping[str, str],
+        lock: threading.RLock,
+        buckets: tuple[float, ...],
+    ):
+        self.labels = dict(labels)
+        self.buckets = buckets
+        self._lock = lock
+        self._counts = [0] * (len(buckets) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts; the last entry is +Inf."""
+        return tuple(self._counts)
+
+    def cumulative_counts(self) -> tuple[int, ...]:
+        """Cumulative counts per bucket bound, ending at ``count``."""
+        total = 0
+        out = []
+        for c in self._counts:
+            total += c
+            out.append(total)
+        return tuple(out)
+
+
+class _Family:
+    """One metric name: its type, help text and labelled children."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: tuple[float, ...] | None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: dict[tuple[tuple[str, str], ...], Any] = {}
+
+
+def _validate_buckets(buckets: Iterable[float]) -> tuple[float, ...]:
+    bounds = tuple(float(b) for b in buckets)
+    if not bounds:
+        raise ValueError("histogram needs at least one bucket bound")
+    if any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
+        raise ValueError(
+            f"bucket bounds must be strictly increasing, got {bounds}"
+        )
+    return bounds
+
+
+class MetricsRegistry:
+    """A named collection of metric families (see module docstring)."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Metric accessors (create-on-first-touch)
+    # ------------------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: tuple[float, ...] | None = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, requested as {kind}"
+            )
+        elif help_text and not family.help:
+            family.help = help_text
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """The counter child of family ``name`` for this label set."""
+        key = _label_key(labels)
+        with self._lock:
+            family = self._family(name, "counter", help)
+            child = family.children.get(key)
+            if child is None:
+                child = Counter(dict(key), self._lock)
+                family.children[key] = child
+            return child
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """The gauge child of family ``name`` for this label set."""
+        key = _label_key(labels)
+        with self._lock:
+            family = self._family(name, "gauge", help)
+            child = family.children.get(key)
+            if child is None:
+                child = Gauge(dict(key), self._lock)
+                family.children[key] = child
+            return child
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram child of family ``name`` for this label set.
+
+        ``buckets`` fixes the family's bounds on first touch; later
+        calls inherit them (a conflicting spec raises, because mixed
+        bucket layouts cannot merge).
+        """
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                bounds = _validate_buckets(
+                    buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+                family = self._family(name, "histogram", help, bounds)
+            else:
+                if family.kind != "histogram":
+                    raise ValueError(
+                        f"metric {name!r} is a {family.kind}, "
+                        f"requested as histogram"
+                    )
+                if buckets is not None:
+                    bounds = _validate_buckets(buckets)
+                    if bounds != family.buckets:
+                        raise ValueError(
+                            f"metric {name!r} already has buckets "
+                            f"{family.buckets}, requested {bounds}"
+                        )
+                if help and not family.help:
+                    family.help = help
+            child = family.children.get(key)
+            if child is None:
+                child = Histogram(dict(key), self._lock, family.buckets)
+                family.children[key] = child
+            return child
+
+    # ------------------------------------------------------------------
+    # Collectors
+    # ------------------------------------------------------------------
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Register a pull-style source invoked at snapshot/drain time.
+
+        The callback receives this registry and should *increment*
+        metrics by deltas (not publish cumulative totals), so draining
+        and merging stay double-count-free.
+        """
+        with self._lock:
+            if collector not in self._collectors:
+                self._collectors.append(collector)
+
+    def _run_collectors(self) -> None:
+        for collector in list(self._collectors):
+            collector(self)
+
+    # ------------------------------------------------------------------
+    # Snapshot / drain / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self, run_collectors: bool = True) -> dict:
+        """A JSON-/pickle-safe copy of every family and sample."""
+        with self._lock:
+            if run_collectors:
+                self._run_collectors()
+            families: dict[str, dict] = {}
+            for name in sorted(self._families):
+                family = self._families[name]
+                samples = []
+                for key in sorted(family.children):
+                    child = family.children[key]
+                    sample: dict[str, Any] = {"labels": dict(key)}
+                    if family.kind == "histogram":
+                        sample["count"] = child.count
+                        sample["sum"] = child.sum
+                        sample["bucket_counts"] = list(child.bucket_counts)
+                    else:
+                        sample["value"] = child.value
+                    samples.append(sample)
+                families[name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "buckets": (
+                        list(family.buckets)
+                        if family.buckets is not None
+                        else None
+                    ),
+                    "samples": samples,
+                }
+            return {"families": families}
+
+    def drain(self) -> dict:
+        """Snapshot *and reset* every value (families are kept).
+
+        The worker-side half of the merge path: what has been drained
+        is owned by the receiver, so shipping the same registry again
+        later only carries activity since this call.
+        """
+        with self._lock:
+            snap = self.snapshot()
+            for family in self._families.values():
+                for child in family.children.values():
+                    if family.kind == "histogram":
+                        child._counts = [0] * (len(child.buckets) + 1)
+                        child._sum = 0.0
+                        child._count = 0
+                    else:
+                        child._value = 0.0
+            return snap
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot`/:meth:`drain` payload into this registry.
+
+        Counters and histograms add; gauges take the incoming value.
+        Families absent here are created with the payload's type, help
+        and buckets, so a parent can merge from a worker whose code
+        path touched metrics the parent never did.
+        """
+        families = snapshot.get("families", {})
+        with self._lock:
+            for name, payload in families.items():
+                kind = payload["kind"]
+                buckets = payload.get("buckets")
+                for sample in payload["samples"]:
+                    labels = sample["labels"]
+                    if kind == "counter":
+                        if sample["value"]:
+                            self.counter(
+                                name, payload.get("help", ""), **labels
+                            ).inc(sample["value"])
+                    elif kind == "gauge":
+                        self.gauge(
+                            name, payload.get("help", ""), **labels
+                        ).set(sample["value"])
+                    elif kind == "histogram":
+                        child = self.histogram(
+                            name,
+                            payload.get("help", ""),
+                            buckets=buckets,
+                            **labels,
+                        )
+                        incoming = sample["bucket_counts"]
+                        if len(incoming) != len(child._counts):
+                            raise ValueError(
+                                f"histogram {name!r} bucket layout "
+                                f"mismatch on merge"
+                            )
+                        for i, c in enumerate(incoming):
+                            child._counts[i] += c
+                        child._sum += sample["sum"]
+                        child._count += sample["count"]
+                    else:  # pragma: no cover - future-proofing
+                        raise ValueError(
+                            f"unknown metric kind {kind!r} in merge payload"
+                        )
+
+    def reset(self) -> None:
+        """Zero every value and drop every family (collectors kept)."""
+        with self._lock:
+            self._families.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter/gauge child (0.0 when absent)."""
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0.0
+            child = family.children.get(key)
+            if child is None:
+                return 0.0
+            if family.kind == "histogram":
+                raise ValueError(
+                    f"metric {name!r} is a histogram; read its samples "
+                    f"from snapshot()"
+                )
+            return child.value
+
+    def family_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._families))
+
+
+#: The process-wide registry the library routes through.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,88 @@
+"""The observability on/off switch and logging configuration.
+
+Observability is **opt-in**: the metrics registry's counters are cheap
+enough to stay always-on (a locked dict update per event, at per-solve
+/ per-chunk granularity), but anything with per-sweep granularity or
+non-trivial memory — span trees, residual ring buffers, worker
+registry shipping — is gated on the single flag defined here.
+
+The flag is set three ways, all equivalent:
+
+* environment: ``REPRO_OBS=1`` before the process starts (this is how
+  worker processes inherit the setting — the CLI writes the variable
+  back so spawned/forked pools see it);
+* code: :func:`repro.obs.enable` / :func:`repro.obs.disable`;
+* CLI: ``python -m repro <experiment> --obs``.
+
+This module owns only the raw flag so that :mod:`repro.obs.metrics`,
+:mod:`repro.obs.tracing` and :mod:`repro.obs.telemetry` can consult it
+without importing each other; the public ``enable()``/``disable()``
+(which also swap the active tracer) live in :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+#: Environment variable that opts observability in for a process tree.
+ENV_VAR = "REPRO_OBS"
+
+#: Values of :data:`ENV_VAR` that mean "off".
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSEY
+
+
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether full observability (tracing, telemetry buffers) is on."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Flip the raw flag (prefer :func:`repro.obs.enable` / ``disable``).
+
+    Writes :data:`ENV_VAR` back to the environment so worker processes
+    started after the call — fork or spawn — inherit the setting.
+    """
+    global _ENABLED
+    _ENABLED = bool(value)
+    os.environ[ENV_VAR] = "1" if value else "0"
+
+
+#: Format used by :func:`configure_logging`.
+LOG_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy for console output.
+
+    Attaches one :class:`~logging.StreamHandler` (idempotently — calling
+    twice adjusts the level instead of duplicating handlers) to the
+    ``repro`` root logger, which every module logger in the library
+    (``repro.parallel.executor``, ``repro.pagerank.solver``,
+    ``repro.resilience.*``, ``repro.obs.*``) propagates to.  Used by the
+    CLI ``--verbose`` flag; safe to call from library users too.
+
+    Returns the configured ``repro`` logger.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    target = stream if stream is not None else sys.stderr
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_obs_handler", False):
+            handler.setLevel(level)
+            handler.setStream(target)
+            return logger
+    handler = logging.StreamHandler(target)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger

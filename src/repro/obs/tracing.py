@@ -1,0 +1,245 @@
+"""Nested span tracing: a timing tree over experiment phases.
+
+A *span* is one named phase — ``experiment:table4``,
+``solve:approxrank``, ``parallel:batch`` — with wall-clock and CPU
+time, optional counters, and child spans for the phases nested inside
+it.  The active tracer collects completed root spans into a tree that
+:mod:`repro.obs.export` serialises and ``python -m repro obs-report``
+renders.
+
+Zero-overhead default
+---------------------
+The module-level :func:`span` delegates to the active tracer, which is
+a :class:`NullTracer` unless observability is enabled (``REPRO_OBS=1``
+or :func:`repro.obs.enable`).  ``NullTracer.span`` returns one shared
+no-op context manager — entering it allocates nothing and executes two
+trivial method calls, so instrumentation sites cost effectively
+nothing when tracing is off.
+
+Thread model
+------------
+The span stack is thread-local (concurrent threads build independent
+branches); the completed-roots list is shared under a lock.  Worker
+*processes* do not ship spans — their timing is visible through the
+metrics registry — so the span tree always describes the parent
+process.
+
+Exception safety
+----------------
+``span`` is a context manager: the span is closed and recorded even
+when the body raises, with the exception's class name stored on the
+span (the tree of a crashed run shows *where* it crashed).  The
+exception always propagates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs import state
+
+__all__ = [
+    "SpanNode",
+    "Tracer",
+    "NullTracer",
+    "span",
+    "add_span_counter",
+    "get_tracer",
+    "set_tracer",
+    "current_span",
+]
+
+
+class SpanNode:
+    """One completed (or in-flight) phase of the timing tree."""
+
+    __slots__ = (
+        "name",
+        "started_unix",
+        "wall_seconds",
+        "cpu_seconds",
+        "counters",
+        "error",
+        "children",
+        "_wall_start",
+        "_cpu_start",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.started_unix = time.time()
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.counters: dict[str, float] = {}
+        self.error: str | None = None
+        self.children: list[SpanNode] = []
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+
+    def close(self, error: BaseException | None = None) -> None:
+        self.wall_seconds = time.perf_counter() - self._wall_start
+        self.cpu_seconds = time.process_time() - self._cpu_start
+        if error is not None:
+            self.error = type(error).__name__
+
+    def add_counter(self, key: str, amount: float = 1.0) -> None:
+        """Bump a per-span counter (e.g. subgraphs solved under it)."""
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe recursive dict for snapshots."""
+        return {
+            "name": self.name,
+            "started_unix": self.started_unix,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "counters": dict(self.counters),
+            "error": self.error,
+            "children": [child.to_payload() for child in self.children],
+        }
+
+
+class Tracer:
+    """Collects a tree of spans per thread, roots shared per tracer."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[SpanNode] = []
+
+    def _stack(self) -> list[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanNode]:
+        """Open a child span of whatever span is active on this thread."""
+        node = SpanNode(str(name))
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            with self._lock:
+                self._roots.append(node)
+        stack.append(node)
+        try:
+            yield node
+        except BaseException as exc:
+            node.close(exc)
+            raise
+        else:
+            node.close()
+        finally:
+            stack.pop()
+
+    def current_span(self) -> SpanNode | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def add_counter(self, key: str, amount: float = 1.0) -> None:
+        node = self.current_span()
+        if node is not None:
+            node.add_counter(key, amount)
+
+    @property
+    def roots(self) -> tuple[SpanNode, ...]:
+        with self._lock:
+            return tuple(self._roots)
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        return [root.to_payload() for root in self.roots]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+        self._local = threading.local()
+
+
+class _NullSpan:
+    """Shared no-op span yielded by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def add_counter(self, key: str, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullSpanCM:
+    """Reusable no-op context manager (no per-call allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CM = _NullSpanCM()
+
+
+class NullTracer:
+    """The zero-overhead default: every operation is a no-op."""
+
+    def span(self, name: str) -> _NullSpanCM:
+        return _NULL_CM
+
+    def current_span(self) -> None:
+        return None
+
+    def add_counter(self, key: str, amount: float = 1.0) -> None:
+        pass
+
+    @property
+    def roots(self) -> tuple:
+        return ()
+
+    def to_payload(self) -> list:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+#: The active tracer: real when observability was enabled at import,
+#: Null otherwise.  Swapped by :func:`repro.obs.enable` / ``disable``.
+_TRACER: "Tracer | NullTracer" = Tracer() if state.enabled() else NullTracer()
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The active tracer."""
+    return _TRACER
+
+
+def set_tracer(tracer: "Tracer | NullTracer") -> None:
+    """Install a tracer (tests and :func:`repro.obs.enable` use this)."""
+    global _TRACER
+    _TRACER = tracer
+
+
+def span(name: str):
+    """Open a span on the active tracer (no-op when tracing is off).
+
+    Usable as ``with span("experiment:table4") as s:``; the yielded
+    object supports ``add_counter`` on both the real and null paths.
+    """
+    return _TRACER.span(name)
+
+
+def current_span() -> SpanNode | None:
+    """The innermost open span of the active tracer, if any."""
+    return _TRACER.current_span()
+
+
+def add_span_counter(key: str, amount: float = 1.0) -> None:
+    """Bump a counter on the innermost open span (no-op when off)."""
+    _TRACER.add_counter(key, amount)

@@ -36,6 +36,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import ConvergenceError, DivergenceError
+from repro.obs import telemetry
 from repro.pagerank.kernels import (
     csr_matmat_dense_accumulate,
     csr_matmat_dense_into,
@@ -375,6 +376,7 @@ def batched_power_iteration(
             bad = int(
                 np.flatnonzero(active & ~np.isfinite(column_residuals))[0]
             )
+            telemetry.record_divergence("batched", sweeps)
             raise DivergenceError(
                 f"batched power iteration: column {bad} produced a "
                 f"non-finite residual at sweep {sweeps}: the iterate "
@@ -392,6 +394,7 @@ def batched_power_iteration(
             best_residuals[improved] = column_residuals[improved]
             if np.any(stall_streaks >= settings.divergence_patience):
                 bad = int(np.argmax(stall_streaks))
+                telemetry.record_divergence("batched", sweeps)
                 raise DivergenceError(
                     f"batched power iteration: column {bad} has not "
                     f"improved for {int(stall_streaks[bad])} consecutive "
@@ -410,6 +413,15 @@ def batched_power_iteration(
             active &= ~newly_done
         if not active.any():
             runtime = time.perf_counter() - start
+            telemetry.record_batched_solve(
+                iterations=iterations.tolist(),
+                residuals=residuals.tolist(),
+                converged=converged.tolist(),
+                dampings=damping_row.tolist(),
+                sweeps=sweeps,
+                runtime_seconds=runtime,
+                residual_trace=residual_history,
+            )
             return BatchedOutcome(
                 scores=x,
                 iterations=iterations,
@@ -419,6 +431,15 @@ def batched_power_iteration(
                 runtime_seconds=runtime,
             )
     runtime = time.perf_counter() - start
+    telemetry.record_batched_solve(
+        iterations=iterations.tolist(),
+        residuals=residuals.tolist(),
+        converged=converged.tolist(),
+        dampings=damping_row.tolist(),
+        sweeps=sweeps,
+        runtime_seconds=runtime,
+        residual_trace=residual_history,
+    )
     if settings.raise_on_divergence:
         laggard = int(np.argmax(residuals * active))
         raise ConvergenceError(

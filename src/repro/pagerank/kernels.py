@@ -33,6 +33,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import DivergenceError
+from repro.obs import telemetry
 
 try:  # scipy's C kernels accumulate y += A @ x with zero allocation
     from scipy.sparse import _sparsetools
@@ -152,11 +153,13 @@ class PowerIterationWorkspace:
         self.x_next = np.empty(size, dtype=np.float64)
         self.scratch = np.empty(size, dtype=np.float64)
         self._gather: np.ndarray | None = None
+        telemetry.record_workspace_allocation(size, 3 * size * 8)
 
     def ensure_gather(self, size: int) -> np.ndarray:
         """Return a reusable buffer of at least ``size`` elements."""
         if self._gather is None or self._gather.size < size:
             self._gather = np.empty(size, dtype=np.float64)
+            telemetry.record_workspace_allocation(size, size * 8)
         return self._gather
 
     def swap(self) -> None:

@@ -25,9 +25,10 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import ConvergenceError, DivergenceError
+from repro.obs import telemetry
 from repro.pagerank.kernels import PowerIterationWorkspace, run_power_loop
 
-log = logging.getLogger("repro.resilience")
+log = logging.getLogger(__name__)
 
 
 #: Damping factor ε used throughout the paper's experiments (§V-A).
@@ -254,6 +255,7 @@ def power_iteration(
             residual_trace=trace,
         )
     except DivergenceError as exc:
+        telemetry.record_divergence("power", exc.iterations or 0)
         if not (settings.safe_restart and warm_start):
             raise
         # Safe restart: a guard tripped on a caller-supplied warm
@@ -265,22 +267,36 @@ def power_iteration(
             "personalisation vector",
             exc,
         )
+        telemetry.record_safe_restart("power")
         np.copyto(workspace.x, teleport)
         trace = [] if guarded else None
-        iterations, residual, converged = run_power_loop(
-            transition_t,
-            damping=damping,
-            base=base,
-            dangling_indices=dangling_indices,
-            dangling_dist=dangling_dist,
-            tolerance=settings.tolerance,
-            max_iterations=settings.max_iterations,
-            workspace=workspace,
-            check_finite=settings.check_finite,
-            divergence_patience=settings.divergence_patience,
-            residual_trace=trace,
-        )
+        try:
+            iterations, residual, converged = run_power_loop(
+                transition_t,
+                damping=damping,
+                base=base,
+                dangling_indices=dangling_indices,
+                dangling_dist=dangling_dist,
+                tolerance=settings.tolerance,
+                max_iterations=settings.max_iterations,
+                workspace=workspace,
+                check_finite=settings.check_finite,
+                divergence_patience=settings.divergence_patience,
+                residual_trace=trace,
+            )
+        except DivergenceError as restart_exc:
+            telemetry.record_divergence("power", restart_exc.iterations or 0)
+            raise
     runtime = time.perf_counter() - start
+    telemetry.record_solve(
+        "power",
+        iterations=iterations,
+        residual=residual,
+        converged=converged,
+        damping=damping,
+        runtime_seconds=runtime,
+        residual_trace=trace,
+    )
     # A caller-owned workspace will be reused; hand back a private copy
     # of the final iterate so the next solve cannot clobber it.
     scores = workspace.x.copy() if caller_workspace else workspace.x

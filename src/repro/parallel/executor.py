@@ -71,6 +71,10 @@ from repro.core.precompute import ApproxRankPreprocessor
 from repro.exceptions import ChunkTimeoutError, ParallelError
 from repro.graph.digraph import CSRGraph
 from repro.graph.subgraph import normalize_node_set
+from repro.obs import state as obs_state
+from repro.obs import telemetry
+from repro.obs.metrics import REGISTRY, SECONDS_BUCKETS
+from repro.obs.tracing import span
 from repro.pagerank.result import SubgraphScores
 from repro.pagerank.solver import PowerIterationSettings
 from repro.parallel.shm import (
@@ -86,7 +90,7 @@ from repro.resilience.policy import (
     classify_failure,
 )
 
-log = logging.getLogger("repro.resilience")
+log = logging.getLogger(__name__)
 
 #: Algorithms :func:`rank_many` can dispatch, keyed by the paper's
 #: labels (the same names the experiment harness uses).
@@ -148,13 +152,38 @@ def _solve_one(
 _WORKER_PREPROCESSORS: dict[str, ApproxRankPreprocessor] = {}
 
 
+def _worker_init() -> None:
+    """Pool initializer: arm fault injection, zero inherited metrics.
+
+    Under the fork start method a worker begins life with a copy of
+    the parent's metrics registry — historical values included.  Its
+    first drain would ship those back and double count them in the
+    parent, so every worker starts from a clean slate; drains then
+    carry worker-side activity only.  (Spawned workers start empty
+    anyway; the reset is a no-op there.)
+    """
+    faults.mark_worker_process()
+    REGISTRY.reset()
+    telemetry.reset()
+
+
 def _worker_rank_chunk(
     handle: SharedGraphHandle,
     tasks: Sequence[_TaskSpec],
     settings: PowerIterationSettings | None,
     sc_settings: SCSettings | None,
-) -> list[tuple[int, SubgraphScores]]:
-    """Process-pool entry point: attach once, solve a chunk of tasks."""
+) -> tuple[list[tuple[int, SubgraphScores]], dict | None]:
+    """Process-pool entry point: attach once, solve a chunk of tasks.
+
+    Returns ``(results, metrics)`` where ``metrics`` is the worker
+    registry's :meth:`~repro.obs.metrics.MetricsRegistry.drain` payload
+    when observability is enabled (the parent merges it, so worker-side
+    solver/cache activity shows up in the parent's snapshot) and
+    ``None`` otherwise.  Draining means a worker that serves several
+    chunks ships each increment exactly once; metrics of a chunk killed
+    mid-flight are lost with the worker, which is the right bias —
+    observability must never make a retryable failure heavier.
+    """
     # Chaos injection sites (no-ops unless REPRO_FAULTS arms them, and
     # only ever in worker processes): a SIGKILL here breaks the pool
     # mid-chunk, a delay here outlives the chunk timeout.
@@ -194,7 +223,8 @@ def _worker_rank_chunk(
                 error_type=type(exc).__name__,
                 worker_traceback=traceback.format_exc(),
             ) from None
-    return results
+    metrics = REGISTRY.drain() if obs_state.enabled() else None
+    return results, metrics
 
 
 # ----------------------------------------------------------------------
@@ -314,6 +344,18 @@ def _record_attempt(
     )
     attempts.append(record)
     log.warning("parallel ranking: %s", record.describe())
+    REGISTRY.counter(
+        "repro_executor_failures_total",
+        "Executor failures by recovery stage and action taken",
+        stage=stage,
+        action=action,
+        error=type(exc).__name__,
+    ).inc()
+    if action == "retry":
+        REGISTRY.counter(
+            "repro_executor_retries_total",
+            "Chunks resubmitted to a healthy pool after a failure",
+        ).inc()
     return record
 
 
@@ -364,17 +406,25 @@ def _parallel_round(
             started=started,
         )
         return False
+    REGISTRY.counter(
+        "repro_executor_chunk_attempts_total",
+        "Chunks submitted to a worker pool (retries resubmit)",
+    ).inc(len(futures))
 
     for cid, future in futures.items():
         timeout = policy.effective_timeout(time.monotonic() - started)
         try:
-            chunk_results = future.result(timeout=timeout)
+            chunk_results, worker_metrics = future.result(timeout=timeout)
         except FuturesTimeoutError:
             names = ", ".join(repr(t.name) for t in pending[cid])
             timeout_exc = ChunkTimeoutError(
                 f"chunk [{names}] missed its {timeout:.3g}s deadline",
                 timeout_seconds=timeout,
             )
+            REGISTRY.counter(
+                "repro_executor_timeouts_total",
+                "Chunks that missed their deadline (pool rebuilt)",
+            ).inc()
             _record_attempt(
                 attempts,
                 stage="parallel",
@@ -450,6 +500,12 @@ def _parallel_round(
             for index, scores in chunk_results:
                 results[index] = scores
             del pending[cid]
+            REGISTRY.counter(
+                "repro_executor_chunks_completed_total",
+                "Chunks whose results were consumed successfully",
+            ).inc()
+            if worker_metrics is not None:
+                REGISTRY.merge(worker_metrics)
     return True
 
 
@@ -476,7 +532,9 @@ def _execute(
     effective = min(_effective_workers(workers), len(tasks))
     if effective <= 1 or not shared_memory_available():
         # Serial path: same solve code, one shared preprocessor.
-        _run_serial(graph, tasks, results, settings, sc_settings)
+        with span("parallel:serial") as s:
+            s.add_counter("tasks", len(tasks))
+            _run_serial(graph, tasks, results, settings, sc_settings)
         return results  # type: ignore[return-value]
 
     policy = retry if retry is not None else RetryPolicy()
@@ -491,45 +549,66 @@ def _execute(
 
     store = SharedGraphStore(graph)
     pool: ProcessPoolExecutor | None = None
+    pools_created = 0
     try:
-        for round_no in range(1, policy.max_attempts + 1):
-            if not pending:
-                break
-            if policy.deadline_exceeded(time.monotonic() - started):
-                log.warning(
-                    "parallel ranking exceeded its %.3gs total deadline "
-                    "with %d chunks unfinished; degrading to serial",
-                    policy.total_deadline,
-                    len(pending),
+        with span("parallel:rounds") as rounds_span:
+            rounds_span.add_counter("tasks", len(tasks))
+            rounds_span.add_counter("chunks", len(chunks))
+            for round_no in range(1, policy.max_attempts + 1):
+                if not pending:
+                    break
+                if policy.deadline_exceeded(time.monotonic() - started):
+                    log.warning(
+                        "parallel ranking exceeded its %.3gs total "
+                        "deadline with %d chunks unfinished; degrading "
+                        "to serial",
+                        policy.total_deadline,
+                        len(pending),
+                    )
+                    break
+                if round_no > 1:
+                    delay = policy.backoff(round_no - 1)
+                    if delay:
+                        REGISTRY.counter(
+                            "repro_executor_backoff_sleeps_total",
+                            "Backoff sleeps between retry rounds",
+                        ).inc()
+                        REGISTRY.histogram(
+                            "repro_executor_backoff_seconds",
+                            "Backoff sleep durations",
+                            buckets=SECONDS_BUCKETS,
+                        ).observe(delay)
+                        time.sleep(delay)
+                if pool is None:
+                    # The initializer arms fault injection (and only
+                    # there: the parent, hence the serial fallback,
+                    # never injects — that is what makes graceful
+                    # degradation a guaranteed recovery) and zeroes
+                    # the worker's fork-inherited metrics registry.
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(effective, len(pending)),
+                        initializer=_worker_init,
+                    )
+                    pools_created += 1
+                    if pools_created > 1:
+                        REGISTRY.counter(
+                            "repro_executor_pool_rebuilds_total",
+                            "Worker pools rebuilt after break/hang",
+                        ).inc()
+                healthy = _parallel_round(
+                    pool,
+                    store,
+                    pending,
+                    results,
+                    policy,
+                    attempts,
+                    started,
+                    settings,
+                    sc_settings,
                 )
-                break
-            if round_no > 1:
-                delay = policy.backoff(round_no - 1)
-                if delay:
-                    time.sleep(delay)
-            if pool is None:
-                # The initializer arms fault injection (and only
-                # there: the parent, hence the serial fallback, never
-                # injects — that is what makes graceful degradation a
-                # guaranteed recovery).
-                pool = ProcessPoolExecutor(
-                    max_workers=min(effective, len(pending)),
-                    initializer=faults.mark_worker_process,
-                )
-            healthy = _parallel_round(
-                pool,
-                store,
-                pending,
-                results,
-                policy,
-                attempts,
-                started,
-                settings,
-                sc_settings,
-            )
-            if not healthy:
-                _drop_pool(pool)
-                pool = None
+                if not healthy:
+                    _drop_pool(pool)
+                    pool = None
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -546,15 +625,21 @@ def _execute(
             len(remaining),
             len(attempts),
         )
+        REGISTRY.counter(
+            "repro_executor_serial_fallback_total",
+            "Tasks completed by the serial fallback after retries",
+        ).inc(len(remaining))
         try:
-            _run_serial(
-                graph,
-                remaining,
-                results,
-                settings,
-                sc_settings,
-                attempts=tuple(attempts),
-            )
+            with span("parallel:serial-fallback") as s:
+                s.add_counter("tasks", len(remaining))
+                _run_serial(
+                    graph,
+                    remaining,
+                    results,
+                    settings,
+                    sc_settings,
+                    attempts=tuple(attempts),
+                )
         except ParallelError as exc:
             _record_attempt(
                 attempts,

@@ -14,7 +14,11 @@ workload (K personalised walks over one web-like graph):
   and of a subgraph's local-block bundle through
   :class:`repro.perf.cache.TransitionCache`;
 * **allocations** — ``tracemalloc`` peak memory of the iteration loop
-  for the seed-style allocating step vs the in-place kernel step.
+  for the seed-style allocating step vs the in-place kernel step;
+* **observability** — the sequential leg re-timed with the
+  :mod:`repro.obs.telemetry` recording hooks stubbed out, gating the
+  always-on instrumentation (null spans + registry counters) to <2%
+  overhead.
 
 The record is written to ``BENCH_solver.json`` so the performance
 trajectory is tracked across PRs.  In smoke mode (small graph, CI
@@ -33,6 +37,7 @@ from typing import Any
 import numpy as np
 
 from repro.generators.datasets import make_au_like
+from repro.obs import telemetry
 from repro.pagerank.batched import batched_power_iteration
 from repro.pagerank.kernels import (
     SPARSETOOLS_AVAILABLE,
@@ -251,6 +256,51 @@ def run_kernel_benchmark(
             workspace=alloc_workspace,
         )
 
+    # --- observability overhead: instrumented vs bare ----------------
+    # The solver layer reports every solve through
+    # :mod:`repro.obs.telemetry` (a few locked dict updates per solve)
+    # and crosses null-span sites; the contract (DESIGN.md §9) is that
+    # this always-on path stays within 2% of solve time.  Measure it
+    # by re-timing the sequential leg with the recording hooks stubbed
+    # to no-ops, best-of-reps on both sides to damp scheduler noise.
+    def _noop(*args, **kwargs):
+        return None
+
+    hook_names = (
+        "record_solve",
+        "record_batched_solve",
+        "record_divergence",
+        "record_safe_restart",
+        "record_workspace_allocation",
+    )
+    saved_hooks = {name: getattr(telemetry, name) for name in hook_names}
+    instrumented_seconds = single_seconds
+    bare_seconds = float("inf")
+    try:
+        for name in hook_names:
+            setattr(telemetry, name, _noop)
+        run_single()  # warm-up with the hooks stubbed
+        for _ in range(TIMING_REPS):
+            bare_start = time.perf_counter()
+            run_single()
+            bare_seconds = min(
+                bare_seconds, time.perf_counter() - bare_start
+            )
+    finally:
+        for name, fn in saved_hooks.items():
+            setattr(telemetry, name, fn)
+    obs_overhead_pct = (
+        (instrumented_seconds - bare_seconds) / bare_seconds * 100.0
+        if bare_seconds > 0
+        else 0.0
+    )
+    # 2% relative, with a 5ms absolute noise floor for tiny smoke
+    # workloads where a single scheduler blip exceeds 2%.
+    obs_gate_passed = bool(
+        instrumented_seconds <= bare_seconds * 1.02
+        or instrumented_seconds - bare_seconds <= 0.005
+    )
+
     kernel_loop()  # warm-up
     legacy_peak = _measure_peak_bytes(
         lambda: _legacy_power_loop(
@@ -263,8 +313,10 @@ def run_kernel_benchmark(
     )
     kernel_peak = _measure_peak_bytes(kernel_loop)
 
-    gate_passed = bool(speedup > 1.0) and bool(
-        kernel_peak < legacy_peak
+    gate_passed = (
+        bool(speedup > 1.0)
+        and bool(kernel_peak < legacy_peak)
+        and obs_gate_passed
     )
     record: dict[str, Any] = {
         "benchmark": "solver_kernels",
@@ -305,8 +357,8 @@ def run_kernel_benchmark(
             ),
             "local_block_cold_seconds": block_cold,
             "local_block_warm_seconds": block_warm,
-            "hits": cache.stats.hits,
-            "misses": cache.stats.misses,
+            "hits": cache.stats().hits,
+            "misses": cache.stats().misses,
         },
         "allocations": {
             "iterations_measured": ALLOC_ITERATIONS,
@@ -314,6 +366,12 @@ def run_kernel_benchmark(
             "kernel_peak_bytes": int(kernel_peak),
             "legacy_per_iteration_bytes": legacy_peak / ALLOC_ITERATIONS,
             "kernel_per_iteration_bytes": kernel_peak / ALLOC_ITERATIONS,
+        },
+        "observability": {
+            "instrumented_seconds": instrumented_seconds,
+            "bare_seconds": bare_seconds,
+            "overhead_pct": obs_overhead_pct,
+            "gate_passed": obs_gate_passed,
         },
         "gate_passed": gate_passed,
     }
@@ -348,6 +406,20 @@ def format_summary(record: dict[str, Any]) -> str:
         f"→ {cache['local_block_warm_seconds']*1e6:.0f}µs warm",
         f"  allocs  : {alloc['legacy_per_iteration_bytes']/1024:.0f} KiB/iter legacy "
         f"→ {alloc['kernel_per_iteration_bytes']/1024:.1f} KiB/iter kernels",
-        f"  gate    : {'PASS' if record['gate_passed'] else 'FAIL'}",
     ]
+    observability = record.get("observability")
+    if observability:
+        delta_ms = (
+            observability["instrumented_seconds"]
+            - observability["bare_seconds"]
+        ) * 1e3
+        lines.append(
+            f"  obs     : {observability['overhead_pct']:+.2f}% "
+            f"({delta_ms:+.2f}ms) telemetry overhead on the sequential "
+            f"leg ({'PASS' if observability['gate_passed'] else 'FAIL'}: "
+            f"budget 2% with a 5ms noise floor)"
+        )
+    lines.append(
+        f"  gate    : {'PASS' if record['gate_passed'] else 'FAIL'}"
+    )
     return "\n".join(lines)

@@ -43,6 +43,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.graph.digraph import CSRGraph
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.pagerank.transition import (
     csr_transpose,
     transition_matrix,
@@ -144,6 +145,10 @@ class TransitionCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Counts already shipped to a metrics registry; the collector
+        # publishes deltas against these so repeated snapshots/drains
+        # never double count.
+        self._published = (0, 0, 0)
 
     # ------------------------------------------------------------------
     # Entry management
@@ -261,9 +266,8 @@ class TransitionCache:
     # Introspection / control
     # ------------------------------------------------------------------
 
-    @property
     def stats(self) -> CacheStats:
-        """Current hit/miss/eviction counters."""
+        """A point-in-time snapshot of the hit/miss/eviction counters."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,
@@ -276,6 +280,56 @@ class TransitionCache:
         """Zero the counters (entries are kept)."""
         with self._lock:
             self._hits = self._misses = self._evictions = 0
+            self._published = (0, 0, 0)
+
+    def publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Ship counter activity since the last publish into ``registry``.
+
+        Publishes *deltas* (hits/misses/evictions accrued since the
+        previous call), the contract registry collectors follow so that
+        ``drain``/``merge`` cycles stay double-count-free.  Registered
+        as a collector on the process-wide registry for the global
+        cache; other caches can call it directly.
+        """
+        with self._lock:
+            hits, misses, evictions = (
+                self._hits,
+                self._misses,
+                self._evictions,
+            )
+            prev_hits, prev_misses, prev_evictions = self._published
+            self._published = (hits, misses, evictions)
+            graphs = len(self._entries)
+        delta_hits = hits - prev_hits
+        delta_misses = misses - prev_misses
+        delta_evictions = evictions - prev_evictions
+        # reset_stats() between publishes makes deltas negative; start
+        # over from the current absolute counts in that case.
+        if delta_hits < 0 or delta_misses < 0 or delta_evictions < 0:
+            delta_hits, delta_misses, delta_evictions = (
+                hits,
+                misses,
+                evictions,
+            )
+        if delta_hits:
+            registry.counter(
+                "repro_cache_hits_total",
+                "Transition-cache lookups served from cache",
+            ).inc(delta_hits)
+        if delta_misses:
+            registry.counter(
+                "repro_cache_misses_total",
+                "Transition-cache lookups that rebuilt the derivation",
+            ).inc(delta_misses)
+        if delta_evictions:
+            registry.counter(
+                "repro_cache_evictions_total",
+                "Transition-cache entries evicted by graph death",
+            ).inc(delta_evictions)
+        registry.gauge(
+            "repro_cache_graphs_tracked",
+            "Live graphs with cached derivations",
+        ).set(graphs)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -290,6 +344,10 @@ class TransitionCache:
 
 #: The process-wide cache the library routes through.
 GLOBAL_TRANSITION_CACHE = TransitionCache()
+
+# Every registry snapshot/drain pulls the global cache's counters in,
+# so cache hit rates appear in obs snapshots without polling.
+REGISTRY.register_collector(GLOBAL_TRANSITION_CACHE.publish_metrics)
 
 
 def cached_transition_matrix(

@@ -34,7 +34,7 @@ from typing import Any, Iterator
 
 from repro.exceptions import CheckpointError
 
-log = logging.getLogger("repro.resilience")
+log = logging.getLogger(__name__)
 
 
 def _canonical(key: str, payload: Any) -> str:

@@ -59,8 +59,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ReproError, TransientFaultError
+from repro.obs.metrics import REGISTRY
 
-log = logging.getLogger("repro.resilience")
+log = logging.getLogger(__name__)
 
 #: Environment variable the injector is parsed from.
 ENV_VAR = "REPRO_FAULTS"
@@ -220,6 +221,17 @@ class FaultInjector:
             self._fired[kind],
             os.getpid(),
         )
+        # Counted before the side effect: a kill_worker fire takes its
+        # process (and registry) down with it, but the log line above
+        # and this increment are the record that it happened at all.
+        # Worker-side increments reach the parent only via the drain
+        # shipped with a *successful* chunk, so kill_worker fires are
+        # visible parent-side just when a surviving chunk ships them.
+        REGISTRY.counter(
+            "repro_faults_injected_total",
+            "Injected chaos faults fired, by kind",
+            kind=kind,
+        ).inc()
         if kind == "kill_worker":
             os.kill(os.getpid(), signal.SIGKILL)
         elif kind == "delay_chunk":

@@ -43,8 +43,9 @@ from repro.exceptions import (
     SubgraphError,
     TransientFaultError,
 )
+from repro.obs.metrics import REGISTRY
 
-log = logging.getLogger("repro.resilience")
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -247,6 +248,15 @@ _FATAL_TYPES = (
 )
 
 
+def _count_classification(name: str, decision: FailureDecision) -> None:
+    REGISTRY.counter(
+        "repro_resilience_classifications_total",
+        "Failure-classifier verdicts by error type",
+        error=name,
+        verdict="retryable" if decision.retryable else "fatal",
+    ).inc()
+
+
 def classify_failure_name(name: str) -> FailureDecision:
     """Classify a failure by the *class name* of the original error.
 
@@ -268,6 +278,7 @@ def classify_failure_name(name: str) -> FailureDecision:
         "retryable" if decision.retryable else "fatal",
         decision.reason,
     )
+    _count_classification(name, decision)
     return decision
 
 
@@ -310,4 +321,5 @@ def classify_failure(exc: BaseException) -> FailureDecision:
         "retryable" if decision.retryable else "fatal",
         decision.reason,
     )
+    _count_classification(type(exc).__name__, decision)
     return decision

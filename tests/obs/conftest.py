@@ -1,0 +1,39 @@
+"""Isolation fixtures for the observability suite.
+
+The obs subsystem has three pieces of process-global state — the
+enabled flag (plus its ``REPRO_OBS`` env var), the active tracer, and
+the solve-history ring buffer — that tests flip freely.  The autouse
+fixture below snapshots all three and restores them afterwards, so an
+obs test can never leak "observability on" into the rest of the suite.
+
+The global :data:`repro.obs.metrics.REGISTRY` is intentionally NOT
+reset: the library legitimately accumulates into it across the whole
+test run, so tests assert on **deltas** (or build their own private
+:class:`MetricsRegistry`) instead of absolute values.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import state, telemetry, tracing
+
+
+@pytest.fixture(autouse=True)
+def obs_state_guard():
+    """Save/restore the obs flag, env var, tracer and solve history."""
+    saved_enabled = state.enabled()
+    saved_env = os.environ.get(state.ENV_VAR)
+    saved_tracer = tracing.get_tracer()
+    try:
+        yield
+    finally:
+        state._ENABLED = saved_enabled
+        if saved_env is None:
+            os.environ.pop(state.ENV_VAR, None)
+        else:
+            os.environ[state.ENV_VAR] = saved_env
+        tracing.set_tracer(saved_tracer)
+        telemetry.reset()

@@ -1,0 +1,196 @@
+"""Export sinks: Prometheus text, JSON snapshots, the obs-report view."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs import telemetry
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    build_snapshot,
+    load_snapshot,
+    render_report,
+    to_prometheus_text,
+    write_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, set_tracer
+
+pytestmark = pytest.mark.obs
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "prometheus_golden.txt"
+
+
+def golden_registry() -> MetricsRegistry:
+    """A fixed workload whose text exposition is pinned by the golden file."""
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_cache_hits_total", "Transition-matrix cache hits"
+    ).inc(42)
+    reg.counter(
+        "repro_cache_misses_total", "Transition-matrix cache misses"
+    ).inc(7)
+    reg.gauge(
+        "repro_cache_graphs_tracked", "Graphs currently cached"
+    ).set(3)
+    reg.counter(
+        "repro_solver_solves_total",
+        "Completed power-iteration solves",
+        solver="power",
+    ).inc(10)
+    reg.counter(
+        "repro_solver_solves_total",
+        "Completed power-iteration solves",
+        solver="batched",
+    ).inc(2)
+    hist = reg.histogram(
+        "repro_solver_iterations",
+        "Power-iteration sweeps per solve (per column for batched)",
+        buckets=(10, 50, 100),
+        solver="power",
+    )
+    for its in (5, 10, 11, 49, 50, 99, 150):
+        hist.observe(its)
+    reg.gauge(
+        'repro_test_escaping', "Label escaping", path='a"b\\c\nd'
+    ).set(1.5)
+    return reg
+
+
+class TestPrometheusText:
+    def test_matches_golden_file(self):
+        text = to_prometheus_text(golden_registry().snapshot())
+        assert text == GOLDEN_PATH.read_text(encoding="utf-8")
+
+    def test_histogram_buckets_are_cumulative_and_end_at_count(self):
+        text = to_prometheus_text(golden_registry().snapshot())
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_solver_iterations_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        # le="10", le="50", le="100", le="+Inf": inclusive bounds.
+        assert counts == [2, 5, 6, 7]
+        assert 'le="+Inf"' in lines[-1]
+        assert "repro_solver_iterations_count{solver=\"power\"} 7" in text
+
+    def test_integers_render_without_decimal_point(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total").inc(5)
+        reg.gauge("repro_test_fractional").set(2.25)
+        text = to_prometheus_text(reg.snapshot())
+        assert "repro_test_total 5\n" in text
+        assert "repro_test_fractional 2.25" in text
+
+    def test_empty_registry_renders_empty_string(self):
+        assert to_prometheus_text(MetricsRegistry().snapshot()) == ""
+
+
+class TestSnapshotRoundTrip:
+    def test_build_snapshot_is_json_serialisable(self):
+        obs.enable()
+        telemetry.reset()
+        tracer = Tracer()
+        set_tracer(tracer)
+        with tracer.span("unit-test"):
+            telemetry.record_solve(
+                "power",
+                iterations=3,
+                residual=1e-8,
+                converged=True,
+                damping=0.85,
+                runtime_seconds=0.001,
+            )
+        snapshot = build_snapshot(golden_registry())
+        encoded = json.dumps(snapshot)  # must not raise
+        decoded = json.loads(encoded)
+        assert decoded["schema"] == SNAPSHOT_SCHEMA
+        assert decoded["obs_enabled"] is True
+        assert decoded["spans"][0]["name"] == "unit-test"
+        assert decoded["solve_history"][0]["solver"] == "power"
+
+    def test_write_then_load(self, tmp_path):
+        target = tmp_path / "nested" / "obs.json"
+        written = write_snapshot(target, registry=golden_registry())
+        loaded = load_snapshot(target)
+        assert loaded == json.loads(json.dumps(written))
+
+    def test_load_rejects_non_snapshot_json(self, tmp_path):
+        bogus = tmp_path / "not_obs.json"
+        bogus.write_text('{"hello": "world"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a repro obs snapshot"):
+            load_snapshot(bogus)
+
+
+class TestRenderReport:
+    def test_empty_snapshot_renders_placeholder(self):
+        snapshot = {
+            "schema": SNAPSHOT_SCHEMA,
+            "obs_enabled": False,
+            "metrics": {"families": {}},
+            "spans": [],
+            "solve_history": [],
+        }
+        assert (
+            render_report(snapshot)
+            == "observability report: no recorded activity\n"
+        )
+
+    def test_sections_render_from_a_real_workload(self):
+        obs.enable()
+        telemetry.reset()
+        tracer = Tracer()
+        set_tracer(tracer)
+        reg = golden_registry()
+        with tracer.span("experiment:unit") as node:
+            node.add_counter("subgraphs", 4)
+            telemetry.record_solve(
+                "power",
+                iterations=77,
+                residual=2e-6,
+                converged=True,
+                damping=0.85,
+                runtime_seconds=0.01,
+                residual_trace=[1e-2, 1e-4, 2e-6],
+            )
+        report = render_report(build_snapshot(reg))
+        assert report.startswith(
+            f"observability report (schema {SNAPSHOT_SCHEMA}, obs enabled)"
+        )
+        assert "Transition cache" in report
+        assert "hit-rate 85.7%" in report  # 42 / (42 + 7)
+        assert "Solver iterations (per solve)" in report
+        assert "Span tree" in report
+        assert "experiment:unit" in report
+        assert "[subgraphs=4]" in report
+        assert "Recent solves" in report
+        assert "tail" in report
+
+    def test_unconverged_solves_flagged(self):
+        obs.enable()
+        telemetry.reset()
+        telemetry.record_solve(
+            "power",
+            iterations=1000,
+            residual=1e-3,
+            converged=False,
+            damping=0.85,
+            runtime_seconds=0.5,
+        )
+        reg = MetricsRegistry()
+        reg.histogram(
+            "repro_solver_iterations",
+            buckets=(10, 100, 1000),
+            solver="power",
+        ).observe(1000)
+        reg.counter(
+            "repro_solver_unconverged_total", solver="power"
+        ).inc()
+        report = render_report(build_snapshot(reg))
+        assert "UNCONVERGED" in report
+        assert "unconverged 1" in report

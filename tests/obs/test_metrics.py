@@ -1,0 +1,268 @@
+"""Registry semantics: counters, gauges, histogram edges, drain/merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    _validate_buckets,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total")
+        c.inc()
+        c.inc(2.5)
+        assert reg.value("repro_test_total") == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            reg.counter("repro_test_total").inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total", solver="power").inc(3)
+        reg.counter("repro_test_total", solver="batched").inc(5)
+        assert reg.value("repro_test_total", solver="power") == 3
+        assert reg.value("repro_test_total", solver="batched") == 5
+        # Absent label set reads as zero, never raises.
+        assert reg.value("repro_test_total", solver="gauss") == 0.0
+
+    def test_same_labels_same_child(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_test_total", x="1", y="2")
+        b = reg.counter("repro_test_total", y="2", x="1")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_test_gauge")
+        g.set(10)
+        g.inc(-3)
+        assert reg.value("repro_test_gauge") == 7.0
+
+
+class TestHistogram:
+    def test_le_is_inclusive_at_exact_bound(self):
+        # Prometheus semantics: observe(0.01) lands in le="0.01".
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_hist", buckets=(0.01, 0.1, 1.0))
+        h.observe(0.01)
+        assert h.bucket_counts == (1, 0, 0, 0)
+
+    def test_bucket_edges_and_inf_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_hist", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 1.0001, 5.0, 10.0, 10.0001, 1e9):
+            h.observe(value)
+        # (<=1, <=5, <=10, +Inf) — bounds inclusive, overflow in +Inf.
+        assert h.bucket_counts == (2, 2, 1, 2)
+        assert h.cumulative_counts() == (2, 4, 5, 7)
+        assert h.count == 7
+        assert h.sum == pytest.approx(0.5 + 1 + 1.0001 + 5 + 10 + 10.0001 + 1e9)
+
+    def test_default_buckets_when_unspecified(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_hist")
+        assert h.buckets == DEFAULT_BUCKETS
+
+    def test_later_touch_inherits_family_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_test_hist", buckets=(1.0, 2.0), solver="a")
+        h = reg.histogram("repro_test_hist", solver="b")
+        assert h.buckets == (1.0, 2.0)
+
+    def test_conflicting_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_test_hist", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already has buckets"):
+            reg.histogram("repro_test_hist", buckets=(1.0, 3.0))
+
+    def test_value_accessor_rejects_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_test_hist", buckets=(1.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="histogram"):
+            reg.value("repro_test_hist")
+
+
+class TestBucketValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            _validate_buckets(())
+
+    @pytest.mark.parametrize("bad", [(1.0, 1.0), (2.0, 1.0), (1.0, 3.0, 2.0)])
+    def test_non_increasing_rejected(self, bad):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            _validate_buckets(bad)
+
+
+class TestKindConflicts:
+    def test_counter_then_gauge_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_metric")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("repro_test_metric")
+
+    def test_gauge_then_histogram_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_test_metric")
+        with pytest.raises(ValueError, match="is a gauge"):
+            reg.histogram("repro_test_metric")
+
+
+def populate_worker_style(reg: MetricsRegistry) -> None:
+    """The shape of metrics a parallel worker ships to the parent."""
+    reg.counter("repro_solver_solves_total", solver="power").inc(4)
+    reg.counter("repro_cache_hits_total").inc(7)
+    reg.gauge("repro_cache_graphs_tracked").set(2)
+    h = reg.histogram(
+        "repro_solver_iterations", buckets=(10, 50, 100), solver="power"
+    )
+    for its in (8, 42, 42, 77):
+        h.observe(its)
+
+
+class TestDrainMerge:
+    def test_drain_snapshots_then_zeroes(self):
+        worker = MetricsRegistry()
+        populate_worker_style(worker)
+        snap = worker.drain()
+        fam = snap["families"]["repro_solver_solves_total"]
+        assert fam["samples"][0]["value"] == 4
+        # Everything zeroed, families retained.
+        assert worker.value("repro_solver_solves_total", solver="power") == 0
+        assert "repro_solver_iterations" in worker.family_names()
+        hist = worker.snapshot()["families"]["repro_solver_iterations"]
+        assert hist["samples"][0]["count"] == 0
+
+    def test_merge_round_trip_equals_direct(self):
+        worker = MetricsRegistry()
+        populate_worker_style(worker)
+        direct = MetricsRegistry()
+        populate_worker_style(direct)
+
+        parent = MetricsRegistry()
+        parent.merge(worker.drain())
+        assert parent.snapshot() == direct.snapshot()
+
+    def test_repeated_drain_never_double_counts(self):
+        worker = MetricsRegistry()
+        parent = MetricsRegistry()
+        populate_worker_style(worker)
+        parent.merge(worker.drain())
+        # Second drain ships only post-drain activity: nothing.
+        parent.merge(worker.drain())
+        assert parent.value("repro_solver_solves_total", solver="power") == 4
+        assert parent.value("repro_cache_hits_total") == 7
+
+    def test_merge_twice_adds_counters_and_buckets(self):
+        worker = MetricsRegistry()
+        populate_worker_style(worker)
+        snap = worker.snapshot()
+        parent = MetricsRegistry()
+        parent.merge(snap)
+        parent.merge(snap)
+        assert parent.value("repro_solver_solves_total", solver="power") == 8
+        hist = parent.snapshot()["families"]["repro_solver_iterations"]
+        sample = hist["samples"][0]
+        assert sample["count"] == 8
+        assert sample["bucket_counts"] == [2, 4, 2, 0]
+
+    def test_merge_gauge_last_write_wins(self):
+        parent = MetricsRegistry()
+        parent.gauge("repro_cache_graphs_tracked").set(9)
+        worker = MetricsRegistry()
+        worker.gauge("repro_cache_graphs_tracked").set(2)
+        parent.merge(worker.snapshot())
+        assert parent.value("repro_cache_graphs_tracked") == 2
+
+    def test_merge_skips_zero_counters(self):
+        worker = MetricsRegistry()
+        worker.counter("repro_test_total", solver="idle")  # touched, 0
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot())
+        fam = parent.snapshot()["families"].get("repro_test_total")
+        assert fam is None or fam["samples"] == []
+
+    def test_merge_rejects_mismatched_bucket_layout(self):
+        parent = MetricsRegistry()
+        parent.histogram("repro_test_hist", buckets=(1.0, 2.0, 3.0))
+        bad = MetricsRegistry()
+        bad.histogram("repro_test_hist", buckets=(1.0, 2.0)).observe(1.5)
+        snap = bad.snapshot()
+        # Simulate a layout drift: same name, different bucket count.
+        snap["families"]["repro_test_hist"]["buckets"] = [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError, match="bucket layout"):
+            parent.merge(snap)
+
+
+class TestCollectors:
+    def test_collector_runs_at_snapshot_and_publishes_deltas(self):
+        reg = MetricsRegistry()
+        source = {"hits": 0, "published": 0}
+
+        def collector(registry):
+            delta = source["hits"] - source["published"]
+            if delta:
+                registry.counter("repro_test_hits_total").inc(delta)
+                source["published"] = source["hits"]
+
+        reg.register_collector(collector)
+        source["hits"] = 5
+        reg.snapshot()
+        assert reg.value("repro_test_hits_total") == 5
+        # No new activity: a second snapshot must not re-add.
+        reg.snapshot()
+        assert reg.value("repro_test_hits_total") == 5
+        source["hits"] = 6
+        reg.snapshot()
+        assert reg.value("repro_test_hits_total") == 6
+
+    def test_collector_registered_once(self):
+        reg = MetricsRegistry()
+
+        def collector(registry):
+            registry.counter("repro_test_total").inc()
+
+        reg.register_collector(collector)
+        reg.register_collector(collector)
+        reg.snapshot()
+        assert reg.value("repro_test_total") == 1
+
+    def test_snapshot_can_skip_collectors(self):
+        reg = MetricsRegistry()
+        reg.register_collector(
+            lambda r: r.counter("repro_test_total").inc()
+        )
+        reg.snapshot(run_collectors=False)
+        assert reg.value("repro_test_total") == 0
+
+
+class TestSnapshotShape:
+    def test_families_and_samples_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total").inc()
+        reg.counter("repro_a_total", z="1").inc()
+        reg.counter("repro_a_total", a="1").inc()
+        snap = reg.snapshot()
+        assert list(snap["families"]) == ["repro_a_total", "repro_b_total"]
+        labels = [
+            s["labels"] for s in snap["families"]["repro_a_total"]["samples"]
+        ]
+        assert labels == [{"a": "1"}, {"z": "1"}]
+
+    def test_reset_drops_families(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total").inc()
+        reg.reset()
+        assert reg.family_names() == ()
+        assert reg.value("repro_test_total") == 0.0

@@ -1,0 +1,72 @@
+"""The observability contract: instrumentation never changes scores.
+
+Every solver path runs twice — observability fully off, then fully on
+(real tracer + telemetry buffers + worker metrics shipping) — and the
+resulting score vectors must be **bit-identical**.  This is the pin
+behind the CLI's ``--obs`` help text and DESIGN.md §9's "observe only,
+never participate" rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.approxrank import approxrank
+from repro.parallel import rank_many
+from tests.conftest import random_digraph
+
+pytestmark = pytest.mark.obs
+
+
+def make_graph():
+    return random_digraph(150, dangling_fraction=0.25, seed=11)
+
+
+def subgraph_batch():
+    rng = np.random.default_rng(29)
+    return [
+        (f"s{i}", rng.choice(150, size=size, replace=False).tolist())
+        for i, size in enumerate([12, 30, 21])
+    ]
+
+
+class TestScoresBitIdentical:
+    def test_approxrank_scores_unchanged_by_obs(self):
+        graph = make_graph()
+        nodes = subgraph_batch()[1][1]
+        obs.disable()
+        baseline = approxrank(graph, nodes)
+        obs.enable()
+        with obs.span("smoke:approxrank"):
+            traced = approxrank(graph, nodes)
+        assert np.array_equal(baseline.scores, traced.scores)
+        assert np.array_equal(baseline.local_nodes, traced.local_nodes)
+        assert baseline.iterations == traced.iterations
+
+    def test_rank_many_serial_unchanged_by_obs(self):
+        graph = make_graph()
+        batch = subgraph_batch()
+        obs.disable()
+        baseline = rank_many(graph, batch, workers=1)
+        obs.enable()
+        traced = rank_many(graph, batch, workers=1)
+        for a, b in zip(baseline, traced):
+            assert np.array_equal(a.scores, b.scores)
+
+    def test_all_baseline_algorithms_unchanged_by_obs(self):
+        graph = make_graph()
+        batch = subgraph_batch()[:2]
+        results = {}
+        for flag in (False, True):
+            (obs.enable if flag else obs.disable)()
+            for algorithm in ("approxrank", "local-pr", "lpr2"):
+                results[(flag, algorithm)] = rank_many(
+                    graph, batch, algorithm=algorithm, workers=1
+                )
+        for algorithm in ("approxrank", "local-pr", "lpr2"):
+            for off, on in zip(
+                results[(False, algorithm)], results[(True, algorithm)]
+            ):
+                assert np.array_equal(off.scores, on.scores)

@@ -1,0 +1,175 @@
+"""Span tracing: nesting, exception safety, the zero-cost null path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import (
+    NullTracer,
+    Tracer,
+    _NULL_CM,
+    get_tracer,
+    set_tracer,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestTracerTree:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-1"):
+                pass
+            with tracer.span("inner-2"):
+                with tracer.span("leaf"):
+                    pass
+        roots = tracer.roots
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sequential_roots_are_siblings(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_close_records_timings(self):
+        tracer = Tracer()
+        with tracer.span("timed") as node:
+            pass
+        assert node.wall_seconds >= 0.0
+        assert node.cpu_seconds >= 0.0
+        assert node.error is None
+
+    def test_current_span_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_span_counters(self):
+        tracer = Tracer()
+        with tracer.span("work") as node:
+            tracer.add_counter("tasks", 3)
+            tracer.add_counter("tasks")
+        assert node.counters == {"tasks": 4.0}
+        # No open span: silently ignored, never raises.
+        tracer.add_counter("tasks")
+
+    def test_payload_round_trips_the_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.add_counter("n", 2)
+        (payload,) = tracer.to_payload()
+        assert payload["name"] == "outer"
+        assert payload["children"][0]["counters"] == {"n": 2.0}
+
+    def test_reset_clears_roots_and_stack(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == ()
+        assert tracer.current_span() is None
+
+    def test_threads_build_independent_branches(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("thread-root"):
+                pass
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The thread's span is a root of its own, not a child of
+        # main-root (stacks are thread-local).
+        names = sorted(r.name for r in tracer.roots)
+        assert names == ["main-root", "thread-root"]
+        assert tracer.roots[0].children in ([], tracer.roots[0].children)
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("doomed"):
+                raise KeyError("boom")
+        (root,) = tracer.roots
+        assert root.error == "KeyError"
+        assert root.wall_seconds >= 0.0
+        # The stack was unwound: new spans are roots, not children.
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["doomed", "after"]
+
+    def test_inner_exception_marks_only_the_inner_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with pytest.raises(ValueError):
+                with tracer.span("inner"):
+                    raise ValueError()
+        (root,) = tracer.roots
+        assert root.error is None
+        assert root.children[0].error == "ValueError"
+
+
+class TestNullTracer:
+    def test_span_returns_the_shared_no_op_cm(self):
+        tracer = NullTracer()
+        assert tracer.span("anything") is _NULL_CM
+        with tracer.span("x") as s:
+            s.add_counter("ignored")
+        assert tracer.roots == ()
+        assert tracer.to_payload() == []
+        assert tracer.current_span() is None
+
+    def test_exit_does_not_swallow_exceptions(self):
+        tracer = NullTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("x"):
+                raise RuntimeError()
+
+
+class TestEnableDisableSwap:
+    def test_enable_installs_real_tracer(self):
+        obs.disable()
+        assert isinstance(get_tracer(), NullTracer)
+        obs.enable()
+        assert isinstance(get_tracer(), Tracer)
+        assert obs.enabled()
+        obs.disable()
+        assert isinstance(get_tracer(), NullTracer)
+        assert not obs.enabled()
+
+    def test_enable_keeps_an_existing_real_tracer(self):
+        obs.enable()
+        tracer = get_tracer()
+        with tracer.span("kept"):
+            pass
+        obs.enable()  # second enable must not discard collected spans
+        assert get_tracer() is tracer
+        assert [r.name for r in tracer.roots] == ["kept"]
+
+    def test_module_level_span_uses_active_tracer(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        with obs.span("via-module") as node:
+            obs.add_span_counter("hits", 2)
+            assert obs.current_span() is node
+        assert [r.name for r in tracer.roots] == ["via-module"]
+        assert tracer.roots[0].counters == {"hits": 2.0}

@@ -1,0 +1,132 @@
+"""Worker→parent metrics shipping through the parallel executor.
+
+With observability enabled, every worker drains its process-local
+registry into the chunk result and the parent merges it — so solver
+counters produced *inside worker processes* become visible in the
+parent's REGISTRY.  With observability off, workers ship nothing and
+only the parent-side executor counters move.
+
+All assertions are deltas against the process-wide REGISTRY (which
+accumulates across the test session by design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.metrics import REGISTRY
+from repro.parallel import RetryPolicy, rank_many, shared_memory_available
+from tests.conftest import random_digraph
+
+pytestmark = pytest.mark.obs
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="POSIX shared memory unavailable; rank_many would run serial",
+)
+
+
+def make_graph():
+    return random_digraph(120, dangling_fraction=0.3, seed=5)
+
+
+def subgraph_batch():
+    rng = np.random.default_rng(13)
+    return [
+        (f"s{i}", rng.choice(120, size=size, replace=False).tolist())
+        for i, size in enumerate([10, 25, 18, 30])
+    ]
+
+
+def solver_solves() -> float:
+    """Total solves across solver labels (workers + parent)."""
+    snap = REGISTRY.snapshot(run_collectors=False)
+    family = snap["families"].get("repro_solver_solves_total")
+    if not family:
+        return 0.0
+    return sum(sample["value"] for sample in family["samples"])
+
+
+@needs_shm
+class TestWorkerMerge:
+    def test_parent_registry_gains_worker_solver_counts(self):
+        obs.enable()
+        graph = make_graph()
+        batch = subgraph_batch()
+        before_solves = solver_solves()
+        before_chunks = REGISTRY.value(
+            "repro_executor_chunks_completed_total"
+        )
+        results = rank_many(graph, batch, workers=2, chunksize=1)
+        assert len(results) == len(batch)
+        # Each subgraph is one ApproxRank solve inside a worker; the
+        # drained worker registries must surface them all here.
+        assert solver_solves() >= before_solves + len(batch)
+        assert (
+            REGISTRY.value("repro_executor_chunks_completed_total")
+            >= before_chunks + len(batch)  # chunksize=1: chunk per task
+        )
+
+    def test_disabled_obs_ships_no_worker_metrics(self):
+        obs.disable()
+        graph = make_graph()
+        batch = subgraph_batch()
+        before_solves = solver_solves()
+        before_chunks = REGISTRY.value(
+            "repro_executor_chunks_completed_total"
+        )
+        rank_many(graph, batch, workers=2, chunksize=1)
+        # Workers returned None for their metrics slot: the parent's
+        # solver counters must not move...
+        assert solver_solves() == before_solves
+        # ...while the parent-side executor counters still do.
+        assert (
+            REGISTRY.value("repro_executor_chunks_completed_total")
+            >= before_chunks + len(batch)
+        )
+
+    def test_merged_scores_identical_to_serial(self):
+        obs.enable()
+        graph = make_graph()
+        batch = subgraph_batch()
+        parallel = rank_many(graph, batch, workers=2, chunksize=1)
+        serial = rank_many(graph, batch, workers=1)
+        for a, b in zip(parallel, serial):
+            assert np.array_equal(a.local_nodes, b.local_nodes)
+            assert np.array_equal(a.scores, b.scores)
+
+
+@needs_shm
+@pytest.mark.chaos
+class TestWorkerMergeUnderFaults:
+    def test_killed_workers_fall_back_with_parent_side_metrics(
+        self, monkeypatch
+    ):
+        # p=1: every pool round is killed; the executor degrades to
+        # the serial fallback, whose solves are recorded directly in
+        # the parent registry.  Metrics drained by SIGKILLed workers
+        # are lost with the worker — by design — so the accounting
+        # below comes from the fallback path alone.
+        obs.enable()
+        monkeypatch.setenv("REPRO_FAULTS", "kill_worker:p=1")
+        graph = make_graph()
+        batch = subgraph_batch()
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        before_solves = solver_solves()
+        before_fallback = REGISTRY.value(
+            "repro_executor_serial_fallback_total"
+        )
+        results = rank_many(
+            graph, batch, workers=2, chunksize=1, retry=policy
+        )
+        monkeypatch.delenv("REPRO_FAULTS")
+        serial = rank_many(graph, batch, workers=1)
+        for a, b in zip(results, serial):
+            assert np.array_equal(a.scores, b.scores)
+        assert solver_solves() >= before_solves + len(batch)
+        assert (
+            REGISTRY.value("repro_executor_serial_fallback_total")
+            >= before_fallback + len(batch)
+        )

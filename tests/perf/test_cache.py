@@ -74,7 +74,7 @@ class TestIdenticalObjectsForSameGraph:
         cache.transition(messy_graph)
         cache.transition(messy_graph)
         cache.transition(messy_graph)
-        stats = cache.stats
+        stats = cache.stats()
         assert stats.misses == 1
         assert stats.hits == 2
         assert stats.hit_rate == pytest.approx(2 / 3)
@@ -129,10 +129,10 @@ class TestWeakReferences:
         graph = random_digraph(50, seed=8)
         cache.transition_transpose(graph)
         assert graph in cache
-        assert cache.stats.graphs_tracked == 1
+        assert cache.stats().graphs_tracked == 1
         del graph
         gc.collect()
-        stats = cache.stats
+        stats = cache.stats()
         assert stats.graphs_tracked == 0
         assert stats.evictions == 1
 
@@ -140,7 +140,7 @@ class TestWeakReferences:
         for seed in range(10):
             cache.transition(random_digraph(30, seed=seed))
         gc.collect()
-        assert cache.stats.graphs_tracked == 0
+        assert cache.stats().graphs_tracked == 0
 
     def test_contains_and_clear(self, cache, messy_graph):
         assert messy_graph not in cache
@@ -152,9 +152,9 @@ class TestWeakReferences:
     def test_reset_stats_keeps_entries(self, cache, messy_graph):
         matrix, _ = cache.transition(messy_graph)
         cache.reset_stats()
-        assert cache.stats.hits == 0
+        assert cache.stats().hits == 0
         assert cache.transition(messy_graph)[0] is matrix
-        assert cache.stats.hits == 1
+        assert cache.stats().hits == 1
 
 
 class TestGlobalCacheWiring:
