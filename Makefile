@@ -5,8 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-tier2 test-all chaos obs-smoke bench-kernels \
-	bench-kernels-smoke bench-parallel bench-parallel-smoke
+.PHONY: test test-tier2 test-all chaos obs-smoke serve-smoke \
+	bench-kernels bench-kernels-smoke bench-parallel \
+	bench-parallel-smoke bench-serve bench-serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +31,12 @@ obs-smoke:
 	$(PYTHON) -m repro table4 --fast --obs --obs-out /tmp/obs_smoke.json > /dev/null
 	$(PYTHON) -m repro obs-report /tmp/obs_smoke.json
 
+# Serving smoke: the serve test suite (score store, micro-batching,
+# HTTP endpoints on an ephemeral port, graceful shutdown, the
+# bit-identical-to-offline pin).
+serve-smoke:
+	$(PYTHON) -m pytest -q -m "serve and not tier2" tests/serve
+
 # Full benchmark; writes BENCH_solver.json at the repo root.
 bench-kernels:
 	$(PYTHON) benchmarks/bench_solver_kernels.py
@@ -47,3 +54,13 @@ bench-parallel:
 # agreement always, and a wall-clock win when the machine has cores.
 bench-parallel-smoke:
 	$(PYTHON) benchmarks/bench_parallel.py --smoke --output /tmp/BENCH_parallel_smoke.json
+
+# Full serving benchmark; writes BENCH_serve.json at the repo root.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py
+
+# CI tier-2 gate: small workload; always requires batched-vs-offline
+# agreement and singleton bit-identity; the speedup clause is waived
+# on single-core machines only.
+bench-serve-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --smoke --output /tmp/BENCH_serve_smoke.json

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Benchmark the online ranking service and emit ``BENCH_serve.json``.
+
+Drives a real server socket with a closed-loop load generator:
+``--concurrency`` threads fire lock-stepped bursts of cold ``/rank``
+requests (same subgraph, distinct damping factors), once with
+micro-batching enabled and once with it disabled, and records
+throughput and p50/p99 latency for both.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke   # CI gate
+
+Exit code is non-zero when the smoke gate fails.  The gate always
+requires tolerance-level agreement between batched answers and the
+offline ApproxRank fixed point, and exact bit-identity for a lone
+(batch-of-one) request; the wall-clock speedup clause is waivable on
+a single-core container only.  See ``make bench-serve-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.bench import (
+    DEFAULT_CONCURRENCY,
+    DEFAULT_OUTPUT,
+    format_serve_summary,
+    run_serve_benchmark,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark micro-batched vs sequential request solving "
+            "in the online ranking service."
+        )
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload + hard gate (CI tier-2 mode)",
+    )
+    parser.add_argument(
+        "--pages", type=int, default=None,
+        help="override the synthetic web size (pages)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=DEFAULT_CONCURRENCY,
+        help="concurrent load-generator threads per burst",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="bursts per mode (default: 2 smoke / 5 full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2009, help="RNG seed",
+    )
+    parser.add_argument(
+        "--output", type=str, default=DEFAULT_OUTPUT,
+        help=f"JSON record path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    record = run_serve_benchmark(
+        smoke=args.smoke,
+        pages=args.pages,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        rounds=args.rounds,
+        output_path=args.output,
+    )
+    print(format_serve_summary(record))
+    if args.smoke and not record["gate_passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

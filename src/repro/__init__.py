@@ -40,12 +40,16 @@ from repro.exceptions import (
     ChunkTimeoutError,
     ConvergenceError,
     DatasetError,
+    DeadlineExceededError,
     DivergenceError,
     GraphError,
     MetricError,
     ParallelError,
     ReproError,
     SchemaError,
+    ServeError,
+    ServeRequestError,
+    ServiceOverloadedError,
     SubgraphError,
 )
 from repro.generators import (
@@ -74,6 +78,14 @@ from repro.pagerank import (
     local_pagerank,
 )
 from repro.p2p import P2PNetwork, partition_by_label, random_partition
+from repro.serve import (
+    BatchPolicy,
+    RankingClient,
+    RankingServer,
+    RankingService,
+    ScoreStore,
+    start_background_server,
+)
 from repro.search import (
     SubgraphSearchEngine,
     SyntheticLexicon,
@@ -114,10 +126,12 @@ __all__ = [
     "incremental_rerank",
     "partition_by_label",
     "random_partition",
+    "BatchPolicy",
     "CheckpointError",
     "ChunkTimeoutError",
     "ConvergenceError",
     "DatasetError",
+    "DeadlineExceededError",
     "DivergenceError",
     "GraphBuilder",
     "GraphError",
@@ -125,9 +139,16 @@ __all__ = [
     "ParallelError",
     "PowerIterationSettings",
     "RankResult",
+    "RankingClient",
+    "RankingServer",
+    "RankingService",
     "ReproError",
     "SCSettings",
     "SchemaError",
+    "ScoreStore",
+    "ServeError",
+    "ServeRequestError",
+    "ServiceOverloadedError",
     "SubgraphError",
     "SubgraphScores",
     "WebDataset",
@@ -152,6 +173,7 @@ __all__ = [
     "make_politics_like",
     "make_tiny_web",
     "rank_with_external_weights",
+    "start_background_server",
     "stochastic_complementation",
     "theorem2_bound",
     "theorem2_report",

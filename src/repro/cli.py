@@ -61,13 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(SINGLE_EXPERIMENTS)
-        + ["all", "bench-kernels", "bench-parallel", "obs-report"],
+        + [
+            "all", "bench-kernels", "bench-parallel", "bench-serve",
+            "obs-report", "serve", "query",
+        ],
         help=(
             "which experiment to run; 'bench-kernels' runs the solver "
             "kernel benchmark (BENCH_solver.json), 'bench-parallel' "
             "the multi-subgraph scaling benchmark (BENCH_parallel.json), "
-            "'obs-report' renders an observability snapshot written by "
-            "--obs-out"
+            "'bench-serve' the online-service benchmark "
+            "(BENCH_serve.json), 'obs-report' renders an observability "
+            "snapshot written by --obs-out, 'serve' starts the online "
+            "ranking HTTP server, 'query' sends one request to a "
+            "running server"
         ),
     )
     parser.add_argument(
@@ -151,6 +157,58 @@ def build_parser() -> argparse.ArgumentParser:
             "PATH'"
         ),
     )
+    serve_group = parser.add_argument_group(
+        "serving ('serve' / 'query' only)"
+    )
+    serve_group.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="bind/connect address (default 127.0.0.1)",
+    )
+    serve_group.add_argument(
+        "--port", type=int, default=8309,
+        help="server port (default 8309; 0 picks an ephemeral port)",
+    )
+    serve_group.add_argument(
+        "--graph", type=str, default=None, metavar="NPZ",
+        help=(
+            "('serve' only) serve this npz graph (written by "
+            "repro.graph.io.save_npz); default: a synthetic tiny web "
+            "(--fast shrinks it)"
+        ),
+    )
+    serve_group.add_argument(
+        "--no-batching", action="store_true",
+        help="('serve' only) disable micro-batching (debug/baseline)",
+    )
+    serve_group.add_argument(
+        "--store-dir", type=str, default=None, metavar="DIR",
+        help=(
+            "('serve' only) warm-load persisted scores from this "
+            "directory at boot and persist the store there on shutdown"
+        ),
+    )
+    serve_group.add_argument(
+        "--nodes", type=str, default=None, metavar="IDS",
+        help=(
+            "('query' only) comma-separated page ids of the subgraph "
+            "to rank, e.g. --nodes 0,1,2,5"
+        ),
+    )
+    serve_group.add_argument(
+        "--terms", type=str, default=None, metavar="IDS",
+        help=(
+            "('query' only) comma-separated term ids; when given the "
+            "query goes to /search instead of /rank"
+        ),
+    )
+    serve_group.add_argument(
+        "--k", type=int, default=10,
+        help="('query' only) answers to return from /search",
+    )
+    serve_group.add_argument(
+        "--damping", type=float, default=None,
+        help="('query' only) damping factor override",
+    )
     parser.add_argument(
         "--verbose", action="store_true",
         help=(
@@ -178,6 +236,105 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
         config = replace(config, **overrides)
     return config
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: boot the online ranking server."""
+    import asyncio
+
+    from repro.serve import BatchPolicy, RankingServer, RankingService
+
+    if args.graph:
+        from repro.graph.io import load_npz
+
+        graph, __ = load_npz(args.graph)
+        origin = args.graph
+    else:
+        from repro.generators.datasets import make_tiny_web
+
+        pages = 600 if args.fast else 2000
+        seed = args.seed if args.seed is not None else 2009
+        graph = make_tiny_web(num_pages=pages, seed=seed).graph
+        origin = f"synthetic tiny web ({pages} pages, seed {seed})"
+
+    service = RankingService(
+        graph,
+        policy=BatchPolicy(enabled=not args.no_batching),
+    )
+    if args.store_dir:
+        loaded = service.store.warm_load(args.store_dir, graph)
+        print(
+            f"[warm-loaded {loaded} score entries from "
+            f"{args.store_dir}]",
+            file=sys.stderr,
+        )
+    server = RankingServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(
+            f"serving {origin}: {graph.num_nodes} pages, "
+            f"{graph.num_edges} edges on http://{host}:{port}",
+            file=sys.stderr,
+        )
+        print(
+            "endpoints: POST /rank  POST /search  GET /healthz  "
+            "GET /metrics  (Ctrl-C drains and exits)",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    if args.store_dir:
+        written = service.store.persist(args.store_dir)
+        print(
+            f"[persisted {written} score entries to {args.store_dir}]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    """The ``query`` subcommand: one /rank or /search request."""
+    import json
+
+    from repro.exceptions import ServeRequestError
+    from repro.serve.client import RankingClient
+
+    if not args.nodes:
+        print(
+            "query requires --nodes (comma-separated page ids)",
+            file=sys.stderr,
+        )
+        return 2
+    nodes = [int(x) for x in args.nodes.split(",") if x.strip()]
+    client = RankingClient(args.host, args.port)
+    try:
+        if args.terms:
+            terms = [int(x) for x in args.terms.split(",") if x.strip()]
+            payload = client.search(
+                nodes, terms, k=args.k, damping=args.damping
+            )
+        else:
+            payload = client.rank(nodes, damping=args.damping)
+    except ServeRequestError as exc:
+        print(f"error (HTTP {exc.status}): {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"error: cannot reach http://{args.host}:{args.port} "
+            f"({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    print(json.dumps(payload, indent=2))
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -243,6 +400,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(format_parallel_summary(record))
         return 0 if (not args.fast or record["gate_passed"]) else 1
+
+    if args.experiment == "bench-serve":
+        # Online-service benchmark: micro-batched vs sequential
+        # request solving; --fast maps to smoke mode (hard gate).
+        from repro.serve.bench import (
+            format_serve_summary,
+            run_serve_benchmark,
+        )
+
+        record = run_serve_benchmark(
+            smoke=args.fast,
+            seed=args.seed if args.seed is not None else 2009,
+            output_path=args.output or "BENCH_serve.json",
+        )
+        print(format_serve_summary(record))
+        return 0 if (not args.fast or record["gate_passed"]) else 1
+
+    if args.experiment == "serve":
+        return _run_serve(args)
+
+    if args.experiment == "query":
+        return _run_query(args)
 
     context = ExperimentContext(
         config_from_args(args), workers=args.workers

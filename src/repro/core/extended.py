@@ -138,6 +138,7 @@ class ExtendedLocalGraph:
         self,
         teleports: "list[np.ndarray] | np.ndarray",
         settings: PowerIterationSettings | None = None,
+        dampings: np.ndarray | None = None,
     ) -> "list[ExtendedSolveOutcome]":
         """Solve several personalisations of this graph in one batch.
 
@@ -155,6 +156,11 @@ class ExtendedLocalGraph:
             include the paper's default walk in the batch.
         settings:
             Solver knobs shared by every column.
+        dampings:
+            Optional length-K per-column damping factors overriding
+            ``settings.damping`` — a multi-damping sweep (or a
+            micro-batched serving flush coalescing requests that
+            differ only in ε) becomes one batched solve.
 
         Returns
         -------
@@ -170,6 +176,7 @@ class ExtendedLocalGraph:
             teleports=block,
             dangling_mask=self.dangling_mask_ext,
             settings=settings,
+            dampings=dampings,
         )
         per_column = outcome.runtime_seconds / outcome.num_columns
         return [

@@ -190,6 +190,51 @@ class TransientFaultError(InjectedFaultError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for failures of the online ranking service."""
+
+
+class ServiceOverloadedError(ServeError):
+    """The admission queue is full; the request was rejected on arrival.
+
+    The micro-batcher bounds its pending-request depth so a burst that
+    outpaces the solver fails fast (a 503 on the wire) instead of
+    queueing unboundedly and timing every caller out.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before its result was ready.
+
+    Raised both when a queued request's deadline passes before its
+    batch is solved (it is dropped without wasting solver time) and
+    when the caller's wait on an in-flight solve times out.
+    """
+
+    def __init__(self, message: str, *, deadline_seconds: float | None = None):
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+
+
+class ServeRequestError(ServeError):
+    """A ranking-service HTTP request returned a non-success status.
+
+    Raised client-side by :class:`repro.serve.client.RankingClient`.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code of the response.
+    payload:
+        The decoded JSON error body, when the server sent one.
+    """
+
+    def __init__(self, message: str, *, status: int, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
 class MetricError(ReproError):
     """Inputs to a ranking metric are incompatible (e.g. length mismatch)."""
 

@@ -22,6 +22,7 @@ from repro.obs import state
 from repro.obs.export import (
     build_snapshot,
     load_snapshot,
+    parse_prometheus_text,
     render_report,
     to_prometheus_text,
     write_snapshot,
@@ -67,6 +68,7 @@ __all__ = [
     "write_snapshot",
     "load_snapshot",
     "to_prometheus_text",
+    "parse_prometheus_text",
     "render_report",
 ]
 

@@ -21,6 +21,7 @@ from a file written by a different process or an earlier run.
 from __future__ import annotations
 
 import json
+import re
 import time
 from pathlib import Path
 from typing import Any, Mapping
@@ -34,6 +35,7 @@ __all__ = [
     "write_snapshot",
     "load_snapshot",
     "to_prometheus_text",
+    "parse_prometheus_text",
     "render_report",
 ]
 
@@ -153,6 +155,139 @@ def to_prometheus_text(metrics_snapshot: Mapping) -> str:
                     f"{name}{label_str} {_format_value(sample['value'])}"
                 )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: One exposition sample line: ``name{labels} value``.
+_SAMPLE_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+
+#: One ``key="value"`` pair inside a label block (value may contain
+#: escaped quotes/backslashes/newlines).
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape_label_value(value: str) -> str:
+    return re.sub(
+        r"\\(.)",
+        lambda m: {"n": "\n"}.get(m.group(1), m.group(1)),
+        value,
+    )
+
+
+def _parse_labels(block: str | None) -> dict[str, str]:
+    if not block:
+        return {}
+    return {
+        key: _unescape_label_value(raw)
+        for key, raw in _LABEL_PAIR_RE.findall(block)
+    }
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse the Prometheus text exposition back into snapshot form.
+
+    The inverse of :func:`to_prometheus_text`: the return value has
+    the same ``{"families": {name: {kind, help, buckets, samples}}}``
+    shape as :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so
+    ``parse_prometheus_text(to_prometheus_text(snap)) == snap
+    ["families"]``-wise — the round-trip the golden-file test (and the
+    serving smoke test's ``/metrics`` scrape) asserts.  Histogram
+    ``_bucket`` lines are de-cumulated back into per-bucket counts
+    (the final slot is the implicit ``+Inf`` bucket).
+    """
+    families: dict[str, dict] = {}
+    # Histogram reassembly state: (family, frozen labels) -> parts.
+    histogram_parts: dict[tuple[str, tuple], dict] = {}
+
+    def family_for(name: str) -> dict:
+        return families.setdefault(
+            name,
+            {"kind": "", "help": "", "buckets": None, "samples": []},
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            family_for(name)["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            family_for(name)["kind"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE_RE.match(line)
+        if match is None:
+            raise ValueError(
+                f"unparseable exposition line: {line!r}"
+            )
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = float(match.group("value"))
+
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                candidate = name[: -len(suffix)]
+                if families.get(candidate, {}).get("kind") == (
+                    "histogram"
+                ):
+                    base = (candidate, suffix)
+                    break
+        if base is not None:
+            family_name, suffix = base
+            le = labels.pop("le", None)
+            key = (family_name, tuple(sorted(labels.items())))
+            parts = histogram_parts.setdefault(
+                key,
+                {"labels": labels, "cumulative": [], "sum": 0.0,
+                 "count": 0},
+            )
+            if suffix == "_bucket":
+                parts["cumulative"].append((le, value))
+            elif suffix == "_sum":
+                parts["sum"] = value
+            else:
+                parts["count"] = int(value)
+            continue
+
+        family = family_for(name)
+        family["samples"].append({"labels": labels, "value": value})
+
+    for (family_name, _), parts in histogram_parts.items():
+        family = families[family_name]
+        finite = [
+            float(le) for le, _ in parts["cumulative"]
+            if le not in ("+Inf", None)
+        ]
+        if family["buckets"] is None:
+            family["buckets"] = finite
+        counts: list[int] = []
+        previous = 0
+        for _, cumulative in parts["cumulative"]:
+            counts.append(int(cumulative) - previous)
+            previous = int(cumulative)
+        family["samples"].append(
+            {
+                "labels": parts["labels"],
+                "count": parts["count"],
+                "sum": parts["sum"],
+                "bucket_counts": counts,
+            }
+        )
+
+    for family in families.values():
+        family["samples"].sort(
+            key=lambda sample: tuple(sorted(sample["labels"].items()))
+        )
+    return {"families": dict(sorted(families.items()))}
 
 
 # ----------------------------------------------------------------------
@@ -328,6 +463,72 @@ def _experiment_section(metrics: Mapping) -> list[str]:
     return ["Experiment wall-clock"] + rows
 
 
+def _serve_section(metrics: Mapping) -> list[str]:
+    request_samples = _sample_map(metrics, "repro_serve_requests_total")
+    latency_samples = _sample_map(metrics, "repro_serve_request_seconds")
+    batch_samples = _sample_map(metrics, "repro_serve_batch_size")
+    hits = _metric_total(metrics, "repro_serve_store_hits_total")
+    misses = _metric_total(metrics, "repro_serve_store_misses_total")
+    eviction_samples = _sample_map(
+        metrics, "repro_serve_store_evictions_total"
+    )
+    rejected_samples = _sample_map(metrics, "repro_serve_rejected_total")
+    if not (request_samples or hits or misses or batch_samples):
+        return []
+    rows = ["Serving"]
+    latency_by_endpoint = {
+        s["labels"].get("endpoint"): s for s in latency_samples
+    }
+    for sample in request_samples:
+        if not sample.get("value"):
+            continue
+        endpoint = sample["labels"].get("endpoint", "?")
+        status = sample["labels"].get("status", "?")
+        row = "  {:<9} {:>4} x{:<6}".format(
+            endpoint, status, int(sample["value"])
+        )
+        latency = latency_by_endpoint.get(endpoint)
+        if latency and latency["count"]:
+            mean_ms = latency["sum"] / latency["count"] * 1e3
+            row += "  mean {:.1f}ms".format(mean_ms)
+        rows.append(row)
+    for sample in batch_samples:
+        if not sample.get("count"):
+            continue
+        mean = sample["sum"] / sample["count"]
+        rows.append(
+            "  micro-batches {}  mean columns {:.2f}".format(
+                sample["count"], mean
+            )
+        )
+    total = hits + misses
+    if total:
+        rows.append(
+            "  score store: hits {}  misses {}  hit-rate {:.1%}".format(
+                int(hits), int(misses), hits / total
+            )
+        )
+    evictions = [
+        "{}={}".format(
+            s["labels"].get("reason", "?"), int(s["value"])
+        )
+        for s in eviction_samples
+        if s.get("value")
+    ]
+    if evictions:
+        rows.append("  store evictions: " + "  ".join(evictions))
+    rejected = [
+        "{}={}".format(
+            s["labels"].get("reason", "?"), int(s["value"])
+        )
+        for s in rejected_samples
+        if s.get("value")
+    ]
+    if rejected:
+        rows.append("  rejected: " + "  ".join(rejected))
+    return rows if len(rows) > 1 else []
+
+
 def _span_lines(node: Mapping, depth: int, out: list[str]) -> None:
     indent = "  " * depth
     error = f"  !{node['error']}" if node.get("error") else ""
@@ -395,6 +596,7 @@ def render_report(snapshot: Mapping) -> str:
             _solver_section(metrics),
             _algorithm_section(metrics),
             _experiment_section(metrics),
+            _serve_section(metrics),
             _span_section(snapshot),
             _history_section(snapshot),
         )

@@ -331,6 +331,31 @@ class TransitionCache:
             "Live graphs with cached derivations",
         ).set(graphs)
 
+    def invalidate(self, graph: CSRGraph) -> bool:
+        """Explicitly evict every cached derivation for ``graph``.
+
+        Eviction is normally weakref-driven (entries die with their
+        graph), but callers that *supersede* a graph while keeping the
+        old object alive — the update path producing a post-delta
+        graph, a serving layer swapping in a refreshed build — can
+        drop the stale operator blocks eagerly instead of carrying
+        them until garbage collection.  Counts as an eviction in
+        :meth:`stats`.
+
+        Returns
+        -------
+        True when an entry for this exact graph object was dropped,
+        False when nothing was cached for it.
+        """
+        with self._lock:
+            key = id(graph)
+            entry = self._entries.get(key)
+            if entry is not None and entry.ref() is graph:
+                del self._entries[key]
+                self._evictions += 1
+                return True
+            return False
+
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         with self._lock:

@@ -1,0 +1,341 @@
+"""Micro-batching admission control for cold ranking requests.
+
+A burst of concurrent ``/rank`` requests against the same subgraph is
+the serving-side mirror of the multi-vector batch solver (PR 1): K
+walks over one extended matrix cost one sparse mat-mat per iteration
+instead of K mat-vecs.  The :class:`RankBatcher` exploits that by
+holding a cold request for up to ``max_linger_seconds`` (or until
+``max_batch_size`` requests pile up) and flushing the group as **one**
+solve:
+
+* requests with the *same* damping factor are deduplicated
+  (single-flight): one solve column feeds every waiter;
+* requests with *distinct* dampings become distinct columns of a
+  single batched solve — the group shares one matrix sweep per
+  iteration.
+
+Admission control is deliberately unforgiving, in the spirit of the
+resilience layer's deadlines (PR 3):
+
+* the total pending depth is bounded; a request arriving at a full
+  queue is rejected immediately with
+  :class:`~repro.exceptions.ServiceOverloadedError` (a 503 on the
+  wire) rather than queued into certain timeout;
+* every request carries a deadline; a queued request whose deadline
+  passes before its batch is solved is dropped without spending solver
+  time on it, and a waiter whose solve outlives the deadline gets
+  :class:`~repro.exceptions.DeadlineExceededError` while the solve
+  itself continues for the batch's surviving waiters (the underlying
+  future is shielded).
+
+Solves run on a caller-supplied executor thread so the event loop
+stays responsive while NumPy grinds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+)
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.pagerank.result import SubgraphScores
+
+__all__ = ["BatchPolicy", "RankBatcher"]
+
+#: Bucket bounds for the batch-size histogram (how well coalescing
+#: works; 1 = no batching benefit, max_batch_size = perfect bursts).
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the micro-batching admission queue.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Flush a group as soon as it holds this many requests.
+    max_linger_seconds:
+        Flush a group this long after its first request even if it is
+        not full — the latency price paid for coalescing.
+    max_pending:
+        Total queued requests (across groups) before new arrivals are
+        rejected with :class:`ServiceOverloadedError`.
+    default_deadline_seconds:
+        Deadline applied to requests that do not carry their own.
+    enabled:
+        ``False`` disables coalescing: every request flushes
+        immediately as a batch of one (the sequential baseline the
+        serve benchmark compares against).
+    """
+
+    max_batch_size: int = 8
+    max_linger_seconds: float = 0.01
+    max_pending: int = 256
+    default_deadline_seconds: float = 30.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_linger_seconds < 0:
+            raise ValueError(
+                "max_linger_seconds must be >= 0, got "
+                f"{self.max_linger_seconds}"
+            )
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.default_deadline_seconds <= 0:
+            raise ValueError(
+                "default_deadline_seconds must be positive, got "
+                f"{self.default_deadline_seconds}"
+            )
+
+
+@dataclass
+class _Pending:
+    damping: float
+    future: asyncio.Future
+    deadline_at: float
+
+
+@dataclass
+class _Group:
+    local_nodes: np.ndarray
+    requests: list[_Pending] = field(default_factory=list)
+    timer: asyncio.TimerHandle | None = None
+
+
+#: Solve callback: (group_key, local_nodes, dampings) -> one
+#: SubgraphScores per damping, in order.  Runs on the executor thread.
+SolveGroup = Callable[
+    [Hashable, np.ndarray, tuple[float, ...]],
+    Sequence[SubgraphScores],
+]
+
+
+class RankBatcher:
+    """Coalesce concurrent cold requests into batched solves.
+
+    Parameters
+    ----------
+    solve_group:
+        Synchronous callback performing the actual solve for one
+        group; invoked on ``executor`` with the group key, the shared
+        local node array, and the deduplicated damping factors.
+    policy:
+        Batching and admission knobs.
+    executor:
+        Where solves run; ``None`` uses the event loop's default
+        thread pool.
+    registry:
+        Metrics registry for queue/batch telemetry.
+    """
+
+    def __init__(
+        self,
+        solve_group: SolveGroup,
+        policy: BatchPolicy | None = None,
+        executor: Executor | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self._solve_group = solve_group
+        self.policy = policy if policy is not None else BatchPolicy()
+        self._executor = executor
+        self._registry = registry if registry is not None else REGISTRY
+        self._groups: dict[Hashable, _Group] = {}
+        self._total_pending = 0
+        self._inflight: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (not yet flushed to a solve)."""
+        return self._total_pending
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self,
+        group_key: Hashable,
+        local_nodes: np.ndarray,
+        damping: float,
+        deadline_seconds: float | None = None,
+    ) -> SubgraphScores:
+        """Queue one request and await its scores.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            When the admission queue is full (rejected on arrival).
+        DeadlineExceededError
+            When the deadline expires before the result is ready.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = (
+            float(deadline_seconds)
+            if deadline_seconds is not None
+            else self.policy.default_deadline_seconds
+        )
+        if deadline <= 0:
+            raise DeadlineExceededError(
+                f"deadline must be positive, got {deadline}",
+                deadline_seconds=deadline,
+            )
+        if self._total_pending >= self.policy.max_pending:
+            self._registry.counter(
+                "repro_serve_rejected_total",
+                "Requests refused by admission control, by reason.",
+                reason="overloaded",
+            ).inc()
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.policy.max_pending} "
+                f"pending); retry later"
+            )
+
+        request = _Pending(
+            damping=float(damping),
+            future=loop.create_future(),
+            deadline_at=loop.time() + deadline,
+        )
+        group = self._groups.get(group_key)
+        if group is None:
+            group = _Group(local_nodes=local_nodes)
+            self._groups[group_key] = group
+            if self.policy.enabled and self.policy.max_linger_seconds > 0:
+                group.timer = loop.call_later(
+                    self.policy.max_linger_seconds,
+                    self._flush,
+                    group_key,
+                )
+        group.requests.append(request)
+        self._total_pending += 1
+
+        if (
+            not self.policy.enabled
+            or self.policy.max_linger_seconds == 0
+            or len(group.requests) >= self.policy.max_batch_size
+        ):
+            self._flush(group_key)
+
+        try:
+            # Shield the shared future: one waiter timing out must not
+            # cancel the solve other waiters are still counting on.
+            return await asyncio.wait_for(
+                asyncio.shield(request.future), timeout=deadline
+            )
+        except asyncio.TimeoutError:
+            self._registry.counter(
+                "repro_serve_rejected_total",
+                "Requests refused by admission control, by reason.",
+                reason="deadline",
+            ).inc()
+            raise DeadlineExceededError(
+                f"request missed its {deadline:g}s deadline",
+                deadline_seconds=deadline,
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    def _flush(self, group_key: Hashable) -> None:
+        """Detach a group from the queue and start its solve task."""
+        group = self._groups.pop(group_key, None)
+        if group is None:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        self._total_pending -= len(group.requests)
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._run_batch(group_key, group))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, group_key: Hashable, group: _Group) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: list[_Pending] = []
+        for request in group.requests:
+            if request.deadline_at <= now:
+                # Expired while queued: fail it without solving.
+                if not request.future.done():
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            "deadline expired before the batch was "
+                            "solved",
+                        )
+                    )
+                self._registry.counter(
+                    "repro_serve_rejected_total",
+                    "Requests refused by admission control, by reason.",
+                    reason="expired_in_queue",
+                ).inc()
+            else:
+                live.append(request)
+        if not live:
+            return
+
+        # Single-flight dedup: one solve column per distinct damping.
+        waiters: "dict[float, list[_Pending]]" = {}
+        dampings: list[float] = []
+        for request in live:
+            bucket = waiters.get(request.damping)
+            if bucket is None:
+                waiters[request.damping] = [request]
+                dampings.append(request.damping)
+            else:
+                bucket.append(request)
+        self._registry.histogram(
+            "repro_serve_batch_size",
+            "Distinct solve columns per flushed micro-batch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        ).observe(len(dampings))
+
+        try:
+            results = await loop.run_in_executor(
+                self._executor,
+                self._solve_group,
+                group_key,
+                group.local_nodes,
+                tuple(dampings),
+            )
+        except Exception as exc:  # propagate to every waiter
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        for damping, scores in zip(dampings, results):
+            for request in waiters[damping]:
+                if not request.future.done():
+                    request.future.set_result(scores)
+
+    async def drain(self) -> None:
+        """Flush everything queued and wait for in-flight solves.
+
+        Called on graceful shutdown so accepted requests are answered
+        before the server exits.
+        """
+        for group_key in list(self._groups):
+            self._flush(group_key)
+        while self._inflight:
+            await asyncio.gather(
+                *list(self._inflight), return_exceptions=True
+            )

@@ -1,0 +1,170 @@
+"""Blocking HTTP client for the ranking service (stdlib only).
+
+A thin convenience wrapper over :mod:`http.client` matching the
+server's four endpoints.  JSON floats round-trip bit-exactly (Python
+emits and parses shortest-round-trip ``repr`` literals), so
+``rank_scores`` reconstructs the served
+:class:`~repro.pagerank.result.SubgraphScores` with the exact solver
+output — the bit-identity tests compare through this path.
+
+Each call opens its own connection, which makes one client instance
+safe to share across load-generator threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.exceptions import ServeRequestError
+from repro.pagerank.result import SubgraphScores
+
+__all__ = ["RankingClient"]
+
+
+class RankingClient:
+    """Client for one ranking server.
+
+    Parameters
+    ----------
+    host / port:
+        Server address (e.g. from ``BackgroundServer.address``).
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+    ) -> tuple[int, bytes, str]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = (
+                json.dumps(payload).encode("utf-8")
+                if payload is not None
+                else None
+            )
+            headers = (
+                {"Content-Type": "application/json"}
+                if body is not None
+                else {}
+            )
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            return response.status, raw, content_type
+        finally:
+            connection.close()
+
+    def _json(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        status, raw, _ = self._request(method, path, payload)
+        try:
+            decoded: Any = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if status >= 400:
+            message = (
+                decoded.get("error", f"HTTP {status}")
+                if isinstance(decoded, dict)
+                else f"HTTP {status}"
+            )
+            raise ServeRequestError(
+                f"{method} {path} failed: {message}",
+                status=status,
+                payload=decoded if isinstance(decoded, dict) else None,
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def rank(
+        self,
+        nodes: Iterable[int],
+        damping: float | None = None,
+        deadline_seconds: float | None = None,
+    ) -> dict:
+        """``POST /rank``; returns the decoded JSON payload."""
+        payload: dict = {"nodes": [int(n) for n in nodes]}
+        if damping is not None:
+            payload["damping"] = float(damping)
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = float(deadline_seconds)
+        return self._json("POST", "/rank", payload)
+
+    def rank_scores(
+        self,
+        nodes: Iterable[int],
+        damping: float | None = None,
+        deadline_seconds: float | None = None,
+    ) -> SubgraphScores:
+        """``POST /rank`` reconstructed as a :class:`SubgraphScores`."""
+        payload = self.rank(nodes, damping, deadline_seconds)
+        extras = {"cache_hit": payload["cache_hit"]}
+        if "lambda_score" in payload:
+            extras["lambda_score"] = payload["lambda_score"]
+        return SubgraphScores(
+            local_nodes=np.asarray(payload["nodes"], dtype=np.int64),
+            scores=np.asarray(payload["scores"], dtype=np.float64),
+            method=payload["method"],
+            iterations=payload["iterations"],
+            residual=payload["residual"],
+            converged=payload["converged"],
+            runtime_seconds=payload["runtime_seconds"],
+            extras=extras,
+        )
+
+    def search(
+        self,
+        nodes: Iterable[int],
+        terms: Iterable[int],
+        k: int = 10,
+        mode: str = "all",
+        damping: float | None = None,
+    ) -> dict:
+        """``POST /search``; returns the decoded JSON payload."""
+        payload: dict = {
+            "nodes": [int(n) for n in nodes],
+            "terms": [int(t) for t in terms],
+            "k": int(k),
+            "mode": mode,
+        }
+        if damping is not None:
+            payload["damping"] = float(damping)
+        return self._json("POST", "/search", payload)
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — raw Prometheus text exposition."""
+        status, raw, _ = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServeRequestError(
+                f"GET /metrics failed with HTTP {status}",
+                status=status,
+            )
+        return raw.decode("utf-8")

@@ -1,0 +1,775 @@
+"""The online ranking service and its asyncio HTTP front end.
+
+Figure 1 of the paper frames ApproxRank as the ranking engine behind a
+*localized search engine*; this module is that box made concrete. Two
+layers:
+
+* :class:`RankingService` — the transport-free engine.  It owns the
+  global graph, an amortised
+  :class:`~repro.core.precompute.ApproxRankPreprocessor` (one global
+  pass shared by every query), a :class:`~repro.serve.store.ScoreStore`
+  of warm results, and a :class:`~repro.serve.batching.RankBatcher`
+  that coalesces cold bursts.  A ``rank`` call resolves as: store hit →
+  answer immediately; miss → micro-batch → solve → store → answer.  A
+  batch of **one** routes through the exact offline
+  ``ApproxRankPreprocessor.rank`` path, so a lone served request is
+  bit-identical to :func:`repro.core.approxrank.approxrank`; only
+  same-subgraph bursts with distinct dampings take the batched
+  multi-column kernel.
+* :class:`RankingServer` — a dependency-free asyncio HTTP/1.1 server
+  exposing ``POST /rank``, ``POST /search``, ``GET /healthz`` and
+  ``GET /metrics`` (Prometheus text), with keep-alive connections and
+  a graceful shutdown that stops accepting, drains in-flight requests
+  and flushes the batcher.
+
+Scores cross the wire as JSON floats.  Python's ``json`` emits
+``repr`` shortest-round-trip literals and parses them back to the
+identical IEEE-754 double, so bit-identity survives HTTP.
+
+:func:`start_background_server` runs a server on a dedicated thread
+with its own event loop — the harness tests and the closed-loop
+benchmark drive the real socket path through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.precompute import ApproxRankPreprocessor
+from repro.core.extended import solve_to_subgraph_scores
+from repro.exceptions import (
+    DatasetError,
+    DeadlineExceededError,
+    GraphError,
+    ReproError,
+    ServeError,
+    ServiceOverloadedError,
+    SubgraphError,
+)
+from repro.graph.digraph import CSRGraph
+from repro.graph.subgraph import normalize_node_set
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import (
+    REGISTRY,
+    SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+from repro.pagerank.result import SubgraphScores
+from repro.pagerank.solver import PowerIterationSettings
+from repro.search.engine import SearchHit, SubgraphSearchEngine
+from repro.search.lexicon import SyntheticLexicon
+from repro.serve.batching import BatchPolicy, RankBatcher
+from repro.serve.store import ScoreStore, graph_fingerprint, subgraph_digest
+from repro.updates.delta import GraphDelta, apply_delta
+
+__all__ = [
+    "RankingService",
+    "RankingServer",
+    "BackgroundServer",
+    "start_background_server",
+]
+
+#: Largest request body accepted (a node list for a million-page
+#: subgraph fits comfortably; anything bigger is abuse).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_JSON = {"Content-Type": "application/json"}
+_TEXT = {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+
+
+@dataclass(frozen=True)
+class _GraphState:
+    """The swappable per-graph trio the service serves from."""
+
+    graph: CSRGraph
+    preprocessor: ApproxRankPreprocessor
+    fingerprint: str
+
+
+class RankingService:
+    """Transport-free online ranking engine (see module docstring).
+
+    Parameters
+    ----------
+    graph:
+        The global graph to serve subgraph rankings of.
+    store:
+        Warm score store; a default LRU store is created when omitted.
+    policy:
+        Micro-batching knobs; defaults to :class:`BatchPolicy`.
+    settings:
+        Base solver settings; a request's ``damping`` overrides the
+        damping field per call.
+    lexicon:
+        Term assignment for ``/search``.  Built lazily (synthetic,
+        seeded) when omitted, and rebuilt after a graph update adds
+        pages.
+    solver_threads:
+        Size of the dedicated solve executor.  One thread is the
+        honest default: the solver is CPU-bound, so the batcher's
+        coalescing — not thread oversubscription — is the concurrency
+        mechanism.
+    registry:
+        Metrics registry (the process-wide one by default).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        store: ScoreStore | None = None,
+        policy: BatchPolicy | None = None,
+        settings: PowerIterationSettings | None = None,
+        lexicon: SyntheticLexicon | None = None,
+        solver_threads: int = 1,
+        registry: MetricsRegistry | None = None,
+    ):
+        self._registry = registry if registry is not None else REGISTRY
+        self._settings = (
+            settings if settings is not None else PowerIterationSettings()
+        )
+        self.store = (
+            store
+            if store is not None
+            else ScoreStore(registry=self._registry)
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, int(solver_threads)),
+            thread_name_prefix="repro-serve-solve",
+        )
+        self.batcher = RankBatcher(
+            self._solve_group,
+            policy=policy,
+            executor=self._executor,
+            registry=self._registry,
+        )
+        self._state = _GraphState(
+            graph=graph,
+            preprocessor=ApproxRankPreprocessor(graph),
+            fingerprint=graph_fingerprint(graph),
+        )
+        self._lexicon = lexicon
+        self._lexicon_lock = threading.Lock()
+        self._update_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The global graph currently served."""
+        return self._state.graph
+
+    @property
+    def settings(self) -> PowerIterationSettings:
+        """Base solver settings."""
+        return self._settings
+
+    def _require_lexicon(self) -> SyntheticLexicon:
+        with self._lexicon_lock:
+            if self._lexicon is None:
+                self._lexicon = SyntheticLexicon(self._state.graph)
+            return self._lexicon
+
+    # ------------------------------------------------------------------
+    # Solving (runs on the executor thread)
+    # ------------------------------------------------------------------
+
+    def _solve_group(
+        self,
+        group_key: Any,
+        local_nodes: np.ndarray,
+        dampings: tuple[float, ...],
+    ) -> list[SubgraphScores]:
+        state = self._state
+        if group_key[0] != state.fingerprint:
+            # The graph was swapped while this batch sat in the queue;
+            # solving against the new operator would silently answer
+            # with the wrong graph's scores.
+            raise ServeError(
+                "graph was updated while the request was queued; retry"
+            )
+        if len(dampings) == 1:
+            # The exact offline path: bit-identical to approxrank().
+            settings = replace(self._settings, damping=dampings[0])
+            return [state.preprocessor.rank(local_nodes, settings)]
+        # Same subgraph, several ε: one extended matrix, one batched
+        # multi-column solve — the serving payoff of PR 1's kernel.
+        start = time.perf_counter()
+        extended = state.preprocessor.extended_graph(local_nodes)
+        teleports = np.repeat(
+            extended.p_ideal[:, None], len(dampings), axis=1
+        )
+        outcomes = extended.solve_many(
+            teleports,
+            self._settings,
+            dampings=np.asarray(dampings, dtype=np.float64),
+        )
+        runtime = time.perf_counter() - start
+        return [
+            solve_to_subgraph_scores(
+                extended,
+                method="approxrank",
+                total_runtime=runtime,
+                solve=outcome,
+                extras={
+                    "preprocess_seconds": (
+                        state.preprocessor.preprocess_seconds
+                    ),
+                    "batched_columns": len(dampings),
+                },
+            )
+            for outcome in outcomes
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _resolve_damping(self, damping: float | None) -> float:
+        if damping is None:
+            return self._settings.damping
+        value = float(damping)
+        # Route validation through the settings dataclass so the
+        # accepted range has exactly one definition.
+        replace(self._settings, damping=value)
+        return value
+
+    async def rank(
+        self,
+        nodes: Iterable[int],
+        damping: float | None = None,
+        deadline_seconds: float | None = None,
+    ) -> tuple[SubgraphScores, bool]:
+        """Scores for one subgraph; returns ``(scores, cache_hit)``."""
+        state = self._state
+        local = normalize_node_set(state.graph, nodes)
+        epsilon = self._resolve_damping(damping)
+        cached = self.store.get(state.graph, local, epsilon)
+        if cached is not None:
+            return cached, True
+        group_key = (state.fingerprint, subgraph_digest(local))
+        scores = await self.batcher.submit(
+            group_key, local, epsilon, deadline_seconds
+        )
+        self.store.put(state.graph, local, epsilon, scores)
+        return scores, False
+
+    async def search(
+        self,
+        nodes: Iterable[int],
+        terms: Iterable[int],
+        k: int = 10,
+        mode: str = "all",
+        damping: float | None = None,
+        deadline_seconds: float | None = None,
+    ) -> tuple[list[SearchHit], bool]:
+        """Top-``k`` matching pages of a ranked subgraph (Figure 1)."""
+        scores, cache_hit = await self.rank(
+            nodes, damping, deadline_seconds
+        )
+        engine = SubgraphSearchEngine(scores, self._require_lexicon())
+        return engine.search(list(terms), k=k, mode=mode), cache_hit
+
+    async def apply_update(
+        self,
+        delta: GraphDelta,
+        hops: int = 2,
+        migrate_unaffected: bool = True,
+        refresh: bool = False,
+    ):
+        """Apply a :class:`GraphDelta` and swap the served graph.
+
+        Runs the rebuild + new global pass off the event loop, then
+        atomically swaps the state and invalidates affected store
+        entries (see :meth:`ScoreStore.apply_update`).  With
+        ``refresh=True`` the evicted entries are eagerly re-solved
+        against the new graph before the call returns.
+        """
+        async with self._update_lock:
+            old_state = self._state
+            loop = asyncio.get_running_loop()
+            new_graph = await loop.run_in_executor(
+                None, apply_delta, old_state.graph, delta
+            )
+            new_prep = await loop.run_in_executor(
+                None, ApproxRankPreprocessor, new_graph
+            )
+            refresher = None
+            if refresh:
+                def refresher(graph, local_nodes, damping):
+                    settings = replace(self._settings, damping=damping)
+                    return new_prep.rank(local_nodes, settings)
+
+            report = await loop.run_in_executor(
+                None,
+                lambda: self.store.apply_update(
+                    old_state.graph,
+                    new_graph,
+                    delta=delta,
+                    hops=hops,
+                    migrate_unaffected=migrate_unaffected,
+                    refresher=refresher,
+                ),
+            )
+            with self._lexicon_lock:
+                if new_graph.num_nodes != old_state.graph.num_nodes:
+                    self._lexicon = None
+            self._state = _GraphState(
+                graph=new_graph,
+                preprocessor=new_prep,
+                fingerprint=graph_fingerprint(new_graph),
+            )
+            return report
+
+    async def close(self) -> None:
+        """Drain the batcher and release the solve executor."""
+        await self.batcher.drain()
+        self._executor.shutdown(wait=True)
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload."""
+        state = self._state
+        return {
+            "status": "ok",
+            "graph_nodes": state.graph.num_nodes,
+            "graph_edges": state.graph.num_edges,
+            "graph_fingerprint": state.fingerprint[:16],
+            "store": self.store.stats(),
+            "batching": self.batcher.policy.enabled,
+            "pending": self.batcher.pending,
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+def _scores_payload(scores: SubgraphScores, cache_hit: bool) -> dict:
+    payload = {
+        "nodes": scores.local_nodes.tolist(),
+        "scores": scores.scores.tolist(),
+        "method": scores.method,
+        "iterations": scores.iterations,
+        "residual": scores.residual,
+        "converged": scores.converged,
+        "runtime_seconds": scores.runtime_seconds,
+        "cache_hit": cache_hit,
+    }
+    if "lambda_score" in scores.extras:
+        payload["lambda_score"] = scores.extras["lambda_score"]
+    return payload
+
+
+class RankingServer:
+    """Asyncio HTTP/1.1 front end for a :class:`RankingService`.
+
+    Parameters
+    ----------
+    service:
+        The engine to serve.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (tests).
+    drain_timeout:
+        Grace period for in-flight requests at shutdown; connections
+        still busy afterwards are cancelled.
+    registry:
+        Metrics registry for request counters and latency histograms.
+    """
+
+    def __init__(
+        self,
+        service: RankingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float = 5.0,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.service = service
+        self._host = host
+        self._port = port
+        self._drain_timeout = drain_timeout
+        self._registry = registry if registry is not None else REGISTRY
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._closing = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._server is None:
+            raise ServeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or cancellation)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, then close."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            done, pending = await asyncio.wait(
+                self._connections, timeout=self._drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self.service.close()
+
+    async def run(self) -> None:
+        """Start and serve until cancelled; then shut down gracefully."""
+        await self.start()
+        try:
+            await self.serve_forever()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(
+                    reader, writer
+                )
+                if not keep_alive or self._closing:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_one_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        request_line = await reader.readline()
+        if not request_line:
+            return False
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            await self._respond(
+                writer, 400, {"error": "malformed request line"},
+                endpoint="unknown", keep_alive=False,
+            )
+            return False
+
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            await self._respond(
+                writer, 400, {"error": "request body too large"},
+                endpoint="unknown", keep_alive=False,
+            )
+            return False
+        body = await reader.readexactly(length) if length else b""
+
+        keep_alive = (
+            headers.get("connection", "").lower() != "close"
+            and version != "HTTP/1.0"
+            and not self._closing
+        )
+
+        started = time.perf_counter()
+        path = target.split("?", 1)[0]
+        status, payload, content_type = await self._route(
+            method, path, body
+        )
+        endpoint = path if path in (
+            "/rank", "/search", "/healthz", "/metrics"
+        ) else "unknown"
+        elapsed = time.perf_counter() - started
+        self._registry.counter(
+            "repro_serve_requests_total",
+            "HTTP requests served, by endpoint and status.",
+            endpoint=endpoint,
+            status=str(status),
+        ).inc()
+        self._registry.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request handling latency.",
+            buckets=SECONDS_BUCKETS,
+            endpoint=endpoint,
+        ).observe(elapsed)
+        await self._respond(
+            writer, status, payload,
+            endpoint=endpoint,
+            keep_alive=keep_alive,
+            content_type=content_type,
+        )
+        return keep_alive
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, Any, dict]:
+        """Dispatch one request; returns (status, payload, headers)."""
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    return 405, {"error": "use GET"}, _JSON
+                return 200, self.service.health(), _JSON
+            if path == "/metrics":
+                if method != "GET":
+                    return 405, {"error": "use GET"}, _JSON
+                text = to_prometheus_text(self._registry.snapshot())
+                return 200, text, _TEXT
+            if path == "/rank":
+                if method != "POST":
+                    return 405, {"error": "use POST"}, _JSON
+                request = self._parse_json(body)
+                scores, cache_hit = await self.service.rank(
+                    self._require_nodes(request),
+                    damping=request.get("damping"),
+                    deadline_seconds=request.get("deadline_seconds"),
+                )
+                return 200, _scores_payload(scores, cache_hit), _JSON
+            if path == "/search":
+                if method != "POST":
+                    return 405, {"error": "use POST"}, _JSON
+                request = self._parse_json(body)
+                terms = request.get("terms")
+                if not isinstance(terms, list) or not terms:
+                    raise DatasetError(
+                        "'terms' must be a non-empty list of term ids"
+                    )
+                hits, cache_hit = await self.service.search(
+                    self._require_nodes(request),
+                    terms=[int(t) for t in terms],
+                    k=int(request.get("k", 10)),
+                    mode=str(request.get("mode", "all")),
+                    damping=request.get("damping"),
+                    deadline_seconds=request.get("deadline_seconds"),
+                )
+                return 200, {
+                    "hits": [
+                        {
+                            "page": hit.page,
+                            "score": hit.score,
+                            "rank": hit.rank,
+                        }
+                        for hit in hits
+                    ],
+                    "cache_hit": cache_hit,
+                }, _JSON
+            return 404, {"error": f"unknown path {path}"}, _JSON
+        except (ServiceOverloadedError, DeadlineExceededError) as exc:
+            return 503, {
+                "error": str(exc),
+                "kind": type(exc).__name__,
+            }, _JSON
+        except (SubgraphError, GraphError, DatasetError, ValueError) as exc:
+            return 400, {
+                "error": str(exc),
+                "kind": type(exc).__name__,
+            }, _JSON
+        except ReproError as exc:
+            return 500, {
+                "error": str(exc),
+                "kind": type(exc).__name__,
+            }, _JSON
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            return 500, {
+                "error": f"internal error: {exc}",
+                "kind": type(exc).__name__,
+            }, _JSON
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _require_nodes(request: dict) -> list[int]:
+        nodes = request.get("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            raise SubgraphError(
+                "'nodes' must be a non-empty list of page ids"
+            )
+        return [int(node) for node in nodes]
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        endpoint: str,
+        keep_alive: bool,
+        content_type: dict | None = None,
+    ) -> None:
+        reasons = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable",
+        }
+        headers = dict(content_type or _JSON)
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+        headers["Content-Length"] = str(len(body))
+        headers["Connection"] = "keep-alive" if keep_alive else "close"
+        if status == 503:
+            headers["Retry-After"] = "1"
+        head = [f"HTTP/1.1 {status} {reasons.get(status, 'Error')}"]
+        head += [f"{name}: {value}" for name, value in headers.items()]
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Background-thread harness (tests / benchmark / CLI-adjacent tooling)
+# ----------------------------------------------------------------------
+
+
+class BackgroundServer:
+    """A :class:`RankingServer` running on its own thread + event loop.
+
+    The thread owns the loop; :meth:`stop` requests a graceful
+    shutdown from outside and joins the thread.  Use as a context
+    manager::
+
+        with start_background_server(service) as handle:
+            client = RankingClient(*handle.address)
+            ...
+    """
+
+    def __init__(self, server: RankingServer):
+        self._server = server
+        self._address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._thread_main,
+            name="repro-serve-http",
+            daemon=True,
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise ServeError("background server is not running")
+        return self._address
+
+    def _thread_main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            self._address = await self._server.start()
+        except BaseException as exc:  # surface bind errors to starter
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        serving = asyncio.ensure_future(self._server.serve_forever())
+        await self._stop_event.wait()
+        await self._server.stop()
+        serving.cancel()
+        await asyncio.gather(serving, return_exceptions=True)
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_background_server(
+    service: RankingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: MetricsRegistry | None = None,
+) -> BackgroundServer:
+    """Boot a server for ``service`` on a daemon thread; returns the
+    running handle (its ``address`` carries the ephemeral port)."""
+    server = RankingServer(
+        service, host=host, port=port, registry=registry
+    )
+    return BackgroundServer(server).start()

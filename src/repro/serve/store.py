@@ -1,0 +1,486 @@
+"""The score store: warm ranking results keyed by graph + subgraph.
+
+An online ranking service answers most queries for a handful of hot
+subgraphs; recomputing ApproxRank on every request would waste the
+paper's own amortisation result (§IV-B).  The :class:`ScoreStore`
+keeps solved :class:`~repro.pagerank.result.SubgraphScores` warm,
+keyed by
+
+* the **graph fingerprint** — a content hash of the CSR arrays, so two
+  structurally identical graphs share entries and a rebuilt
+  (post-update) graph automatically misses;
+* the **subgraph digest** — a hash of the sorted local node ids;
+* the **damping factor** — ε changes the fixed point, so it is part of
+  the identity of a score vector.
+
+Freshness is governed three ways:
+
+* **LRU capacity** — least-recently-used entries fall out first;
+* **TTL expiry** — entries older than ``ttl_seconds`` are dropped at
+  read time (the store never serves a result older than its TTL);
+* **update-driven invalidation** — :meth:`ScoreStore.apply_update`
+  consumes a :class:`~repro.updates.delta.GraphDelta`'s affected
+  region and evicts every entry whose subgraph intersects it.  Entries
+  *outside* the region may optionally migrate to the new graph's
+  fingerprint: Theorem 2 bounds the staleness of an untouched
+  subgraph's scores by ``ε/(1−ε)`` times the external-importance drift
+  the update caused, which is exactly the locality argument behind
+  :func:`repro.updates.rerank.incremental_rerank`.
+
+Entries persist to ``.npz`` files (one per entry) so a restarted
+server can warm-load yesterday's scores for the same graph without a
+single solve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.graph.digraph import CSRGraph
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.pagerank.result import SubgraphScores
+from repro.updates.affected import affected_region
+from repro.updates.delta import GraphDelta
+
+__all__ = [
+    "ScoreStore",
+    "StoreUpdateReport",
+    "graph_fingerprint",
+    "subgraph_digest",
+]
+
+#: Fingerprints are content hashes; computing one scans every CSR
+#: array, so memoise per graph object (CSRGraph is immutable).
+_FINGERPRINTS: "weakref.WeakKeyDictionary[CSRGraph, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Content hash of a graph's CSR arrays (hex, stable across runs).
+
+    Two graphs with identical structure and weights share a
+    fingerprint even when they are distinct objects (e.g. one loaded
+    from npz and one built in memory), which is what lets a restarted
+    server warm-load a persisted store.
+    """
+    cached = _FINGERPRINTS.get(graph)
+    if cached is not None:
+        return cached
+    adj = graph.adjacency
+    digest = hashlib.sha256()
+    digest.update(np.int64(adj.shape[0]).tobytes())
+    for array in (adj.indptr, adj.indices, adj.data):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    fingerprint = digest.hexdigest()
+    _FINGERPRINTS[graph] = fingerprint
+    return fingerprint
+
+
+def subgraph_digest(local_nodes: Iterable[int]) -> str:
+    """Hex digest identifying a local node set (order-insensitive)."""
+    nodes = np.unique(np.asarray(list(local_nodes), dtype=np.int64))
+    return hashlib.sha256(
+        np.ascontiguousarray(nodes).tobytes()
+    ).hexdigest()
+
+
+def _damping_token(damping: float) -> str:
+    # repr of a float is its shortest round-trip form: exact identity.
+    return repr(float(damping))
+
+
+@dataclass
+class _Entry:
+    scores: SubgraphScores
+    fingerprint: str
+    digest: str
+    damping: float
+    inserted_at: float
+
+
+@dataclass(frozen=True)
+class StoreUpdateReport:
+    """What :meth:`ScoreStore.apply_update` did to the store.
+
+    Attributes
+    ----------
+    region:
+        The affected region of the update (changed pages + halo).
+    evicted:
+        Number of entries dropped because their subgraph intersects
+        the region (or because migration was disabled).
+    migrated:
+        Entries outside the region rekeyed to the new graph's
+        fingerprint (Theorem-2-bounded staleness; see module docs).
+    refreshed:
+        Entries recomputed against the new graph by the ``refresher``
+        callback and reinserted.
+    """
+
+    region: np.ndarray
+    evicted: int
+    migrated: int
+    refreshed: int
+
+
+class ScoreStore:
+    """LRU + TTL cache of solved subgraph scores (see module docs).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently *used* entry is
+        evicted when a put would exceed it.
+    ttl_seconds:
+        Age limit for served entries; ``None`` disables expiry.  Age
+        is measured with ``clock`` (monotonic by default).
+    clock:
+        Injectable time source, so tests can expire entries without
+        sleeping.
+    registry:
+        Metrics registry for hit/miss/eviction counters (the
+        process-wide one by default).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be positive or None, got {ttl_seconds}"
+            )
+        self._capacity = int(capacity)
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._registry = registry if registry is not None else REGISTRY
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[tuple[str, str, str], _Entry]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+
+    def _count_hit(self) -> None:
+        self._registry.counter(
+            "repro_serve_store_hits_total",
+            "Score-store lookups answered from a warm entry.",
+        ).inc()
+
+    def _count_miss(self) -> None:
+        self._registry.counter(
+            "repro_serve_store_misses_total",
+            "Score-store lookups that required a solve.",
+        ).inc()
+
+    def _count_eviction(self, reason: str, amount: int = 1) -> None:
+        if amount:
+            self._registry.counter(
+                "repro_serve_store_evictions_total",
+                "Score-store entries dropped, by reason.",
+                reason=reason,
+            ).inc(amount)
+
+    def _set_size_gauge(self) -> None:
+        self._registry.gauge(
+            "repro_serve_store_entries",
+            "Score-store entries currently resident.",
+        ).set(len(self._entries))
+
+    # ------------------------------------------------------------------
+    # Core cache operations
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(
+        fingerprint: str, local_nodes: np.ndarray, damping: float
+    ) -> tuple[str, str, str]:
+        return (
+            fingerprint,
+            subgraph_digest(local_nodes),
+            _damping_token(damping),
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(
+        self,
+        graph: CSRGraph,
+        local_nodes: np.ndarray,
+        damping: float,
+    ) -> SubgraphScores | None:
+        """The warm entry for this (graph, subgraph, ε), or ``None``.
+
+        A hit refreshes the entry's LRU position; an entry older than
+        the TTL is evicted and reported as a miss.
+        """
+        key = self._key(graph_fingerprint(graph), local_nodes, damping)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._count_miss()
+                return None
+            if (
+                self._ttl is not None
+                and self._clock() - entry.inserted_at > self._ttl
+            ):
+                del self._entries[key]
+                self._count_eviction("ttl")
+                self._count_miss()
+                self._set_size_gauge()
+                return None
+            self._entries.move_to_end(key)
+            self._count_hit()
+            return entry.scores
+
+    def put(
+        self,
+        graph: CSRGraph,
+        local_nodes: np.ndarray,
+        damping: float,
+        scores: SubgraphScores,
+    ) -> None:
+        """Insert (or refresh) an entry, evicting LRU beyond capacity."""
+        fingerprint = graph_fingerprint(graph)
+        key = self._key(fingerprint, local_nodes, damping)
+        with self._lock:
+            self._entries[key] = _Entry(
+                scores=scores,
+                fingerprint=fingerprint,
+                digest=key[1],
+                damping=float(damping),
+                inserted_at=self._clock(),
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._count_eviction("capacity")
+            self._set_size_gauge()
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._count_eviction("invalidated", dropped)
+            self._set_size_gauge()
+            return dropped
+
+    def invalidate_graph(self, graph: CSRGraph) -> int:
+        """Drop every entry belonging to ``graph``; returns the count."""
+        fingerprint = graph_fingerprint(graph)
+        with self._lock:
+            doomed = [
+                key for key in self._entries if key[0] == fingerprint
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._count_eviction("invalidated", len(doomed))
+            self._set_size_gauge()
+            return len(doomed)
+
+    def stats(self) -> dict:
+        """Current size/limits (counters live in the registry)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "ttl_seconds": self._ttl,
+            }
+
+    # ------------------------------------------------------------------
+    # Update-driven invalidation
+    # ------------------------------------------------------------------
+
+    def apply_update(
+        self,
+        old_graph: CSRGraph,
+        new_graph: CSRGraph,
+        delta: GraphDelta | None = None,
+        hops: int = 2,
+        migrate_unaffected: bool = True,
+        refresher: (
+            Callable[[CSRGraph, np.ndarray, float], SubgraphScores] | None
+        ) = None,
+    ) -> StoreUpdateReport:
+        """React to a graph update: evict, migrate, optionally refresh.
+
+        Every entry of ``old_graph`` whose subgraph intersects the
+        update's affected region (changed pages plus a ``hops``-deep
+        forward halo, per :func:`repro.updates.affected.affected_region`)
+        is evicted — a subsequent query must re-solve against
+        ``new_graph``, which is the stale-read-prevention guarantee.
+
+        Entries whose subgraph is disjoint from the region are rekeyed
+        to ``new_graph``'s fingerprint when ``migrate_unaffected`` is
+        True: their residual staleness is the Theorem 2 bound
+        ``ε/(1−ε)·‖ΔE‖₁``, the same approximation
+        :func:`~repro.updates.rerank.incremental_rerank` accepts for
+        the out-of-region scores it splices.  Pass
+        ``migrate_unaffected=False`` for strict semantics (everything
+        of the old graph is dropped).
+
+        ``refresher(new_graph, local_nodes, damping)`` — typically the
+        service's solve path, or a splice re-rank — is invoked for each
+        evicted entry to recompute it eagerly; without one, evicted
+        entries are simply cold until the next query.
+        """
+        region = affected_region(old_graph, new_graph, hops, delta)
+        old_fp = graph_fingerprint(old_graph)
+        new_fp = graph_fingerprint(new_graph)
+        evicted_entries: list[_Entry] = []
+        migrated = 0
+        with self._lock:
+            for key in list(self._entries):
+                if key[0] != old_fp:
+                    continue
+                entry = self._entries.pop(key)
+                affected = bool(
+                    np.intersect1d(
+                        entry.scores.local_nodes, region,
+                        assume_unique=True,
+                    ).size
+                )
+                if affected or not migrate_unaffected:
+                    evicted_entries.append(entry)
+                else:
+                    self._entries[(new_fp, key[1], key[2])] = _Entry(
+                        scores=entry.scores,
+                        fingerprint=new_fp,
+                        digest=key[1],
+                        damping=entry.damping,
+                        inserted_at=self._clock(),
+                    )
+                    migrated += 1
+            self._count_eviction("invalidated", len(evicted_entries))
+            self._set_size_gauge()
+
+        # The old operator is dead either way: drop its cached
+        # transition derivations alongside the score entries.
+        from repro.perf.cache import GLOBAL_TRANSITION_CACHE
+
+        GLOBAL_TRANSITION_CACHE.invalidate(old_graph)
+
+        refreshed = 0
+        if refresher is not None:
+            for entry in evicted_entries:
+                scores = refresher(
+                    new_graph,
+                    np.asarray(entry.scores.local_nodes),
+                    entry.damping,
+                )
+                self.put(
+                    new_graph,
+                    np.asarray(scores.local_nodes),
+                    entry.damping,
+                    scores,
+                )
+                refreshed += 1
+        return StoreUpdateReport(
+            region=region,
+            evicted=len(evicted_entries),
+            migrated=migrated,
+            refreshed=refreshed,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def persist(self, directory: str | os.PathLike) -> int:
+        """Write every entry to ``directory`` (one npz per entry).
+
+        Returns the number of files written.  Scalars and the method
+        label ride along with the score arrays, so a warm-loaded entry
+        round-trips the full :class:`SubgraphScores` accounting.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        written = 0
+        with self._lock:
+            entries = list(self._entries.items())
+        for key, entry in entries:
+            name = hashlib.sha256(
+                "|".join(key).encode("ascii")
+            ).hexdigest()[:32]
+            scores = entry.scores
+            np.savez(
+                target / f"entry-{name}.npz",
+                local_nodes=np.asarray(scores.local_nodes),
+                scores=np.asarray(scores.scores),
+                iterations=np.int64(scores.iterations),
+                residual=np.float64(scores.residual),
+                converged=np.bool_(scores.converged),
+                runtime_seconds=np.float64(scores.runtime_seconds),
+                lambda_score=np.float64(
+                    scores.extras.get("lambda_score", np.nan)
+                ),
+                method=np.str_(scores.method),
+                fingerprint=np.str_(entry.fingerprint),
+                damping=np.float64(entry.damping),
+            )
+            written += 1
+        return written
+
+    def warm_load(
+        self, directory: str | os.PathLike, graph: CSRGraph
+    ) -> int:
+        """Load persisted entries matching ``graph``'s fingerprint.
+
+        Entries persisted for other graphs are skipped silently (the
+        directory may hold several generations).  Returns the number
+        of entries loaded; each gets a fresh TTL clock.
+        """
+        source = Path(directory)
+        if not source.is_dir():
+            return 0
+        fingerprint = graph_fingerprint(graph)
+        loaded = 0
+        for path in sorted(source.glob("entry-*.npz")):
+            with np.load(path) as archive:
+                if str(archive["fingerprint"]) != fingerprint:
+                    continue
+                extras: dict = {}
+                lambda_score = float(archive["lambda_score"])
+                if not np.isnan(lambda_score):
+                    extras["lambda_score"] = lambda_score
+                scores = SubgraphScores(
+                    local_nodes=np.asarray(
+                        archive["local_nodes"], dtype=np.int64
+                    ),
+                    scores=np.asarray(
+                        archive["scores"], dtype=np.float64
+                    ),
+                    method=str(archive["method"]),
+                    iterations=int(archive["iterations"]),
+                    residual=float(archive["residual"]),
+                    converged=bool(archive["converged"]),
+                    runtime_seconds=float(archive["runtime_seconds"]),
+                    extras=extras,
+                )
+                damping = float(archive["damping"])
+            self.put(
+                graph, np.asarray(scores.local_nodes), damping, scores
+            )
+            loaded += 1
+        return loaded

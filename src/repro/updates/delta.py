@@ -59,6 +59,13 @@ def apply_delta(graph: CSRGraph, delta: GraphDelta) -> CSRGraph:
     New pages get ids following the existing ones.  Edge weights are
     web-style (unit); adding an existing edge is a no-op, removing a
     missing edge raises :class:`~repro.exceptions.GraphError`.
+
+    The pre-update graph's cached transition derivations are evicted
+    from the process-wide :class:`~repro.perf.cache.TransitionCache`:
+    the delta supersedes that operator, and keeping its blocks warm
+    until garbage collection would let a long-lived caller (the online
+    ranking service holds graphs across updates) accumulate stale
+    operator memory for graphs it will never solve again.
     """
     new_size = graph.num_nodes + delta.new_pages
     matrix = sparse.lil_matrix((new_size, new_size))
@@ -81,6 +88,10 @@ def apply_delta(graph: CSRGraph, delta: GraphDelta) -> CSRGraph:
                 f"self-loop ({source}, {source}) not allowed in deltas"
             )
         matrix[source, target] = 1.0
+
+    from repro.perf.cache import GLOBAL_TRANSITION_CACHE
+
+    GLOBAL_TRANSITION_CACHE.invalidate(graph)
     return CSRGraph(matrix.tocsr())
 
 

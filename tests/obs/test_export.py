@@ -13,6 +13,7 @@ from repro.obs.export import (
     SNAPSHOT_SCHEMA,
     build_snapshot,
     load_snapshot,
+    parse_prometheus_text,
     render_report,
     to_prometheus_text,
     write_snapshot,
@@ -89,6 +90,53 @@ class TestPrometheusText:
 
     def test_empty_registry_renders_empty_string(self):
         assert to_prometheus_text(MetricsRegistry().snapshot()) == ""
+
+
+class TestParsePrometheusText:
+    """The exposition parser is the exact inverse of the renderer."""
+
+    def test_round_trip_is_exact(self):
+        # Tied to the same fixed workload the golden file pins: what
+        # the renderer emits, the parser must reconstruct exactly —
+        # histograms de-cumulated, label escapes unwound, ints intact.
+        snapshot = golden_registry().snapshot()
+        text = to_prometheus_text(snapshot)
+        assert parse_prometheus_text(text)["families"] == (
+            snapshot["families"]
+        )
+
+    def test_golden_file_parses_back_to_the_registry(self):
+        parsed = parse_prometheus_text(
+            GOLDEN_PATH.read_text(encoding="utf-8")
+        )
+        assert parsed["families"] == (
+            golden_registry().snapshot()["families"]
+        )
+
+    def test_histogram_buckets_decumulated(self):
+        parsed = parse_prometheus_text(
+            to_prometheus_text(golden_registry().snapshot())
+        )
+        family = parsed["families"]["repro_solver_iterations"]
+        sample = family["samples"][0]
+        # Per-bucket counts for (10, 50, 100, +Inf), not cumulative.
+        assert sample["bucket_counts"] == [2, 3, 1, 1]
+        assert sample["count"] == 7
+        assert family["buckets"] == [10, 50, 100]
+
+    def test_label_escapes_unwound(self):
+        parsed = parse_prometheus_text(
+            to_prometheus_text(golden_registry().snapshot())
+        )
+        sample = parsed["families"]["repro_test_escaping"]["samples"][0]
+        assert sample["labels"]["path"] == 'a"b\\c\nd'
+
+    def test_empty_text_parses_to_no_families(self):
+        assert parse_prometheus_text("")["families"] == {}
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus_text("!!! not an exposition line")
 
 
 class TestSnapshotRoundTrip:
@@ -170,6 +218,51 @@ class TestRenderReport:
         assert "[subgraphs=4]" in report
         assert "Recent solves" in report
         assert "tail" in report
+
+    def test_serve_section_renders_from_serve_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_serve_requests_total",
+            "HTTP requests served, by endpoint and status.",
+            endpoint="/rank", status="200",
+        ).inc(12)
+        reg.counter(
+            "repro_serve_requests_total",
+            "HTTP requests served, by endpoint and status.",
+            endpoint="/rank", status="503",
+        ).inc(2)
+        reg.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request handling latency.",
+            buckets=(0.01, 0.1, 1.0),
+            endpoint="/rank",
+        ).observe(0.05)
+        hist = reg.histogram(
+            "repro_serve_batch_size",
+            "Distinct solve columns per flushed micro-batch.",
+            buckets=(1, 2, 4, 8),
+        )
+        hist.observe(4)
+        hist.observe(2)
+        reg.counter("repro_serve_store_hits_total").inc(9)
+        reg.counter("repro_serve_store_misses_total").inc(3)
+        reg.counter(
+            "repro_serve_store_evictions_total", reason="ttl"
+        ).inc(1)
+        reg.counter(
+            "repro_serve_rejected_total", reason="overloaded"
+        ).inc(2)
+        report = render_report(build_snapshot(reg))
+        assert "Serving" in report
+        assert "/rank" in report
+        assert "micro-batches 2  mean columns 3.00" in report
+        assert "hit-rate 75.0%" in report
+        assert "ttl=1" in report
+        assert "rejected: overloaded=2" in report
+
+    def test_serve_section_absent_without_serve_traffic(self):
+        report = render_report(build_snapshot(golden_registry()))
+        assert "Serving" not in report
 
     def test_unconverged_solves_flagged(self):
         obs.enable()

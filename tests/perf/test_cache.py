@@ -157,6 +157,42 @@ class TestWeakReferences:
         assert cache.stats().hits == 1
 
 
+class TestExplicitInvalidation:
+    def test_invalidate_drops_live_entry(self, cache, messy_graph):
+        matrix, _ = cache.transition(messy_graph)
+        assert messy_graph in cache
+        assert cache.invalidate(messy_graph) is True
+        assert messy_graph not in cache
+        assert cache.stats().evictions == 1
+        # A re-derivation is a fresh object, not the stale one.
+        assert cache.transition(messy_graph)[0] is not matrix
+
+    def test_invalidate_uncached_graph_is_a_noop(self, cache, messy_graph):
+        assert cache.invalidate(messy_graph) is False
+        assert cache.stats().evictions == 0
+
+    def test_invalidate_spares_other_graphs(self, cache):
+        first = random_digraph(40, seed=51)
+        second = random_digraph(40, seed=52)
+        kept, _ = cache.transition(second)
+        cache.transition(first)
+        cache.invalidate(first)
+        assert second in cache
+        assert cache.transition(second)[0] is kept
+
+    def test_apply_delta_invalidates_the_old_graph(self):
+        # The updates path must drop the pre-update operator: its
+        # cached transition derivations can never be served again.
+        from repro.updates.delta import GraphDelta, apply_delta
+
+        graph = random_digraph(60, seed=53)
+        GLOBAL_TRANSITION_CACHE.transition(graph)
+        assert graph in GLOBAL_TRANSITION_CACHE
+        new_graph = apply_delta(graph, GraphDelta(added_edges=[(0, 9)]))
+        assert graph not in GLOBAL_TRANSITION_CACHE
+        assert new_graph is not graph
+
+
 class TestGlobalCacheWiring:
     def test_library_routes_through_global_cache(self):
         graph = random_digraph(40, seed=21)

@@ -149,6 +149,64 @@ class TestEngine:
         with pytest.raises(SubgraphError, match="k must be"):
             engine.search([0], k=0)
 
+    def test_k_beyond_indexed_pages_returns_all_matches(
+        self, web, lexicon, domain_scores
+    ):
+        # Asking for more answers than the engine indexes is not an
+        # error: it returns every matching page, exactly once.
+        engine = SubgraphSearchEngine(domain_scores, lexicon)
+        top_term = int(lexicon.popular_terms(1)[0])
+        everything = engine.search(
+            [top_term], k=engine.num_indexed + 100
+        )
+        exact = engine.search([top_term], k=engine.num_indexed)
+        assert len(everything) <= engine.num_indexed
+        assert [h.page for h in everything] == [h.page for h in exact]
+        assert len({h.page for h in everything}) == len(everything)
+
+    def test_term_matching_nothing_in_subgraph_is_empty(self, web):
+        # A lexicon whose postings all live outside the subgraph: the
+        # engine has matching pages in the corpus but none locally.
+        nodes = web.pages_with_label("domain", "site2.example")[:5]
+        scores = approxrank(web.graph, nodes, SETTINGS)
+        skewed = SyntheticLexicon(web.graph, num_terms=40, seed=9)
+        engine = SubgraphSearchEngine(scores, skewed)
+        # Find a term whose postings avoid the subgraph entirely.
+        for term in range(skewed.num_terms):
+            postings = skewed.pages_with_term(term)
+            if postings.size and not np.isin(postings, nodes).any():
+                assert engine.search([term], k=5) == []
+                break
+        else:
+            pytest.skip("every term of the lexicon hits the subgraph")
+
+    def test_tied_scores_order_by_ascending_page_id(self, web, lexicon):
+        # All-equal scores: the ranking must fall back to global id,
+        # so repeated queries are reproducible across runs.
+        from repro.pagerank.result import SubgraphScores
+
+        nodes = web.pages_with_label("domain", "site0.example")
+        flat = SubgraphScores(
+            local_nodes=nodes.copy(),
+            scores=np.full(nodes.size, 0.5),
+            method="flat",
+            iterations=0,
+            residual=0.0,
+            converged=True,
+            runtime_seconds=0.0,
+        )
+        engine = SubgraphSearchEngine(flat, lexicon)
+        top_term = int(lexicon.popular_terms(1)[0])
+        hits = engine.search([top_term], k=10)
+        assert len(hits) >= 2, "need ties to exercise the rule"
+        pages = [hit.page for hit in hits]
+        assert pages == sorted(pages)
+        # And the tie order is stable across engine rebuilds.
+        again = SubgraphSearchEngine(flat, lexicon).search(
+            [top_term], k=10
+        )
+        assert [hit.page for hit in again] == pages
+
 
 class TestCompareEngines:
     def test_identical_rankings_full_overlap(

@@ -1,0 +1,324 @@
+"""Tests for the micro-batching admission queue.
+
+Driven directly (no HTTP, no real solver): a recording fake stands in
+for ``solve_group``, so the tests can count solve invocations and
+assert on the exact batch composition the batcher flushed.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.pagerank.result import SubgraphScores
+from repro.serve.batching import BatchPolicy, RankBatcher
+
+pytestmark = pytest.mark.serve
+
+NODES = np.arange(10, dtype=np.int64)
+
+
+def fake_scores(damping: float) -> SubgraphScores:
+    return SubgraphScores(
+        local_nodes=NODES.copy(),
+        scores=np.full(NODES.size, damping),
+        method="fake",
+        iterations=1,
+        residual=0.0,
+        converged=True,
+        runtime_seconds=0.0,
+    )
+
+
+class RecordingSolver:
+    """solve_group stand-in that records every flushed batch."""
+
+    def __init__(self, delay: float = 0.0, gate: threading.Event | None = None):
+        self.calls: list[tuple] = []
+        self.delay = delay
+        self.gate = gate
+
+    def __call__(self, group_key, local_nodes, dampings):
+        self.calls.append((group_key, dampings))
+        if self.gate is not None:
+            self.gate.wait(timeout=5.0)
+        if self.delay:
+            import time
+
+            time.sleep(self.delay)
+        return [fake_scores(d) for d in dampings]
+
+
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_into_one_solve(self):
+        solver = RecordingSolver()
+        batcher = RankBatcher(
+            solver,
+            BatchPolicy(max_batch_size=8, max_linger_seconds=0.05),
+            registry=MetricsRegistry(),
+        )
+
+        async def main():
+            return await asyncio.gather(*[
+                batcher.submit("g", NODES, d)
+                for d in (0.6, 0.7, 0.8, 0.85)
+            ])
+
+        results = asyncio.run(main())
+        assert len(solver.calls) == 1
+        assert solver.calls[0][1] == (0.6, 0.7, 0.8, 0.85)
+        for damping, scores in zip((0.6, 0.7, 0.8, 0.85), results):
+            assert scores.scores[0] == damping
+
+    def test_full_batch_flushes_before_linger(self):
+        solver = RecordingSolver()
+        batcher = RankBatcher(
+            solver,
+            # A linger long enough that only the size trigger can
+            # explain a prompt flush.
+            BatchPolicy(max_batch_size=2, max_linger_seconds=30.0),
+            registry=MetricsRegistry(),
+        )
+
+        async def main():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.submit("g", NODES, 0.6),
+                    batcher.submit("g", NODES, 0.7),
+                ),
+                timeout=5.0,
+            )
+
+        results = asyncio.run(main())
+        assert len(results) == 2
+        assert len(solver.calls) == 1
+
+    def test_same_damping_is_single_flight(self):
+        solver = RecordingSolver()
+        batcher = RankBatcher(
+            solver,
+            BatchPolicy(max_batch_size=8, max_linger_seconds=0.05),
+            registry=MetricsRegistry(),
+        )
+
+        async def main():
+            return await asyncio.gather(*[
+                batcher.submit("g", NODES, 0.85) for _ in range(5)
+            ])
+
+        results = asyncio.run(main())
+        # Five waiters, one solve, one column.
+        assert len(solver.calls) == 1
+        assert solver.calls[0][1] == (0.85,)
+        assert len({id(r) for r in results}) == 1
+
+    def test_distinct_groups_solve_separately(self):
+        solver = RecordingSolver()
+        batcher = RankBatcher(
+            solver,
+            BatchPolicy(max_batch_size=8, max_linger_seconds=0.05),
+            registry=MetricsRegistry(),
+        )
+
+        async def main():
+            return await asyncio.gather(
+                batcher.submit("a", NODES, 0.85),
+                batcher.submit("b", NODES, 0.85),
+            )
+
+        asyncio.run(main())
+        assert len(solver.calls) == 2
+        assert {call[0] for call in solver.calls} == {"a", "b"}
+
+    def test_disabled_policy_means_batches_of_one(self):
+        solver = RecordingSolver()
+        batcher = RankBatcher(
+            solver,
+            BatchPolicy(enabled=False, max_batch_size=8),
+            registry=MetricsRegistry(),
+        )
+
+        async def main():
+            return await asyncio.gather(*[
+                batcher.submit("g", NODES, d) for d in (0.6, 0.7, 0.8)
+            ])
+
+        asyncio.run(main())
+        assert len(solver.calls) == 3
+        assert all(len(call[1]) == 1 for call in solver.calls)
+
+    def test_batch_size_histogram_observed(self):
+        registry = MetricsRegistry()
+        batcher = RankBatcher(
+            RecordingSolver(),
+            BatchPolicy(max_batch_size=8, max_linger_seconds=0.05),
+            registry=registry,
+        )
+
+        async def main():
+            await asyncio.gather(*[
+                batcher.submit("g", NODES, d) for d in (0.6, 0.7, 0.8)
+            ])
+
+        asyncio.run(main())
+        family = registry.snapshot()["families"]["repro_serve_batch_size"]
+        sample = family["samples"][0]
+        assert sample["count"] == 1
+        assert sample["sum"] == 3.0
+
+
+class TestAdmissionControl:
+    def test_overload_rejected_immediately(self):
+        solver = RecordingSolver()
+        registry = MetricsRegistry()
+        batcher = RankBatcher(
+            solver,
+            # Long linger + roomy batches keep the first two requests
+            # *queued*; the bounded depth refuses the third outright.
+            BatchPolicy(
+                max_batch_size=8, max_linger_seconds=30.0, max_pending=2
+            ),
+            registry=registry,
+        )
+
+        async def main():
+            first = asyncio.ensure_future(batcher.submit("g", NODES, 0.6))
+            second = asyncio.ensure_future(batcher.submit("g", NODES, 0.7))
+            await asyncio.sleep(0)  # let both enqueue
+            assert batcher.pending == 2
+            with pytest.raises(ServiceOverloadedError, match="queue full"):
+                await batcher.submit("g", NODES, 0.8)
+            await batcher.drain()
+            await asyncio.gather(first, second)
+
+        asyncio.run(main())
+        families = registry.snapshot()["families"]
+        rejected = families["repro_serve_rejected_total"]["samples"]
+        by_reason = {
+            s["labels"]["reason"]: s["value"] for s in rejected
+        }
+        assert by_reason.get("overloaded") == 1
+
+    def test_deadline_exceeded_while_solving(self):
+        solver = RecordingSolver(delay=0.5)
+        batcher = RankBatcher(
+            solver,
+            BatchPolicy(max_batch_size=1, max_linger_seconds=0.0),
+            registry=MetricsRegistry(),
+        )
+
+        async def main():
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                await batcher.submit(
+                    "g", NODES, 0.85, deadline_seconds=0.05
+                )
+            await batcher.drain()
+
+        asyncio.run(main())
+        # The solve itself still ran (it was shielded, not cancelled).
+        assert len(solver.calls) == 1
+
+    def test_expired_in_queue_not_solved(self):
+        solver = RecordingSolver()
+        registry = MetricsRegistry()
+        batcher = RankBatcher(
+            solver,
+            # Linger far beyond the deadline: the request can only be
+            # flushed (by drain) after its deadline already passed.
+            BatchPolicy(max_batch_size=8, max_linger_seconds=30.0),
+            registry=registry,
+        )
+
+        async def main():
+            request = asyncio.ensure_future(
+                batcher.submit("g", NODES, 0.7, deadline_seconds=0.01)
+            )
+            await asyncio.sleep(0.05)  # deadline passes while queued
+            await batcher.drain()
+            with pytest.raises(DeadlineExceededError):
+                await request
+
+        asyncio.run(main())
+        assert solver.calls == [], "expired request must not solve"
+        families = registry.snapshot()["families"]
+        rejected = {
+            s["labels"]["reason"]: s["value"]
+            for s in families["repro_serve_rejected_total"]["samples"]
+        }
+        assert rejected.get("expired_in_queue") == 1
+
+    def test_nonpositive_deadline_rejected(self):
+        batcher = RankBatcher(
+            RecordingSolver(), registry=MetricsRegistry()
+        )
+
+        async def main():
+            with pytest.raises(DeadlineExceededError, match="positive"):
+                await batcher.submit(
+                    "g", NODES, 0.85, deadline_seconds=0.0
+                )
+
+        asyncio.run(main())
+
+    def test_solver_error_propagates_to_every_waiter(self):
+        def broken(group_key, local_nodes, dampings):
+            raise RuntimeError("solver exploded")
+
+        batcher = RankBatcher(
+            broken,
+            BatchPolicy(max_batch_size=8, max_linger_seconds=0.02),
+            registry=MetricsRegistry(),
+        )
+
+        async def main():
+            results = await asyncio.gather(
+                batcher.submit("g", NODES, 0.6),
+                batcher.submit("g", NODES, 0.7),
+                return_exceptions=True,
+            )
+            return results
+
+        results = asyncio.run(main())
+        assert all(
+            isinstance(r, RuntimeError) for r in results
+        )
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError, match="max_linger_seconds"):
+            BatchPolicy(max_linger_seconds=-1.0)
+        with pytest.raises(ValueError, match="max_pending"):
+            BatchPolicy(max_pending=0)
+        with pytest.raises(ValueError, match="default_deadline_seconds"):
+            BatchPolicy(default_deadline_seconds=0.0)
+
+
+class TestDrain:
+    def test_drain_answers_queued_requests(self):
+        solver = RecordingSolver()
+        batcher = RankBatcher(
+            solver,
+            # Long linger: nothing would flush on its own in time.
+            BatchPolicy(max_batch_size=8, max_linger_seconds=30.0),
+            registry=MetricsRegistry(),
+        )
+
+        async def main():
+            pending = asyncio.ensure_future(
+                batcher.submit("g", NODES, 0.85)
+            )
+            await asyncio.sleep(0)
+            assert batcher.pending == 1
+            await batcher.drain()
+            return await asyncio.wait_for(pending, timeout=1.0)
+
+        scores = asyncio.run(main())
+        assert scores.scores[0] == 0.85
+        assert batcher.pending == 0

@@ -1,0 +1,54 @@
+"""Tier-2 performance gate: the serving benchmark in smoke mode.
+
+Excluded from the tier-1 run by the ``tier2`` marker; CI runs it via
+``make bench-serve-smoke``.  The correctness clauses (batched-vs-
+offline agreement, singleton bit-identity) must hold on any hardware;
+the wall-clock speedup clause is waived on single-core machines only.
+"""
+
+import pytest
+
+from repro.serve.bench import run_serve_benchmark
+
+pytestmark = [pytest.mark.tier2, pytest.mark.serve]
+
+
+@pytest.fixture(scope="module")
+def smoke_record():
+    return run_serve_benchmark(smoke=True, output_path=None)
+
+
+class TestSmokeGate:
+    def test_gate_passes(self, smoke_record):
+        assert smoke_record["gate_passed"], (
+            "smoke gate failed: "
+            f"speedup={smoke_record['speedup']:.2f}x, "
+            f"agreement={smoke_record['agreement_max_abs_diff']:.2e}, "
+            f"bit_identical={smoke_record['bit_identical_singleton']}"
+        )
+
+    def test_batched_answers_agree_with_offline(self, smoke_record):
+        assert smoke_record["agreement_ok"]
+        assert (
+            smoke_record["agreement_max_abs_diff"]
+            <= smoke_record["agreement_atol"]
+        )
+
+    def test_singleton_is_bit_identical(self, smoke_record):
+        assert smoke_record["bit_identical_singleton"] is True
+
+    def test_batching_wins_or_waiver_recorded(self, smoke_record):
+        if smoke_record["speedup_gate_waived"]:
+            assert smoke_record["cpu_count"] < 2
+        else:
+            assert (
+                smoke_record["speedup"]
+                >= smoke_record["target_speedup"]
+            )
+
+    def test_every_request_was_answered(self, smoke_record):
+        for mode in ("batching_on", "batching_off"):
+            assert (
+                smoke_record[mode]["requests"]
+                == smoke_record["total_requests"]
+            )

@@ -1,0 +1,270 @@
+"""Tests for the score store: keys, LRU/TTL, persistence, updates.
+
+The store's contract:
+
+* keys are content-based — two structurally identical graphs share a
+  fingerprint; subgraph digests ignore node order; ε is part of the
+  identity;
+* LRU capacity and TTL expiry govern freshness (TTL via an injectable
+  clock, so no sleeping);
+* :meth:`ScoreStore.apply_update` evicts every entry whose subgraph
+  intersects a :class:`GraphDelta`'s affected region (stale-read
+  prevention) and migrates or refreshes the rest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approxrank import approxrank
+from repro.exceptions import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.pagerank.solver import PowerIterationSettings
+from repro.perf.cache import GLOBAL_TRANSITION_CACHE
+from repro.serve.store import (
+    ScoreStore,
+    graph_fingerprint,
+    subgraph_digest,
+)
+from repro.updates.delta import GraphDelta, apply_delta
+
+from tests.conftest import random_digraph
+
+pytestmark = pytest.mark.serve
+
+SETTINGS = PowerIterationSettings(tolerance=1e-8)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_digraph(120, seed=11)
+
+
+@pytest.fixture(scope="module")
+def nodes():
+    return np.arange(30, dtype=np.int64)
+
+
+@pytest.fixture(scope="module")
+def scores(graph, nodes):
+    return approxrank(graph, nodes, SETTINGS)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestFingerprints:
+    def test_stable_across_objects(self, graph):
+        # A rebuilt graph with identical arrays shares the fingerprint
+        # — this is what lets a restarted server warm-load a store.
+        clone = random_digraph(120, seed=11)
+        assert clone is not graph
+        assert graph_fingerprint(clone) == graph_fingerprint(graph)
+
+    def test_differs_across_graphs(self, graph):
+        other = random_digraph(120, seed=12)
+        assert graph_fingerprint(other) != graph_fingerprint(graph)
+
+    def test_memoised(self, graph):
+        assert graph_fingerprint(graph) is graph_fingerprint(graph)
+
+    def test_subgraph_digest_order_insensitive(self):
+        forward = subgraph_digest([1, 2, 3])
+        shuffled = subgraph_digest([3, 1, 2])
+        assert forward == shuffled
+        assert subgraph_digest([1, 2, 4]) != forward
+
+
+class TestLruAndTtl:
+    def test_miss_then_hit(self, graph, nodes, scores):
+        store = ScoreStore(registry=MetricsRegistry())
+        assert store.get(graph, nodes, 0.85) is None
+        store.put(graph, nodes, 0.85, scores)
+        assert store.get(graph, nodes, 0.85) is scores
+
+    def test_damping_is_part_of_the_key(self, graph, nodes, scores):
+        store = ScoreStore(registry=MetricsRegistry())
+        store.put(graph, nodes, 0.85, scores)
+        assert store.get(graph, nodes, 0.5) is None
+
+    def test_lru_eviction_order(self, graph, scores):
+        store = ScoreStore(capacity=2, registry=MetricsRegistry())
+        a = np.arange(10, dtype=np.int64)
+        b = np.arange(10, 20, dtype=np.int64)
+        c = np.arange(20, 30, dtype=np.int64)
+        store.put(graph, a, 0.85, scores)
+        store.put(graph, b, 0.85, scores)
+        store.get(graph, a, 0.85)  # refresh a: b becomes LRU
+        store.put(graph, c, 0.85, scores)
+        assert store.get(graph, a, 0.85) is scores
+        assert store.get(graph, b, 0.85) is None
+        assert len(store) == 2
+
+    def test_ttl_expiry_with_injected_clock(self, graph, nodes, scores):
+        clock = FakeClock()
+        store = ScoreStore(
+            ttl_seconds=10.0, clock=clock, registry=MetricsRegistry()
+        )
+        store.put(graph, nodes, 0.85, scores)
+        clock.advance(9.0)
+        assert store.get(graph, nodes, 0.85) is scores
+        clock.advance(2.0)
+        assert store.get(graph, nodes, 0.85) is None
+        assert len(store) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ScoreStore(capacity=0)
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ScoreStore(ttl_seconds=0.0)
+
+    def test_metrics_counters(self, graph, nodes, scores):
+        registry = MetricsRegistry()
+        store = ScoreStore(capacity=1, registry=registry)
+        store.get(graph, nodes, 0.85)           # miss
+        store.put(graph, nodes, 0.85, scores)
+        store.get(graph, nodes, 0.85)           # hit
+        other = np.arange(5, dtype=np.int64)
+        store.put(graph, other, 0.85, scores)   # capacity eviction
+        snapshot = registry.snapshot()["families"]
+        def total(name):
+            return sum(
+                s["value"]
+                for s in snapshot[name]["samples"]
+            )
+        assert total("repro_serve_store_misses_total") == 1
+        assert total("repro_serve_store_hits_total") == 1
+        assert total("repro_serve_store_evictions_total") == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path, graph, nodes, scores):
+        store = ScoreStore(registry=MetricsRegistry())
+        store.put(graph, nodes, 0.85, scores)
+        assert store.persist(tmp_path) == 1
+
+        fresh = ScoreStore(registry=MetricsRegistry())
+        assert fresh.warm_load(tmp_path, graph) == 1
+        loaded = fresh.get(graph, nodes, 0.85)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.local_nodes, scores.local_nodes)
+        np.testing.assert_array_equal(loaded.scores, scores.scores)
+        assert loaded.method == scores.method
+        assert loaded.iterations == scores.iterations
+        assert loaded.converged == scores.converged
+        assert loaded.extras.get("lambda_score") == pytest.approx(
+            scores.extras["lambda_score"]
+        )
+
+    def test_other_graphs_entries_skipped(
+        self, tmp_path, graph, nodes, scores
+    ):
+        store = ScoreStore(registry=MetricsRegistry())
+        store.put(graph, nodes, 0.85, scores)
+        store.persist(tmp_path)
+        other = random_digraph(120, seed=12)
+        fresh = ScoreStore(registry=MetricsRegistry())
+        assert fresh.warm_load(tmp_path, other) == 0
+
+    def test_missing_directory_is_empty(self, tmp_path, graph):
+        store = ScoreStore(registry=MetricsRegistry())
+        assert store.warm_load(tmp_path / "nope", graph) == 0
+
+
+class TestApplyUpdate:
+    def _delta_touching(self, graph, node: int) -> GraphDelta:
+        target = (node + 1) % graph.num_nodes
+        return GraphDelta(added_edges=[(node, target)])
+
+    def test_affected_entries_evicted(self, graph, scores):
+        store = ScoreStore(registry=MetricsRegistry())
+        inside = np.arange(30, dtype=np.int64)
+        store.put(graph, inside, 0.85, scores)
+        delta = self._delta_touching(graph, 5)
+        new_graph = apply_delta(graph, delta)
+        report = store.apply_update(graph, new_graph, delta=delta)
+        assert report.evicted == 1
+        assert report.migrated == 0
+        assert store.get(new_graph, inside, 0.85) is None
+
+    def test_unaffected_entries_migrate(self, graph, scores):
+        # An entry disjoint from the affected region is rekeyed to the
+        # new fingerprint (Theorem-2-bounded staleness) and stays warm.
+        store = ScoreStore(registry=MetricsRegistry())
+        delta = self._delta_touching(graph, 5)
+        new_graph = apply_delta(graph, delta)
+        from repro.updates.affected import affected_region
+
+        region = affected_region(graph, new_graph, 2, delta)
+        outside = np.setdiff1d(
+            np.arange(graph.num_nodes, dtype=np.int64), region
+        )[:10]
+        assert outside.size == 10, "need nodes outside the region"
+        outside_scores = approxrank(graph, outside, SETTINGS)
+        store.put(graph, outside, 0.85, outside_scores)
+        report = store.apply_update(graph, new_graph, delta=delta)
+        assert report.migrated == 1
+        assert report.evicted == 0
+        assert store.get(new_graph, outside, 0.85) is outside_scores
+
+    def test_strict_mode_drops_everything(self, graph, scores):
+        store = ScoreStore(registry=MetricsRegistry())
+        delta = self._delta_touching(graph, 5)
+        new_graph = apply_delta(graph, delta)
+        from repro.updates.affected import affected_region
+
+        region = affected_region(graph, new_graph, 2, delta)
+        outside = np.setdiff1d(
+            np.arange(graph.num_nodes, dtype=np.int64), region
+        )[:10]
+        store.put(graph, outside, 0.85, approxrank(graph, outside, SETTINGS))
+        report = store.apply_update(
+            graph, new_graph, delta=delta, migrate_unaffected=False
+        )
+        assert report.evicted == 1
+        assert len(store) == 0
+
+    def test_refresher_recomputes_evicted(self, graph):
+        store = ScoreStore(registry=MetricsRegistry())
+        inside = np.arange(30, dtype=np.int64)
+        store.put(
+            graph, inside, 0.85, approxrank(graph, inside, SETTINGS)
+        )
+        delta = self._delta_touching(graph, 5)
+        new_graph = apply_delta(graph, delta)
+
+        def refresher(g, local_nodes, damping):
+            from dataclasses import replace
+
+            return approxrank(
+                g, local_nodes, replace(SETTINGS, damping=damping)
+            )
+
+        report = store.apply_update(
+            graph, new_graph, delta=delta, refresher=refresher
+        )
+        assert report.refreshed == 1
+        refreshed = store.get(new_graph, inside, 0.85)
+        assert refreshed is not None
+        expected = approxrank(new_graph, inside, SETTINGS)
+        np.testing.assert_array_equal(refreshed.scores, expected.scores)
+
+    def test_update_invalidates_transition_cache(self, scores):
+        # The old graph's cached transition derivations die with it.
+        # (apply_delta already invalidates once; re-warm the cache to
+        # prove the store's own apply_update does so too.)
+        graph = random_digraph(80, seed=33)
+        store = ScoreStore(registry=MetricsRegistry())
+        delta = GraphDelta(added_edges=[(0, 7)])
+        new_graph = apply_delta(graph, delta)
+        GLOBAL_TRANSITION_CACHE.transition(graph)
+        assert graph in GLOBAL_TRANSITION_CACHE
+        store.apply_update(graph, new_graph, delta=delta)
+        assert graph not in GLOBAL_TRANSITION_CACHE
