@@ -7,13 +7,18 @@ export PYTHONPATH := src
 
 .PHONY: test test-tier2 test-all chaos obs-smoke serve-smoke \
 	bench-kernels bench-kernels-smoke bench-parallel \
-	bench-parallel-smoke bench-serve bench-serve-smoke
+	bench-parallel-smoke bench-serve bench-serve-smoke \
+	bench-backends bench-backends-smoke test-backends
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-tier2:
 	$(PYTHON) -m pytest -q -m tier2 tests/perf tests/parallel
+
+# Backend matrix alone (tier-1 agreement sweep + tier-2 bench gate).
+test-backends:
+	$(PYTHON) -m pytest -q -m "backends" tests/perf tests/pagerank
 
 # Chaos suite: deterministic fault injection against the parallel
 # pipeline (SIGKILLed workers, hung chunks, vanished shm segments,
@@ -64,3 +69,13 @@ bench-serve:
 # on single-core machines only.
 bench-serve-smoke:
 	$(PYTHON) benchmarks/bench_serve.py --smoke --output /tmp/BENCH_serve_smoke.json
+
+# Full backend benchmark; writes BENCH_backend.json at the repo root.
+bench-backends:
+	$(PYTHON) benchmarks/bench_backends.py
+
+# CI tier-2 gate: small workload; accuracy clauses (numba/f64 <= 1e-12
+# L1, float32 within its documented bound) always apply; speedup
+# clauses the box cannot exercise are waived and recorded in the JSON.
+bench-backends-smoke:
+	$(PYTHON) benchmarks/bench_backends.py --smoke --output /tmp/BENCH_backend_smoke.json

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Benchmark the solver backends and emit ``BENCH_backend.json``.
+
+Sweeps the pluggable solver backends over one AU-like reference
+workload: a full global solve on every (backend, dtype) cell —
+reference/numba × float64/float32 — plus a 1/2/4-thread
+``rank_many_threaded`` sweep on the best available backend.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py           # full
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke   # CI gate
+
+Exit code is non-zero when the smoke gate fails.  Accuracy clauses
+(numba/float64 ≤ 1e-12 L1 vs reference; float32 within its documented
+bound) always apply; speedup clauses the environment cannot exercise
+— numba absent, single-core box — are waived and recorded in the
+JSON (``waivers``) instead of failed.  See ``make bench-backends-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.backend_bench import (
+    DEFAULT_OUTPUT,
+    format_backend_summary,
+    run_backend_benchmark,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark the pluggable solver backends (reference vs "
+            "numba, float64 vs float32, thread scaling)."
+        )
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload + hard gate (CI tier-2 mode)",
+    )
+    parser.add_argument(
+        "--pages", type=int, default=None,
+        help="override the AU-like dataset size (pages)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2009, help="RNG seed",
+    )
+    parser.add_argument(
+        "--output", type=str, default=DEFAULT_OUTPUT,
+        help=f"JSON record path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    record = run_backend_benchmark(
+        smoke=args.smoke,
+        pages=args.pages,
+        seed=args.seed,
+        output_path=args.output,
+    )
+    print(format_backend_summary(record))
+    if args.smoke and not record["gate_passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

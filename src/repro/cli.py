@@ -63,24 +63,64 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SINGLE_EXPERIMENTS)
         + [
             "all", "bench-kernels", "bench-parallel", "bench-serve",
-            "obs-report", "serve", "query",
+            "bench-backends", "bench-diff", "obs-report", "serve",
+            "query",
         ],
         help=(
             "which experiment to run; 'bench-kernels' runs the solver "
             "kernel benchmark (BENCH_solver.json), 'bench-parallel' "
             "the multi-subgraph scaling benchmark (BENCH_parallel.json), "
             "'bench-serve' the online-service benchmark "
-            "(BENCH_serve.json), 'obs-report' renders an observability "
-            "snapshot written by --obs-out, 'serve' starts the online "
-            "ranking HTTP server, 'query' sends one request to a "
-            "running server"
+            "(BENCH_serve.json), 'bench-backends' the pluggable-backend "
+            "benchmark (BENCH_backend.json), 'bench-diff' compares two "
+            "benchmark records (regression report), 'obs-report' "
+            "renders an observability snapshot written by --obs-out, "
+            "'serve' starts the online ranking HTTP server, 'query' "
+            "sends one request to a running server"
         ),
     )
     parser.add_argument(
-        "snapshot", nargs="?", default=None, metavar="SNAPSHOT",
+        "snapshot", nargs="?", default=None, metavar="PATH",
         help=(
-            "('obs-report' only) path of the obs.json snapshot to "
-            "render (default: obs.json)"
+            "('obs-report') path of the obs.json snapshot to render "
+            "(default: obs.json); ('bench-diff') the OLD benchmark "
+            "record"
+        ),
+    )
+    parser.add_argument(
+        "snapshot_new", nargs="?", default=None, metavar="NEW",
+        help="('bench-diff' only) the NEW benchmark record",
+    )
+    parser.add_argument(
+        "--backend", choices=["auto", "reference", "numba"],
+        default=None,
+        help=(
+            "solver backend for every power iteration in this process "
+            "(equivalent to REPRO_BACKEND); 'auto' picks numba when "
+            "importable and falls back to the scipy reference "
+            "otherwise; scores agree within the solver tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--float32", action="store_true",
+        help=(
+            "run solver iterations in float32 (reported scores stay "
+            "float64); faster and half the memory, accurate within the "
+            "documented error budget (see DESIGN.md)"
+        ),
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=None,
+        help=(
+            "('bench-diff' only) relative noise threshold below which "
+            "metric changes are suppressed (default 0.10)"
+        ),
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help=(
+            "('bench-diff' only) exit non-zero when the diff reports "
+            "regressions or a lost gate (CI mode)"
         ),
     )
     parser.add_argument(
@@ -351,6 +391,46 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.obs or args.obs_out:
         obs.enable()
 
+    if args.backend is not None or args.float32:
+        # Applies to every solve in this process: experiments, the
+        # benches, and the serving tier all resolve through the
+        # process default (same effect as REPRO_BACKEND).
+        from repro.pagerank.backends import set_default_backend
+
+        spec = args.backend or "auto"
+        if args.float32:
+            spec += ":float32"
+        set_default_backend(spec)
+
+    if args.experiment == "bench-diff":
+        from repro.perf.diff import (
+            DEFAULT_THRESHOLD,
+            diff_records,
+            format_diff,
+            load_record,
+        )
+
+        if not args.snapshot or not args.snapshot_new:
+            print(
+                "bench-diff requires two record paths: "
+                "python -m repro bench-diff OLD.json NEW.json",
+                file=sys.stderr,
+            )
+            return 2
+        report = diff_records(
+            load_record(args.snapshot),
+            load_record(args.snapshot_new),
+            threshold=(
+                args.threshold
+                if args.threshold is not None
+                else DEFAULT_THRESHOLD
+            ),
+        )
+        print(format_diff(report))
+        if args.strict and (report["regressions"] or report["gate_lost"]):
+            return 1
+        return 0
+
     if args.experiment == "obs-report":
         snapshot = obs.load_snapshot(args.snapshot or "obs.json")
         report = obs.render_report(snapshot)
@@ -415,6 +495,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             output_path=args.output or "BENCH_serve.json",
         )
         print(format_serve_summary(record))
+        return 0 if (not args.fast or record["gate_passed"]) else 1
+
+    if args.experiment == "bench-backends":
+        # Backend matrix benchmark (reference vs numba, float64 vs
+        # float32, thread scaling); --fast maps to smoke mode.
+        from repro.perf.backend_bench import (
+            format_backend_summary,
+            run_backend_benchmark,
+        )
+
+        record = run_backend_benchmark(
+            smoke=args.fast,
+            seed=args.seed if args.seed is not None else 2009,
+            output_path=args.output or "BENCH_backend.json",
+        )
+        print(format_backend_summary(record))
         return 0 if (not args.fast or record["gate_passed"]) else 1
 
     if args.experiment == "serve":

@@ -367,6 +367,28 @@ def _faults_section(metrics: Mapping) -> list[str]:
     return ["Injected faults"] + rows
 
 
+def _backend_info_line(metrics: Mapping) -> str | None:
+    """The active solver backend, read off the info gauge.
+
+    ``repro_solver_backend_info`` carries value 1 on exactly one label
+    set (switching backends zeroes the previous set), so the first
+    sample at 1 *is* the active backend.
+    """
+    for sample in _sample_map(metrics, "repro_solver_backend_info"):
+        if sample.get("value") != 1.0:
+            continue
+        labels = sample["labels"]
+        return (
+            "  backend {}/{} (layout {}, numba {})".format(
+                labels.get("backend", "?"),
+                labels.get("dtype", "?"),
+                labels.get("layout", "?"),
+                labels.get("numba", "?"),
+            )
+        )
+    return None
+
+
 def _solver_section(metrics: Mapping) -> list[str]:
     iteration_family = metrics.get("families", {}).get(
         "repro_solver_iterations"
@@ -412,7 +434,12 @@ def _solver_section(metrics: Mapping) -> list[str]:
             f"  unconverged {int(unconverged)}  divergence trips "
             f"{int(divergences)}  safe restarts {int(restarts)}"
         )
-    return rows if len(rows) > 2 else []
+    if len(rows) <= 2:
+        return []
+    backend_line = _backend_info_line(metrics)
+    if backend_line is not None:
+        rows.insert(1, backend_line)
+    return rows
 
 
 def _algorithm_section(metrics: Mapping) -> list[str]:

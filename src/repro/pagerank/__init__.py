@@ -8,18 +8,31 @@ plus the generic solver the IdealRank/ApproxRank extended graphs reuse.
 
 Performance layer
 -----------------
-All solver variants run on the allocation-free kernels of
-:mod:`repro.pagerank.kernels` (preallocated iterate/scratch buffers,
-in-place sparse mat-vecs).  Workloads that solve many walks over one
-matrix — per-keyword ObjectRank, damping sweeps, multiple extended
-personalisations — go through the batched multi-vector solver of
-:mod:`repro.pagerank.batched`, and transition matrices themselves are
-memoized per graph by :mod:`repro.perf.cache`.
+All solver variants run on allocation-free kernels (preallocated
+iterate/scratch buffers, in-place sparse mat-vecs) behind the
+pluggable :mod:`repro.pagerank.backends` protocol: the scipy
+``_sparsetools`` reference backend is the always-available default,
+an optional numba backend provides fused GIL-free compiled sweeps,
+and both support a float32 score mode.  Workloads that solve many
+walks over one matrix — per-keyword ObjectRank, damping sweeps,
+multiple extended personalisations — go through the batched
+multi-vector solver of :mod:`repro.pagerank.batched`, and transition
+matrices themselves are memoized per graph by :mod:`repro.perf.cache`.
 """
 
 from repro.pagerank.accelerated import (
     power_iteration_adaptive,
     power_iteration_extrapolated,
+)
+from repro.pagerank.backends import (
+    BackendUnavailableError,
+    SolverBackend,
+    available_backends,
+    backend_info,
+    get_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
 )
 from repro.pagerank.batched import (
     BatchedOutcome,
@@ -49,18 +62,23 @@ from repro.pagerank.transition import (
 )
 
 __all__ = [
+    "BackendUnavailableError",
     "BatchedOutcome",
     "PowerIterationSettings",
     "PowerIterationWorkspace",
     "ResidualTrace",
     "RankResult",
+    "SolverBackend",
     "SubgraphScores",
+    "available_backends",
+    "backend_info",
     "batched_power_iteration",
     "csr_matmat_dense_into",
     "csr_matvec_into",
     "csr_transpose",
     "damping_sweep",
     "edge_perturbation_study",
+    "get_backend",
     "global_pagerank",
     "local_pagerank",
     "perturbation_bound",
@@ -68,8 +86,11 @@ __all__ = [
     "power_iteration_adaptive",
     "power_iteration_extrapolated",
     "residual_trace",
+    "resolve_backend",
+    "set_default_backend",
     "solve_linear_system",
     "stack_teleports",
+    "use_backend",
     "transition_matrix",
     "transition_matrix_transpose",
 ]

@@ -20,9 +20,10 @@ Both solvers converge to the same fixed point as the plain power
 iteration (the tests assert agreement to solver tolerance) and report
 the same :class:`~repro.pagerank.solver.PowerIterationOutcome`.  Like
 the plain solver, their inner loops run on the allocation-free kernels
-of :mod:`repro.pagerank.kernels`: iterate, scratch and (for the
-extrapolated variant) history buffers are preallocated once and every
-step is in-place arithmetic.
+of the selected :class:`~repro.pagerank.backends.SolverBackend`:
+iterate, scratch and (for the extrapolated variant) history buffers
+are preallocated once and every step is in-place arithmetic, fused or
+not depending on the backend.
 """
 
 from __future__ import annotations
@@ -33,12 +34,10 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import ConvergenceError
+from repro.pagerank.backends import SolverBackend, resolve_backend
 from repro.pagerank.kernels import (
     PowerIterationWorkspace,
-    csr_matvec_into,
-    damped_step_into,
     dangling_mass,
-    l1_residual_into,
 )
 from repro.pagerank.solver import (
     PowerIterationOutcome,
@@ -54,6 +53,7 @@ def power_iteration_extrapolated(
     dangling_dist: np.ndarray | None = None,
     settings: PowerIterationSettings | None = None,
     period: int = 10,
+    backend: "SolverBackend | str | None" = None,
 ) -> PowerIterationOutcome:
     """Power iteration with periodic Aitken Δ² extrapolation.
 
@@ -65,6 +65,10 @@ def power_iteration_extrapolated(
         Extrapolate once every ``period`` iterations (needs three
         consecutive iterates; 10 matches the WWW'03 recommendation of
         applying extrapolation infrequently).
+    backend:
+        Kernel implementation (instance, spec string, or ``None`` for
+        the process default), as in
+        :func:`repro.pagerank.solver.power_iteration`.
 
     Notes
     -----
@@ -95,14 +99,19 @@ def power_iteration_extrapolated(
             np.asarray(dangling_mask, dtype=bool)
         )
 
+    backend = resolve_backend(backend)
+    prepared = backend.prepare(transition_t)
     damping = settings.damping
-    base = (1.0 - damping) * teleport
+    base = prepared.to_backend((1.0 - damping) * teleport)
+    dangling_dist = prepared.to_backend(dangling_dist)
+    dangling_indices = prepared.map_indices(dangling_indices)
+    tolerance = backend.effective_tolerance(settings.tolerance, size)
 
-    workspace = PowerIterationWorkspace(size)
-    np.copyto(workspace.x, teleport)
+    workspace = PowerIterationWorkspace(size, dtype=prepared.dtype)
+    np.copyto(workspace.x, prepared.to_backend(teleport))
     # Rotating three-slot history of iterates (oldest first); slots are
     # preallocated and recycled, never reallocated.
-    history = [np.empty(size, dtype=np.float64) for _ in range(3)]
+    history = [np.empty(size, dtype=prepared.dtype) for _ in range(3)]
     np.copyto(history[0], workspace.x)
     hist_len = 1
 
@@ -110,8 +119,8 @@ def power_iteration_extrapolated(
     residual = np.inf
     iterations = 0
     for iterations in range(1, settings.max_iterations + 1):
-        damped_step_into(
-            transition_t,
+        residual = backend.step(
+            prepared.matrix,
             workspace.x,
             workspace.x_next,
             damping=damping,
@@ -121,9 +130,6 @@ def power_iteration_extrapolated(
             scratch=workspace.scratch,
             workspace=workspace,
         )
-        residual = l1_residual_into(
-            workspace.x_next, workspace.x, workspace.scratch
-        )
         if hist_len < 3:
             np.copyto(history[hist_len], workspace.x_next)
             hist_len += 1
@@ -131,9 +137,9 @@ def power_iteration_extrapolated(
             history.append(history.pop(0))
             np.copyto(history[2], workspace.x_next)
         workspace.swap()
-        if residual < settings.tolerance:
+        if residual < tolerance:
             return PowerIterationOutcome(
-                scores=workspace.x,
+                scores=prepared.from_backend(workspace.x),
                 iterations=iterations,
                 residual=residual,
                 converged=True,
@@ -153,7 +159,7 @@ def power_iteration_extrapolated(
             residual=residual,
         )
     return PowerIterationOutcome(
-        scores=workspace.x,
+        scores=prepared.from_backend(workspace.x),
         iterations=iterations,
         residual=residual,
         converged=False,
@@ -185,6 +191,7 @@ def power_iteration_adaptive(
     settings: PowerIterationSettings | None = None,
     freeze_tolerance_fraction: float = 1e-3,
     check_period: int = 8,
+    backend: "SolverBackend | str | None" = None,
 ) -> PowerIterationOutcome:
     """Adaptive power iteration: freeze pages that stopped moving.
 
@@ -228,14 +235,19 @@ def power_iteration_adaptive(
             np.asarray(dangling_mask, dtype=bool)
         )
 
+    backend = resolve_backend(backend)
+    prepared = backend.prepare(transition_t)
     damping = settings.damping
-    base = (1.0 - damping) * teleport
+    base = prepared.to_backend((1.0 - damping) * teleport)
+    dangling_dist = prepared.to_backend(dangling_dist)
+    dangling_indices = prepared.map_indices(dangling_indices)
+    tolerance = backend.effective_tolerance(settings.tolerance, size)
     freeze_threshold = (
         freeze_tolerance_fraction * settings.tolerance / size
     )
 
-    workspace = PowerIterationWorkspace(size)
-    np.copyto(workspace.x, teleport)
+    workspace = PowerIterationWorkspace(size, dtype=prepared.dtype)
+    np.copyto(workspace.x, prepared.to_backend(teleport))
     x, x_next, scratch = workspace.x, workspace.x_next, workspace.scratch
     frozen = np.zeros(size, dtype=bool)
     start = time.perf_counter()
@@ -245,9 +257,11 @@ def power_iteration_adaptive(
     for iterations in range(1, settings.max_iterations + 1):
         # The plain damped step, un-normalised, so the frozen pages can
         # be pinned *before* the renormalisation (matching the original
-        # update order exactly).
+        # update order exactly).  The mat-vec goes through the backend
+        # (compiled or scipy); the cheap vector arithmetic around it is
+        # plain numpy either way.
         mass = dangling_mass(x, dangling_indices, workspace)
-        csr_matvec_into(transition_t, x, x_next)
+        backend.matvec_into(prepared.matrix, x, x_next)
         x_next *= damping
         if mass:
             np.multiply(dangling_dist, damping * mass, out=scratch)
@@ -260,9 +274,9 @@ def power_iteration_adaptive(
         np.abs(scratch, out=scratch)
         residual = float(scratch.sum())
         x, x_next = x_next, x
-        if residual < settings.tolerance:
+        if residual < tolerance:
             return PowerIterationOutcome(
-                scores=x,
+                scores=prepared.from_backend(x),
                 iterations=iterations,
                 residual=residual,
                 converged=True,
@@ -284,7 +298,7 @@ def power_iteration_adaptive(
             residual=residual,
         )
     return PowerIterationOutcome(
-        scores=x,
+        scores=prepared.from_backend(x),
         iterations=iterations,
         residual=residual,
         converged=False,

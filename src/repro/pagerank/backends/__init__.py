@@ -1,0 +1,599 @@
+"""Pluggable compiled solver backends.
+
+Every power-iteration variant in this repo (plain, extrapolated,
+adaptive, batched) funnels through the same damped sweep; this package
+makes that sweep *pluggable* so the constant factor of the whole
+experiment/serving stack can be swapped without touching any caller:
+
+* :class:`SolverBackend` — the protocol: prepare a transition matrix
+  (dtype cast, optional cache-aware relabeling, zero-copy index
+  sharing), then run fused kernel operations over it (damped step with
+  residual, mat-vec, dense mat-mat).
+* :mod:`repro.pagerank.backends.reference` — the default backend: the
+  scipy ``_sparsetools`` in-place kernels of
+  :mod:`repro.pagerank.kernels`.  Always available; float64 results
+  are bit-identical to the pre-backend code.
+* :mod:`repro.pagerank.backends.numba_backend` — optional compiled
+  backend: ``@njit(parallel=True, nogil=True, cache=True)`` fused
+  sweeps that release the GIL, making cheap *thread* parallelism
+  viable (:func:`repro.parallel.rank_many_threaded`).  numba is an
+  optional extra (``pip install repro[numba]``); without it the
+  backend reports unavailable and ``auto`` falls back to the
+  reference backend — visibly, via the
+  ``repro_solver_backend_info`` gauge.
+
+Both backends support a **float32 score mode**: the big arrays (matrix
+values, iterates, scratch) are float32 — half the memory traffic of
+the bandwidth-bound sweep — while public results are returned as
+float64 in original node order.  Reduced precision raises the
+convergence floor: the L1 residual of a float32 iterate carries
+roundoff of roughly ``sqrt(n)·eps32`` (signed per-component errors,
+random-walk accumulation), so the effective tolerance is clamped to
+:meth:`SolverBackend.tolerance_floor` and the score error against a
+float64 solve is bounded by the two residuals through the standard
+damped-contraction argument (DESIGN.md §11):
+
+    ‖x32 − x64‖₁ ≤ (tol32_eff + tol64) / (1 − damping)
+
+:func:`float32_l1_bound` is that documented bound; the benchmark gate
+(``benchmarks/bench_backends.py``) and the tier-1 agreement tests
+enforce it, alongside the ≤1e-12 L1 agreement required of the numba
+float64 backend.
+
+Selection
+---------
+``resolve_backend(None)`` returns the process default, controlled by
+``set_default_backend`` / :func:`use_backend`, the ``REPRO_BACKEND``
+environment variable (``auto`` | ``reference`` | ``numba``, with an
+optional ``:float32`` / ``:float64`` suffix) and ``REPRO_DTYPE``.  The
+CLI's ``--backend`` / ``--float32`` flags set the same default, so the
+choice flows through ``run_all``, the benchmarks and the serving tier
+without signature changes anywhere.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import threading
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, ClassVar, Iterator
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.relabel import (
+    degree_order_permutation,
+    inverse_permutation,
+    permute_csr,
+)
+from repro.obs.metrics import REGISTRY
+
+__all__ = [
+    "BackendUnavailableError",
+    "PreparedSystem",
+    "SolverBackend",
+    "available_backends",
+    "backend_info",
+    "default_backend",
+    "float32_l1_bound",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: Names accepted by :func:`resolve_backend` besides concrete backends.
+AUTO = "auto"
+
+#: Layout modes a backend's ``prepare`` understands.
+_LAYOUTS = ("auto", "none", "degree")
+
+
+class BackendUnavailableError(RuntimeError):
+    """Requested a backend whose dependency is not installed."""
+
+
+def float32_l1_bound(
+    size: int, tolerance: float, damping: float
+) -> float:
+    """Documented L1 error bound of a float32 solve vs float64.
+
+    Both iterates sit within their residual of the same fixed point;
+    the damped update is a ``damping``-contraction in L1, so each is
+    within ``residual / (1 − damping)`` of it (DESIGN.md §11).  The
+    float32 residual cannot fall below its roundoff floor, hence the
+    clamp.
+    """
+    tol32 = max(tolerance, _f32_floor(size))
+    return (tol32 + tolerance) / (1.0 - damping)
+
+
+def _f32_floor(size: int) -> float:
+    """Convergence floor of a float32 L1 residual over ``size`` entries.
+
+    Each component of the residual carries roundoff of a few ulps of
+    the component magnitude (~1/size for a probability vector);
+    signed errors accumulate like a random walk, giving a floor of
+    roughly ``sqrt(size)·eps32``.  The factor 8 is measured headroom
+    (see BENCH_backend.json) so healthy solves declare convergence
+    instead of stalling at the cap.
+    """
+    eps = float(np.finfo(np.float32).eps)
+    return 8.0 * float(np.sqrt(max(size, 1))) * eps
+
+
+@dataclass(frozen=True)
+class PreparedSystem:
+    """A transition matrix made ready for one backend's kernels.
+
+    ``matrix`` is ``A^T`` in the backend's dtype and (optionally) the
+    cache-aware relabeled domain.  When no transformation is needed the
+    original matrix object passes through untouched — and when only the
+    dtype changes, the index arrays (``indices``/``indptr``) are
+    *shared* with the source matrix, so preparing a float32 view of a
+    cached transpose costs one O(nnz) value cast and zero index copies.
+
+    ``perm`` (``perm[new_id] = old_id``) is ``None`` when the layout is
+    unchanged; callers map node-indexed vectors through
+    :meth:`to_backend` / :meth:`from_backend` and never see relabeled
+    ids.
+    """
+
+    matrix: sparse.csr_matrix
+    dtype: np.dtype
+    perm: np.ndarray | None = None
+    inv: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def identity(self) -> bool:
+        """True when no cast and no relabel happened (zero-copy)."""
+        return self.perm is None and self.dtype == np.float64
+
+    def to_backend(self, vector: np.ndarray) -> np.ndarray:
+        """Cast + permute a float64 node vector into kernel domain."""
+        if self.perm is not None:
+            vector = vector[self.perm]
+        if vector.dtype != self.dtype:
+            vector = vector.astype(self.dtype)
+        return vector
+
+    def from_backend(self, vector: np.ndarray) -> np.ndarray:
+        """Restore a kernel-domain vector to float64, original order."""
+        if vector.dtype != np.float64:
+            vector = vector.astype(np.float64)
+        if self.perm is not None:
+            restored = np.empty_like(vector)
+            restored[self.perm] = vector
+            vector = restored
+        return vector
+
+    def to_backend_block(self, block: np.ndarray) -> np.ndarray:
+        """Row-permute + cast an ``(n, K)`` block into kernel domain."""
+        if self.perm is not None:
+            block = block[self.perm]
+        return np.ascontiguousarray(block, dtype=self.dtype)
+
+    def from_backend_block(self, block: np.ndarray) -> np.ndarray:
+        """Restore an ``(n, K)`` block to float64, original row order."""
+        if block.dtype != np.float64:
+            block = block.astype(np.float64)
+        if self.perm is not None:
+            restored = np.empty_like(block)
+            restored[self.perm] = block
+            block = restored
+        return block
+
+    def map_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Relabel node indices (e.g. dangling ids) into kernel domain.
+
+        Returned sorted so gathers walk the hot end of the iterate in
+        ascending order.
+        """
+        if self.inv is None or not indices.size:
+            return indices
+        return np.sort(self.inv[indices])
+
+
+class SolverBackend(abc.ABC):
+    """One implementation of the damped power-iteration kernels.
+
+    A backend instance is identified by ``(name, dtype, layout)`` and
+    is stateless apart from a per-matrix :class:`PreparedSystem` cache
+    (identity-keyed, weakref-evicted, like
+    :class:`repro.perf.cache.TransitionCache`).
+
+    Subclasses implement the four kernel operations; everything else —
+    preparation, dtype policy, tolerance floors — is shared here.
+    """
+
+    #: Registry name ("reference", "numba").
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, dtype: Any = np.float64, layout: str = "auto"):
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"solver backends support float64/float32, got {dtype}"
+            )
+        if layout not in _LAYOUTS:
+            raise ValueError(
+                f"layout must be one of {_LAYOUTS}, got {layout!r}"
+            )
+        self.dtype = dtype
+        self.layout = self._resolve_layout(layout)
+        self._prepared: dict[int, tuple[Any, PreparedSystem]] = {}
+        self._lock = threading.Lock()
+
+    # -- availability / policy ----------------------------------------
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's dependencies are importable."""
+        return True
+
+    def _resolve_layout(self, layout: str) -> str:
+        """``auto`` layout policy; subclasses may override.
+
+        The reference float64 backend keeps the original layout so its
+        results stay bit-identical to the pre-backend library; compiled
+        and reduced-precision modes (already not bit-identical) take
+        the cache win by default.
+        """
+        if layout != "auto":
+            return layout
+        return "none" if np.dtype(self.dtype) == np.float64 else "degree"
+
+    def tolerance_floor(self, size: int) -> float:
+        """Lowest meaningful convergence tolerance at this precision."""
+        if self.dtype == np.dtype(np.float32):
+            return _f32_floor(size)
+        return 0.0
+
+    def effective_tolerance(self, tolerance: float, size: int) -> float:
+        """Requested tolerance clamped to the precision floor."""
+        return max(float(tolerance), self.tolerance_floor(size))
+
+    def drift_tolerance(self) -> float:
+        """Column-sum drift that triggers renormalisation (batched)."""
+        return 1e-12 if self.dtype == np.dtype(np.float64) else 1e-5
+
+    def describe(self) -> str:
+        return f"{self.name}/{np.dtype(self.dtype).name}"
+
+    # -- preparation ---------------------------------------------------
+
+    def prepare(self, transition_t: sparse.csr_matrix) -> PreparedSystem:
+        """Cast/relabel ``A^T`` for this backend, memoised per matrix.
+
+        Keyed on matrix identity (transition matrices are derived from
+        immutable graphs and themselves never mutated); entries hold a
+        weak reference to the source matrix and die with it.
+        """
+        key = id(transition_t)
+        with self._lock:
+            hit = self._prepared.get(key)
+            if hit is not None:
+                ref, prepared = hit
+                if ref() is transition_t:
+                    return prepared
+        prepared = self._build_prepared(transition_t)
+        if prepared.identity and prepared.matrix is transition_t:
+            return prepared  # nothing to cache: zero-copy passthrough
+        with self._lock:
+            try:
+                ref = weakref.ref(
+                    transition_t,
+                    lambda _ref, _key=key: self._prepared.pop(_key, None),
+                )
+            except TypeError:  # pragma: no cover - unweakrefable matrix
+                ref = lambda: transition_t  # noqa: E731
+            self._prepared[key] = (ref, prepared)
+        return prepared
+
+    def _build_prepared(
+        self, transition_t: sparse.csr_matrix
+    ) -> PreparedSystem:
+        perm = inv = None
+        matrix = transition_t
+        if self.layout == "degree":
+            perm = degree_order_permutation(matrix)
+            if np.array_equal(perm, np.arange(perm.size)):
+                perm = None  # already degree-ordered; skip the copy
+            else:
+                inv = inverse_permutation(perm)
+                matrix = permute_csr(matrix, perm)
+        if matrix.dtype != self.dtype:
+            if matrix is transition_t:
+                # Cast values only; share the index arrays zero-copy
+                # (the in-place transpose-reuse half of the layout
+                # work: one O(nnz) cast, no O(nnz) index copies).
+                matrix = sparse.csr_matrix(
+                    (
+                        matrix.data.astype(self.dtype),
+                        matrix.indices,
+                        matrix.indptr,
+                    ),
+                    shape=matrix.shape,
+                    copy=False,
+                )
+            else:
+                matrix.data = matrix.data.astype(self.dtype)
+        return PreparedSystem(
+            matrix=matrix, dtype=np.dtype(self.dtype), perm=perm, inv=inv
+        )
+
+    # -- kernel operations (implemented by subclasses) -----------------
+
+    @abc.abstractmethod
+    def step(
+        self,
+        transition_t: sparse.csr_matrix,
+        x: np.ndarray,
+        out: np.ndarray,
+        *,
+        damping: float,
+        base: np.ndarray,
+        dangling_indices: np.ndarray,
+        dangling_dist: np.ndarray,
+        scratch: np.ndarray,
+        workspace=None,
+    ) -> float:
+        """One fused damped step ``x → out``; returns the L1 residual.
+
+        ``out`` ends normalised to sum 1; ``scratch`` is clobbered.
+        """
+
+    @abc.abstractmethod
+    def matvec_into(
+        self, matrix: sparse.csr_matrix, x: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """``out[:] = matrix @ x`` without allocating the result."""
+
+    @abc.abstractmethod
+    def matmat_into(
+        self,
+        matrix: sparse.csr_matrix,
+        block: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """``out[:] = matrix @ block`` for a C-contiguous dense block."""
+
+    @abc.abstractmethod
+    def matmat_accumulate(
+        self,
+        matrix: sparse.csr_matrix,
+        block: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """``out += matrix @ block`` for a C-contiguous dense block."""
+
+
+# ----------------------------------------------------------------------
+# Registry and selection
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[SolverBackend]] = {}
+_INSTANCES: dict[tuple[str, str, str], SolverBackend] = {}
+_instances_lock = threading.Lock()
+
+_default_lock = threading.Lock()
+_default_spec: str | None = None  # None → read the environment
+_default_backend: SolverBackend | None = None
+
+
+def register_backend(cls: type[SolverBackend]) -> type[SolverBackend]:
+    """Class decorator adding a backend to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_backends() -> dict[str, bool]:
+    """Registered backend names → availability."""
+    return {
+        name: cls.is_available() for name, cls in sorted(_REGISTRY.items())
+    }
+
+
+def get_backend(
+    name: str, dtype: Any = np.float64, layout: str = "auto"
+) -> SolverBackend:
+    """A (cached) backend instance by name.
+
+    Raises
+    ------
+    ValueError
+        Unknown backend name.
+    BackendUnavailableError
+        The backend's dependency (numba) is not installed.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown solver backend {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        )
+    if not cls.is_available():
+        raise BackendUnavailableError(
+            f"solver backend {name!r} is not available in this "
+            f"environment (install the optional extra: "
+            f"pip install repro[{name}])"
+        )
+    key = (name, np.dtype(dtype).name, layout)
+    with _instances_lock:
+        instance = _INSTANCES.get(key)
+        if instance is None:
+            instance = cls(dtype=dtype, layout=layout)
+            _INSTANCES[key] = instance
+    return instance
+
+
+def _parse_spec(spec: str) -> tuple[str, np.dtype]:
+    """Parse ``"numba"`` / ``"reference:float32"`` style specs."""
+    name, _, dtype_part = spec.strip().partition(":")
+    name = name or AUTO
+    if dtype_part:
+        if dtype_part not in ("float32", "float64"):
+            raise ValueError(
+                f"backend dtype must be float32/float64, "
+                f"got {dtype_part!r} in {spec!r}"
+            )
+        dtype = np.dtype(dtype_part)
+    else:
+        dtype = np.dtype(os.environ.get("REPRO_DTYPE", "float64"))
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"REPRO_DTYPE must be float32/float64, got {dtype}"
+            )
+    return name, dtype
+
+
+def _resolve_spec(spec: str) -> SolverBackend:
+    name, dtype = _parse_spec(spec)
+    if name == AUTO:
+        numba_cls = _REGISTRY.get("numba")
+        name = (
+            "numba"
+            if numba_cls is not None and numba_cls.is_available()
+            else "reference"
+        )
+    return get_backend(name, dtype=dtype)
+
+
+def resolve_backend(
+    backend: "SolverBackend | str | None" = None,
+) -> SolverBackend:
+    """Resolve a backend argument to a concrete instance.
+
+    ``None`` → the process default; a string → parsed spec; an
+    instance → itself.  Every resolution republishes the
+    ``repro_solver_backend_info`` gauge so the active backend is
+    always visible in observability snapshots.
+    """
+    if isinstance(backend, SolverBackend):
+        return backend
+    if isinstance(backend, str):
+        resolved = _resolve_spec(backend)
+        _publish_backend_info(resolved)
+        return resolved
+    return default_backend()
+
+
+def default_backend() -> SolverBackend:
+    """The process-default backend (env-configured, lazily resolved)."""
+    global _default_backend
+    with _default_lock:
+        if _default_backend is None:
+            spec = (
+                _default_spec
+                if _default_spec is not None
+                else os.environ.get("REPRO_BACKEND", AUTO)
+            )
+            _default_backend = _resolve_spec(spec)
+            _publish_backend_info(_default_backend)
+        return _default_backend
+
+
+def set_default_backend(spec: "SolverBackend | str | None") -> None:
+    """Set the process-default backend.
+
+    ``None`` resets to environment-driven resolution (``REPRO_BACKEND``
+    / ``REPRO_DTYPE``, default ``auto``).
+    """
+    global _default_spec, _default_backend
+    with _default_lock:
+        if spec is None:
+            _default_spec = None
+            _default_backend = None
+            return
+        if isinstance(spec, SolverBackend):
+            _default_spec = spec.describe()
+            _default_backend = spec
+        else:
+            _default_spec = spec
+            _default_backend = _resolve_spec(spec)
+        _publish_backend_info(_default_backend)
+
+
+@contextmanager
+def use_backend(spec: "SolverBackend | str | None") -> Iterator[SolverBackend]:
+    """Temporarily switch the process-default backend (tests, benches)."""
+    global _default_spec, _default_backend
+    with _default_lock:
+        saved = (_default_spec, _default_backend)
+    set_default_backend(spec)
+    try:
+        yield default_backend()
+    finally:
+        with _default_lock:
+            _default_spec, _default_backend = saved
+        if saved[1] is not None:
+            _publish_backend_info(saved[1])
+
+
+def backend_info(
+    backend: "SolverBackend | None" = None,
+) -> dict[str, Any]:
+    """Structured description of the active (or given) backend.
+
+    The payload served by ``/healthz`` and rendered in the obs-report
+    Solver section.
+    """
+    from repro.pagerank.backends import numba_backend as _nb
+
+    backend = backend if backend is not None else default_backend()
+    return {
+        "backend": backend.name,
+        "dtype": np.dtype(backend.dtype).name,
+        "layout": backend.layout,
+        "numba_available": _nb.NUMBA_AVAILABLE,
+        "numba_version": _nb.NUMBA_VERSION,
+    }
+
+
+_last_info_labels: "dict[str, str] | None" = None
+
+
+def _publish_backend_info(backend: SolverBackend) -> None:
+    """Publish the active backend as an info-style gauge (value 1).
+
+    Exactly one label set carries value 1 at any time: switching
+    backends zeroes the previous label set first, so dashboards and
+    the obs-report can read "the" active backend off the gauge.
+    """
+    global _last_info_labels
+    from repro.pagerank.backends import numba_backend as _nb
+
+    labels = {
+        "backend": backend.name,
+        "dtype": np.dtype(backend.dtype).name,
+        "layout": backend.layout,
+        "numba": _nb.NUMBA_VERSION or "absent",
+    }
+    help_text = (
+        "Active solver backend (info gauge: value 1 on the active "
+        "label set)"
+    )
+    if _last_info_labels is not None and _last_info_labels != labels:
+        REGISTRY.gauge(
+            "repro_solver_backend_info", help_text, **_last_info_labels
+        ).set(0.0)
+    REGISTRY.gauge(
+        "repro_solver_backend_info", help_text, **labels
+    ).set(1.0)
+    _last_info_labels = labels
+
+
+# Import concrete backends last so their @register_backend decorators
+# run against the populated module namespace.
+from repro.pagerank.backends.reference import ReferenceBackend  # noqa: E402
+from repro.pagerank.backends.numba_backend import NumbaBackend  # noqa: E402
+
+__all__ += ["NumbaBackend", "ReferenceBackend"]

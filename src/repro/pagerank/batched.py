@@ -19,9 +19,11 @@ per-column results agree with K independent single solves to solver
 tolerance — including dangling-mass redistribution, which is applied
 per column from that column's own dangling distribution.
 
-The inner loop runs on the allocation-free kernels of
-:mod:`repro.pagerank.kernels`: the iterate block, the scratch block and
-the per-column accumulators are preallocated once.
+The inner loop runs on the allocation-free mat-mat kernels of the
+selected :class:`~repro.pagerank.backends.SolverBackend`: the iterate
+block, the scratch block and the per-column accumulators are
+preallocated once (in the backend's dtype — the float32 mode halves
+the block traffic too).
 
 Per-column damping is supported (``dampings=``) so a damping sweep is
 one batched solve instead of a loop of full solves.
@@ -37,10 +39,7 @@ from scipy import sparse
 
 from repro.exceptions import ConvergenceError, DivergenceError
 from repro.obs import telemetry
-from repro.pagerank.kernels import (
-    csr_matmat_dense_accumulate,
-    csr_matmat_dense_into,
-)
+from repro.pagerank.backends import SolverBackend, resolve_backend
 from repro.pagerank.solver import (
     PowerIterationOutcome,
     PowerIterationSettings,
@@ -127,6 +126,7 @@ def batched_power_iteration(
     settings: PowerIterationSettings | None = None,
     initials: np.ndarray | None = None,
     dampings: np.ndarray | None = None,
+    backend: "SolverBackend | str | None" = None,
 ) -> BatchedOutcome:
     """Solve K damped walks over one matrix in a single iteration loop.
 
@@ -153,6 +153,10 @@ def batched_power_iteration(
         Optional length-K per-column damping factors overriding
         ``settings.damping`` (used by damping sweeps); every value must
         lie in (0, 1).
+    backend:
+        Kernel implementation (instance, spec string, or ``None`` for
+        the process default), as in
+        :func:`repro.pagerank.solver.power_iteration`.
 
     Returns
     -------
@@ -202,6 +206,20 @@ def batched_power_iteration(
             )
         dangling_indices = np.flatnonzero(dangling_mask)
 
+    backend = resolve_backend(backend)
+    prepared = backend.prepare(transition_t)
+    tolerance = backend.effective_tolerance(settings.tolerance, size)
+    drift_tolerance = backend.drift_tolerance()
+    # Move the blocks into the backend's domain (row permutation +
+    # dtype); on the reference/float64 backend these are no-op
+    # passthroughs of the validated float64 blocks.
+    teleports = prepared.to_backend_block(teleports)
+    if dists_are_teleports:
+        dangling_dists = teleports
+    else:
+        dangling_dists = prepared.to_backend_block(dangling_dists)
+    dangling_indices = prepared.map_indices(dangling_indices)
+
     uniform_damping = dampings is None
     if dampings is None:
         damping_row = np.full(k, settings.damping, dtype=np.float64)
@@ -226,24 +244,25 @@ def batched_power_iteration(
         if np.any(totals <= 0):
             raise ValueError("every initial column must have positive mass")
         x /= totals
+        x = prepared.to_backend_block(x)
 
     x_next = np.empty_like(x)
     scratch = np.empty_like(x)
     gather = (
-        np.empty((dangling_indices.size, k), dtype=np.float64)
+        np.empty((dangling_indices.size, k), dtype=prepared.dtype)
         if dangling_indices.size
         else None
     )
-    masses = np.empty(k, dtype=np.float64)
-    coef = np.empty(k, dtype=np.float64)
-    column_sums = np.empty(k, dtype=np.float64)
-    column_drift = np.empty(k, dtype=np.float64)
-    column_residuals = np.empty(k, dtype=np.float64)
+    masses = np.empty(k, dtype=prepared.dtype)
+    coef = np.empty(k, dtype=prepared.dtype)
+    column_sums = np.empty(k, dtype=prepared.dtype)
+    column_drift = np.empty(k, dtype=prepared.dtype)
+    column_residuals = np.empty(k, dtype=prepared.dtype)
     # Column reductions over a C-contiguous (n, K) block through
     # ``sum(axis=0)`` degenerate into n tiny length-K inner loops; a
     # BLAS mat-vec against a ones vector reads the block in one
     # stream (~15x faster at K=8).
-    ones = np.ones(size, dtype=np.float64)
+    ones = np.ones(size, dtype=prepared.dtype)
 
     if uniform_damping:
         damping = float(settings.damping)
@@ -251,18 +270,18 @@ def batched_power_iteration(
         # folded into the matrix itself: scale the stored values once
         # (one pass over the nnz, amortised over every sweep and every
         # column) and let the mat-mat produce damped mass directly.
-        # The index arrays are shared with ``transition_t``.
+        # The index arrays are shared with the prepared matrix.
         propagate = sparse.csr_matrix(
             (
-                transition_t.data * damping,
-                transition_t.indices,
-                transition_t.indptr,
+                prepared.matrix.data * prepared.dtype.type(damping),
+                prepared.matrix.indices,
+                prepared.matrix.indptr,
             ),
-            shape=transition_t.shape,
+            shape=prepared.matrix.shape,
         )
     else:
         damping = 0.0
-        propagate = transition_t
+        propagate = prepared.matrix
 
     # ObjectRank-style personalisations concentrate on small base
     # sets, leaving most teleport rows zero.  When the row support is
@@ -285,7 +304,9 @@ def batched_power_iteration(
     if uniform_damping and dists_are_teleports:
         base = None
     else:
-        base = (1.0 - damping_row) * teleports
+        base = ((1.0 - damping_row) * teleports).astype(
+            prepared.dtype, copy=False
+        )
 
     iterations = np.zeros(k, dtype=np.int64)
     residuals = np.full(k, np.inf, dtype=np.float64)
@@ -320,25 +341,25 @@ def batched_power_iteration(
                 else:
                     coef.fill(1.0 - damping)
                 if use_scatter:
-                    csr_matmat_dense_into(propagate, x, x_next)
+                    backend.matmat_into(propagate, x, x_next)
                     np.multiply(tel_nz, coef, out=seed_buf)
                     x_next[tel_rows] += seed_buf
                 else:
                     np.multiply(teleports, coef, out=x_next)
-                    csr_matmat_dense_accumulate(propagate, x, x_next)
+                    backend.matmat_accumulate(propagate, x, x_next)
             else:
                 np.copyto(x_next, base)
                 if gather is not None:
                     np.multiply(masses, damping, out=coef)
                     np.multiply(dangling_dists, coef, out=scratch)
                     x_next += scratch
-                csr_matmat_dense_accumulate(propagate, x, x_next)
+                backend.matmat_accumulate(propagate, x, x_next)
         else:
             # Per-column dampings (damping sweeps): the scale cannot be
             # folded into the matrix, so apply it as a row broadcast.
             if gather is not None:
                 masses *= damping_row
-            csr_matmat_dense_into(propagate, x, x_next)
+            backend.matmat_into(propagate, x, x_next)
             x_next *= damping_row
             if gather is not None:
                 np.multiply(dangling_dists, masses, out=scratch)
@@ -353,7 +374,7 @@ def batched_power_iteration(
         np.dot(ones, x_next, out=column_sums)
         np.subtract(column_sums, 1.0, out=column_drift)
         np.abs(column_drift, out=column_drift)
-        if float(column_drift.max()) > 1e-12:
+        if float(column_drift.max()) > drift_tolerance:
             x_next /= column_sums
         # Converged columns are pinned at their converged value so
         # later sweeps cannot move them.
@@ -386,7 +407,7 @@ def batched_power_iteration(
                 residual_trace=residual_history,
             )
         if settings.divergence_patience > 0:
-            still_off = active & (column_residuals >= settings.tolerance)
+            still_off = active & (column_residuals >= tolerance)
             worse = still_off & (column_residuals >= best_residuals)
             improved = still_off & (column_residuals < best_residuals)
             stall_streaks[worse] += 1
@@ -405,7 +426,7 @@ def batched_power_iteration(
                     residual=float(column_residuals[bad]),
                     residual_trace=residual_history,
                 )
-        newly_done = active & (column_residuals < settings.tolerance)
+        newly_done = active & (column_residuals < tolerance)
         iterations[active] = sweeps
         residuals[active] = column_residuals[active]
         if newly_done.any():
@@ -423,7 +444,7 @@ def batched_power_iteration(
                 residual_trace=residual_history,
             )
             return BatchedOutcome(
-                scores=x,
+                scores=prepared.from_backend_block(x),
                 iterations=iterations,
                 residuals=residuals,
                 converged=converged,
@@ -451,7 +472,7 @@ def batched_power_iteration(
             residual=float(residuals[laggard]),
         )
     return BatchedOutcome(
-        scores=x,
+        scores=prepared.from_backend_block(x),
         iterations=iterations,
         residuals=residuals,
         converged=converged,

@@ -25,6 +25,15 @@ step as in-place kernels over preallocated buffers:
 
 Everything here is pure arithmetic: validation, convergence policy and
 result packaging stay in :mod:`repro.pagerank.solver` and friends.
+
+Since the backend refactor these functions double as the **reference
+backend** (:mod:`repro.pagerank.backends.reference`): the convergence
+driver :func:`run_power_loop` dispatches each sweep through a
+:class:`~repro.pagerank.backends.SolverBackend`, with the scipy
+kernels below as the always-available default and the optional numba
+backend as the compiled, GIL-free alternative.  The kernels are
+dtype-generic — ``_sparsetools`` dispatches on the array dtypes — so
+the same code serves the float32 score mode.
 """
 
 from __future__ import annotations
@@ -129,9 +138,11 @@ def csr_matmat_dense_accumulate(
 class PowerIterationWorkspace:
     """Preallocated buffers for one single-vector power iteration.
 
-    A workspace is tied to a problem size ``n``; reusing it across
-    repeated solves on the same graph makes the steady state of the
-    solver allocation-free.  The buffers:
+    A workspace is tied to a problem size ``n`` (and, since the
+    backend refactor, a score dtype — float64 by default, float32 for
+    the reduced-precision backends); reusing it across repeated solves
+    on the same graph makes the steady state of the solver
+    allocation-free.  The buffers:
 
     ``x`` / ``x_next``
         The two iterates (the solver swaps them each step instead of
@@ -143,23 +154,28 @@ class PowerIterationWorkspace:
         iterate (``ensure_gather``).
     """
 
-    __slots__ = ("size", "x", "x_next", "scratch", "_gather")
+    __slots__ = ("size", "dtype", "x", "x_next", "scratch", "_gather")
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, dtype=np.float64):
         if size < 1:
             raise ValueError(f"workspace size must be >= 1, got {size}")
         self.size = size
-        self.x = np.empty(size, dtype=np.float64)
-        self.x_next = np.empty(size, dtype=np.float64)
-        self.scratch = np.empty(size, dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        self.x = np.empty(size, dtype=self.dtype)
+        self.x_next = np.empty(size, dtype=self.dtype)
+        self.scratch = np.empty(size, dtype=self.dtype)
         self._gather: np.ndarray | None = None
-        telemetry.record_workspace_allocation(size, 3 * size * 8)
+        telemetry.record_workspace_allocation(
+            size, 3 * size * self.dtype.itemsize
+        )
 
     def ensure_gather(self, size: int) -> np.ndarray:
         """Return a reusable buffer of at least ``size`` elements."""
         if self._gather is None or self._gather.size < size:
-            self._gather = np.empty(size, dtype=np.float64)
-            telemetry.record_workspace_allocation(size, size * 8)
+            self._gather = np.empty(size, dtype=self.dtype)
+            telemetry.record_workspace_allocation(
+                size, size * self.dtype.itemsize
+            )
         return self._gather
 
     def swap(self) -> None:
@@ -238,12 +254,21 @@ def run_power_loop(
     check_finite: bool = False,
     divergence_patience: int = 0,
     residual_trace: "list[float] | None" = None,
+    backend=None,
 ) -> tuple[int, float, bool]:
     """Drive the damped step to convergence over a workspace.
 
     ``workspace.x`` must hold the (normalised) starting vector; on
     return it holds the final iterate.  Returns ``(iterations,
     residual, converged)``.
+
+    ``backend`` selects the kernel implementation
+    (:class:`~repro.pagerank.backends.SolverBackend`); ``None`` means
+    the process default.  Every array argument must already live in the
+    backend's domain (dtype and layout) — the solver layer handles
+    that via :meth:`~repro.pagerank.backends.SolverBackend.prepare`.
+    On the default reference/float64 backend this function performs
+    exactly the historical in-place step, bit for bit.
 
     Guards (both off by default; the solver layer enables them):
 
@@ -262,12 +287,16 @@ def run_power_loop(
     ``residual_trace``, when given, accumulates the per-sweep residual
     (the forensic trail carried by :class:`DivergenceError`).
     """
+    if backend is None:
+        from repro.pagerank import backends as _backends
+
+        backend = _backends.default_backend()
     residual = np.inf
     iterations = 0
     best_residual = np.inf
     stall_streak = 0
     for iterations in range(1, max_iterations + 1):
-        damped_step_into(
+        residual = backend.step(
             transition_t,
             workspace.x,
             workspace.x_next,
@@ -277,9 +306,6 @@ def run_power_loop(
             dangling_dist=dangling_dist,
             scratch=workspace.scratch,
             workspace=workspace,
-        )
-        residual = l1_residual_into(
-            workspace.x_next, workspace.x, workspace.scratch
         )
         if residual_trace is not None:
             residual_trace.append(float(residual))

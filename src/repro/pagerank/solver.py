@@ -26,6 +26,7 @@ from scipy import sparse
 
 from repro.exceptions import ConvergenceError, DivergenceError
 from repro.obs import telemetry
+from repro.pagerank.backends import SolverBackend, resolve_backend
 from repro.pagerank.kernels import PowerIterationWorkspace, run_power_loop
 
 log = logging.getLogger(__name__)
@@ -144,13 +145,18 @@ def power_iteration(
     settings: PowerIterationSettings | None = None,
     initial: np.ndarray | None = None,
     workspace: PowerIterationWorkspace | None = None,
+    backend: "SolverBackend | str | None" = None,
 ) -> PowerIterationOutcome:
     """Run the damped power iteration to its stationary distribution.
 
-    The iteration itself runs on the allocation-free kernels of
-    :mod:`repro.pagerank.kernels`: iterate and scratch buffers are
-    preallocated once (or supplied by the caller) and every step is
-    in-place sparse mat-vec plus in-place vector arithmetic.
+    The iteration itself runs on the allocation-free kernels of the
+    selected :class:`~repro.pagerank.backends.SolverBackend`: iterate
+    and scratch buffers are preallocated once (or supplied by the
+    caller) and every step is an in-place fused sweep.  The matrix is
+    passed through :meth:`~repro.pagerank.backends.SolverBackend.prepare`
+    (dtype cast, optional cache-aware relabeling — memoised per
+    matrix), and results are always returned as float64 in original
+    node order regardless of the backend's internal domain.
 
     Parameters
     ----------
@@ -173,7 +179,14 @@ def power_iteration(
         Optional preallocated
         :class:`~repro.pagerank.kernels.PowerIterationWorkspace` of the
         right size; pass one when solving repeatedly on the same graph
-        so the steady state allocates nothing.
+        so the steady state allocates nothing.  Its dtype must match
+        the backend's; a mismatched workspace is ignored (a private
+        one is allocated) rather than clobbered with casts.
+    backend:
+        Kernel implementation: a
+        :class:`~repro.pagerank.backends.SolverBackend` instance, a
+        spec string (``"reference"``, ``"numba:float32"``, ...) or
+        ``None`` for the process default (``REPRO_BACKEND``).
 
     Returns
     -------
@@ -213,17 +226,25 @@ def power_iteration(
             )
         dangling_indices = np.flatnonzero(dangling_mask)
 
+    backend = resolve_backend(backend)
+    prepared = backend.prepare(transition_t)
+
     caller_workspace = workspace is not None
-    if workspace is None:
-        workspace = PowerIterationWorkspace(size)
-    elif workspace.size != size:
+    if workspace is not None and workspace.size != size:
         raise ValueError(
             f"workspace is sized for {workspace.size}, problem is {size}"
         )
+    if workspace is not None and workspace.dtype != prepared.dtype:
+        # Caller-owned buffers in the wrong precision for this backend:
+        # solve in a private workspace rather than clobbering them.
+        workspace = None
+        caller_workspace = False
+    if workspace is None:
+        workspace = PowerIterationWorkspace(size, dtype=prepared.dtype)
 
     warm_start = initial is not None
     if initial is None:
-        np.copyto(workspace.x, teleport)
+        start_vector = teleport
     else:
         initial = np.asarray(initial, dtype=np.float64)
         if initial.shape != (size,):
@@ -233,26 +254,31 @@ def power_iteration(
         total = initial.sum()
         if total <= 0:
             raise ValueError("initial vector must have positive mass")
-        np.divide(initial, total, out=workspace.x)
+        start_vector = initial / total
+    np.copyto(workspace.x, prepared.to_backend(start_vector))
 
     damping = settings.damping
-    base = (1.0 - damping) * teleport
+    base = prepared.to_backend((1.0 - damping) * teleport)
+    kernel_dangling_dist = prepared.to_backend(dangling_dist)
+    kernel_dangling_indices = prepared.map_indices(dangling_indices)
+    tolerance = backend.effective_tolerance(settings.tolerance, size)
     guarded = settings.check_finite or settings.divergence_patience > 0
     trace: list[float] | None = [] if guarded else None
     start = time.perf_counter()
     try:
         iterations, residual, converged = run_power_loop(
-            transition_t,
+            prepared.matrix,
             damping=damping,
             base=base,
-            dangling_indices=dangling_indices,
-            dangling_dist=dangling_dist,
-            tolerance=settings.tolerance,
+            dangling_indices=kernel_dangling_indices,
+            dangling_dist=kernel_dangling_dist,
+            tolerance=tolerance,
             max_iterations=settings.max_iterations,
             workspace=workspace,
             check_finite=settings.check_finite,
             divergence_patience=settings.divergence_patience,
             residual_trace=trace,
+            backend=backend,
         )
     except DivergenceError as exc:
         telemetry.record_divergence("power", exc.iterations or 0)
@@ -268,21 +294,22 @@ def power_iteration(
             exc,
         )
         telemetry.record_safe_restart("power")
-        np.copyto(workspace.x, teleport)
+        np.copyto(workspace.x, prepared.to_backend(teleport))
         trace = [] if guarded else None
         try:
             iterations, residual, converged = run_power_loop(
-                transition_t,
+                prepared.matrix,
                 damping=damping,
                 base=base,
-                dangling_indices=dangling_indices,
-                dangling_dist=dangling_dist,
-                tolerance=settings.tolerance,
+                dangling_indices=kernel_dangling_indices,
+                dangling_dist=kernel_dangling_dist,
+                tolerance=tolerance,
                 max_iterations=settings.max_iterations,
                 workspace=workspace,
                 check_finite=settings.check_finite,
                 divergence_patience=settings.divergence_patience,
                 residual_trace=trace,
+                backend=backend,
             )
         except DivergenceError as restart_exc:
             telemetry.record_divergence("power", restart_exc.iterations or 0)
@@ -297,9 +324,14 @@ def power_iteration(
         runtime_seconds=runtime,
         residual_trace=trace,
     )
-    # A caller-owned workspace will be reused; hand back a private copy
-    # of the final iterate so the next solve cannot clobber it.
-    scores = workspace.x.copy() if caller_workspace else workspace.x
+    if prepared.identity:
+        # A caller-owned workspace will be reused; hand back a private
+        # copy of the final iterate so the next solve cannot clobber it.
+        scores = workspace.x.copy() if caller_workspace else workspace.x
+    else:
+        # Restoration (cast to float64 / inverse permutation) already
+        # produces a private array.
+        scores = prepared.from_backend(workspace.x)
     if not converged and settings.raise_on_divergence:
         raise ConvergenceError(
             f"power iteration did not reach tolerance "

@@ -1,0 +1,137 @@
+"""Thread-parallel multi-subgraph ranking for GIL-free backends.
+
+:func:`repro.parallel.rank_many` pays for its parallelism in process
+machinery: shared-memory publication, pickled task specs, per-worker
+re-attachment and a pool spawn per batch.  On small-to-medium batches
+that overhead dominates (BENCH_parallel.json measured the process pool
+*slower* than serial on this box).  When the solver backend releases
+the GIL — the numba backend's kernels are compiled with
+``nogil=True`` — none of that machinery is needed: plain threads run
+whole solves concurrently while sharing the graph, the transition
+cache and the ApproxRank global pass **zero-copy**, because they live
+in one address space.
+
+:func:`rank_many_threaded` is that engine.  It reuses the executor's
+task normalisation and solve code (:func:`~repro.parallel.executor._solve_one`
+— the same functions the serial and process paths run, so scores for
+a given backend agree bit for bit with the serial path), a single
+shared :class:`~repro.core.precompute.ApproxRankPreprocessor` (its
+caches are lock-guarded), and returns results in input order.
+
+On the reference backend threads merely time-slice under the GIL
+(scipy's kernels hold it); the call still works — results are
+identical — but expect no speedup.  The backend benchmark records the
+measured scaling for both (``BENCH_backend.json``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.baselines.sc import SCSettings
+from repro.core.precompute import ApproxRankPreprocessor
+from repro.exceptions import ParallelError
+from repro.graph.digraph import CSRGraph
+from repro.obs.tracing import span
+from repro.pagerank.backends import resolve_backend, use_backend
+from repro.pagerank.result import SubgraphScores
+from repro.pagerank.solver import PowerIterationSettings
+from repro.parallel.executor import (
+    PARALLEL_ALGORITHMS,
+    _named_subgraphs,
+    _solve_one,
+    _TaskSpec,
+)
+
+__all__ = ["rank_many_threaded"]
+
+
+def rank_many_threaded(
+    graph: CSRGraph,
+    subgraphs,
+    algorithm: str = "approxrank",
+    settings: PowerIterationSettings | None = None,
+    threads: int | None = None,
+    sc_settings: SCSettings | None = None,
+    backend=None,
+) -> list[SubgraphScores]:
+    """Rank K subgraphs concurrently on threads of one process.
+
+    Parameters
+    ----------
+    graph, subgraphs, algorithm, settings, sc_settings:
+        As in :func:`repro.parallel.rank_many`.
+    threads:
+        Thread count; ``None`` means ``os.cpu_count()``, and the
+        count is capped at the number of tasks.  ``<=1`` solves
+        serially (same code path, no pool).
+    backend:
+        Solver backend for every solve (instance, spec string, or
+        ``None`` for the process default).  Thread parallelism only
+        pays off on backends whose kernels release the GIL (numba).
+
+    Returns
+    -------
+    list[SubgraphScores]
+        One result per subgraph, **in input order**.
+
+    Raises
+    ------
+    ParallelError
+        Unknown algorithm, or a task failed (the message names the
+        subgraph).
+    """
+    if algorithm not in PARALLEL_ALGORITHMS:
+        raise ParallelError(
+            f"unknown algorithm {algorithm!r}; "
+            f"available: {PARALLEL_ALGORITHMS}"
+        )
+    named = _named_subgraphs(graph, subgraphs)
+    tasks = [
+        _TaskSpec(index=i, name=name, nodes=nodes, algorithm=algorithm)
+        for i, (name, nodes) in enumerate(named)
+    ]
+    if not tasks:
+        return []
+    resolved = resolve_backend(backend)
+    effective = threads if threads is not None else (os.cpu_count() or 1)
+    effective = max(1, min(int(effective), len(tasks)))
+
+    # One shared global pass: the preprocessor's transition/block
+    # caches are lock-guarded, and the prepared (cast/relabeled) matrix
+    # is memoised inside the backend, so the first solve builds each
+    # artifact and every other thread reuses it zero-copy.
+    preprocessor = (
+        ApproxRankPreprocessor(graph) if algorithm == "approxrank" else None
+    )
+
+    def solve(task: _TaskSpec) -> SubgraphScores:
+        try:
+            return _solve_one(
+                graph, task, settings, sc_settings, preprocessor
+            )
+        except ParallelError:
+            raise
+        except Exception as exc:
+            raise ParallelError(
+                f"subgraph {task.name!r} ({task.algorithm}) failed: "
+                f"{type(exc).__name__}: {exc}",
+                subgraph=task.name,
+                algorithm=task.algorithm,
+                error_type=type(exc).__name__,
+            ) from exc
+
+    # The backend choice rides on the process default for the duration
+    # so it reaches the solver through the unchanged algorithm
+    # signatures; `use_backend` restores the previous default on exit.
+    with use_backend(resolved):
+        with span("parallel:threads") as s:
+            s.add_counter("tasks", len(tasks))
+            s.add_counter("threads", effective)
+            if effective <= 1:
+                return [solve(task) for task in tasks]
+            with ThreadPoolExecutor(max_workers=effective) as pool:
+                # map() preserves input order and re-raises the first
+                # task exception in that order.
+                return list(pool.map(solve, tasks))

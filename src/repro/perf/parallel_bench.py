@@ -20,7 +20,10 @@ Gate semantics (smoke mode / CI):
 * the ≥ ``TARGET_SPEEDUP`` wall-clock requirement applies only when
   the machine actually has multiple CPU cores — on a single-core
   container process parallelism cannot beat serial, so the speedup
-  clause is recorded (``speedup_gate_waived``) rather than failed.
+  clause is recorded (``speedup_gate_waived``) rather than failed;
+* worker counts above ``os.cpu_count()`` are never timed (pure
+  oversubscription noise); they are recorded in the JSON as
+  ``skipped_worker_counts`` instead.
 """
 
 from __future__ import annotations
@@ -97,6 +100,17 @@ def run_parallel_benchmark(
         for domain, __ in AU_NAMED_DOMAINS
     ]
     cpu_count = os.cpu_count() or 1
+    # Timing worker counts beyond the machine's cores measures nothing
+    # but oversubscription noise (and on a 1-core container it burns
+    # minutes in pool spawn overhead for configurations that cannot
+    # win).  Cap the sweep at the core count and record what was
+    # skipped so the JSON stays honest about its coverage.
+    skipped_worker_counts = sorted(
+        {int(w) for w in workers if w > cpu_count}
+    )
+    workers = tuple(w for w in workers if w <= cpu_count)
+    if 1 not in workers:  # pragma: no cover - cpu_count >= 1 always
+        workers = (1, *workers)
 
     def timed_run(worker_count: int):
         best = float("inf")
@@ -165,6 +179,7 @@ def run_parallel_benchmark(
         },
         "serial_seconds": serial_seconds,
         "sweep": sweep,
+        "skipped_worker_counts": skipped_worker_counts,
         "target_speedup": TARGET_SPEEDUP,
         "best_parallel_speedup": best_speedup,
         "meets_target": bool(best_speedup >= TARGET_SPEEDUP),
@@ -194,6 +209,12 @@ def format_parallel_summary(record: dict[str, Any]) -> str:
             f"  workers={entry['workers']}: {entry['seconds']:.3f}s "
             f"({entry['speedup_vs_serial']:.2f}x vs serial, "
             f"exact={'yes' if entry['exact_match_vs_serial'] else 'NO'})"
+        )
+    skipped = record.get("skipped_worker_counts") or []
+    if skipped:
+        lines.append(
+            f"  skipped : workers {skipped} (> {record['cpu_count']} "
+            f"cpu(s))"
         )
     waived = record["speedup_gate_waived"]
     lines.append(

@@ -337,6 +337,8 @@ class RankingService:
 
     def health(self) -> dict:
         """The ``/healthz`` payload."""
+        from repro.pagerank.backends import backend_info
+
         state = self._state
         return {
             "status": "ok",
@@ -346,6 +348,7 @@ class RankingService:
             "store": self.store.stats(),
             "batching": self.batcher.policy.enabled,
             "pending": self.batcher.pending,
+            "solver_backend": backend_info(),
         }
 
 

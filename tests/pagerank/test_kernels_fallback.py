@@ -1,0 +1,89 @@
+"""Forced-fallback kernel tests: ``_sparsetools`` absent.
+
+The in-place kernels use ``scipy.sparse._sparsetools`` — a private
+module — so a scipy build without it must be survivable.  The promise
+is stronger than "still works": the allocating ``@``-operator fallback
+performs the same float64 operations in the same order, so the solver
+output is **bit-identical**, not merely close.  These tests monkeypatch
+the availability flag and pin that guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pagerank import kernels
+from repro.pagerank.kernels import (
+    PowerIterationWorkspace,
+    csr_matmat_dense_into,
+    csr_matvec_into,
+    run_power_loop,
+)
+from repro.pagerank.solver import uniform_teleport
+from repro.pagerank.transition import transition_matrix_transpose
+from tests.conftest import random_digraph
+
+
+@pytest.fixture
+def system():
+    graph = random_digraph(250, dangling_fraction=0.3, seed=11)
+    transition_t, dangling_mask = transition_matrix_transpose(graph)
+    teleport = uniform_teleport(graph.num_nodes)
+    return graph, transition_t, dangling_mask, teleport
+
+
+def loop(transition_t, teleport, dangling_mask):
+    size = transition_t.shape[0]
+    workspace = PowerIterationWorkspace(size)
+    np.copyto(workspace.x, teleport)
+    iterations, residual, converged = run_power_loop(
+        transition_t,
+        damping=0.85,
+        base=0.15 * teleport,
+        dangling_indices=np.flatnonzero(dangling_mask),
+        dangling_dist=teleport,
+        tolerance=1e-10,
+        max_iterations=5_000,
+        workspace=workspace,
+    )
+    return workspace.x.copy(), iterations, residual, converged
+
+
+class TestForcedFallback:
+    def test_matvec_bit_identical(self, system, monkeypatch):
+        __, transition_t, __, teleport = system
+        fast = np.empty_like(teleport)
+        csr_matvec_into(transition_t, teleport, fast)
+        monkeypatch.setattr(kernels, "_HAVE_SPARSETOOLS", False)
+        slow = np.empty_like(teleport)
+        csr_matvec_into(transition_t, teleport, slow)
+        assert np.array_equal(fast, slow)
+
+    def test_matmat_bit_identical(self, system, monkeypatch):
+        __, transition_t, __, teleport = system
+        block = np.column_stack([teleport, teleport[::-1].copy()])
+        block = np.ascontiguousarray(block)
+        fast = np.empty_like(block)
+        csr_matmat_dense_into(transition_t, block, fast)
+        monkeypatch.setattr(kernels, "_HAVE_SPARSETOOLS", False)
+        slow = np.empty_like(block)
+        csr_matmat_dense_into(transition_t, block, slow)
+        assert np.array_equal(fast, slow)
+
+    def test_run_power_loop_bit_identical(self, system, monkeypatch):
+        __, transition_t, dangling_mask, teleport = system
+        with_c = loop(transition_t, teleport, dangling_mask)
+        monkeypatch.setattr(kernels, "_HAVE_SPARSETOOLS", False)
+        without_c = loop(transition_t, teleport, dangling_mask)
+        scores_c, iters_c, residual_c, converged_c = with_c
+        scores_py, iters_py, residual_py, converged_py = without_c
+        assert converged_c and converged_py
+        assert iters_c == iters_py
+        assert residual_c == residual_py
+        assert np.array_equal(scores_c, scores_py)
+
+    def test_flag_reflects_real_environment(self):
+        # On any supported scipy the C kernels exist; if this fails the
+        # environment itself is the anomaly worth investigating.
+        assert kernels.SPARSETOOLS_AVAILABLE is kernels._HAVE_SPARSETOOLS

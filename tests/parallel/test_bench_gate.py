@@ -41,9 +41,13 @@ class TestSmokeGate:
         assert smoke_record["all_exact"]
 
     def test_full_sweep_recorded(self, smoke_record):
-        assert [e["workers"] for e in smoke_record["sweep"]] == list(
-            WORKER_SWEEP
-        )
+        # The sweep is capped at the machine's core count; everything
+        # above it must be recorded as skipped, not silently dropped.
+        cpu_count = os.cpu_count() or 1
+        expected = [w for w in WORKER_SWEEP if w <= cpu_count]
+        skipped = [w for w in WORKER_SWEEP if w > cpu_count]
+        assert [e["workers"] for e in smoke_record["sweep"]] == expected
+        assert smoke_record["skipped_worker_counts"] == skipped
         assert smoke_record["target_speedup"] == TARGET_SPEEDUP
 
     def test_speedup_when_cores_exist(self, smoke_record):

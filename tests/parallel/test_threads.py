@@ -1,0 +1,96 @@
+"""Thread-pool executor tests: exactness, ordering, error naming.
+
+Unlike the process pool (``rank_many``), the thread pool shares the
+graph, transition caches and preprocessor **zero-copy** — so the
+load-bearing guarantee is again exact agreement: the same float64
+operations run on the *same* arrays, threads only change scheduling.
+With the GIL-holding reference backend the pool adds concurrency but
+not parallelism; the numba backend's ``nogil`` kernels are where
+wall-clock scaling comes from (see ``BENCH_backend.json``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParallelError
+from repro.parallel import rank_many, rank_many_threaded
+from tests.conftest import random_digraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_digraph(300, dangling_fraction=0.35, seed=9)
+
+
+@pytest.fixture(scope="module")
+def subgraphs():
+    return [
+        ("low", list(range(0, 40))),
+        ("mid", list(range(120, 190))),
+        ("high", list(range(200, 290))),
+    ]
+
+
+def assert_exact(result_a, result_b):
+    assert len(result_a) == len(result_b)
+    for a, b in zip(result_a, result_b):
+        assert np.array_equal(a.local_nodes, b.local_nodes)
+        assert np.array_equal(a.scores, b.scores)
+
+
+class TestThreadedExactness:
+    def test_matches_serial_process_path(self, graph, subgraphs):
+        threaded = rank_many_threaded(graph, subgraphs, threads=2)
+        serial = rank_many(graph, subgraphs, workers=1)
+        assert_exact(threaded, serial)
+
+    def test_thread_count_does_not_change_scores(self, graph, subgraphs):
+        one = rank_many_threaded(graph, subgraphs, threads=1)
+        four = rank_many_threaded(graph, subgraphs, threads=4)
+        assert_exact(one, four)
+
+    @pytest.mark.parametrize("algorithm", ["approxrank", "local-pr"])
+    def test_algorithms_agree_with_process_path(
+        self, graph, subgraphs, algorithm
+    ):
+        threaded = rank_many_threaded(
+            graph, subgraphs, algorithm=algorithm, threads=2
+        )
+        serial = rank_many(
+            graph, subgraphs, algorithm=algorithm, workers=1
+        )
+        assert_exact(threaded, serial)
+
+
+class TestThreadedSemantics:
+    def test_results_follow_input_order(self, graph, subgraphs):
+        results = rank_many_threaded(graph, subgraphs, threads=3)
+        for (__, nodes), scores in zip(subgraphs, results):
+            assert sorted(scores.local_nodes.tolist()) == sorted(nodes)
+
+    def test_empty_batch(self, graph):
+        assert rank_many_threaded(graph, [], threads=2) == []
+
+    def test_unknown_algorithm_rejected(self, graph, subgraphs):
+        with pytest.raises(ParallelError, match="unknown algorithm"):
+            rank_many_threaded(
+                graph, subgraphs, algorithm="simrank", threads=2
+            )
+
+    def test_error_names_failing_subgraph(self, graph):
+        everything = list(range(graph.num_nodes))  # no external part
+        with pytest.raises(ParallelError, match="'everything'"):
+            rank_many_threaded(
+                graph,
+                [("fine", [0, 1, 2]), ("everything", everything)],
+                threads=2,
+            )
+
+    def test_explicit_backend_spec(self, graph, subgraphs):
+        via_spec = rank_many_threaded(
+            graph, subgraphs, threads=2, backend="reference:float64"
+        )
+        default = rank_many_threaded(graph, subgraphs, threads=2)
+        assert_exact(via_spec, default)

@@ -1,0 +1,116 @@
+"""Tier-2 performance gate: the backend benchmark in smoke mode.
+
+Excluded from tier-1 by the ``tier2`` marker; CI runs it via
+``make test-tier2`` / ``make bench-backends-smoke``.  Also carries the
+``backends`` marker so the backend matrix can be exercised alone
+(``pytest -m backends``).
+
+The gate's waiver semantics are themselves under test: clauses this
+environment cannot exercise (numba absent, single-core box) must be
+**waived and recorded** in the JSON — never silently passed, never
+failed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.pagerank.backends import available_backends, float32_l1_bound
+from repro.perf.backend_bench import (
+    NUMBA_F64_L1_GATE,
+    THREAD_SWEEP,
+    run_backend_benchmark,
+)
+
+pytestmark = [pytest.mark.tier2, pytest.mark.backends]
+
+
+@pytest.fixture(scope="module")
+def smoke_record():
+    return run_backend_benchmark(smoke=True, output_path=None)
+
+
+class TestSmokeGate:
+    def test_gate_passes(self, smoke_record):
+        assert smoke_record["gate_passed"], (
+            f"backend smoke gate failed: "
+            f"accuracy_ok={smoke_record['accuracy_ok']}, "
+            f"threads_exact={smoke_record['threads_exact']}, "
+            f"waivers={smoke_record['waivers']}"
+        )
+
+    def test_baseline_cell_is_reference_f64(self, smoke_record):
+        first = smoke_record["single_solve"][0]
+        assert (first["backend"], first["dtype"]) == (
+            "reference",
+            "float64",
+        )
+        assert not first["skipped"]
+        assert first["l1_vs_reference_f64"] == 0.0
+        assert first["speedup_vs_reference_f64"] == 1.0
+
+    def test_every_cell_ran_or_has_reason(self, smoke_record):
+        availability = available_backends()
+        for cell in smoke_record["single_solve"]:
+            if cell["skipped"]:
+                assert not availability.get(cell["backend"], False)
+                assert cell["reason"]
+            else:
+                assert cell["converged"]
+
+    def test_float32_cells_within_documented_bound(self, smoke_record):
+        workload = smoke_record["workload"]
+        bound = float32_l1_bound(
+            workload["pages"], workload["tolerance"], workload["damping"]
+        )
+        ran = 0
+        for cell in smoke_record["single_solve"]:
+            if cell["skipped"] or cell["dtype"] != "float32":
+                continue
+            ran += 1
+            assert cell["l1_bound"] == bound
+            assert cell["within_bound"]
+            assert cell["l1_vs_reference_f64"] <= bound
+        assert ran >= 1  # reference/float32 always runs
+
+    def test_numba_f64_within_hard_gate(self, smoke_record):
+        for cell in smoke_record["single_solve"]:
+            if cell["skipped"] or cell["backend"] != "numba":
+                continue
+            if cell["dtype"] == "float64":
+                assert cell["l1_gate"] == NUMBA_F64_L1_GATE
+                assert cell["within_gate"]
+
+    def test_threads_exact_across_sweep(self, smoke_record):
+        assert smoke_record["threads_exact"]
+        for entry in smoke_record["thread_sweep"]:
+            assert entry["exact_match_vs_serial"]
+
+    def test_thread_sweep_capped_at_cpu_count(self, smoke_record):
+        cpu_count = os.cpu_count() or 1
+        ran = [e["threads"] for e in smoke_record["thread_sweep"]]
+        assert ran == [t for t in THREAD_SWEEP if t <= cpu_count]
+        assert smoke_record["skipped_thread_counts"] == [
+            t for t in THREAD_SWEEP if t > cpu_count
+        ]
+
+    def test_waivers_match_environment(self, smoke_record):
+        waived = {w["gate"] for w in smoke_record["waivers"]}
+        availability = available_backends()
+        if not availability.get("numba"):
+            assert "compiled_speedup" in waived
+        else:
+            assert "compiled_speedup" not in waived
+        if (os.cpu_count() or 1) < 2 or not availability.get("numba"):
+            assert "thread_scaling" in waived
+        for waiver in smoke_record["waivers"]:
+            assert waiver["reason"]
+
+    def test_unwaived_speedups_meet_floor(self, smoke_record):
+        waived = {w["gate"] for w in smoke_record["waivers"]}
+        if "compiled_speedup" not in waived:
+            assert smoke_record["best_compiled_speedup"] > 1.0
+        if "thread_scaling" not in waived:
+            assert smoke_record["best_thread_speedup"] > 1.0
