@@ -6,9 +6,10 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-tier2 test-all chaos obs-smoke serve-smoke \
-	bench-kernels bench-kernels-smoke bench-parallel \
+	update-smoke bench-kernels bench-kernels-smoke bench-parallel \
 	bench-parallel-smoke bench-serve bench-serve-smoke \
-	bench-backends bench-backends-smoke test-backends
+	bench-backends bench-backends-smoke test-backends \
+	bench-updates bench-updates-smoke bench-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +42,13 @@ obs-smoke:
 # bit-identical-to-offline pin).
 serve-smoke:
 	$(PYTHON) -m pytest -q -m "serve and not tier2" tests/serve
+
+# Incremental re-ranking smoke: the updates test suite (region
+# detection, warm starts, staleness certificates, metrics), then the
+# stale-but-bounded serving contract pins in the serve suite.
+update-smoke:
+	$(PYTHON) -m pytest -q -m updates tests/updates
+	$(PYTHON) -m pytest -q tests/serve/test_server.py -k Update
 
 # Full benchmark; writes BENCH_solver.json at the repo root.
 bench-kernels:
@@ -79,3 +87,30 @@ bench-backends:
 # clauses the box cannot exercise are waived and recorded in the JSON.
 bench-backends-smoke:
 	$(PYTHON) benchmarks/bench_backends.py --smoke --output /tmp/BENCH_backend_smoke.json
+
+# Full update-stream benchmark; writes BENCH_update.json at the repo
+# root.
+bench-updates:
+	$(PYTHON) benchmarks/bench_updates.py
+
+# CI tier-2 gate: small churn stream; the warm/cold accuracy clause
+# and the Theorem-2 staleness clause are never waived; the
+# iterations-saved ratio clause is waived (and recorded) only when
+# cold solves have no burn-in worth skipping.
+bench-updates-smoke:
+	$(PYTHON) benchmarks/bench_updates.py --smoke --output /tmp/BENCH_update_smoke.json
+
+# Regenerate every benchmark record into /tmp and diff it against the
+# committed one; --strict turns regressions above the noise threshold
+# into a non-zero exit.
+bench-check:
+	$(PYTHON) benchmarks/bench_solver_kernels.py --output /tmp/BENCH_solver_check.json > /dev/null
+	$(PYTHON) -m repro bench-diff --strict BENCH_solver.json /tmp/BENCH_solver_check.json
+	$(PYTHON) benchmarks/bench_parallel.py --output /tmp/BENCH_parallel_check.json > /dev/null
+	$(PYTHON) -m repro bench-diff --strict BENCH_parallel.json /tmp/BENCH_parallel_check.json
+	$(PYTHON) benchmarks/bench_serve.py --output /tmp/BENCH_serve_check.json > /dev/null
+	$(PYTHON) -m repro bench-diff --strict BENCH_serve.json /tmp/BENCH_serve_check.json
+	$(PYTHON) benchmarks/bench_backends.py --output /tmp/BENCH_backend_check.json > /dev/null
+	$(PYTHON) -m repro bench-diff --strict BENCH_backend.json /tmp/BENCH_backend_check.json
+	$(PYTHON) benchmarks/bench_updates.py --output /tmp/BENCH_update_check.json > /dev/null
+	$(PYTHON) -m repro bench-diff --strict BENCH_update.json /tmp/BENCH_update_check.json

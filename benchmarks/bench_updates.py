@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Benchmark incremental re-ranking and emit ``BENCH_update.json``.
+
+Runs a seeded edge-churn stream through the incremental re-ranking
+engine twice per update — warm-started (the engine's default) and cold
+(the baseline) — and records updates/sec, power-iteration totals and
+the iterations-saved ratio, alongside two never-waived correctness
+clauses: warm/cold agreement within solver truncation, and honest
+Theorem-2 staleness accounting under the store's budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_updates.py           # full
+    PYTHONPATH=src python benchmarks/bench_updates.py --smoke   # CI gate
+
+Exit code is non-zero when the smoke gate fails.  The accuracy and
+staleness clauses are never waived; the iterations-saved ratio clause
+is waived (and recorded) only when cold solves are too short to have
+burn-in worth skipping.  See ``make bench-updates-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.updates.bench import (
+    DEFAULT_OUTPUT,
+    format_update_summary,
+    run_update_benchmark,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark warm-started vs cold incremental re-ranking "
+            "over a seeded edge-churn stream."
+        )
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload + hard gate (CI tier-2 mode)",
+    )
+    parser.add_argument(
+        "--pages", type=int, default=None,
+        help="override the synthetic web size (pages)",
+    )
+    parser.add_argument(
+        "--updates", type=int, default=None,
+        help="churn-stream length (default: 5 smoke / 12 full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2009, help="RNG seed",
+    )
+    parser.add_argument(
+        "--output", type=str, default=DEFAULT_OUTPUT,
+        help=f"JSON record path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    record = run_update_benchmark(
+        smoke=args.smoke,
+        pages=args.pages,
+        updates=args.updates,
+        seed=args.seed,
+        output_path=args.output,
+    )
+    print(format_update_summary(record))
+    if args.smoke and not record["gate_passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

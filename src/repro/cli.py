@@ -63,8 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SINGLE_EXPERIMENTS)
         + [
             "all", "bench-kernels", "bench-parallel", "bench-serve",
-            "bench-backends", "bench-diff", "obs-report", "serve",
-            "query",
+            "bench-backends", "bench-updates", "bench-diff",
+            "obs-report", "serve", "query",
         ],
         help=(
             "which experiment to run; 'bench-kernels' runs the solver "
@@ -72,7 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
             "the multi-subgraph scaling benchmark (BENCH_parallel.json), "
             "'bench-serve' the online-service benchmark "
             "(BENCH_serve.json), 'bench-backends' the pluggable-backend "
-            "benchmark (BENCH_backend.json), 'bench-diff' compares two "
+            "benchmark (BENCH_backend.json), 'bench-updates' the "
+            "incremental re-ranking benchmark (BENCH_update.json), "
+            "'bench-diff' compares two "
             "benchmark records (regression report), 'obs-report' "
             "renders an observability snapshot written by --obs-out, "
             "'serve' starts the online ranking HTTP server, 'query' "
@@ -511,6 +513,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             output_path=args.output or "BENCH_backend.json",
         )
         print(format_backend_summary(record))
+        return 0 if (not args.fast or record["gate_passed"]) else 1
+
+    if args.experiment == "bench-updates":
+        # Incremental re-ranking benchmark: warm-started vs cold
+        # regional solves over a seeded edge-churn stream; --fast maps
+        # to smoke mode (small workload + hard gate).
+        from repro.updates.bench import (
+            format_update_summary,
+            run_update_benchmark,
+        )
+
+        record = run_update_benchmark(
+            smoke=args.fast,
+            seed=args.seed if args.seed is not None else 2009,
+            output_path=args.output or "BENCH_update.json",
+        )
+        print(format_update_summary(record))
         return 0 if (not args.fast or record["gate_passed"]) else 1
 
     if args.experiment == "serve":

@@ -32,6 +32,8 @@ def idealrank(
     external_scores: np.ndarray,
     settings: PowerIterationSettings | None = None,
     personalization: np.ndarray | None = None,
+    initial: np.ndarray | None = None,
+    backend=None,
 ) -> SubgraphScores:
     """Compute IdealRank scores for the local pages.
 
@@ -52,6 +54,13 @@ def idealrank(
         Optional global teleport distribution (length N); Theorem 1
         holds for any P (ObjectRank base sets, personalised ranking),
         provided ``external_scores`` came from a walk with the same P.
+    initial:
+        Optional length-(n+1) warm-start vector in the extended space
+        (local scores then Λ); used by the incremental re-ranking
+        engine to skip cold-start burn-in sweeps.
+    backend:
+        Kernel implementation forwarded to the solver (``None`` =
+        process default).
 
     Returns
     -------
@@ -67,7 +76,7 @@ def idealrank(
         graph, local, weights, mode="ideal",
         personalization=personalization,
     )
-    solve = extended.solve(settings)
+    solve = extended.solve(settings, initial=initial, backend=backend)
     runtime = time.perf_counter() - start
     return solve_to_subgraph_scores(
         extended, method="idealrank", total_runtime=runtime, solve=solve
@@ -81,6 +90,8 @@ def rank_with_external_weights(
     settings: PowerIterationSettings | None = None,
     method: str = "extended-rank",
     personalization: np.ndarray | None = None,
+    initial: np.ndarray | None = None,
+    backend=None,
 ) -> SubgraphScores:
     """Run the extended-graph random walk under an arbitrary E vector.
 
@@ -105,7 +116,7 @@ def rank_with_external_weights(
         graph, local_nodes, external_weights, mode="custom",
         personalization=personalization,
     )
-    solve = extended.solve(settings)
+    solve = extended.solve(settings, initial=initial, backend=backend)
     runtime = time.perf_counter() - start
     return solve_to_subgraph_scores(
         extended, method=method, total_runtime=runtime, solve=solve

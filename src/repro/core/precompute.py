@@ -128,6 +128,8 @@ class ApproxRankPreprocessor:
         self,
         local_nodes: Iterable[int],
         settings: PowerIterationSettings | None = None,
+        initial: np.ndarray | None = None,
+        backend=None,
     ) -> SubgraphScores:
         """ApproxRank for one subgraph, reusing the global pass.
 
@@ -135,10 +137,16 @@ class ApproxRankPreprocessor:
         work, which is what the amortised-cost rows of Tables V/VI
         measure; the one-off global pass is available separately as
         :attr:`preprocess_seconds`.
+
+        ``initial`` warm-starts the extended solve from a previous
+        score vector (length n+1: local scores then Λ) — the serving
+        layer's background refresher uses this to re-rank a stale
+        store entry in a handful of sweeps.  ``backend`` selects the
+        solver kernels (``None`` = process default).
         """
         start = time.perf_counter()
         extended = self.extended_graph(local_nodes)
-        solve = extended.solve(settings)
+        solve = extended.solve(settings, initial=initial, backend=backend)
         runtime = time.perf_counter() - start
         return solve_to_subgraph_scores(
             extended,

@@ -556,6 +556,55 @@ def _serve_section(metrics: Mapping) -> list[str]:
     return rows if len(rows) > 1 else []
 
 
+def _updates_section(metrics: Mapping) -> list[str]:
+    """The incremental re-ranking engine's ``repro_update_*`` family."""
+    applied = _metric_total(metrics, "repro_update_applied_total")
+    regions = _metric_total(
+        metrics, "repro_update_regions_reranked_total"
+    )
+    saved = _metric_total(
+        metrics, "repro_update_iterations_saved_total"
+    )
+    spent = _metric_total(
+        metrics, "repro_update_staleness_spent_total"
+    )
+    refresh_samples = _sample_map(
+        metrics, "repro_update_background_refreshes_total"
+    )
+    if not (applied or regions or saved or refresh_samples):
+        return []
+    rows = ["Updates (incremental re-ranking)"]
+    if applied or spent:
+        line = f"  updates applied {int(applied)}"
+        line += f"  staleness spent {spent:.4g}"
+        budget_samples = _sample_map(
+            metrics, "repro_update_staleness_budget"
+        )
+        if budget_samples:
+            line += "  budget {:.4g}".format(
+                budget_samples[0]["value"]
+            )
+        rows.append(line)
+    if regions or saved:
+        rows.append(
+            f"  regions re-ranked {int(regions)}  "
+            f"iterations saved {int(saved)}"
+        )
+    refreshes = [
+        "{}={}".format(
+            s["labels"].get("mode", "?"), int(s["value"])
+        )
+        for s in refresh_samples
+        if s.get("value")
+    ]
+    if refreshes:
+        rows.append("  refreshes: " + "  ".join(refreshes))
+    stale = _metric_total(metrics, "repro_update_stale_entries")
+    if stale:
+        rows.append(f"  stale-but-bounded entries {int(stale)}")
+    return rows if len(rows) > 1 else []
+
+
 def _span_lines(node: Mapping, depth: int, out: list[str]) -> None:
     indent = "  " * depth
     error = f"  !{node['error']}" if node.get("error") else ""
@@ -624,6 +673,7 @@ def render_report(snapshot: Mapping) -> str:
             _algorithm_section(metrics),
             _experiment_section(metrics),
             _serve_section(metrics),
+            _updates_section(metrics),
             _span_section(snapshot),
             _history_section(snapshot),
         )

@@ -27,7 +27,11 @@ from scipy import sparse
 from repro.exceptions import ConvergenceError, DivergenceError
 from repro.obs import telemetry
 from repro.pagerank.backends import SolverBackend, resolve_backend
-from repro.pagerank.kernels import PowerIterationWorkspace, run_power_loop
+from repro.pagerank.kernels import (
+    PowerIterationWorkspace,
+    projected_cold_iterations,
+    run_power_loop,
+)
 
 log = logging.getLogger(__name__)
 
@@ -104,13 +108,23 @@ class PowerIterationSettings:
 
 @dataclass(frozen=True)
 class PowerIterationOutcome:
-    """Raw solver output (scores plus convergence accounting)."""
+    """Raw solver output (scores plus convergence accounting).
+
+    ``warm_start`` records whether the solve started from a
+    caller-supplied ``initial`` vector; ``iterations_saved`` is the
+    number of burn-in sweeps the warm start skipped relative to the
+    projected cold-start cost at the same effective tolerance (see
+    :func:`repro.pagerank.kernels.projected_cold_iterations`).  Both
+    are zero/False for cold solves.
+    """
 
     scores: np.ndarray
     iterations: int
     residual: float
     converged: bool
     runtime_seconds: float
+    warm_start: bool = False
+    iterations_saved: int = 0
 
 
 def _validate_distribution(name: str, vector: np.ndarray, size: int) -> np.ndarray:
@@ -294,6 +308,9 @@ def power_iteration(
             exc,
         )
         telemetry.record_safe_restart("power")
+        # The warm start was abandoned; the retry is a cold solve and
+        # must not claim warm-start savings.
+        warm_start = False
         np.copyto(workspace.x, prepared.to_backend(teleport))
         trace = [] if guarded else None
         try:
@@ -340,12 +357,20 @@ def power_iteration(
             iterations=iterations,
             residual=residual,
         )
+    iterations_saved = 0
+    if warm_start and converged:
+        projected = projected_cold_iterations(
+            tolerance, damping, settings.max_iterations
+        )
+        iterations_saved = max(0, projected - iterations)
     return PowerIterationOutcome(
         scores=scores,
         iterations=iterations,
         residual=residual,
         converged=converged,
         runtime_seconds=runtime,
+        warm_start=warm_start,
+        iterations_saved=iterations_saved,
     )
 
 

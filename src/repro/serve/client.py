@@ -125,6 +125,16 @@ class RankingClient:
         extras = {"cache_hit": payload["cache_hit"]}
         if "lambda_score" in payload:
             extras["lambda_score"] = payload["lambda_score"]
+        # Staleness accounting rides along so callers can honour the
+        # fresh-or-flagged serving contract without re-requesting.
+        if payload.get("stale"):
+            extras["stale"] = True
+            extras["staleness"] = float(payload.get("staleness", 0.0))
+        if "warm_start" in payload:
+            extras["warm_start"] = bool(payload["warm_start"])
+            extras["iterations_saved"] = int(
+                payload.get("iterations_saved", 0)
+            )
         return SubgraphScores(
             local_nodes=np.asarray(payload["nodes"], dtype=np.int64),
             scores=np.asarray(payload["scores"], dtype=np.float64),

@@ -73,9 +73,26 @@ from repro.updates.delta import GraphDelta, apply_delta
 __all__ = [
     "RankingService",
     "RankingServer",
+    "RankOutcome",
     "BackgroundServer",
     "start_background_server",
 ]
+
+
+@dataclass(frozen=True)
+class RankOutcome:
+    """A served ranking plus its cache and staleness accounting.
+
+    ``stale`` is True when the scores predate a graph update and are
+    served under the Theorem-2 bound; ``staleness`` is the entry's
+    cumulative charge (0.0 for fresh results).  A non-stale outcome is
+    bit-identical to the offline solve on the current graph.
+    """
+
+    scores: SubgraphScores
+    cache_hit: bool
+    stale: bool = False
+    staleness: float = 0.0
 
 #: Largest request body accepted (a node list for a million-page
 #: subgraph fits comfortably; anything bigger is abuse).
@@ -158,6 +175,11 @@ class RankingService:
         self._lexicon = lexicon
         self._lexicon_lock = threading.Lock()
         self._update_lock = asyncio.Lock()
+        self._refresh_tasks: set[asyncio.Task] = set()
+        self._updates_applied = 0
+        self._staleness_spent = 0.0
+        self._iterations_saved = 0
+        self._entries_refreshed = 0
 
     # ------------------------------------------------------------------
     # State access
@@ -250,18 +272,40 @@ class RankingService:
         deadline_seconds: float | None = None,
     ) -> tuple[SubgraphScores, bool]:
         """Scores for one subgraph; returns ``(scores, cache_hit)``."""
+        outcome = await self.rank_with_meta(
+            nodes, damping, deadline_seconds
+        )
+        return outcome.scores, outcome.cache_hit
+
+    async def rank_with_meta(
+        self,
+        nodes: Iterable[int],
+        damping: float | None = None,
+        deadline_seconds: float | None = None,
+    ) -> RankOutcome:
+        """Scores plus cache/staleness accounting for one subgraph.
+
+        A warm hit on a stale-but-bounded entry is served immediately
+        with its staleness charge attached (the store guarantees the
+        charge is within budget); a miss solves fresh.
+        """
         state = self._state
         local = normalize_node_set(state.graph, nodes)
         epsilon = self._resolve_damping(damping)
-        cached = self.store.get(state.graph, local, epsilon)
-        if cached is not None:
-            return cached, True
+        hit = self.store.lookup(state.graph, local, epsilon)
+        if hit is not None:
+            return RankOutcome(
+                scores=hit.scores,
+                cache_hit=True,
+                stale=hit.stale,
+                staleness=hit.staleness,
+            )
         group_key = (state.fingerprint, subgraph_digest(local))
         scores = await self.batcher.submit(
             group_key, local, epsilon, deadline_seconds
         )
         self.store.put(state.graph, local, epsilon, scores)
-        return scores, False
+        return RankOutcome(scores=scores, cache_hit=False)
 
     async def search(
         self,
@@ -289,10 +333,14 @@ class RankingService:
         """Apply a :class:`GraphDelta` and swap the served graph.
 
         Runs the rebuild + new global pass off the event loop, then
-        atomically swaps the state and invalidates affected store
-        entries (see :meth:`ScoreStore.apply_update`).  With
-        ``refresh=True`` the evicted entries are eagerly re-solved
-        against the new graph before the call returns.
+        atomically swaps the state and migrates affected store entries
+        into the stale-but-bounded state (see
+        :meth:`ScoreStore.apply_update`): they keep serving — flagged,
+        charged against the Theorem-2 budget — while an incremental
+        re-rank brings them back.  The refresh is scheduled off-loop
+        by default (a background task warm-starts each stale entry
+        from its previous score vector); ``refresh=True`` awaits it
+        before returning instead.
         """
         async with self._update_lock:
             old_state = self._state
@@ -303,12 +351,6 @@ class RankingService:
             new_prep = await loop.run_in_executor(
                 None, ApproxRankPreprocessor, new_graph
             )
-            refresher = None
-            if refresh:
-                def refresher(graph, local_nodes, damping):
-                    settings = replace(self._settings, damping=damping)
-                    return new_prep.rank(local_nodes, settings)
-
             report = await loop.run_in_executor(
                 None,
                 lambda: self.store.apply_update(
@@ -317,21 +359,133 @@ class RankingService:
                     delta=delta,
                     hops=hops,
                     migrate_unaffected=migrate_unaffected,
-                    refresher=refresher,
                 ),
             )
             with self._lexicon_lock:
                 if new_graph.num_nodes != old_state.graph.num_nodes:
                     self._lexicon = None
-            self._state = _GraphState(
+            new_state = _GraphState(
                 graph=new_graph,
                 preprocessor=new_prep,
                 fingerprint=graph_fingerprint(new_graph),
             )
-            return report
+            self._state = new_state
+            self._updates_applied += 1
+            self._staleness_spent += report.staleness_charge
+        if report.stale_entries:
+            if refresh:
+                await self._refresh_entries(
+                    new_state, report.stale_entries, mode="eager"
+                )
+                report = replace(
+                    report, refreshed=len(report.stale_entries)
+                )
+            else:
+                task = asyncio.create_task(
+                    self._refresh_entries(
+                        new_state,
+                        report.stale_entries,
+                        mode="background",
+                    )
+                )
+                self._refresh_tasks.add(task)
+                task.add_done_callback(self._refresh_tasks.discard)
+        return report
+
+    # ------------------------------------------------------------------
+    # Incremental refresh (stale-but-bounded entries)
+    # ------------------------------------------------------------------
+
+    def _refresh_entry_sync(
+        self,
+        state: _GraphState,
+        nodes: np.ndarray,
+        damping: float,
+    ) -> int:
+        """Re-rank one stale entry, warm-starting from its old vector.
+
+        Returns the iterations the warm start saved.  The refreshed
+        entry is re-inserted still flagged stale, carrying the solver
+        truncation bound ``(residual + tolerance)/(1−ε)`` — it is
+        within that of a cold solve but not bit-identical, and the
+        serving contract only unflags bit-identical results.  A cold
+        refresh (no warm vector available) inserts fresh.
+        """
+        hit = self.store.lookup(state.graph, nodes, damping)
+        initial = None
+        if hit is not None:
+            old = hit.scores
+            lam = old.extras.get("lambda_score")
+            if lam is None:
+                lam = max(1.0 - float(old.scores.sum()), 0.0)
+            candidate = np.concatenate(
+                [np.asarray(old.scores, dtype=np.float64), [float(lam)]]
+            )
+            if candidate.sum() > 0 and np.all(candidate >= 0):
+                initial = candidate
+        settings = replace(
+            self._settings,
+            damping=damping,
+            safe_restart=initial is not None,
+        )
+        fresh = state.preprocessor.rank(
+            nodes, settings, initial=initial
+        )
+        if initial is not None:
+            remaining = (fresh.residual + settings.tolerance) / (
+                1.0 - damping
+            )
+            self.store.put(
+                state.graph,
+                np.asarray(fresh.local_nodes),
+                damping,
+                fresh,
+                stale=True,
+                staleness=remaining,
+            )
+        else:
+            self.store.put(
+                state.graph,
+                np.asarray(fresh.local_nodes),
+                damping,
+                fresh,
+            )
+        return int(fresh.extras.get("iterations_saved", 0))
+
+    async def _refresh_entries(
+        self,
+        state: _GraphState,
+        entries,
+        mode: str,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        for nodes, damping in entries:
+            if state is not self._state:
+                # The graph moved on while this refresh waited; the
+                # next update's work list supersedes this one.
+                return
+            saved = await loop.run_in_executor(
+                None,
+                self._refresh_entry_sync,
+                state,
+                np.asarray(nodes, dtype=np.int64),
+                float(damping),
+            )
+            self._iterations_saved += saved
+            self._entries_refreshed += 1
+            self._registry.counter(
+                "repro_update_background_refreshes_total",
+                "Stale store entries re-ranked after a graph update, "
+                "by scheduling mode.",
+                mode=mode,
+            ).inc()
 
     async def close(self) -> None:
-        """Drain the batcher and release the solve executor."""
+        """Drain refreshes and the batcher, release the executor."""
+        if self._refresh_tasks:
+            await asyncio.gather(
+                *tuple(self._refresh_tasks), return_exceptions=True
+            )
         await self.batcher.drain()
         self._executor.shutdown(wait=True)
 
@@ -340,15 +494,25 @@ class RankingService:
         from repro.pagerank.backends import backend_info
 
         state = self._state
+        store_stats = self.store.stats()
         return {
             "status": "ok",
             "graph_nodes": state.graph.num_nodes,
             "graph_edges": state.graph.num_edges,
             "graph_fingerprint": state.fingerprint[:16],
-            "store": self.store.stats(),
+            "store": store_stats,
             "batching": self.batcher.policy.enabled,
             "pending": self.batcher.pending,
             "solver_backend": backend_info(),
+            "updates": {
+                "applied": self._updates_applied,
+                "staleness_spent": self._staleness_spent,
+                "staleness_budget": self.store.staleness_budget,
+                "stale_entries": store_stats.get("stale_entries", 0),
+                "iterations_saved": self._iterations_saved,
+                "entries_refreshed": self._entries_refreshed,
+                "pending_refreshes": len(self._refresh_tasks),
+            },
         }
 
 
@@ -357,7 +521,12 @@ class RankingService:
 # ----------------------------------------------------------------------
 
 
-def _scores_payload(scores: SubgraphScores, cache_hit: bool) -> dict:
+def _scores_payload(
+    scores: SubgraphScores,
+    cache_hit: bool,
+    stale: bool = False,
+    staleness: float = 0.0,
+) -> dict:
     payload = {
         "nodes": scores.local_nodes.tolist(),
         "scores": scores.scores.tolist(),
@@ -367,9 +536,19 @@ def _scores_payload(scores: SubgraphScores, cache_hit: bool) -> dict:
         "converged": scores.converged,
         "runtime_seconds": scores.runtime_seconds,
         "cache_hit": cache_hit,
+        # The serving contract: a result is either bit-identical to
+        # the offline solve on the current graph, or explicitly
+        # flagged stale with its Theorem-2 charge attached.
+        "stale": stale,
+        "staleness": staleness,
     }
     if "lambda_score" in scores.extras:
         payload["lambda_score"] = scores.extras["lambda_score"]
+    if "warm_start" in scores.extras:
+        payload["warm_start"] = bool(scores.extras["warm_start"])
+        payload["iterations_saved"] = int(
+            scores.extras.get("iterations_saved", 0)
+        )
     return payload
 
 
@@ -581,12 +760,17 @@ class RankingServer:
                 if method != "POST":
                     return 405, {"error": "use POST"}, _JSON
                 request = self._parse_json(body)
-                scores, cache_hit = await self.service.rank(
+                outcome = await self.service.rank_with_meta(
                     self._require_nodes(request),
                     damping=request.get("damping"),
                     deadline_seconds=request.get("deadline_seconds"),
                 )
-                return 200, _scores_payload(scores, cache_hit), _JSON
+                return 200, _scores_payload(
+                    outcome.scores,
+                    outcome.cache_hit,
+                    stale=outcome.stale,
+                    staleness=outcome.staleness,
+                ), _JSON
             if path == "/search":
                 if method != "POST":
                     return 405, {"error": "use POST"}, _JSON

@@ -18,14 +18,19 @@ Freshness is governed three ways:
 * **LRU capacity** — least-recently-used entries fall out first;
 * **TTL expiry** — entries older than ``ttl_seconds`` are dropped at
   read time (the store never serves a result older than its TTL);
-* **update-driven invalidation** — :meth:`ScoreStore.apply_update`
+* **update-driven staleness accounting** — :meth:`ScoreStore.apply_update`
   consumes a :class:`~repro.updates.delta.GraphDelta`'s affected
-  region and evicts every entry whose subgraph intersects it.  Entries
-  *outside* the region may optionally migrate to the new graph's
-  fingerprint: Theorem 2 bounds the staleness of an untouched
-  subgraph's scores by ``ε/(1−ε)`` times the external-importance drift
-  the update caused, which is exactly the locality argument behind
-  :func:`repro.updates.rerank.incremental_rerank`.
+  region and migrates every surviving entry into a *stale-but-bounded*
+  state instead of evicting it: the entry keeps serving immediately
+  (flagged, with its cumulative staleness charge attached) while the
+  serving layer re-ranks it incrementally in the background.  The
+  charge per update is the Theorem-2 bound ``ε/(1−ε)·‖ΔE‖₁`` made
+  computable through Ng et al.'s perturbation bound (see
+  :func:`repro.updates.rerank.staleness_charge_bound`); the moment an
+  entry's cumulative charge exceeds the store's ``staleness_budget``
+  it is evicted — an over-budget entry is *never* served.  Pass
+  ``migrate_unaffected=False`` for the strict drop-everything
+  semantics of earlier revisions.
 
 Entries persist to ``.npz`` files (one per entry) so a restarted
 server can warm-load yesterday's scores for the same graph without a
@@ -53,11 +58,26 @@ from repro.updates.affected import affected_region
 from repro.updates.delta import GraphDelta
 
 __all__ = [
+    "DEFAULT_STALENESS_BUDGET",
     "ScoreStore",
+    "StoreHit",
     "StoreUpdateReport",
     "graph_fingerprint",
     "subgraph_digest",
 ]
+
+#: Default Theorem-2 staleness budget (L1 units of score mass): the
+#: maximum cumulative ``ε/(1−ε)·‖ΔE‖₁`` charge an entry may carry and
+#: still be served.  The charge is a *worst-case certificate* — Ng et
+#: al.'s perturbation bound amplified by Theorem 2 carries an
+#: ``(ε/(1−ε))²`` factor (~64x the changed score mass at ε = 0.85) —
+#: so the budget is calibrated to the certificate's scale, not to the
+#: (orders-of-magnitude smaller) typical error.  1.0 is half the L1
+#: diameter of probability distributions: one small-churn update (a
+#: page changed on a ~100-node graph certifies at ≈0.5) survives
+#: stale-but-bounded, the second evicts and forces a re-solve.
+#: Services with tighter SLOs pass their own budget.
+DEFAULT_STALENESS_BUDGET = 1.0
 
 #: Fingerprints are content hashes; computing one scans every CSR
 #: array, so memoise per graph object (CSRGraph is immutable).
@@ -107,6 +127,23 @@ class _Entry:
     digest: str
     damping: float
     inserted_at: float
+    stale: bool = False
+    staleness: float = 0.0
+
+
+@dataclass(frozen=True)
+class StoreHit:
+    """One served store entry plus its staleness accounting.
+
+    ``stale`` is True when the entry predates a graph update and is
+    being served under the Theorem-2 bound; ``staleness`` is its
+    cumulative charge (0.0 for fresh entries).  An entry whose charge
+    exceeds the store's budget is never returned.
+    """
+
+    scores: SubgraphScores
+    stale: bool = False
+    staleness: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -118,20 +155,35 @@ class StoreUpdateReport:
     region:
         The affected region of the update (changed pages + halo).
     evicted:
-        Number of entries dropped because their subgraph intersects
-        the region (or because migration was disabled).
+        Entries dropped: over the staleness budget, or everything of
+        the old graph when migration was disabled.
     migrated:
-        Entries outside the region rekeyed to the new graph's
-        fingerprint (Theorem-2-bounded staleness; see module docs).
+        Entries whose subgraph is disjoint from the region, rekeyed to
+        the new graph's fingerprint (charged, but not queued for
+        refresh).
+    stale:
+        Region-intersecting entries migrated into the stale-but-
+        bounded state (served flagged until refreshed).
     refreshed:
         Entries recomputed against the new graph by the ``refresher``
-        callback and reinserted.
+        callback and reinserted fresh.
+    staleness_charge:
+        The Theorem-2 charge this update added to every surviving
+        entry (at the store's reference damping of each entry; the
+        recorded value uses the entry-specific dampings, so this field
+        reports the maximum across entries, 0.0 when none survived).
+    stale_entries:
+        ``(local_nodes, damping)`` of every entry now in the stale
+        state — the work list a background refresher should re-rank.
     """
 
     region: np.ndarray
     evicted: int
     migrated: int
     refreshed: int
+    stale: int = 0
+    staleness_charge: float = 0.0
+    stale_entries: tuple = ()
 
 
 class ScoreStore:
@@ -151,6 +203,11 @@ class ScoreStore:
     registry:
         Metrics registry for hit/miss/eviction counters (the
         process-wide one by default).
+    staleness_budget:
+        Maximum cumulative Theorem-2 staleness charge an entry may
+        carry and still be served; an entry crossing it is evicted at
+        charge time (and double-checked at lookup time, so a stale
+        read can never slip past the bound).
     """
 
     def __init__(
@@ -159,6 +216,7 @@ class ScoreStore:
         ttl_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
         registry: MetricsRegistry | None = None,
+        staleness_budget: float = DEFAULT_STALENESS_BUDGET,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -166,14 +224,24 @@ class ScoreStore:
             raise ValueError(
                 f"ttl_seconds must be positive or None, got {ttl_seconds}"
             )
+        if staleness_budget <= 0:
+            raise ValueError(
+                f"staleness_budget must be positive, got {staleness_budget}"
+            )
         self._capacity = int(capacity)
         self._ttl = ttl_seconds
         self._clock = clock
         self._registry = registry if registry is not None else REGISTRY
+        self._budget = float(staleness_budget)
         self._lock = threading.RLock()
         self._entries: "OrderedDict[tuple[str, str, str], _Entry]" = (
             OrderedDict()
         )
+
+    @property
+    def staleness_budget(self) -> float:
+        """The Theorem-2 budget entries are charged against."""
+        return self._budget
 
     # ------------------------------------------------------------------
     # Metrics plumbing
@@ -204,6 +272,25 @@ class ScoreStore:
             "repro_serve_store_entries",
             "Score-store entries currently resident.",
         ).set(len(self._entries))
+        self._registry.gauge(
+            "repro_update_stale_entries",
+            "Store entries currently served in the stale-but-bounded "
+            "state.",
+        ).set(
+            sum(1 for entry in self._entries.values() if entry.stale)
+        )
+
+    def _count_staleness(self, amount: float) -> None:
+        if amount > 0:
+            self._registry.counter(
+                "repro_update_staleness_spent_total",
+                "Cumulative Theorem-2 staleness charge applied to "
+                "store entries (L1 score-mass units).",
+            ).inc(amount)
+        self._registry.gauge(
+            "repro_update_staleness_budget",
+            "Per-entry Theorem-2 staleness budget of the score store.",
+        ).set(self._budget)
 
     # ------------------------------------------------------------------
     # Core cache operations
@@ -231,8 +318,25 @@ class ScoreStore:
     ) -> SubgraphScores | None:
         """The warm entry for this (graph, subgraph, ε), or ``None``.
 
-        A hit refreshes the entry's LRU position; an entry older than
-        the TTL is evicted and reported as a miss.
+        Convenience wrapper over :meth:`lookup` for callers that do
+        not care about staleness accounting.
+        """
+        hit = self.lookup(graph, local_nodes, damping)
+        return None if hit is None else hit.scores
+
+    def lookup(
+        self,
+        graph: CSRGraph,
+        local_nodes: np.ndarray,
+        damping: float,
+    ) -> StoreHit | None:
+        """The warm entry plus staleness accounting, or ``None``.
+
+        A hit refreshes the entry's LRU position.  An entry older than
+        the TTL, or one whose cumulative staleness charge exceeds the
+        budget, is evicted and reported as a miss — the lookup-time
+        budget check is the last line of defence ensuring an
+        over-budget entry is *never* served, whatever path charged it.
         """
         key = self._key(graph_fingerprint(graph), local_nodes, damping)
         with self._lock:
@@ -249,9 +353,19 @@ class ScoreStore:
                 self._count_miss()
                 self._set_size_gauge()
                 return None
+            if entry.staleness > self._budget:
+                del self._entries[key]
+                self._count_eviction("staleness")
+                self._count_miss()
+                self._set_size_gauge()
+                return None
             self._entries.move_to_end(key)
             self._count_hit()
-            return entry.scores
+            return StoreHit(
+                scores=entry.scores,
+                stale=entry.stale,
+                staleness=entry.staleness,
+            )
 
     def put(
         self,
@@ -259,8 +373,16 @@ class ScoreStore:
         local_nodes: np.ndarray,
         damping: float,
         scores: SubgraphScores,
+        stale: bool = False,
+        staleness: float = 0.0,
     ) -> None:
-        """Insert (or refresh) an entry, evicting LRU beyond capacity."""
+        """Insert (or refresh) an entry, evicting LRU beyond capacity.
+
+        ``stale`` / ``staleness`` let an incremental refresher record
+        the residual bound of a warm-started re-rank (anything not
+        bit-identical to a cold solve stays flagged with its bound);
+        a default put inserts a fresh, charge-free entry.
+        """
         fingerprint = graph_fingerprint(graph)
         key = self._key(fingerprint, local_nodes, damping)
         with self._lock:
@@ -270,6 +392,8 @@ class ScoreStore:
                 digest=key[1],
                 damping=float(damping),
                 inserted_at=self._clock(),
+                stale=bool(stale),
+                staleness=float(staleness),
             )
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
@@ -306,6 +430,12 @@ class ScoreStore:
                 "entries": len(self._entries),
                 "capacity": self._capacity,
                 "ttl_seconds": self._ttl,
+                "stale_entries": sum(
+                    1
+                    for entry in self._entries.values()
+                    if entry.stale
+                ),
+                "staleness_budget": self._budget,
             }
 
     # ------------------------------------------------------------------
@@ -322,57 +452,114 @@ class ScoreStore:
         refresher: (
             Callable[[CSRGraph, np.ndarray, float], SubgraphScores] | None
         ) = None,
+        old_scores: np.ndarray | None = None,
     ) -> StoreUpdateReport:
-        """React to a graph update: evict, migrate, optionally refresh.
+        """Absorb a graph update: charge, migrate stale, refresh.
 
-        Every entry of ``old_graph`` whose subgraph intersects the
-        update's affected region (changed pages plus a ``hops``-deep
-        forward halo, per :func:`repro.updates.affected.affected_region`)
-        is evicted — a subsequent query must re-solve against
-        ``new_graph``, which is the stale-read-prevention guarantee.
+        Every surviving entry of ``old_graph`` is rekeyed to
+        ``new_graph``'s fingerprint in the *stale-but-bounded* state:
+        flagged stale, with the update's Theorem-2 charge added to its
+        cumulative staleness (see
+        :func:`repro.updates.rerank.staleness_charge_bound`).  Entries
+        whose subgraph intersects the update's affected region go onto
+        the refresh work list (``report.stale_entries``); disjoint
+        entries just carry the charge.  An entry whose cumulative
+        charge would exceed the staleness budget is evicted instead —
+        over-budget entries are never served, which :meth:`lookup`
+        double-checks at read time.
 
-        Entries whose subgraph is disjoint from the region are rekeyed
-        to ``new_graph``'s fingerprint when ``migrate_unaffected`` is
-        True: their residual staleness is the Theorem 2 bound
-        ``ε/(1−ε)·‖ΔE‖₁``, the same approximation
-        :func:`~repro.updates.rerank.incremental_rerank` accepts for
-        the out-of-region scores it splices.  Pass
-        ``migrate_unaffected=False`` for strict semantics (everything
-        of the old graph is dropped).
+        Pass ``migrate_unaffected=False`` for strict semantics
+        (everything keyed to the old graph is dropped cold).
+
+        ``old_scores`` — the old graph's global score vector, when the
+        caller has one — tightens the charge: the changed pages'
+        actual score mass feeds Ng et al.'s perturbation bound.
+        Without it each changed page is charged the uniform surrogate
+        ``1/N`` (documented, conservative only in expectation — pass
+        real scores when serving under a tight budget).
 
         ``refresher(new_graph, local_nodes, damping)`` — typically the
         service's solve path, or a splice re-rank — is invoked for each
-        evicted entry to recompute it eagerly; without one, evicted
-        entries are simply cold until the next query.
+        entry on the refresh work list to recompute it eagerly and
+        reinsert it fresh; without one, stale entries keep serving
+        flagged until a caller refreshes them.
         """
         region = affected_region(old_graph, new_graph, hops, delta)
+        old_n = old_graph.num_nodes
+        new_n = new_graph.num_nodes
+        if delta is not None and not delta.is_empty:
+            seeds = np.union1d(
+                delta.touched_sources(),
+                np.arange(old_n, new_n, dtype=np.int64),
+            )
+        else:
+            from repro.updates.affected import changed_pages
+
+            seeds = changed_pages(old_graph, new_graph)
+        if old_scores is not None:
+            old_scores = np.asarray(old_scores, dtype=np.float64)
+            stale_mass = np.full(new_n, 1.0 / new_n)
+            stale_mass[:old_n] = old_scores
+            changed_mass = float(stale_mass[seeds].sum())
+        else:
+            changed_mass = seeds.size / max(old_n, 1)
+
+        from repro.updates.rerank import staleness_charge_bound
+
         old_fp = graph_fingerprint(old_graph)
         new_fp = graph_fingerprint(new_graph)
-        evicted_entries: list[_Entry] = []
+        work_list: list[tuple[np.ndarray, float]] = []
+        evicted = 0
         migrated = 0
+        stale_count = 0
+        max_charge = 0.0
         with self._lock:
+            self._registry.counter(
+                "repro_update_applied_total",
+                "Graph updates absorbed by the score store.",
+            ).inc()
             for key in list(self._entries):
                 if key[0] != old_fp:
                     continue
                 entry = self._entries.pop(key)
+                nodes = np.asarray(entry.scores.local_nodes)
+                if not migrate_unaffected:
+                    evicted += 1
+                    self._count_eviction("invalidated")
+                    work_list.append((nodes, entry.damping))
+                    continue
+                damping = entry.damping
+                delta_e = 2.0 * damping / (1.0 - damping) * changed_mass
+                charge = staleness_charge_bound(delta_e, damping)
+                max_charge = max(max_charge, charge)
+                self._count_staleness(charge)
+                staleness = entry.staleness + charge
                 affected = bool(
                     np.intersect1d(
-                        entry.scores.local_nodes, region,
-                        assume_unique=True,
+                        nodes, region, assume_unique=True
                     ).size
                 )
-                if affected or not migrate_unaffected:
-                    evicted_entries.append(entry)
+                if staleness > self._budget:
+                    # Over budget: the Theorem-2 bound no longer
+                    # vouches for these scores — evict, never serve.
+                    evicted += 1
+                    self._count_eviction("staleness")
+                    work_list.append((nodes, damping))
+                    continue
+                self._entries[(new_fp, key[1], key[2])] = _Entry(
+                    scores=entry.scores,
+                    fingerprint=new_fp,
+                    digest=key[1],
+                    damping=damping,
+                    inserted_at=self._clock(),
+                    stale=True,
+                    staleness=staleness,
+                )
+                if affected:
+                    stale_count += 1
+                    work_list.append((nodes, damping))
                 else:
-                    self._entries[(new_fp, key[1], key[2])] = _Entry(
-                        scores=entry.scores,
-                        fingerprint=new_fp,
-                        digest=key[1],
-                        damping=entry.damping,
-                        inserted_at=self._clock(),
-                    )
                     migrated += 1
-            self._count_eviction("invalidated", len(evicted_entries))
             self._set_size_gauge()
 
         # The old operator is dead either way: drop its cached
@@ -383,24 +570,23 @@ class ScoreStore:
 
         refreshed = 0
         if refresher is not None:
-            for entry in evicted_entries:
-                scores = refresher(
-                    new_graph,
-                    np.asarray(entry.scores.local_nodes),
-                    entry.damping,
-                )
+            for nodes, damping in work_list:
+                scores = refresher(new_graph, nodes, damping)
                 self.put(
                     new_graph,
                     np.asarray(scores.local_nodes),
-                    entry.damping,
+                    damping,
                     scores,
                 )
                 refreshed += 1
         return StoreUpdateReport(
             region=region,
-            evicted=len(evicted_entries),
+            evicted=evicted,
             migrated=migrated,
             refreshed=refreshed,
+            stale=stale_count,
+            staleness_charge=max_charge,
+            stale_entries=tuple(work_list),
         )
 
     # ------------------------------------------------------------------

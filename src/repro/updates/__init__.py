@@ -24,7 +24,11 @@ the tests quantify how the residual error grows with update size.
 
 from repro.updates.affected import affected_region, changed_pages
 from repro.updates.delta import GraphDelta, apply_delta
-from repro.updates.rerank import UpdateResult, incremental_rerank
+from repro.updates.rerank import (
+    UpdateResult,
+    incremental_rerank,
+    staleness_charge_bound,
+)
 
 __all__ = [
     "GraphDelta",
@@ -33,4 +37,5 @@ __all__ = [
     "apply_delta",
     "changed_pages",
     "incremental_rerank",
+    "staleness_charge_bound",
 ]

@@ -24,6 +24,12 @@ def changed_pages(
     """Pages whose out-rows differ between two graphs (sorted ids).
 
     New pages (ids beyond the old graph) are always included.
+
+    Both adjacency matrices are canonical CSR (``CSRGraph.__init__``
+    sums duplicates, drops explicit zeros and sorts indices), so two
+    rows are equal iff their index/data slices are — the comparison is
+    a handful of vectorised gathers over the shared rows, with no
+    padded intermediate matrix even when the graph grew.
     """
     old_n = old_graph.num_nodes
     new_n = new_graph.num_nodes
@@ -32,20 +38,33 @@ def changed_pages(
             "updated graph cannot shrink: "
             f"{new_n} < {old_n} pages"
         )
-    common = old_graph.adjacency
-    if new_n > old_n:
-        from scipy import sparse
-
-        padded = sparse.csr_matrix((new_n, new_n))
-        padded = sparse.lil_matrix(padded)
-        coo = common.tocoo()
-        padded[coo.row, coo.col] = coo.data
-        common = padded.tocsr()
-    difference = (new_graph.adjacency - common).tocsr()
-    difference.eliminate_zeros()
-    changed = np.unique(difference.tocoo().row).astype(np.int64)
+    a = old_graph.adjacency
+    b = new_graph.adjacency
+    counts = np.diff(a.indptr)
+    counts_b = np.diff(b.indptr[: old_n + 1])
+    changed_mask = counts != counts_b
+    same = np.flatnonzero(~changed_mask)
+    cnt = counts[same]
+    total = int(cnt.sum())
+    if total:
+        # Flat nnz indices of every shared equal-length row: for row r
+        # with k entries, positions start(r) .. start(r)+k-1 in each
+        # matrix.  A single elementwise compare then finds any row
+        # whose sorted (column, weight) sequence moved.
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(cnt) - cnt, cnt
+        )
+        a_idx = np.repeat(a.indptr[same], cnt) + offsets
+        b_idx = np.repeat(b.indptr[same], cnt) + offsets
+        mismatch = (a.indices[a_idx] != b.indices[b_idx]) | (
+            a.data[a_idx] != b.data[b_idx]
+        )
+        if mismatch.any():
+            rows = np.repeat(same, cnt)
+            changed_mask[np.unique(rows[mismatch])] = True
+    changed = np.flatnonzero(changed_mask).astype(np.int64)
     new_ids = np.arange(old_n, new_n, dtype=np.int64)
-    return np.union1d(changed, new_ids)
+    return np.concatenate([changed, new_ids])
 
 
 def affected_region(

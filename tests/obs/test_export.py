@@ -24,6 +24,9 @@ from repro.obs.tracing import Tracer, set_tracer
 pytestmark = pytest.mark.obs
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "prometheus_golden.txt"
+UPDATES_GOLDEN_PATH = (
+    Path(__file__).parent / "data" / "prometheus_updates_golden.txt"
+)
 
 
 def golden_registry() -> MetricsRegistry:
@@ -62,10 +65,65 @@ def golden_registry() -> MetricsRegistry:
     return reg
 
 
+def updates_golden_registry() -> MetricsRegistry:
+    """A fixed update-stream workload pinned by the updates golden file.
+
+    The ``repro_update_*`` family the incremental re-ranking engine
+    emits: update counts, regions re-ranked, iterations saved by warm
+    starts, staleness spend against the Theorem-2 budget, and
+    background/eager refresh counts.
+    """
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_update_applied_total",
+        "Graph updates absorbed by the score store.",
+    ).inc(3)
+    reg.counter(
+        "repro_update_regions_reranked_total",
+        "Affected regions re-ranked by the incremental engine.",
+    ).inc(3)
+    reg.counter(
+        "repro_update_iterations_saved_total",
+        "Power-iteration sweeps skipped by warm-started re-ranks "
+        "relative to projected cold solves.",
+    ).inc(250)
+    reg.counter(
+        "repro_update_staleness_spent_total",
+        "Cumulative Theorem-2 staleness charge applied to store "
+        "entries (L1 score-mass units).",
+    ).inc(0.125)
+    reg.gauge(
+        "repro_update_staleness_budget",
+        "Per-entry Theorem-2 staleness budget of the score store.",
+    ).set(1.0)
+    reg.gauge(
+        "repro_update_stale_entries",
+        "Store entries currently served in the stale-but-bounded "
+        "state.",
+    ).set(2)
+    reg.counter(
+        "repro_update_background_refreshes_total",
+        "Stale store entries re-ranked after a graph update, by "
+        "scheduling mode.",
+        mode="background",
+    ).inc(2)
+    reg.counter(
+        "repro_update_background_refreshes_total",
+        "Stale store entries re-ranked after a graph update, by "
+        "scheduling mode.",
+        mode="eager",
+    ).inc(1)
+    return reg
+
+
 class TestPrometheusText:
     def test_matches_golden_file(self):
         text = to_prometheus_text(golden_registry().snapshot())
         assert text == GOLDEN_PATH.read_text(encoding="utf-8")
+
+    def test_updates_family_matches_golden_file(self):
+        text = to_prometheus_text(updates_golden_registry().snapshot())
+        assert text == UPDATES_GOLDEN_PATH.read_text(encoding="utf-8")
 
     def test_histogram_buckets_are_cumulative_and_end_at_count(self):
         text = to_prometheus_text(golden_registry().snapshot())
@@ -111,6 +169,14 @@ class TestParsePrometheusText:
         )
         assert parsed["families"] == (
             golden_registry().snapshot()["families"]
+        )
+
+    def test_updates_golden_file_parses_back_to_the_registry(self):
+        parsed = parse_prometheus_text(
+            UPDATES_GOLDEN_PATH.read_text(encoding="utf-8")
+        )
+        assert parsed["families"] == (
+            updates_golden_registry().snapshot()["families"]
         )
 
     def test_histogram_buckets_decumulated(self):
@@ -263,6 +329,21 @@ class TestRenderReport:
     def test_serve_section_absent_without_serve_traffic(self):
         report = render_report(build_snapshot(golden_registry()))
         assert "Serving" not in report
+
+    def test_updates_section_renders_from_update_metrics(self):
+        report = render_report(build_snapshot(updates_golden_registry()))
+        assert "Updates (incremental re-ranking)" in report
+        assert "updates applied 3" in report
+        assert "staleness spent 0.125" in report
+        assert "budget 1" in report
+        assert "regions re-ranked 3" in report
+        assert "iterations saved 250" in report
+        assert "refreshes: background=2  eager=1" in report
+        assert "stale-but-bounded entries 2" in report
+
+    def test_updates_section_absent_without_update_traffic(self):
+        report = render_report(build_snapshot(golden_registry()))
+        assert "Updates (incremental re-ranking)" not in report
 
     def test_unconverged_solves_flagged(self):
         obs.enable()

@@ -7,9 +7,11 @@ The store's contract:
   identity;
 * LRU capacity and TTL expiry govern freshness (TTL via an injectable
   clock, so no sleeping);
-* :meth:`ScoreStore.apply_update` evicts every entry whose subgraph
-  intersects a :class:`GraphDelta`'s affected region (stale-read
-  prevention) and migrates or refreshes the rest.
+* :meth:`ScoreStore.apply_update` migrates every surviving entry into
+  the *stale-but-bounded* state — served flagged, charged against the
+  Theorem-2 staleness budget — and evicts the moment a cumulative
+  charge crosses the budget (an over-budget entry is never served,
+  which the lookup path double-checks under concurrent reads).
 """
 
 import numpy as np
@@ -183,20 +185,33 @@ class TestApplyUpdate:
         target = (node + 1) % graph.num_nodes
         return GraphDelta(added_edges=[(node, target)])
 
-    def test_affected_entries_evicted(self, graph, scores):
+    def test_affected_entries_served_stale_but_bounded(self, graph, scores):
+        # An entry intersecting the affected region survives the update
+        # in the stale-but-bounded state: still served (flagged, with
+        # its Theorem-2 charge attached) and queued for refresh —
+        # instead of cache-missing the next reader into a cold solve.
         store = ScoreStore(registry=MetricsRegistry())
         inside = np.arange(30, dtype=np.int64)
         store.put(graph, inside, 0.85, scores)
         delta = self._delta_touching(graph, 5)
         new_graph = apply_delta(graph, delta)
         report = store.apply_update(graph, new_graph, delta=delta)
-        assert report.evicted == 1
-        assert report.migrated == 0
-        assert store.get(new_graph, inside, 0.85) is None
+        assert report.evicted == 0
+        assert report.stale == 1
+        assert report.staleness_charge > 0
+        assert len(report.stale_entries) == 1
+        np.testing.assert_array_equal(report.stale_entries[0][0], inside)
+        hit = store.lookup(new_graph, inside, 0.85)
+        assert hit is not None
+        assert hit.scores is scores
+        assert hit.stale is True
+        assert hit.staleness == pytest.approx(report.staleness_charge)
+        assert hit.staleness <= store.staleness_budget
 
     def test_unaffected_entries_migrate(self, graph, scores):
         # An entry disjoint from the affected region is rekeyed to the
-        # new fingerprint (Theorem-2-bounded staleness) and stays warm.
+        # new fingerprint (Theorem-2-bounded staleness) and stays warm;
+        # it is charged and flagged but not queued for refresh.
         store = ScoreStore(registry=MetricsRegistry())
         delta = self._delta_touching(graph, 5)
         new_graph = apply_delta(graph, delta)
@@ -212,7 +227,13 @@ class TestApplyUpdate:
         report = store.apply_update(graph, new_graph, delta=delta)
         assert report.migrated == 1
         assert report.evicted == 0
-        assert store.get(new_graph, outside, 0.85) is outside_scores
+        assert report.stale == 0
+        assert report.stale_entries == ()
+        hit = store.lookup(new_graph, outside, 0.85)
+        assert hit is not None
+        assert hit.scores is outside_scores
+        assert hit.stale is True
+        assert hit.staleness == pytest.approx(report.staleness_charge)
 
     def test_strict_mode_drops_everything(self, graph, scores):
         store = ScoreStore(registry=MetricsRegistry())
@@ -231,7 +252,7 @@ class TestApplyUpdate:
         assert report.evicted == 1
         assert len(store) == 0
 
-    def test_refresher_recomputes_evicted(self, graph):
+    def test_refresher_recomputes_stale(self, graph):
         store = ScoreStore(registry=MetricsRegistry())
         inside = np.arange(30, dtype=np.int64)
         store.put(
@@ -256,6 +277,32 @@ class TestApplyUpdate:
         expected = approxrank(new_graph, inside, SETTINGS)
         np.testing.assert_array_equal(refreshed.scores, expected.scores)
 
+    def test_update_metrics_emitted(self, graph, scores):
+        registry = MetricsRegistry()
+        store = ScoreStore(registry=registry)
+        inside = np.arange(30, dtype=np.int64)
+        store.put(graph, inside, 0.85, scores)
+        delta = self._delta_touching(graph, 5)
+        new_graph = apply_delta(graph, delta)
+        store.apply_update(graph, new_graph, delta=delta)
+        families = registry.snapshot()["families"]
+        for name in (
+            "repro_update_applied_total",
+            "repro_update_staleness_spent_total",
+            "repro_update_staleness_budget",
+            "repro_update_stale_entries",
+        ):
+            assert name in families, name
+        spent = sum(
+            s["value"]
+            for s in families["repro_update_staleness_spent_total"][
+                "samples"
+            ]
+        )
+        assert spent > 0
+        budget = families["repro_update_staleness_budget"]["samples"]
+        assert budget[0]["value"] == store.staleness_budget
+
     def test_update_invalidates_transition_cache(self, scores):
         # The old graph's cached transition derivations die with it.
         # (apply_delta already invalidates once; re-warm the cache to
@@ -268,3 +315,143 @@ class TestApplyUpdate:
         assert graph in GLOBAL_TRANSITION_CACHE
         store.apply_update(graph, new_graph, delta=delta)
         assert graph not in GLOBAL_TRANSITION_CACHE
+
+
+class TestStalenessBudget:
+    """The never-serve-over-budget guarantee, under every path.
+
+    The budget can be crossed at charge time (apply_update evicts
+    instead of migrating) and must also be enforced at lookup time —
+    the last line of defence when a charge lands on an entry between a
+    reader's key computation and its read.  TTL and the staleness
+    budget are independent axes: a stale-but-bounded entry still dies
+    at its TTL horizon.
+    """
+
+    def _apply_one(self, store, graph, node):
+        delta = GraphDelta(
+            added_edges=[(node, (node + 1) % graph.num_nodes)]
+        )
+        new_graph = apply_delta(graph, delta)
+        report = store.apply_update(graph, new_graph, delta=delta)
+        return new_graph, report
+
+    def test_cumulative_charge_crosses_budget_and_evicts(
+        self, graph, scores
+    ):
+        # One small-churn update certifies at ~0.53 under the default
+        # budget of 1.0: the first survives stale, the second pushes
+        # the cumulative charge over and must evict at charge time.
+        registry = MetricsRegistry()
+        store = ScoreStore(registry=registry)
+        inside = np.arange(30, dtype=np.int64)
+        store.put(graph, inside, 0.85, scores)
+        g1, r1 = self._apply_one(store, graph, 5)
+        assert r1.evicted == 0
+        hit = store.lookup(g1, inside, 0.85)
+        assert hit is not None and hit.stale
+        g2, r2 = self._apply_one(store, g1, 6)
+        assert r2.evicted == 1
+        assert store.lookup(g2, inside, 0.85) is None
+        snapshot = registry.snapshot()["families"]
+        evictions = {
+            s["labels"].get("reason"): s["value"]
+            for s in snapshot["repro_serve_store_evictions_total"][
+                "samples"
+            ]
+        }
+        assert evictions.get("staleness", 0) >= 1
+
+    def test_over_budget_entry_never_served_at_lookup(
+        self, graph, nodes, scores
+    ):
+        # However an over-budget entry got in, lookup must evict it
+        # rather than serve it.
+        store = ScoreStore(registry=MetricsRegistry())
+        store.put(
+            graph,
+            nodes,
+            0.85,
+            scores,
+            stale=True,
+            staleness=store.staleness_budget * 2,
+        )
+        assert store.lookup(graph, nodes, 0.85) is None
+        assert len(store) == 0
+
+    def test_tight_budget_evicts_at_charge_time(self, graph, scores):
+        store = ScoreStore(
+            registry=MetricsRegistry(), staleness_budget=1e-6
+        )
+        inside = np.arange(30, dtype=np.int64)
+        store.put(graph, inside, 0.85, scores)
+        g1, r1 = self._apply_one(store, graph, 5)
+        assert r1.evicted == 1
+        assert r1.stale == 0 and r1.migrated == 0
+        assert store.lookup(g1, inside, 0.85) is None
+        # The evicted entry still lands on the refresh work list, so
+        # the serving layer re-ranks it instead of forgetting it.
+        assert len(r1.stale_entries) == 1
+
+    def test_ttl_still_applies_to_stale_entries(self, graph, scores):
+        clock = FakeClock()
+        store = ScoreStore(
+            ttl_seconds=10.0, clock=clock, registry=MetricsRegistry()
+        )
+        inside = np.arange(30, dtype=np.int64)
+        store.put(graph, inside, 0.85, scores)
+        clock.advance(8.0)
+        g1, _ = self._apply_one(store, graph, 5)
+        # Migration restamps the TTL clock (the entry was re-vouched
+        # for at update time), so it outlives its original horizon...
+        clock.advance(8.0)
+        hit = store.lookup(g1, inside, 0.85)
+        assert hit is not None and hit.stale
+        # ...but not the new one: TTL expiry beats staleness bookkeeping.
+        clock.advance(3.0)
+        assert store.lookup(g1, inside, 0.85) is None
+
+    def test_concurrent_reads_never_see_over_budget(self, graph, scores):
+        import threading
+
+        store = ScoreStore(registry=MetricsRegistry())
+        inside = np.arange(30, dtype=np.int64)
+        budget = store.staleness_budget
+        # Pre-build a chain of updates; each charges ~0.53, so the
+        # entry crosses the budget mid-stream while readers hammer it.
+        graphs = [graph]
+        steps = []
+        g = graph
+        for node in (5, 6, 7, 8):
+            delta = GraphDelta(
+                added_edges=[(node, (node + 3) % g.num_nodes)]
+            )
+            ng = apply_delta(g, delta)
+            steps.append((g, ng, delta))
+            graphs.append(ng)
+            g = ng
+        store.put(graph, inside, 0.85, scores)
+        over_budget: list[float] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                for gr in graphs:
+                    hit = store.lookup(gr, inside, 0.85)
+                    if hit is not None and hit.staleness > budget:
+                        over_budget.append(hit.staleness)
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for old, new, delta in steps:
+                store.apply_update(old, new, delta=delta)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert over_budget == []
+        assert store.lookup(graphs[-1], inside, 0.85) is None

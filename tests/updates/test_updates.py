@@ -12,6 +12,8 @@ from repro.updates.delta import GraphDelta, apply_delta, random_region_delta
 from repro.updates.rerank import incremental_rerank
 from tests.conftest import random_digraph
 
+pytestmark = pytest.mark.updates
+
 SETTINGS = PowerIterationSettings(tolerance=1e-10)
 
 
@@ -122,6 +124,55 @@ class TestAffectedRegion:
         new = graph_from_edges(3, [(0, 1)])
         with pytest.raises(GraphError, match="shrink"):
             changed_pages(old, new)
+
+    def test_changed_pages_new_pages_and_changed_rows_combined(self):
+        # Regression for the vectorised row diff: an update that BOTH
+        # appends pages and rewrites existing rows must report the
+        # union (the offset-gather compares only the shared prefix of
+        # rows, and the new-id tail is concatenated afterwards).
+        old = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        new = graph_from_edges(
+            6, [(0, 1), (1, 2), (1, 4), (2, 3), (4, 0), (5, 1)]
+        )
+        assert changed_pages(old, new).tolist() == [1, 4, 5]
+
+    def test_changed_pages_weight_only_change(self):
+        # Equal row lengths with different weights: caught by the data
+        # comparison, not the nnz-count shortcut.
+        from repro.graph.builder import GraphBuilder
+
+        def build(w01):
+            builder = GraphBuilder(3)
+            builder.add_edge(0, 1, w01)
+            builder.add_edge(1, 2, 1.0)
+            return builder.build()
+
+        assert changed_pages(build(1.0), build(2.0)).tolist() == [0]
+
+    def test_changed_pages_matches_naive_row_diff(self):
+        # The vectorised diff agrees with a per-row reference loop on
+        # a random churned graph (rows added, removed and reweighted).
+        graph = random_digraph(150, seed=21)
+        delta = random_region_delta(
+            graph, np.arange(20, 80), added=40, removed=10, seed=22
+        )
+        updated = apply_delta(graph, delta)
+        a, b = graph.adjacency, updated.adjacency
+
+        def naive():
+            out = []
+            for row in range(graph.num_nodes):
+                ra = slice(a.indptr[row], a.indptr[row + 1])
+                rb = slice(b.indptr[row], b.indptr[row + 1])
+                if (
+                    not np.array_equal(a.indices[ra], b.indices[rb])
+                    or not np.array_equal(a.data[ra], b.data[rb])
+                ):
+                    out.append(row)
+            out.extend(range(graph.num_nodes, updated.num_nodes))
+            return out
+
+        assert changed_pages(graph, updated).tolist() == naive()
 
     def test_halo_expansion(self):
         # 0 -> 1 -> 2 -> 3 chain; change row of 0 only.
@@ -241,3 +292,120 @@ class TestIncrementalRerank:
         )
         assert result.region.size < 0.5 * graph.num_nodes
         assert result.iterations > 0
+
+
+class TestWarmStartAndStaleness:
+    """The incremental engine's warm-start and Theorem-2 accounting."""
+
+    def _setup(self, n=400, seed=23):
+        graph = random_digraph(n, mean_degree=5.0, seed=seed)
+        old_truth = global_pagerank(graph, SETTINGS)
+        region = np.arange(100, 160)
+        delta = random_region_delta(
+            graph, region, added=60, seed=seed + 1
+        )
+        updated = apply_delta(graph, delta)
+        return graph, updated, delta, old_truth
+
+    def test_warm_start_saves_iterations_and_matches_cold(self):
+        graph, updated, delta, old_truth = self._setup()
+        warm = incremental_rerank(
+            graph, updated, old_truth.scores, delta=delta,
+            settings=SETTINGS,
+        )
+        cold = incremental_rerank(
+            graph, updated, old_truth.scores, delta=delta,
+            settings=SETTINGS, warm_start=False,
+        )
+        assert warm.warm_start is True
+        assert cold.warm_start is False
+        assert cold.iterations_saved == 0
+        assert warm.iterations_saved > 0
+        assert warm.iterations <= cold.iterations
+        # Both converged to the same fixed point within solver
+        # truncation of one another.
+        tol = 2 * SETTINGS.tolerance / (1.0 - SETTINGS.damping)
+        error = float(np.abs(warm.scores - cold.scores).sum())
+        assert error <= tol
+
+    def test_staleness_charge_certifies_true_error(self):
+        # The charge is a worst-case certificate: the spliced vector's
+        # actual L1 distance from the fresh global truth must sit
+        # under it (with the truth's own truncation slack).
+        graph, updated, delta, old_truth = self._setup()
+        result = incremental_rerank(
+            graph, updated, old_truth.scores, delta=delta,
+            settings=SETTINGS,
+        )
+        assert result.delta_e_bound > 0
+        assert result.staleness_charge > 0
+        damping = SETTINGS.damping
+        assert result.staleness_charge >= (
+            damping / (1.0 - damping) * result.delta_e_bound
+        )
+        new_truth = global_pagerank(updated, SETTINGS)
+        error = float(
+            np.abs(result.scores - new_truth.scores).sum()
+        )
+        slack = 2 * SETTINGS.tolerance / (1.0 - damping)
+        assert error <= result.staleness_charge + slack
+
+    def test_staleness_charge_bound_validates_damping(self):
+        from repro.updates.rerank import staleness_charge_bound
+
+        with pytest.raises(GraphError, match="damping"):
+            staleness_charge_bound(0.1, 1.0)
+        # Amplification + truncation + clamp compose additively.
+        charge = staleness_charge_bound(
+            0.06, 0.85, residual=0.015, float32_clamp=0.5
+        )
+        expected = 0.85 / 0.15 * 0.06 + 0.015 / 0.15 + 0.5
+        assert charge == pytest.approx(expected)
+
+    def test_empty_update_charges_nothing(self):
+        graph = random_digraph(60, seed=27)
+        old_truth = global_pagerank(graph, SETTINGS)
+        result = incremental_rerank(
+            graph, graph, old_truth.scores, settings=SETTINGS
+        )
+        assert result.staleness_charge == 0.0
+        assert result.delta_e_bound == 0.0
+        assert result.warm_start is False
+        assert result.iterations_saved == 0
+        assert result.backend == ""
+
+    def test_float32_backend_widens_charge_and_is_recorded(self):
+        graph, updated, delta, old_truth = self._setup(seed=29)
+        settings = PowerIterationSettings(tolerance=1e-6)
+        wide = incremental_rerank(
+            graph, updated, old_truth.scores, delta=delta,
+            settings=settings, backend="reference",
+        )
+        narrow = incremental_rerank(
+            graph, updated, old_truth.scores, delta=delta,
+            settings=settings, backend="reference:float32",
+        )
+        assert wide.backend == "reference/float64"
+        assert narrow.backend == "reference/float32"
+        # The float32 path must carry the documented roundoff clamp on
+        # top of the shared perturbation + truncation terms.
+        assert narrow.staleness_charge > wide.staleness_charge
+
+    def test_rerank_emits_update_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        graph, updated, delta, old_truth = self._setup(seed=31)
+        registry = MetricsRegistry()
+        result = incremental_rerank(
+            graph, updated, old_truth.scores, delta=delta,
+            settings=SETTINGS, registry=registry,
+        )
+        families = registry.snapshot()["families"]
+        assert "repro_update_regions_reranked_total" in families
+        reranked = families["repro_update_regions_reranked_total"]
+        assert reranked["samples"][0]["value"] == 1
+        if result.iterations_saved:
+            saved = families["repro_update_iterations_saved_total"]
+            assert saved["samples"][0]["value"] == (
+                result.iterations_saved
+            )
