@@ -5,11 +5,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-tier2 test-all chaos obs-smoke serve-smoke \
-	update-smoke bench-kernels bench-kernels-smoke bench-parallel \
-	bench-parallel-smoke bench-serve bench-serve-smoke \
-	bench-backends bench-backends-smoke test-backends \
-	bench-updates bench-updates-smoke bench-check
+.PHONY: test test-tier2 test-all chaos chaos-serve obs-smoke \
+	serve-smoke cluster-smoke update-smoke bench-kernels \
+	bench-kernels-smoke bench-parallel bench-parallel-smoke \
+	bench-serve bench-serve-smoke bench-backends \
+	bench-backends-smoke test-backends bench-updates \
+	bench-updates-smoke bench-shard bench-shard-smoke bench-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,9 +24,16 @@ test-backends:
 
 # Chaos suite: deterministic fault injection against the parallel
 # pipeline (SIGKILLed workers, hung chunks, vanished shm segments,
-# checkpoint truncation at every journal length).
-chaos:
+# checkpoint truncation at every journal length), then the serve-path
+# matrix.
+chaos: chaos-serve
 	$(PYTHON) -m pytest -q -m chaos tests/resilience
+
+# Serve-path chaos matrix: kill/slow/flaky shards behind the router;
+# every response must be bit-identical fresh, flagged-stale within
+# budget, or an honest 503 — never silently wrong.
+chaos-serve:
+	$(PYTHON) -m pytest -q -m chaos_serve tests/serve
 
 test-all: test test-tier2 chaos
 
@@ -41,7 +49,12 @@ obs-smoke:
 # HTTP endpoints on an ephemeral port, graceful shutdown, the
 # bit-identical-to-offline pin).
 serve-smoke:
-	$(PYTHON) -m pytest -q -m "serve and not tier2" tests/serve
+	$(PYTHON) -m pytest -q -m "serve and not tier2 and not chaos_serve" tests/serve
+
+# Sharded-cluster smoke: the tier-1 cluster suite (routing,
+# failover, degraded serving, cluster-wide updates, client retries).
+cluster-smoke:
+	$(PYTHON) -m pytest -q tests/serve/test_cluster.py
 
 # Incremental re-ranking smoke: the updates test suite (region
 # detection, warm starts, staleness certificates, metrics), then the
@@ -100,17 +113,30 @@ bench-updates:
 bench-updates-smoke:
 	$(PYTHON) benchmarks/bench_updates.py --smoke --output /tmp/BENCH_update_smoke.json
 
+# Full shard-sweep benchmark; writes BENCH_shard.json at the repo
+# root.
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard.py
+
+# CI tier-2 gate: small fleet sweep; the routed-vs-offline
+# bit-identity clause is never waived; the speedup clause is waived
+# (and recorded) on single-core machines only.
+bench-shard-smoke:
+	$(PYTHON) benchmarks/bench_shard.py --smoke --output /tmp/BENCH_shard_smoke.json
+
 # Regenerate every benchmark record into /tmp and diff it against the
 # committed one; --strict turns regressions above the noise threshold
 # into a non-zero exit.
 bench-check:
 	$(PYTHON) benchmarks/bench_solver_kernels.py --output /tmp/BENCH_solver_check.json > /dev/null
-	$(PYTHON) -m repro bench-diff --strict BENCH_solver.json /tmp/BENCH_solver_check.json
+	$(PYTHON) -m repro bench-diff BENCH_solver.json /tmp/BENCH_solver_check.json --strict
 	$(PYTHON) benchmarks/bench_parallel.py --output /tmp/BENCH_parallel_check.json > /dev/null
-	$(PYTHON) -m repro bench-diff --strict BENCH_parallel.json /tmp/BENCH_parallel_check.json
+	$(PYTHON) -m repro bench-diff BENCH_parallel.json /tmp/BENCH_parallel_check.json --strict
 	$(PYTHON) benchmarks/bench_serve.py --output /tmp/BENCH_serve_check.json > /dev/null
-	$(PYTHON) -m repro bench-diff --strict BENCH_serve.json /tmp/BENCH_serve_check.json
+	$(PYTHON) -m repro bench-diff BENCH_serve.json /tmp/BENCH_serve_check.json --strict
 	$(PYTHON) benchmarks/bench_backends.py --output /tmp/BENCH_backend_check.json > /dev/null
-	$(PYTHON) -m repro bench-diff --strict BENCH_backend.json /tmp/BENCH_backend_check.json
+	$(PYTHON) -m repro bench-diff BENCH_backend.json /tmp/BENCH_backend_check.json --strict
 	$(PYTHON) benchmarks/bench_updates.py --output /tmp/BENCH_update_check.json > /dev/null
-	$(PYTHON) -m repro bench-diff --strict BENCH_update.json /tmp/BENCH_update_check.json
+	$(PYTHON) -m repro bench-diff BENCH_update.json /tmp/BENCH_update_check.json --strict
+	$(PYTHON) benchmarks/bench_shard.py --output /tmp/BENCH_shard_check.json > /dev/null
+	$(PYTHON) -m repro bench-diff BENCH_shard.json /tmp/BENCH_shard_check.json --strict

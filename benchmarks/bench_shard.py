@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Benchmark the sharded cluster and emit ``BENCH_shard.json``.
+
+Drives the :class:`~repro.serve.cluster.router.ShardRouter` front
+door with a closed-loop load generator over a fleet-shape sweep
+(1, 2, and 4 shards): ``--concurrency`` threads fire lock-stepped
+``/rank`` requests for distinct subgraphs, and the record keeps
+throughput, p50/p99 latency, and the hash-ring keyspace spread per
+shape.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py           # full
+    PYTHONPATH=src python benchmarks/bench_shard.py --smoke   # CI gate
+
+Exit code is non-zero when the smoke gate fails.  The gate always
+requires every routed answer to be bit-identical to the offline
+ApproxRank solve for its subgraph (sharding partitions the request
+keyspace, never the graph); the wall-clock speedup clause is
+waivable on a single-core container only.  See
+``make bench-shard-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.cluster.bench import (
+    DEFAULT_CONCURRENCY,
+    DEFAULT_OUTPUT,
+    format_shard_summary,
+    run_shard_benchmark,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark the sharded serving cluster over a 1/2/4-"
+            "shard sweep through the router front door."
+        )
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload + hard gate (CI tier-2 mode)",
+    )
+    parser.add_argument(
+        "--pages", type=int, default=None,
+        help="override the synthetic web size (pages)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=DEFAULT_CONCURRENCY,
+        help="concurrent load-generator threads",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="rounds per fleet shape (default: 2 smoke / 4 full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2009, help="RNG seed",
+    )
+    parser.add_argument(
+        "--output", type=str, default=DEFAULT_OUTPUT,
+        help=f"JSON record path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    record = run_shard_benchmark(
+        smoke=args.smoke,
+        pages=args.pages,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        rounds=args.rounds,
+        output_path=args.output,
+    )
+    print(format_shard_summary(record))
+    if args.smoke and not record["gate_passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,8 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SINGLE_EXPERIMENTS)
         + [
             "all", "bench-kernels", "bench-parallel", "bench-serve",
-            "bench-backends", "bench-updates", "bench-diff",
-            "obs-report", "serve", "query",
+            "bench-backends", "bench-updates", "bench-shard",
+            "bench-diff", "obs-report", "serve", "serve-cluster",
+            "query",
         ],
         help=(
             "which experiment to run; 'bench-kernels' runs the solver "
@@ -74,11 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
             "(BENCH_serve.json), 'bench-backends' the pluggable-backend "
             "benchmark (BENCH_backend.json), 'bench-updates' the "
             "incremental re-ranking benchmark (BENCH_update.json), "
-            "'bench-diff' compares two "
+            "'bench-shard' the sharded-cluster benchmark "
+            "(BENCH_shard.json), 'bench-diff' compares two "
             "benchmark records (regression report), 'obs-report' "
             "renders an observability snapshot written by --obs-out, "
-            "'serve' starts the online ranking HTTP server, 'query' "
-            "sends one request to a running server"
+            "'serve' starts the online ranking HTTP server, "
+            "'serve-cluster' a sharded fault-tolerant cluster behind "
+            "one router, 'query' sends one request to a running server"
         ),
     )
     parser.add_argument(
@@ -230,6 +233,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve_group.add_argument(
+        "--shards", type=int, default=2,
+        help=(
+            "('serve-cluster' only) number of shards fronted by the "
+            "router (default 2)"
+        ),
+    )
+    serve_group.add_argument(
+        "--replicas", type=int, default=2,
+        help=(
+            "('serve-cluster' only) replicas per shard (default 2); "
+            "failover needs at least 2"
+        ),
+    )
+    serve_group.add_argument(
+        "--placement", choices=["thread", "process"],
+        default="thread",
+        help=(
+            "('serve-cluster' only) run each replica as an in-process "
+            "background thread or a forked worker process (process "
+            "placement gives genuine crash isolation)"
+        ),
+    )
+    serve_group.add_argument(
         "--nodes", type=str, default=None, metavar="IDS",
         help=(
             "('query' only) comma-separated page ids of the subgraph "
@@ -339,6 +365,57 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"[persisted {written} score entries to {args.store_dir}]",
             file=sys.stderr,
         )
+    return 0
+
+
+def _run_serve_cluster(args: argparse.Namespace) -> int:
+    """The ``serve-cluster`` subcommand: shards + replicas + router."""
+    import time
+
+    from repro.serve.cluster import start_cluster
+
+    if args.graph:
+        from repro.graph.io import load_npz
+
+        graph, __ = load_npz(args.graph)
+        origin = args.graph
+    else:
+        from repro.generators.datasets import make_tiny_web
+
+        pages = 600 if args.fast else 2000
+        seed = args.seed if args.seed is not None else 2009
+        graph = make_tiny_web(num_pages=pages, seed=seed).graph
+        origin = f"synthetic tiny web ({pages} pages, seed {seed})"
+
+    handle = start_cluster(
+        graph,
+        num_shards=args.shards,
+        replicas_per_shard=args.replicas,
+        placement=args.placement,
+        manager_kwargs={"host": args.host},
+        host=args.host,
+        port=args.port,
+    )
+    try:
+        host, port = handle.address
+        print(
+            f"cluster serving {origin}: {graph.num_nodes} pages, "
+            f"{graph.num_edges} edges — {args.shards} shard(s) × "
+            f"{args.replicas} replica(s), {args.placement} placement, "
+            f"router on http://{host}:{port}",
+            file=sys.stderr,
+        )
+        print(
+            "endpoints: POST /rank  POST /search  POST /update  "
+            "GET /healthz  GET /metrics  (Ctrl-C stops the fleet)",
+            file=sys.stderr,
+        )
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.stop()
     return 0
 
 
@@ -532,8 +609,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_update_summary(record))
         return 0 if (not args.fast or record["gate_passed"]) else 1
 
+    if args.experiment == "bench-shard":
+        # Sharded-cluster benchmark: closed-loop load through the
+        # router over a 1/2/4-shard sweep; --fast maps to smoke mode.
+        from repro.serve.cluster.bench import (
+            format_shard_summary,
+            run_shard_benchmark,
+        )
+
+        record = run_shard_benchmark(
+            smoke=args.fast,
+            seed=args.seed if args.seed is not None else 2009,
+            output_path=args.output or "BENCH_shard.json",
+        )
+        print(format_shard_summary(record))
+        return 0 if (not args.fast or record["gate_passed"]) else 1
+
     if args.experiment == "serve":
         return _run_serve(args)
+
+    if args.experiment == "serve-cluster":
+        return _run_serve_cluster(args)
 
     if args.experiment == "query":
         return _run_query(args)

@@ -235,6 +235,33 @@ class ServeRequestError(ServeError):
         self.payload = payload or {}
 
 
+class ServeRetriesExhaustedError(ServeRequestError):
+    """Every client-side retry of a ranking request failed.
+
+    Raised by :class:`repro.serve.client.RankingClient` only when the
+    caller opted into retries (a ``retry_policy`` was supplied); the
+    single-attempt default raises the plain per-attempt errors.
+
+    Attributes
+    ----------
+    attempts:
+        Tuple of :class:`repro.resilience.policy.AttemptRecord` — one
+        per attempt, mirroring the executor's recovery-history
+        semantics (error type, retryable verdict, action taken).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int,
+        payload: dict | None = None,
+        attempts: tuple = (),
+    ):
+        super().__init__(message, status=status, payload=payload)
+        self.attempts = tuple(attempts)
+
+
 class MetricError(ReproError):
     """Inputs to a ranking metric are incompatible (e.g. length mismatch)."""
 

@@ -605,6 +605,69 @@ def _updates_section(metrics: Mapping) -> list[str]:
     return rows if len(rows) > 1 else []
 
 
+def _cluster_section(metrics: Mapping) -> list[str]:
+    """The shard router's ``repro_cluster_*`` family."""
+    request_samples = _sample_map(
+        metrics, "repro_cluster_requests_total"
+    )
+    retry_samples = _sample_map(metrics, "repro_cluster_retries_total")
+    latency_samples = _sample_map(
+        metrics, "repro_cluster_forward_seconds"
+    )
+    ejections = _metric_total(
+        metrics, "repro_cluster_ejections_total"
+    )
+    readmissions = _metric_total(
+        metrics, "repro_cluster_readmissions_total"
+    )
+    breaker_samples = _sample_map(
+        metrics, "repro_cluster_breaker_state"
+    )
+    if not (request_samples or retry_samples):
+        return []
+    rows = ["Cluster (shard router)"]
+    latency_by_endpoint = {
+        s["labels"].get("endpoint"): s for s in latency_samples
+    }
+    for sample in request_samples:
+        if not sample.get("value"):
+            continue
+        endpoint = sample["labels"].get("endpoint", "?")
+        outcome = sample["labels"].get("outcome", "?")
+        row = "  {:<9} {:<11} x{:<6}".format(
+            endpoint, outcome, int(sample["value"])
+        )
+        latency = latency_by_endpoint.get(endpoint)
+        if latency and latency["count"]:
+            mean_ms = latency["sum"] / latency["count"] * 1e3
+            row += "  mean {:.1f}ms".format(mean_ms)
+        rows.append(row)
+    retries = [
+        "{}={}".format(
+            s["labels"].get("error", "?"), int(s["value"])
+        )
+        for s in retry_samples
+        if s.get("value")
+    ]
+    if retries:
+        rows.append("  retries: " + "  ".join(retries))
+    if ejections or readmissions:
+        rows.append(
+            f"  ejections {int(ejections)}  "
+            f"readmissions {int(readmissions)}"
+        )
+    open_breakers = [
+        s["labels"].get("replica", "?")
+        for s in breaker_samples
+        if s.get("value")  # 0 = closed
+    ]
+    if open_breakers:
+        rows.append(
+            "  non-closed breakers: " + "  ".join(sorted(open_breakers))
+        )
+    return rows if len(rows) > 1 else []
+
+
 def _span_lines(node: Mapping, depth: int, out: list[str]) -> None:
     indent = "  " * depth
     error = f"  !{node['error']}" if node.get("error") else ""
@@ -674,6 +737,7 @@ def render_report(snapshot: Mapping) -> str:
             _experiment_section(metrics),
             _serve_section(metrics),
             _updates_section(metrics),
+            _cluster_section(metrics),
             _span_section(snapshot),
             _history_section(snapshot),
         )

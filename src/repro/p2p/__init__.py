@@ -22,10 +22,15 @@ tests assert exactly this trajectory.
 """
 
 from repro.p2p.network import MeetingReport, P2PNetwork
-from repro.p2p.partition import partition_by_label, random_partition
+from repro.p2p.partition import (
+    HashRing,
+    partition_by_label,
+    random_partition,
+)
 from repro.p2p.peer import Peer
 
 __all__ = [
+    "HashRing",
     "MeetingReport",
     "P2PNetwork",
     "Peer",

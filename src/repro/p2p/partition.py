@@ -3,9 +3,20 @@
 Two partitioners cover the scenarios of interest: by label (each peer
 hosts whole domains — the natural deployment) and uniformly at random
 (the adversarial baseline with maximal cross-peer linkage).
+
+:class:`HashRing` adds the *request-space* counterpart used by the
+sharded serving tier: a digest-stable consistent-hash assignment of
+subgraph digests to shards.  Stability matters twice — the same digest
+always lands on the same shard (cache affinity: each shard's
+ScoreStore warms only its slice of the keyspace), and growing the ring
+from N to N+1 shards remaps only ~1/(N+1) of the digests instead of
+reshuffling everything.
 """
 
 from __future__ import annotations
+
+import bisect
+import hashlib
 
 import numpy as np
 
@@ -80,3 +91,71 @@ def random_partition(
         np.flatnonzero(assignment == peer).astype(np.int64)
         for peer in range(num_peers)
     ]
+
+
+class HashRing:
+    """Digest-stable consistent hashing of hex digests onto shards.
+
+    Each shard owns ``vnodes`` points on a 64-bit ring, placed by
+    hashing ``"<salt>|shard-<i>|vnode-<j>"`` — pure content, no
+    process state — so every process that builds a ring with the same
+    parameters routes every digest identically, across runs and across
+    machines.  A digest maps to the shard owning the first ring point
+    at or clockwise after the digest's own point.
+
+    Parameters
+    ----------
+    num_shards:
+        Shards on the ring (ids ``0 .. num_shards-1``).
+    vnodes:
+        Virtual points per shard; more points smooth the load split at
+        the cost of ring size.
+    salt:
+        Namespace for the point hashes; two rings with different salts
+        place shards independently.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        vnodes: int = 64,
+        salt: str = "repro-shard",
+    ):
+        if num_shards < 1:
+            raise SubgraphError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if vnodes < 1:
+            raise SubgraphError(f"vnodes must be >= 1, got {vnodes}")
+        self.num_shards = int(num_shards)
+        self.vnodes = int(vnodes)
+        self.salt = salt
+        points: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for vnode in range(vnodes):
+                token = f"{salt}|shard-{shard}|vnode-{vnode}"
+                points.append((self._point(token), shard))
+        points.sort()
+        self._points = [p for p, __ in points]
+        self._owners = [s for __, s in points]
+
+    @staticmethod
+    def _point(token: str) -> int:
+        digest = hashlib.sha256(token.encode("utf-8")).hexdigest()
+        return int(digest[:16], 16)
+
+    def shard_for(self, digest: str) -> int:
+        """The shard owning ``digest`` (a hex string, e.g. a
+        :func:`repro.serve.store.subgraph_digest`)."""
+        point = int(str(digest)[:16], 16)
+        index = bisect.bisect_left(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap: past the last point, the ring restarts
+        return self._owners[index]
+
+    def spread(self, digests: "list[str]") -> np.ndarray:
+        """Shard assignment counts for a batch of digests."""
+        counts = np.zeros(self.num_shards, dtype=np.int64)
+        for digest in digests:
+            counts[self.shard_for(digest)] += 1
+        return counts

@@ -28,9 +28,13 @@ from repro.resilience.checkpoint import CheckpointJournal
 from repro.resilience.faults import (
     FaultInjector,
     FaultSpec,
+    arm_serve_faults,
+    disarm_serve_faults,
     get_injector,
     maybe_inject,
     parse_faults,
+    serve_fault_fires,
+    serve_faults_armed,
     set_injector,
 )
 from repro.resilience.policy import (
@@ -38,6 +42,8 @@ from repro.resilience.policy import (
     FailureDecision,
     RetryPolicy,
     classify_failure,
+    classify_failure_name,
+    classify_http_status,
 )
 
 __all__ = [
@@ -47,9 +53,15 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "RetryPolicy",
+    "arm_serve_faults",
     "classify_failure",
+    "classify_failure_name",
+    "classify_http_status",
+    "disarm_serve_faults",
     "get_injector",
     "maybe_inject",
     "parse_faults",
+    "serve_fault_fires",
+    "serve_faults_armed",
     "set_injector",
 ]

@@ -38,13 +38,35 @@ Supported kinds and their injection sites:
     Raise :class:`~repro.exceptions.TransientFaultError` inside the
     worker chunk (always classified retryable).
 
+Serve-path kinds (PR 8) target the sharded serving tier instead of
+the offline pool; their side effects live at the injection sites in
+:mod:`repro.serve.cluster` (the decision machinery here is shared):
+
+``kill_shard``
+    The shard worker dies abruptly mid-request — listening socket and
+    all connections drop without a response (SIGKILL in process
+    placement).
+``slow_shard``
+    The request handler sleeps ``ms`` milliseconds before answering —
+    long enough to trip the router's per-attempt timeout.
+``drop_conn``
+    The connection is closed mid-request without any response bytes.
+``flap_health``
+    ``/healthz`` reports failing, so the router's prober ejects the
+    replica until the flap passes.
+
 Decisions are **deterministic**: each (kind, opportunity-index) pair
 maps to a seeded RNG draw, so a given spec produces the same fault
-schedule in every run of the same process.  Faults fire **only inside
-worker processes** (the executor's pool initializer calls
+schedule in every run of the same process.  Offline kinds fire **only
+inside worker processes** (the executor's pool initializer calls
 :func:`mark_worker_process`); the parent — and therefore the serial
 fallback path — is immune by construction, which is exactly what makes
-"every recovery path converges to correct scores" testable.
+"every recovery path converges to correct scores" testable.  Serve
+kinds are armed separately (:func:`arm_serve_faults`, called by shard
+workers) and draw from **site-keyed** streams — the decision for
+opportunity ``i`` of kind ``k`` at site ``"shard-2"`` is keyed by
+``(seed, k, site, i)``, so each shard replays its own schedule
+independent of request interleaving across shards.
 """
 
 from __future__ import annotations
@@ -66,13 +88,22 @@ log = logging.getLogger(__name__)
 #: Environment variable the injector is parsed from.
 ENV_VAR = "REPRO_FAULTS"
 
+#: Serve-path fault kinds: armed via :func:`arm_serve_faults` inside
+#: shard workers, fired at sites in :mod:`repro.serve.cluster`.
+SERVE_FAULT_KINDS: tuple[str, ...] = (
+    "kill_shard",
+    "slow_shard",
+    "drop_conn",
+    "flap_health",
+)
+
 #: Fault kinds the injector understands.
 FAULT_KINDS: tuple[str, ...] = (
     "kill_worker",
     "delay_chunk",
     "fail_attach",
     "transient",
-)
+) + SERVE_FAULT_KINDS
 
 #: Default sleep for ``delay_chunk`` (long enough to trip any sane
 #: chunk timeout, short enough to keep chaos tests quick).
@@ -142,10 +173,14 @@ def parse_faults(spec: str) -> tuple[FaultSpec, ...]:
                         options["seed"] = int(value)
                     elif key == "delay":
                         options["delay"] = float(value)
+                    elif key == "ms":
+                        # Serve-path idiom: slow_shard:ms=250 — stored
+                        # in the same ``delay`` slot, in seconds.
+                        options["delay"] = float(value) / 1000.0
                     else:
                         raise ReproError(
                             f"unknown fault option {key!r} in {clause!r}; "
-                            "supported: p, max, seed, delay"
+                            "supported: p, max, seed, delay, ms"
                         )
                 except ValueError as exc:
                     raise ReproError(
@@ -172,6 +207,11 @@ class FaultInjector:
             self._specs[spec.kind] = spec
         self._opportunities: dict[str, int] = {k: 0 for k in self._specs}
         self._fired: dict[str, int] = {k: 0 for k in self._specs}
+        # Site-keyed streams (serve-path faults): counters and caps are
+        # tracked per (kind, site), so each shard replays its own
+        # deterministic schedule regardless of cross-shard interleaving.
+        self._site_opportunities: dict[tuple[str, str], int] = {}
+        self._site_fired: dict[tuple[str, str], int] = {}
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultInjector":
@@ -186,6 +226,51 @@ class FaultInjector:
     def fired(self, kind: str) -> int:
         """How many times ``kind`` has fired in this process."""
         return self._fired.get(kind, 0)
+
+    def spec(self, kind: str) -> FaultSpec | None:
+        """The configured spec for ``kind`` (``None`` when unarmed)."""
+        return self._specs.get(kind)
+
+    def fired_at(self, kind: str, site: str) -> int:
+        """How many times ``kind`` has fired at ``site``."""
+        return self._site_fired.get((kind, site), 0)
+
+    def should_fire_at(self, kind: str, site: str) -> bool:
+        """Decide (and record) whether ``kind`` fires at ``site``.
+
+        The site-keyed twin of :meth:`should_fire`: opportunity
+        counters, fire caps, and the RNG stream are all per
+        ``(kind, site)``, so two shards armed with the same spec each
+        see the same schedule their solo run would — deterministic
+        per-(shard, opportunity), independent of request interleaving.
+        """
+        spec = self._specs.get(kind)
+        if spec is None:
+            return False
+        key = (kind, site)
+        opportunity = self._site_opportunities.get(key, 0)
+        self._site_opportunities[key] = opportunity + 1
+        fired = self._site_fired.get(key, 0)
+        if spec.max_fires is not None and fired >= spec.max_fires:
+            return False
+        if spec.probability >= 1.0:
+            fire = True
+        elif spec.probability <= 0.0:
+            fire = False
+        else:
+            rng = np.random.default_rng(
+                (
+                    spec.seed,
+                    zlib.crc32(kind.encode("utf-8")),
+                    zlib.crc32(site.encode("utf-8")),
+                    opportunity,
+                )
+            )
+            fire = float(rng.random()) < spec.probability
+        if fire:
+            self._site_fired[key] = fired + 1
+            self._fired[kind] = self._fired.get(kind, 0) + 1
+        return fire
 
     def should_fire(self, kind: str) -> bool:
         """Decide (and record) whether ``kind`` fires at this call."""
@@ -306,3 +391,68 @@ def maybe_inject(kind: str) -> None:
     injector = get_injector()
     if injector is not None and injector.should_fire(kind):
         injector.inject(kind)
+
+
+# ----------------------------------------------------------------------
+# Serve-path faults (sharded serving tier)
+# ----------------------------------------------------------------------
+
+#: True only in serve-cluster shard workers (thread placement arms the
+#: whole process; process placement arms the spawned worker).  The
+#: router — and the plain single-process server — never arm, so the
+#: recovery machinery under test is immune by construction.
+_SERVE_ARMED = False
+
+
+def arm_serve_faults() -> None:
+    """Arm serve-path fault injection for this process.
+
+    Called by cluster shard workers at boot.  Unlike
+    :func:`mark_worker_process` it does not reset the injector: in
+    thread placement every shard shares one process, and dropping the
+    counters at each worker boot would erase sibling shards' streams
+    (they are independent anyway — streams are site-keyed).
+    """
+    global _SERVE_ARMED
+    _SERVE_ARMED = True
+
+
+def disarm_serve_faults() -> None:
+    """Disarm serve-path faults (test teardown)."""
+    global _SERVE_ARMED
+    _SERVE_ARMED = False
+
+
+def serve_faults_armed() -> bool:
+    """Whether serve-path faults may fire in this process."""
+    return _SERVE_ARMED
+
+
+def serve_fault_fires(kind: str, site: str) -> FaultSpec | None:
+    """Decide whether serve fault ``kind`` fires at ``site``.
+
+    Returns the armed :class:`FaultSpec` when the fault fires (the
+    caller performs the side effect — sleeping, crashing, or dropping
+    a connection needs the shard server's own asyncio context) and
+    ``None`` otherwise.  The fire is counted and logged here so every
+    injection shares one audit trail.
+    """
+    if not _SERVE_ARMED:
+        return None
+    injector = get_injector()
+    if injector is None or not injector.should_fire_at(kind, site):
+        return None
+    spec = injector.spec(kind)
+    log.warning(
+        "serve fault injector firing %r at %s (fire %d) in pid %d",
+        kind,
+        site,
+        injector.fired_at(kind, site),
+        os.getpid(),
+    )
+    REGISTRY.counter(
+        "repro_faults_injected_total",
+        "Injected chaos faults fired, by kind",
+        kind=kind,
+    ).inc()
+    return spec

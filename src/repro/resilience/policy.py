@@ -282,6 +282,43 @@ def classify_failure_name(name: str) -> FailureDecision:
     return decision
 
 
+#: HTTP statuses the serving tier treats as transient: the replica (or
+#: the path to it) is momentarily unavailable, and the identical
+#: request can succeed against another replica or after a backoff.
+RETRYABLE_HTTP_STATUSES: frozenset[int] = frozenset(
+    {408, 429, 502, 503, 504}
+)
+
+
+def classify_http_status(status: int) -> FailureDecision:
+    """Classify an HTTP response status, mirroring the exception split.
+
+    Retryable: 503 (load shedding / overload), 429, 408, and gateway
+    5xx — all "try another replica or try later" conditions.  Fatal:
+    every other 4xx (the request itself is wrong — replaying it
+    replays the bug) and 500 (a deterministic server-side failure;
+    blind retries would re-execute it).  2xx/3xx are not failures and
+    classifying one is a caller bug, reported fatal.
+    """
+    status = int(status)
+    if status in RETRYABLE_HTTP_STATUSES:
+        decision = FailureDecision(
+            True, f"HTTP {status} is transient (overload/unavailable)"
+        )
+    else:
+        decision = FailureDecision(
+            False, f"HTTP {status} is deterministic for this request"
+        )
+    log.info(
+        "classified HTTP %d as %s (%s)",
+        status,
+        "retryable" if decision.retryable else "fatal",
+        decision.reason,
+    )
+    _count_classification(f"http_{status}", decision)
+    return decision
+
+
 def classify_failure(exc: BaseException) -> FailureDecision:
     """Split a failure into retryable vs fatal, logging the decision.
 

@@ -1,0 +1,47 @@
+"""Fault-tolerant sharded serving tier (the paper's Figure 1, scaled out).
+
+One :class:`~repro.serve.cluster.router.ShardRouter` fronts ``N``
+shards × ``R`` replicas of the single-process
+:class:`~repro.serve.server.RankingServer`.  Two design decisions
+carry everything else:
+
+* **The request keyspace is sharded, never the graph.**  Every
+  replica holds the full global graph, so any replica's answer is
+  bit-identical to the offline :func:`repro.core.approxrank.approxrank`
+  solve — sharding (consistent hashing of subgraph digests via
+  :class:`~repro.p2p.partition.HashRing`) exists for cache affinity
+  and horizontal capacity, and failover to any replica is always
+  score-safe.
+* **Degradation is explicit, never silent.**  Retries are
+  failure-classified, breakers stop hammering dead replicas, and when
+  a whole shard is gone the router serves last-known scores from its
+  replicated :class:`~repro.serve.store.ScoreStore`, flagged and
+  charged under the Theorem-2 staleness budget — or answers an honest
+  503.  The chaos suite (``make chaos-serve``) asserts the resulting
+  contract over the full fault matrix of
+  :mod:`repro.resilience.faults`: every response is bit-identical
+  fresh, flagged stale within budget, or a 503 — never silently
+  wrong.
+"""
+
+from repro.serve.cluster.breaker import CircuitBreaker
+from repro.serve.cluster.http import HttpResponse, http_request
+from repro.serve.cluster.manager import ReplicaHandle, ShardManager
+from repro.serve.cluster.router import (
+    ClusterHandle,
+    ShardRouter,
+    start_cluster,
+)
+from repro.serve.cluster.shard import ShardServer
+
+__all__ = [
+    "CircuitBreaker",
+    "ClusterHandle",
+    "HttpResponse",
+    "ReplicaHandle",
+    "ShardManager",
+    "ShardRouter",
+    "ShardServer",
+    "http_request",
+    "start_cluster",
+]

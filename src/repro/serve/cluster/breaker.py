@@ -1,0 +1,157 @@
+"""Per-replica circuit breakers for the shard router.
+
+A replica that keeps failing should stop receiving traffic *before*
+every request burns a timeout against it.  The breaker is the classic
+three-state machine:
+
+* **closed** — traffic flows; consecutive failures are counted.
+* **open** — entered after ``failure_threshold`` consecutive failures;
+  all traffic is refused until the reopen deadline passes.
+* **half-open** — after the deadline one trial request is admitted;
+  success closes the breaker, failure re-opens it (with the failure
+  count already at threshold, so the next deadline is scheduled
+  immediately).
+
+The reopen delay carries **deterministic seeded jitter** — keyed by
+``(seed, times-opened)`` exactly like :class:`RetryPolicy`'s backoff
+jitter — so a fleet of breakers opened by the same outage does not
+reopen in lockstep (thundering herd on the recovering replica), yet
+every run of the same scenario replays the same schedule.  Reproducible
+chaos tests depend on that determinism.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["CircuitBreaker"]
+
+#: State labels (and their gauge encoding: the router exports
+#: ``repro_cluster_breaker_state`` with these values).
+CLOSED, HALF_OPEN, OPEN = "closed", "half_open", "open"
+_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """One replica's admission gate (see module docstring).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_timeout:
+        Base seconds to hold the breaker open before admitting a
+        half-open trial.
+    jitter:
+        Fractional jitter (``0.1`` = ±10%) on the reset timeout,
+        drawn deterministically per opening.
+    seed:
+        Seed of the jitter stream.
+    clock:
+        Injectable time source (monotonic by default) so tests can
+        step through open→half-open without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 0.5,
+        jitter: float = 0.1,
+        seed: int = 2009,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, "
+                f"got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be positive, got {reset_timeout}"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self._threshold = int(failure_threshold)
+        self._reset_timeout = float(reset_timeout)
+        self._jitter = float(jitter)
+        self._seed = int(seed)
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_count = 0
+        self._reopen_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state label (``closed``/``half_open``/``open``),
+        *after* applying any due open→half-open transition."""
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def state_code(self) -> int:
+        """Gauge encoding of :attr:`state` (0/1/2)."""
+        return _STATE_CODES[self.state]
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    @property
+    def times_opened(self) -> int:
+        """How many times this breaker has tripped open."""
+        return self._opened_count
+
+    # ------------------------------------------------------------------
+    # The state machine
+    # ------------------------------------------------------------------
+
+    def _reopen_delay(self) -> float:
+        if not self._jitter:
+            return self._reset_timeout
+        rng = np.random.default_rng((self._seed, self._opened_count))
+        return self._reset_timeout * (
+            1.0 + self._jitter * float(rng.uniform(-1.0, 1.0))
+        )
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._clock() >= self._reopen_at:
+            self._state = HALF_OPEN
+
+    def allows(self) -> bool:
+        """Whether a request may be sent to the replica right now.
+
+        In half-open state this admits the trial request; callers must
+        report its outcome via :meth:`record_success` /
+        :meth:`record_failure` or the breaker stays half-open.
+        """
+        self._maybe_half_open()
+        return self._state != OPEN
+
+    def record_success(self) -> None:
+        """A request succeeded: close the breaker, reset the count."""
+        self._state = CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        """A request failed: count it; trip open at the threshold.
+
+        A failure in half-open state re-opens immediately — the trial
+        request just proved the replica is still down.
+        """
+        self._maybe_half_open()
+        self._failures += 1
+        if self._state == HALF_OPEN or self._failures >= self._threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self._state = OPEN
+        self._opened_count += 1
+        self._reopen_at = self._clock() + self._reopen_delay()

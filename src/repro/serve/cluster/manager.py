@@ -1,0 +1,372 @@
+"""Booting, killing, and restarting shard replicas.
+
+The :class:`ShardManager` owns the worker fleet: ``num_shards ×
+replicas_per_shard`` replicas, each a full
+:class:`~repro.serve.cluster.shard.ShardServer` over its own
+:class:`~repro.serve.server.RankingService`, plus the
+:class:`~repro.p2p.partition.HashRing` that assigns subgraph digests
+to shards and the node partition (ownership metadata) behind the ring.
+
+Two placements:
+
+``thread``
+    Each replica is a :class:`~repro.serve.server.BackgroundServer` —
+    its own thread + event loop inside this process.  Deterministic
+    and cheap: the default for tests, chaos matrices, and the 1-core
+    benchmark container.  ``kill`` simulates a crash by dropping the
+    replica's listener and connections on its own loop.
+``process``
+    Each replica is a forked worker process (the graph rides over
+    fork's copy-on-write, never pickled) that reports its ephemeral
+    port back through a pipe.  ``kill`` is a genuine ``SIGKILL``.
+
+Serve-path chaos (:func:`repro.resilience.faults.arm_serve_faults`) is
+armed inside the workers only — the router process/thread never arms,
+so the recovery machinery under test is immune by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServeError, SubgraphError
+from repro.generators.datasets import WebDataset
+from repro.graph.digraph import CSRGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.p2p.partition import (
+    HashRing,
+    partition_by_label,
+    random_partition,
+)
+from repro.pagerank.solver import PowerIterationSettings
+from repro.resilience.faults import arm_serve_faults
+from repro.serve.server import BackgroundServer, RankingService
+from repro.serve.cluster.shard import ShardServer
+
+__all__ = ["ReplicaHandle", "ShardManager"]
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class ReplicaHandle:
+    """One live (or dead) replica and how to reach / control it."""
+
+    shard: int
+    replica: int
+    placement: str
+    address: tuple[str, int]
+    background: BackgroundServer | None = None
+    server: ShardServer | None = None
+    process: "multiprocessing.process.BaseProcess | None" = None
+    registry: MetricsRegistry | None = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return f"shard-{self.shard}/replica-{self.replica}"
+
+    @property
+    def alive(self) -> bool:
+        """Best-effort liveness (the router's prober is authoritative)."""
+        if self.placement == "process":
+            return self.process is not None and self.process.is_alive()
+        return self.server is not None and not self.server.crashed
+
+
+def _shard_worker_main(
+    graph: CSRGraph,
+    shard: int,
+    replica: int,
+    settings: PowerIterationSettings | None,
+    host: str,
+    conn,
+) -> None:
+    """Entry point of a forked shard worker process."""
+    arm_serve_faults()
+
+    async def main() -> None:
+        registry = MetricsRegistry()
+        service = RankingService(
+            graph, settings=settings, registry=registry
+        )
+        server = ShardServer(
+            service,
+            shard_id=shard,
+            replica_index=replica,
+            host=host,
+            port=0,
+            process_mode=True,
+            registry=registry,
+        )
+        address = await server.start()
+        conn.send(address)
+        conn.close()
+        await server.serve_forever()
+
+    asyncio.run(main())
+
+
+class ShardManager:
+    """Boot and control the shard-replica fleet (see module docstring).
+
+    Parameters
+    ----------
+    graph:
+        The global graph every replica serves (sharding splits the
+        request keyspace, not the graph — see the package docstring).
+    num_shards / replicas_per_shard:
+        Fleet shape.
+    placement:
+        ``"thread"`` (default) or ``"process"``.
+    dataset:
+        When given and labelled with ``"domain"``, the node partition
+        backing shard ownership follows whole domains; otherwise a
+        seeded random partition is used (pure metadata either way).
+    settings:
+        Base solver settings shared by every replica.
+    vnodes / seed:
+        Hash-ring smoothing and partition seed.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_shards: int = 2,
+        replicas_per_shard: int = 1,
+        placement: str = "thread",
+        dataset: WebDataset | None = None,
+        settings: PowerIterationSettings | None = None,
+        host: str = "127.0.0.1",
+        vnodes: int = 64,
+        seed: int = 0,
+    ):
+        if num_shards < 1:
+            raise SubgraphError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if replicas_per_shard < 1:
+            raise SubgraphError(
+                f"replicas_per_shard must be >= 1, "
+                f"got {replicas_per_shard}"
+            )
+        if placement not in ("thread", "process"):
+            raise ServeError(
+                f"placement must be 'thread' or 'process', "
+                f"got {placement!r}"
+            )
+        if placement == "process" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            raise ServeError(
+                "process placement requires the fork start method "
+                "(the graph crosses via copy-on-write, not pickle)"
+            )
+        self.graph = graph
+        self.num_shards = int(num_shards)
+        self.replicas_per_shard = int(replicas_per_shard)
+        self.placement = placement
+        self.settings = (
+            settings if settings is not None else PowerIterationSettings()
+        )
+        self._host = host
+        self._seed = int(seed)
+        self.ring = HashRing(self.num_shards, vnodes=vnodes)
+        self.partitions = self._build_partitions(dataset)
+        self._handles: dict[tuple[int, int], ReplicaHandle] = {}
+        self._started = False
+
+    def _build_partitions(self, dataset: WebDataset | None):
+        if (
+            dataset is not None
+            and "domain" in getattr(dataset, "label_names", {})
+        ):
+            return partition_by_label(
+                dataset, "domain", num_peers=self.num_shards
+            )
+        if self.num_shards <= self.graph.num_nodes:
+            return random_partition(
+                self.graph, self.num_shards, seed=self._seed
+            )
+        return []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShardManager":
+        """Boot every replica; idempotent."""
+        if self._started:
+            return self
+        for shard in range(self.num_shards):
+            for replica in range(self.replicas_per_shard):
+                self._handles[(shard, replica)] = self._boot(
+                    shard, replica
+                )
+        self._started = True
+        return self
+
+    def _boot(self, shard: int, replica: int) -> ReplicaHandle:
+        if self.placement == "process":
+            return self._boot_process(shard, replica)
+        return self._boot_thread(shard, replica)
+
+    def _boot_thread(self, shard: int, replica: int) -> ReplicaHandle:
+        # Thread placement shares this process, so arming here covers
+        # every replica; the site-keyed streams keep shards apart.
+        arm_serve_faults()
+        registry = MetricsRegistry()
+        service = RankingService(
+            self.graph, settings=self.settings, registry=registry
+        )
+        server = ShardServer(
+            service,
+            shard_id=shard,
+            replica_index=replica,
+            host=self._host,
+            port=0,
+            registry=registry,
+        )
+        background = BackgroundServer(server).start()
+        handle = ReplicaHandle(
+            shard=shard,
+            replica=replica,
+            placement="thread",
+            address=background.address,
+            background=background,
+            server=server,
+            registry=registry,
+        )
+        log.info("booted %s at %s:%d", handle.name, *handle.address)
+        return handle
+
+    def _boot_process(self, shard: int, replica: int) -> ReplicaHandle:
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                self.graph,
+                shard,
+                replica,
+                self.settings,
+                self._host,
+                child_conn,
+            ),
+            name=f"repro-shard-{shard}-{replica}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(30.0):
+            process.kill()
+            raise ServeError(
+                f"shard-{shard}/replica-{replica} worker did not "
+                "report an address within 30s"
+            )
+        address = parent_conn.recv()
+        parent_conn.close()
+        handle = ReplicaHandle(
+            shard=shard,
+            replica=replica,
+            placement="process",
+            address=tuple(address),
+            process=process,
+        )
+        log.info(
+            "booted %s at %s:%d (pid %d)",
+            handle.name,
+            *handle.address,
+            process.pid,
+        )
+        return handle
+
+    # ------------------------------------------------------------------
+    # Fleet access
+    # ------------------------------------------------------------------
+
+    def replicas(self, shard: int) -> list[ReplicaHandle]:
+        """The handles of one shard, replica order."""
+        return [
+            self._handles[(shard, replica)]
+            for replica in range(self.replicas_per_shard)
+            if (shard, replica) in self._handles
+        ]
+
+    def all(self) -> list[ReplicaHandle]:
+        """Every handle, (shard, replica) order."""
+        return [
+            self._handles[key] for key in sorted(self._handles)
+        ]
+
+    def handle(self, shard: int, replica: int) -> ReplicaHandle:
+        return self._handles[(shard, replica)]
+
+    def note_graph(self, graph: CSRGraph) -> None:
+        """Record the cluster's current graph (used by restarts)."""
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # Failure and recovery
+    # ------------------------------------------------------------------
+
+    def kill(self, shard: int, replica: int) -> None:
+        """Kill one replica abruptly (no drain, no goodbye)."""
+        handle = self._handles[(shard, replica)]
+        if handle.placement == "process":
+            if handle.process is not None and handle.process.is_alive():
+                os.kill(handle.process.pid, signal.SIGKILL)
+                handle.process.join(timeout=5.0)
+            return
+        if handle.server is not None and handle.background is not None:
+            try:
+                handle.background.loop.call_soon_threadsafe(
+                    handle.server.crash
+                )
+            except (RuntimeError, ServeError):
+                pass  # loop already gone — it is dead either way
+            deadline = time.monotonic() + 5.0
+            while (
+                not handle.server.crashed
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+
+    def restart(self, shard: int, replica: int) -> ReplicaHandle:
+        """Tear down one replica and boot a fresh one in its place.
+
+        The new replica serves the manager's *current* graph — a
+        replica restarted after a cluster update comes back already
+        synced (the prober re-admits it on the first fingerprint
+        match).
+        """
+        old = self._handles.pop((shard, replica), None)
+        if old is not None:
+            self._stop_handle(old)
+        handle = self._boot(shard, replica)
+        self._handles[(shard, replica)] = handle
+        return handle
+
+    def _stop_handle(self, handle: ReplicaHandle) -> None:
+        if handle.placement == "process":
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(timeout=5.0)
+            return
+        if handle.background is not None:
+            handle.background.stop(timeout=5.0)
+
+    def stop(self) -> None:
+        """Stop every replica (graceful where possible)."""
+        for handle in self.all():
+            self._stop_handle(handle)
+        self._handles.clear()
+        self._started = False

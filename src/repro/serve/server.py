@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -94,9 +95,16 @@ class RankOutcome:
     stale: bool = False
     staleness: float = 0.0
 
+log = logging.getLogger(__name__)
+
 #: Largest request body accepted (a node list for a million-page
 #: subgraph fits comfortably; anything bigger is abuse).
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Deadline-propagation header: seconds of budget remaining at send
+#: time.  A hop that cannot finish inside it drops the work (503)
+#: instead of burning solver time on an answer nobody is waiting for.
+DEADLINE_HEADER = "X-Repro-Deadline"
 
 _JSON = {"Content-Type": "application/json"}
 _TEXT = {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
@@ -189,6 +197,11 @@ class RankingService:
     def graph(self) -> CSRGraph:
         """The global graph currently served."""
         return self._state.graph
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the graph currently served."""
+        return self._state.fingerprint
 
     @property
     def settings(self) -> PowerIterationSettings:
@@ -568,6 +581,12 @@ class RankingServer:
         Metrics registry for request counters and latency histograms.
     """
 
+    #: Paths that get their own metrics label; everything else is
+    #: bucketed as "unknown" so a scan cannot explode cardinality.
+    ENDPOINTS: tuple[str, ...] = (
+        "/rank", "/search", "/healthz", "/metrics"
+    )
+
     def __init__(
         self,
         service: RankingService,
@@ -664,6 +683,12 @@ class RankingServer:
             BrokenPipeError,
         ):
             pass
+        except asyncio.CancelledError:
+            # Shutdown (or a simulated shard crash) cancelled this
+            # handler; finish quietly — re-raising from a start_server
+            # handler only feeds asyncio's noisy connection_made
+            # callback, and the socket is closed below either way.
+            pass
         finally:
             try:
                 writer.close()
@@ -716,11 +741,9 @@ class RankingServer:
         started = time.perf_counter()
         path = target.split("?", 1)[0]
         status, payload, content_type = await self._route(
-            method, path, body
+            method, path, body, headers
         )
-        endpoint = path if path in (
-            "/rank", "/search", "/healthz", "/metrics"
-        ) else "unknown"
+        endpoint = path if path in self.ENDPOINTS else "unknown"
         elapsed = time.perf_counter() - started
         self._registry.counter(
             "repro_serve_requests_total",
@@ -743,9 +766,14 @@ class RankingServer:
         return keep_alive
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, Any, dict]:
         """Dispatch one request; returns (status, payload, headers)."""
+        headers = headers or {}
         try:
             if path == "/healthz":
                 if method != "GET":
@@ -763,14 +791,23 @@ class RankingServer:
                 outcome = await self.service.rank_with_meta(
                     self._require_nodes(request),
                     damping=request.get("damping"),
-                    deadline_seconds=request.get("deadline_seconds"),
+                    deadline_seconds=self._effective_deadline(
+                        request, headers
+                    ),
                 )
-                return 200, _scores_payload(
+                payload = _scores_payload(
                     outcome.scores,
                     outcome.cache_hit,
                     stale=outcome.stale,
                     staleness=outcome.staleness,
-                ), _JSON
+                )
+                # The graph the answer was computed on; a router in
+                # front compares this against its own fingerprint to
+                # catch a replica still serving a pre-update graph.
+                payload["graph_fingerprint"] = (
+                    self.service.fingerprint[:16]
+                )
+                return 200, payload, _JSON
             if path == "/search":
                 if method != "POST":
                     return 405, {"error": "use POST"}, _JSON
@@ -786,7 +823,9 @@ class RankingServer:
                     k=int(request.get("k", 10)),
                     mode=str(request.get("mode", "all")),
                     damping=request.get("damping"),
-                    deadline_seconds=request.get("deadline_seconds"),
+                    deadline_seconds=self._effective_deadline(
+                        request, headers
+                    ),
                 )
                 return 200, {
                     "hits": [
@@ -820,6 +859,34 @@ class RankingServer:
                 "error": f"internal error: {exc}",
                 "kind": type(exc).__name__,
             }, _JSON
+
+    @staticmethod
+    def _effective_deadline(
+        request: dict, headers: dict[str, str]
+    ) -> float | None:
+        """The tighter of the body deadline and the propagated header.
+
+        The router stamps :data:`DEADLINE_HEADER` with the seconds of
+        budget remaining when it forwarded the request; queued work
+        that cannot finish inside the *end-to-end* budget is then
+        dropped by the batcher without spending solver time.
+        """
+        body_deadline = request.get("deadline_seconds")
+        header_value = headers.get(DEADLINE_HEADER.lower())
+        header_deadline: float | None = None
+        if header_value is not None:
+            try:
+                header_deadline = float(header_value)
+            except ValueError:
+                raise ValueError(
+                    f"malformed {DEADLINE_HEADER} header: "
+                    f"{header_value!r}"
+                )
+        if body_deadline is None:
+            return header_deadline
+        if header_deadline is None:
+            return float(body_deadline)
+        return min(float(body_deadline), header_deadline)
 
     @staticmethod
     def _parse_json(body: bytes) -> dict:
@@ -907,6 +974,15 @@ class BackgroundServer:
             raise ServeError("background server is not running")
         return self._address
 
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The thread's event loop; valid while running.  Lets a
+        manager schedule work onto the server (e.g. a simulated crash)
+        via ``call_soon_threadsafe``."""
+        if self._loop is None:
+            raise ServeError("background server is not running")
+        return self._loop
+
     def _thread_main(self) -> None:
         asyncio.run(self._amain())
 
@@ -933,13 +1009,31 @@ class BackgroundServer:
             raise self._startup_error
         return self
 
-    def stop(self, timeout: float = 10.0) -> None:
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Request shutdown and join the server thread.
+
+        Returns ``True`` when the thread exited within ``timeout``.  A
+        thread still alive afterwards is a leak — the event loop is
+        wedged (a hung solve, an undrained connection) — and is
+        reported loudly on the ``repro.serve`` logger instead of being
+        ignored; the daemon flag keeps it from blocking interpreter
+        exit, but every result it might still write is untrustworthy.
+        """
         if self._loop is not None and self._stop_event is not None:
             try:
                 self._loop.call_soon_threadsafe(self._stop_event.set)
             except RuntimeError:
                 pass  # loop already closed
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            log.warning(
+                "background server thread %r failed to stop within "
+                "%.1fs and is leaking (event loop wedged?)",
+                self._thread.name,
+                timeout,
+            )
+            return False
+        return True
 
     def __enter__(self) -> "BackgroundServer":
         return self

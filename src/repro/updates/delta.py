@@ -52,6 +52,42 @@ class GraphDelta:
         sources += [s for s, __ in self.removed_edges]
         return np.unique(np.asarray(sources, dtype=np.int64))
 
+    def to_payload(self) -> dict:
+        """JSON-safe form for shipping a delta over the serve wire."""
+        return {
+            "added_edges": [list(edge) for edge in self.added_edges],
+            "removed_edges": [
+                list(edge) for edge in self.removed_edges
+            ],
+            "new_pages": self.new_pages,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GraphDelta":
+        """Rebuild a delta from :meth:`to_payload` output."""
+        if not isinstance(payload, dict):
+            raise GraphError("delta payload must be a JSON object")
+
+        def _edges(key: str) -> tuple[tuple[int, int], ...]:
+            raw = payload.get(key, [])
+            if not isinstance(raw, list):
+                raise GraphError(f"{key!r} must be a list of pairs")
+            edges = []
+            for item in raw:
+                if not isinstance(item, (list, tuple)) or len(item) != 2:
+                    raise GraphError(
+                        f"{key!r} entries must be (source, target) "
+                        f"pairs, got {item!r}"
+                    )
+                edges.append((int(item[0]), int(item[1])))
+            return tuple(edges)
+
+        return cls(
+            added_edges=_edges("added_edges"),
+            removed_edges=_edges("removed_edges"),
+            new_pages=int(payload.get("new_pages", 0)),
+        )
+
 
 def apply_delta(graph: CSRGraph, delta: GraphDelta) -> CSRGraph:
     """Produce the post-update graph.

@@ -1,0 +1,58 @@
+"""Tier-2 performance gate: the shard-sweep benchmark in smoke mode.
+
+Excluded from the tier-1 run by the ``tier2`` marker; CI runs it via
+``make bench-shard-smoke``.  The routed-vs-offline bit-identity
+clause must hold on any hardware — sharding partitions the request
+keyspace, never the graph; the wall-clock speedup clause is waived
+on single-core machines only.
+"""
+
+import pytest
+
+from repro.serve.cluster.bench import run_shard_benchmark
+
+pytestmark = [pytest.mark.tier2, pytest.mark.serve]
+
+
+@pytest.fixture(scope="module")
+def smoke_record():
+    return run_shard_benchmark(smoke=True, output_path=None)
+
+
+class TestSmokeGate:
+    def test_gate_passes(self, smoke_record):
+        assert smoke_record["gate_passed"], (
+            "smoke gate failed: "
+            f"speedup={smoke_record['speedup']:.2f}x, "
+            "bit_identical="
+            f"{smoke_record['agreement_bit_identical']}"
+        )
+
+    def test_routed_answers_are_bit_identical(self, smoke_record):
+        assert smoke_record["agreement_bit_identical"] is True
+
+    def test_sharding_wins_or_waiver_recorded(self, smoke_record):
+        if smoke_record["speedup_gate_waived"]:
+            assert smoke_record["cpu_count"] < 2
+        else:
+            assert (
+                smoke_record["speedup"]
+                >= smoke_record["target_speedup"]
+            )
+
+    def test_every_request_was_answered(self, smoke_record):
+        for shape in smoke_record["shapes"]:
+            assert (
+                shape["requests"] == smoke_record["total_requests"]
+            )
+            assert (
+                sum(shape["shard_spread"].values())
+                == smoke_record["total_requests"]
+            )
+
+    def test_keyspace_actually_spreads(self, smoke_record):
+        multi = smoke_record["shapes"][-1]
+        occupied = sum(
+            1 for count in multi["shard_spread"].values() if count
+        )
+        assert occupied > 1

@@ -1,0 +1,239 @@
+"""Serve-path chaos matrix: the cluster's contract under injected faults.
+
+Each scenario arms one (or all) of the serve-path fault kinds from
+:mod:`repro.resilience.faults` — ``kill_shard``, ``slow_shard``,
+``drop_conn``, ``flap_health`` — against a real 2×2 thread-placement
+cluster, then hammers the router and asserts the serving contract on
+**every** response:
+
+* a 200 is **bit-identical** to the offline
+  :func:`repro.core.approxrank.approxrank` solve (no updates happen
+  here, so even degraded answers must match), and any
+  stale/degraded answer is *flagged*, with staleness within the
+  store's Theorem-2 budget;
+* the only permitted failure is an honest 503 (shard unavailable or
+  load shed) carrying the recovery history.
+
+Never silently wrong: a payload with scores that differ from the
+offline fixed point fails the matrix outright.
+
+Fault decisions are deterministic — site-keyed seeded streams — so a
+red run replays exactly under the same spec.  Excluded from tier-1;
+run with ``make chaos-serve``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approxrank import approxrank
+from repro.exceptions import ServeRequestError
+from repro.generators.datasets import make_tiny_web
+from repro.pagerank.solver import PowerIterationSettings
+from repro.resilience.faults import (
+    FaultInjector,
+    disarm_serve_faults,
+    get_injector,
+    set_injector,
+)
+from repro.resilience.policy import RetryPolicy
+from repro.serve.client import RankingClient
+from repro.serve.cluster import start_cluster
+
+pytestmark = [pytest.mark.serve, pytest.mark.chaos_serve]
+
+SETTINGS = PowerIterationSettings(tolerance=1e-9)
+ROUNDS = 3
+
+#: The fault matrix: every serve-path kind alone, then all at once.
+SCENARIOS = {
+    "kill": "kill_shard:p=0.25,seed=11,max=1",
+    "slow": "slow_shard:p=0.4,ms=400,seed=7",
+    "drop": "drop_conn:p=0.35,seed=5",
+    "flap": "flap_health:p=0.5,seed=3",
+    "everything": (
+        "kill_shard:p=0.1,seed=2,max=1;"
+        "slow_shard:p=0.2,ms=400,seed=4;"
+        "drop_conn:p=0.2,seed=6;"
+        "flap_health:p=0.3,seed=8"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def web():
+    return make_tiny_web(num_pages=200, seed=17)
+
+
+@pytest.fixture(scope="module")
+def subgraphs(web):
+    rng = np.random.default_rng(29)
+    return [
+        np.unique(
+            rng.choice(web.graph.num_nodes, size=16, replace=False)
+        ).astype(np.int64)
+        for __ in range(6)
+    ]
+
+
+@pytest.fixture(scope="module")
+def offline(web, subgraphs):
+    return [
+        approxrank(web.graph, nodes, SETTINGS).scores
+        for nodes in subgraphs
+    ]
+
+
+@pytest.fixture
+def armed_faults(monkeypatch):
+    """Arm a REPRO_FAULTS spec for the in-process cluster threads."""
+
+    def arm(spec: str) -> None:
+        monkeypatch.setenv("REPRO_FAULTS", spec)
+        set_injector(None)  # force re-parse of the new spec
+
+    yield arm
+    disarm_serve_faults()
+    set_injector(None)
+
+
+def _run_scenario(web, subgraphs, offline, budget_holder):
+    """Drive the router; classify every response against the contract.
+
+    Returns (outcome counts, violations).  ``budget_holder`` receives
+    the router store so the caller can check budgets post-hoc.
+    """
+    outcomes = {"fresh": 0, "flagged": 0, "unavailable": 0}
+    violations: list[str] = []
+    handle = start_cluster(
+        web.graph,
+        num_shards=2,
+        replicas_per_shard=2,
+        placement="thread",
+        manager_kwargs={"settings": SETTINGS, "seed": 1},
+        retry_policy=RetryPolicy(
+            max_attempts=4, backoff_base=0.01,
+            backoff_max=0.05, seed=13,
+        ),
+        attempt_timeout=0.25,
+        probe_interval=0.05,
+        probe_timeout=0.2,
+        eject_threshold=2,
+        breaker_threshold=3,
+        breaker_reset=0.2,
+    )
+    try:
+        budget_holder.append(handle.router.store.staleness_budget)
+        budget = handle.router.store.staleness_budget
+        client = RankingClient(*handle.address, timeout=30.0)
+        for __ in range(ROUNDS):
+            for index, nodes in enumerate(subgraphs):
+                try:
+                    payload = client.rank(nodes.tolist())
+                except ServeRequestError as exc:
+                    if exc.status == 503:
+                        # Honest refusal — carries the history.
+                        outcomes["unavailable"] += 1
+                        continue
+                    violations.append(
+                        f"subgraph {index}: unexpected HTTP "
+                        f"{exc.status}"
+                    )
+                    continue
+                scores = np.asarray(
+                    payload["scores"], dtype=np.float64
+                )
+                flagged = bool(
+                    payload.get("stale") or payload.get("degraded")
+                )
+                if not np.array_equal(scores, offline[index]):
+                    # No updates ran, so even a degraded (last-known)
+                    # answer must be the offline fixed point.
+                    violations.append(
+                        f"subgraph {index}: silently wrong scores "
+                        f"(flagged={flagged})"
+                    )
+                if flagged:
+                    staleness = float(payload.get("staleness", 0.0))
+                    if staleness > budget:
+                        violations.append(
+                            f"subgraph {index}: served over budget "
+                            f"({staleness} > {budget})"
+                        )
+                    outcomes["flagged"] += 1
+                else:
+                    outcomes["fresh"] += 1
+    finally:
+        handle.stop()
+    return outcomes, violations
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize(
+        "name", sorted(SCENARIOS), ids=sorted(SCENARIOS)
+    )
+    def test_contract_holds_under_fault(
+        self, name, web, subgraphs, offline, armed_faults
+    ):
+        armed_faults(SCENARIOS[name])
+        budget_holder: list[float] = []
+        outcomes, violations = _run_scenario(
+            web, subgraphs, offline, budget_holder
+        )
+        assert violations == []
+        total = sum(outcomes.values())
+        assert total == ROUNDS * len(subgraphs)
+        # The cluster must still make progress under chaos: the
+        # matrix is vacuous if every answer was a refusal.
+        assert outcomes["fresh"] + outcomes["flagged"] > 0
+        # And the chaos must actually have happened: at least one
+        # armed kind fired at some shard site.
+        injector = get_injector()
+        assert injector is not None
+        fired = sum(
+            injector.fired_at(kind, f"shard-{shard}")
+            for kind in injector.kinds
+            for shard in range(2)
+        )
+        assert fired >= 1, "no fault fired; scenario is vacuous"
+
+    def test_no_faults_armed_is_all_fresh(
+        self, web, subgraphs, offline, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        set_injector(None)
+        budget_holder: list[float] = []
+        outcomes, violations = _run_scenario(
+            web, subgraphs, offline, budget_holder
+        )
+        assert violations == []
+        assert outcomes["fresh"] == ROUNDS * len(subgraphs)
+        assert outcomes["unavailable"] == 0
+
+
+class TestDeterminism:
+    def test_site_streams_replay_identically(self):
+        spec = "slow_shard:p=0.5,seed=9"
+        first = FaultInjector.from_spec(spec)
+        second = FaultInjector.from_spec(spec)
+        decisions_a = [
+            first.should_fire_at("slow_shard", "shard-0")
+            for __ in range(50)
+        ]
+        decisions_b = [
+            second.should_fire_at("slow_shard", "shard-0")
+            for __ in range(50)
+        ]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_sites_draw_independent_streams(self):
+        injector = FaultInjector.from_spec("drop_conn:p=0.5,seed=21")
+        stream_a = [
+            injector.should_fire_at("drop_conn", "shard-0")
+            for __ in range(60)
+        ]
+        stream_b = [
+            injector.should_fire_at("drop_conn", "shard-1")
+            for __ in range(60)
+        ]
+        assert stream_a != stream_b

@@ -163,13 +163,13 @@ class TestErrorPaths:
         assert info.value.status == 400
 
     def test_unknown_path_is_404(self, client):
-        status, _, _ = client._request("GET", "/nope")
+        status, _, _, _ = client._request("GET", "/nope")
         assert status == 404
 
     def test_wrong_method_is_405(self, client):
-        status, _, _ = client._request("GET", "/rank")
+        status, _, _, _ = client._request("GET", "/rank")
         assert status == 405
-        status, _, _ = client._request("POST", "/healthz")
+        status, _, _, _ = client._request("POST", "/healthz")
         assert status == 405
 
     def test_expired_deadline_is_503(self, client):
