@@ -6,11 +6,13 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-tier2 test-all chaos chaos-serve obs-smoke \
-	serve-smoke cluster-smoke update-smoke bench-kernels \
-	bench-kernels-smoke bench-parallel bench-parallel-smoke \
-	bench-serve bench-serve-smoke bench-backends \
-	bench-backends-smoke test-backends bench-updates \
-	bench-updates-smoke bench-shard bench-shard-smoke bench-check
+	serve-smoke cluster-smoke update-smoke estimate-smoke \
+	bench-kernels bench-kernels-smoke bench-parallel \
+	bench-parallel-smoke bench-serve bench-serve-smoke \
+	bench-backends bench-backends-smoke test-backends \
+	bench-updates bench-updates-smoke bench-shard \
+	bench-shard-smoke bench-estimation bench-estimation-smoke \
+	bench-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -62,6 +64,12 @@ cluster-smoke:
 update-smoke:
 	$(PYTHON) -m pytest -q -m updates tests/updates
 	$(PYTHON) -m pytest -q tests/serve/test_server.py -k Update
+
+# Estimation smoke: the tier-1 estimator suite (protocol, exact
+# bit-identity pin, Monte Carlo certificates + determinism matrix,
+# push invariants, serve/store integration).
+estimate-smoke:
+	$(PYTHON) -m pytest -q -m "estimation and not tier2" tests/estimation tests/serve/test_estimator_serve.py
 
 # Full benchmark; writes BENCH_solver.json at the repo root.
 bench-kernels:
@@ -124,6 +132,16 @@ bench-shard:
 bench-shard-smoke:
 	$(PYTHON) benchmarks/bench_shard.py --smoke --output /tmp/BENCH_shard_smoke.json
 
+# Full estimation Pareto benchmark; writes BENCH_estimate.json at the
+# repo root.
+bench-estimation:
+	$(PYTHON) benchmarks/bench_estimation.py
+
+# CI tier-2 gate: small workload; the certificate-accuracy clause and
+# the sublinearity clause are never waived.
+bench-estimation-smoke:
+	$(PYTHON) benchmarks/bench_estimation.py --smoke --output /tmp/BENCH_estimate_smoke.json
+
 # Regenerate every benchmark record into /tmp and diff it against the
 # committed one; --strict turns regressions above the noise threshold
 # into a non-zero exit.
@@ -140,3 +158,5 @@ bench-check:
 	$(PYTHON) -m repro bench-diff BENCH_update.json /tmp/BENCH_update_check.json --strict
 	$(PYTHON) benchmarks/bench_shard.py --output /tmp/BENCH_shard_check.json > /dev/null
 	$(PYTHON) -m repro bench-diff BENCH_shard.json /tmp/BENCH_shard_check.json --strict
+	$(PYTHON) benchmarks/bench_estimation.py --output /tmp/BENCH_estimate_check.json > /dev/null
+	$(PYTHON) -m repro bench-diff BENCH_estimate.json /tmp/BENCH_estimate_check.json --strict

@@ -64,8 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
         + [
             "all", "bench-kernels", "bench-parallel", "bench-serve",
             "bench-backends", "bench-updates", "bench-shard",
-            "bench-diff", "obs-report", "serve", "serve-cluster",
-            "query",
+            "bench-estimation", "bench-diff", "obs-report", "serve",
+            "serve-cluster", "query",
         ],
         help=(
             "which experiment to run; 'bench-kernels' runs the solver "
@@ -76,7 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
             "benchmark (BENCH_backend.json), 'bench-updates' the "
             "incremental re-ranking benchmark (BENCH_update.json), "
             "'bench-shard' the sharded-cluster benchmark "
-            "(BENCH_shard.json), 'bench-diff' compares two "
+            "(BENCH_shard.json), 'bench-estimation' the sublinear-"
+            "estimator Pareto benchmark (BENCH_estimate.json), "
+            "'bench-diff' compares two "
             "benchmark records (regression report), 'obs-report' "
             "renders an observability snapshot written by --obs-out, "
             "'serve' starts the online ranking HTTP server, "
@@ -277,6 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--damping", type=float, default=None,
         help="('query' only) damping factor override",
     )
+    serve_group.add_argument(
+        "--estimator", type=str, default=None, metavar="SPEC",
+        help=(
+            "('serve'/'query') rank with a sublinear estimator "
+            "instead of the exact solver, e.g. 'montecarlo', "
+            "'montecarlo:walks=200000,seed=7', 'push:r_max=1e-4'; "
+            "for 'serve' this sets the server's default engine, for "
+            "'query' it is sent as /rank?estimator=; estimated "
+            "responses are flagged with their certified error bound"
+        ),
+    )
     parser.add_argument(
         "--verbose", action="store_true",
         help=(
@@ -328,6 +341,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     service = RankingService(
         graph,
         policy=BatchPolicy(enabled=not args.no_batching),
+        default_estimator=args.estimator,
     )
     if args.store_dir:
         loaded = service.store.warm_load(args.store_dir, graph)
@@ -441,7 +455,9 @@ def _run_query(args: argparse.Namespace) -> int:
                 nodes, terms, k=args.k, damping=args.damping
             )
         else:
-            payload = client.rank(nodes, damping=args.damping)
+            payload = client.rank(
+                nodes, damping=args.damping, estimator=args.estimator
+            )
     except ServeRequestError as exc:
         print(f"error (HTTP {exc.status}): {exc}", file=sys.stderr)
         return 1
@@ -623,6 +639,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             output_path=args.output or "BENCH_shard.json",
         )
         print(format_shard_summary(record))
+        return 0 if (not args.fast or record["gate_passed"]) else 1
+
+    if args.experiment == "bench-estimation":
+        # Sublinear-estimator benchmark: error-vs-time Pareto sweep
+        # of Monte Carlo and local-push against the exact solver;
+        # --fast maps to smoke mode (small workload + hard gate).
+        from repro.estimation.bench import (
+            format_estimation_summary,
+            run_estimation_benchmark,
+        )
+
+        record = run_estimation_benchmark(
+            smoke=args.fast,
+            seed=args.seed if args.seed is not None else 2009,
+            output_path=args.output or "BENCH_estimate.json",
+        )
+        print(format_estimation_summary(record))
         return 0 if (not args.fast or record["gate_passed"]) else 1
 
     if args.experiment == "serve":

@@ -1,0 +1,305 @@
+"""Seeded-deterministic Monte Carlo estimation of ApproxRank scores.
+
+The α-discounted random-walk identity behind the engine: with damping
+ε and teleport distribution ``s``, the PageRank fixed point is
+
+    p = (1 − ε) · Σ_{t ≥ 0} ε^t · (Pᵀ)^t s
+
+— i.e. start a walk at a node drawn from ``s``, continue with
+probability ε per step (moving along a row of the extended transition
+matrix; a dangling node jumps through ``s``), and stop with
+probability 1 − ε.  The distribution of the *terminal* node is exactly
+``p``, so counting walk endpoints estimates the ApproxRank vector
+without ever sweeping the whole matrix (the BackMC walk-count idiom).
+
+Stratified allocation and the certificate
+-----------------------------------------
+Walks are allocated per start node, ``w_u = max(1, ⌊W · s_u⌋)`` — the
+extended teleport concentrates most mass on Λ, so Λ gets most of the
+budget while every local page keeps at least one walk.  The estimator
+
+    p̂(v) = Σ_u (s_u / w_u) · #{walks from u ending at v}
+
+is unbiased, and each walk contributes a bounded term
+``c_i = s_{u(i)} / w_{u(i)}``, so Hoeffding's inequality with
+``V = Σ_u s_u² / w_u = Σ_i c_i²`` gives, per coordinate,
+
+    P(|p̂(v) − p(v)| ≥ t) ≤ 2·exp(−2t² / V).
+
+A union bound over the n+1 extended coordinates certifies
+
+    ‖p̂ − p‖∞ ≤ sqrt(V/2 · ln(2(n+1)/δ))    with probability ≥ 1 − δ
+
+which the engine reports as ``extras["error_bound"]`` (δ =
+``confidence``, default 0.01).
+
+Determinism
+-----------
+Walks from start node ``u`` consume randomness only from the dedicated
+stream ``default_rng((seed, node_key(u)))`` — the node's *global* id,
+or N for Λ — so no two nodes ever share a stream, and adding or
+removing nodes elsewhere cannot shift another node's draws.  Start
+nodes are processed in fixed-size chunks whose partial count vectors
+are merged in chunk order regardless of how many worker threads
+computed them: the same seed is bit-identical across runs *and* across
+``workers`` = 1/2/4.
+
+Work accounting
+---------------
+``edges_touched`` = extended-matrix nnz (the one-off CDF build) plus
+one entry per simulated step — sublinear in the global graph because
+both terms live entirely on the extended local graph.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.precompute import ApproxRankPreprocessor
+from repro.estimation.base import (
+    ExtendedWalkStructure,
+    build_walk_structure,
+    record_estimate_metrics,
+)
+from repro.exceptions import EstimationError
+from repro.graph.digraph import CSRGraph
+from repro.pagerank.result import SubgraphScores
+from repro.pagerank.solver import DEFAULT_DAMPING, PowerIterationSettings
+
+__all__ = ["MonteCarloEstimator", "DEFAULT_WALKS", "CHUNK_START_NODES"]
+
+#: Default total walk budget.
+DEFAULT_WALKS = 50_000
+
+#: Start nodes per work chunk.  Fixed — never derived from the worker
+#: count — so the chunk partition (and therefore every partial sum and
+#: the float merge order) is identical for any number of threads.
+CHUNK_START_NODES = 64
+
+
+class MonteCarloEstimator:
+    """Estimate ApproxRank scores with seeded random walks.
+
+    Parameters
+    ----------
+    walks:
+        Total walk budget ``W`` (stratified over start nodes; every
+        node gets at least one walk, so the realised count — reported
+        as ``extras["walks"]`` — can exceed ``W`` for tiny budgets).
+    seed:
+        Root seed of the per-node streams.
+    confidence:
+        Certificate failure probability δ: the reported
+        ``error_bound`` holds with probability ≥ 1 − δ.
+    workers:
+        Worker threads simulating chunks (results are bit-identical
+        for any value).
+    """
+
+    name = "montecarlo"
+
+    def __init__(
+        self,
+        walks: int = DEFAULT_WALKS,
+        seed: int = 0,
+        confidence: float = 0.01,
+        workers: int = 1,
+    ):
+        if walks < 1:
+            raise EstimationError(f"walk budget must be >= 1, got {walks}")
+        if not 0.0 < confidence < 1.0:
+            raise EstimationError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        if workers < 1:
+            raise EstimationError(f"workers must be >= 1, got {workers}")
+        self.walks = int(walks)
+        self.seed = int(seed)
+        self.confidence = float(confidence)
+        self.workers = int(workers)
+
+    @property
+    def variant(self) -> str:
+        """Canonical store-key token: every parameter that affects the
+        returned scores (``workers`` deliberately excluded — results
+        are bit-identical across worker counts)."""
+        return (
+            f"{self.name}:walks={self.walks},seed={self.seed},"
+            f"confidence={self.confidence!r}"
+        )
+
+    def estimate(
+        self,
+        graph: CSRGraph,
+        local_nodes: Iterable[int],
+        settings: PowerIterationSettings | None = None,
+        preprocessor: ApproxRankPreprocessor | None = None,
+    ) -> SubgraphScores:
+        start = time.perf_counter()
+        damping = (
+            settings.damping if settings is not None else DEFAULT_DAMPING
+        )
+        prep = preprocessor or ApproxRankPreprocessor(graph)
+        extended = prep.extended_graph(local_nodes)
+        structure = build_walk_structure(extended)
+        size = extended.num_local + 1
+
+        # Stratified walk allocation (deterministic).
+        teleport = structure.teleport
+        allocation = np.maximum(
+            np.floor(self.walks * teleport).astype(np.int64), 1
+        )
+        total_walks = int(allocation.sum())
+        variance_proxy = float(
+            np.sum(teleport * teleport / allocation)
+        )
+        error_bound = float(
+            np.sqrt(
+                0.5
+                * variance_proxy
+                * np.log(2.0 * size / self.confidence)
+            )
+        )
+
+        # Per-node stream keys: the page's *global* id; N for Λ.
+        node_keys = np.concatenate(
+            [extended.local_nodes, [extended.num_global]]
+        ).astype(np.int64)
+
+        num_chunks = (size + CHUNK_START_NODES - 1) // CHUNK_START_NODES
+
+        def run_chunk(chunk: int) -> tuple[np.ndarray, int]:
+            lo = chunk * CHUNK_START_NODES
+            hi = min(lo + CHUNK_START_NODES, size)
+            return _simulate_chunk(
+                structure,
+                start_nodes=np.arange(lo, hi, dtype=np.int64),
+                node_keys=node_keys[lo:hi],
+                allocation=allocation[lo:hi],
+                seed=self.seed,
+                damping=float(damping),
+                size=size,
+            )
+
+        if self.workers == 1 or num_chunks == 1:
+            partials = [run_chunk(c) for c in range(num_chunks)]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                # list(map) preserves chunk order whatever thread
+                # finished first — the merge below must be ordered for
+                # bit-identical float sums.
+                partials = list(pool.map(run_chunk, range(num_chunks)))
+
+        estimate = np.zeros(size, dtype=np.float64)
+        steps = 0
+        for partial, chunk_steps in partials:
+            estimate += partial
+            steps += chunk_steps
+
+        edges_touched = structure.nnz + steps
+        runtime = time.perf_counter() - start
+        scores = SubgraphScores(
+            local_nodes=extended.local_nodes.copy(),
+            scores=estimate[: extended.num_local].copy(),
+            method="approxrank-montecarlo",
+            iterations=0,
+            residual=error_bound,
+            converged=True,
+            runtime_seconds=runtime,
+            extras={
+                "estimator": self.name,
+                "error_bound": error_bound,
+                "error_bound_l1": min(float(size) * error_bound, 2.0),
+                "edges_touched": int(edges_touched),
+                "walks": total_walks,
+                "walk_steps": int(steps),
+                "confidence": self.confidence,
+                "seed": self.seed,
+                "lambda_score": float(estimate[extended.lambda_index]),
+            },
+        )
+        record_estimate_metrics(scores)
+        return scores
+
+
+def _simulate_chunk(
+    structure: ExtendedWalkStructure,
+    start_nodes: np.ndarray,
+    node_keys: np.ndarray,
+    allocation: np.ndarray,
+    seed: int,
+    damping: float,
+    size: int,
+) -> tuple[np.ndarray, int]:
+    """Simulate every walk of one chunk of start nodes.
+
+    Per start node, the dedicated stream first draws the walk lengths
+    (geometric: continue w.p. ε), then one uniform per step.  That
+    fixed consumption order *is* the determinism contract — any
+    reimplementation must reproduce it.
+
+    Returns the chunk's weighted terminal-count vector and the number
+    of steps simulated.
+    """
+    lengths_parts: list[np.ndarray] = []
+    uniform_parts: list[np.ndarray] = []
+    for key, count in zip(node_keys, allocation):
+        rng = np.random.default_rng((seed, int(key)))
+        # rng.geometric counts trials to first success at p = 1 − ε;
+        # steps-before-stop is one less: P(L = k) = (1−ε)·ε^k.
+        lengths = rng.geometric(1.0 - damping, size=int(count)) - 1
+        lengths_parts.append(lengths.astype(np.int64))
+        uniform_parts.append(rng.random(int(lengths.sum())))
+
+    lengths = np.concatenate(lengths_parts)
+    uniforms = (
+        np.concatenate(uniform_parts)
+        if uniform_parts
+        else np.empty(0, dtype=np.float64)
+    )
+    total_steps = int(lengths.sum())
+
+    # Walk state: current node, next-uniform pointer, steps remaining.
+    pos = np.repeat(start_nodes, allocation)
+    uptr = np.concatenate(([0], np.cumsum(lengths)[:-1])).astype(np.int64)
+    remaining = lengths.copy()
+
+    active = np.flatnonzero(remaining > 0)
+    while active.size:
+        x = uniforms[uptr[active]]
+        here = pos[active]
+        jumps = structure.dangling[here]
+        nxt = np.empty(active.size, dtype=np.int64)
+        if np.any(~jumps):
+            walk_idx = np.flatnonzero(~jumps)
+            slots = np.searchsorted(
+                structure.shifted_cdf,
+                x[walk_idx] + 2.0 * here[walk_idx],
+                side="right",
+            )
+            nxt[walk_idx] = structure.indices[
+                np.minimum(slots, structure.indices.size - 1)
+            ]
+        if np.any(jumps):
+            jump_idx = np.flatnonzero(jumps)
+            nxt[jump_idx] = np.minimum(
+                np.searchsorted(
+                    structure.teleport_cdf, x[jump_idx], side="right"
+                ),
+                size - 1,
+            )
+        pos[active] = nxt
+        uptr[active] += 1
+        remaining[active] -= 1
+        active = active[remaining[active] > 0]
+
+    weights = np.repeat(
+        structure.teleport[start_nodes] / allocation, allocation
+    )
+    partial = np.zeros(size, dtype=np.float64)
+    np.add.at(partial, pos, weights)
+    return partial, total_steps

@@ -1,0 +1,194 @@
+"""Residual local-push (forward-push) estimation of ApproxRank scores.
+
+The ApproxContributions/forward-push idiom, specialised to the
+extended local graph.  The engine maintains an estimate vector ``p̂``
+and a residual vector ``r`` over the n+1 extended nodes, starting from
+``p̂ = 0, r = s`` (the teleport distribution), and repeatedly *pushes*
+nodes holding enough residual mass:
+
+    push(u):  p̂(u) += (1 − ε) · r(u)
+              r(v)  += ε · r(u) · P(u, v)   for each out-edge (u, v)
+              r(u)   = 0
+
+(a dangling ``u`` propagates ``ε · r(u)`` through the teleport instead
+— exactly how the solver patches dangling rows).  The loop invariant is
+the α-discounted-walk decomposition
+
+    p = p̂ + Σ_u r(u) · ppr(u)
+
+where ``ppr(u)`` is the PageRank vector personalised to node ``u``.
+Every ``ppr(u)`` is a probability distribution and ``r`` stays
+non-negative, so
+
+    ‖p − p̂‖₁ = Σ_u r(u) = ‖r‖₁        (exactly)
+
+and the engine simply runs until ``‖r‖₁ ≤ r_max``.  The *measured*
+final ``‖r‖₁`` is reported as ``extras["error_bound"]`` — a certificate
+for the L1 (hence also L∞) error.  It is always at least as tight as
+the conventional a-priori form ``r_max / (1 − ε)``, which is recorded
+alongside as ``extras["error_bound_apriori"]``.
+
+Frontier sweeps, not a priority queue
+-------------------------------------
+Python-level heaps would dominate the runtime, so pushes are applied
+in vectorised *sweeps*: every node with ``r(u) > θ`` where
+``θ = r_max / (2(n+1))`` is pushed at once via one CSR row-slice and a
+transposed sparse mat-vec over just those rows.  If a sweep finds no
+node above θ then ``‖r‖₁ ≤ (n+1)·θ = r_max/2`` and the target is
+already met, so the loop terminates without ever scanning mass it
+cannot push.  Each sweep strictly removes ``(1 − ε)`` of the pushed
+mass from ``‖r‖₁``, giving geometric progress; a generous sweep cap
+guards against misconfiguration.
+
+Work accounting
+---------------
+``edges_touched`` counts the nnz of the rows actually pushed (plus
+n+1 per sweep that spreads dangling mass through the teleport, plus
+the extended nnz once for setup) — the engine never reads a row it
+does not push, which is what makes small-``r_max`` runs genuinely
+local.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.precompute import ApproxRankPreprocessor
+from repro.estimation.base import record_estimate_metrics
+from repro.exceptions import EstimationError
+from repro.graph.digraph import CSRGraph
+from repro.pagerank.result import SubgraphScores
+from repro.pagerank.solver import DEFAULT_DAMPING, PowerIterationSettings
+from repro.pagerank.transition import csr_transpose
+
+__all__ = ["PushEstimator", "DEFAULT_R_MAX", "MAX_SWEEPS"]
+
+#: Default residual target ‖r‖₁ ≤ r_max.
+DEFAULT_R_MAX = 1e-3
+
+#: Safety cap on frontier sweeps (residual mass shrinks by a factor
+#: ≤ ε per full sweep, so legitimate runs finish in
+#: O(log(1/r_max) / log(1/ε)) ≈ 43 sweeps at ε = 0.85, r_max = 1e-3).
+MAX_SWEEPS = 10_000
+
+
+class PushEstimator:
+    """Estimate ApproxRank scores by residual forward-push.
+
+    Parameters
+    ----------
+    r_max:
+        Target residual mass: the engine stops once ``‖r‖₁ ≤ r_max``,
+        certifying ``‖p̂ − p‖₁ ≤ r_max`` (and a fortiori the
+        conventional ``‖p̂ − p‖∞ ≤ r_max/(1−ε)``).
+    """
+
+    name = "push"
+
+    def __init__(self, r_max: float = DEFAULT_R_MAX):
+        if not 0.0 < r_max < 2.0:
+            raise EstimationError(
+                f"r_max must be in (0, 2), got {r_max}"
+            )
+        self.r_max = float(r_max)
+
+    @property
+    def variant(self) -> str:
+        """Canonical store-key token for this configuration."""
+        return f"{self.name}:r_max={self.r_max!r}"
+
+    def estimate(
+        self,
+        graph: CSRGraph,
+        local_nodes: Iterable[int],
+        settings: PowerIterationSettings | None = None,
+        preprocessor: ApproxRankPreprocessor | None = None,
+    ) -> SubgraphScores:
+        start = time.perf_counter()
+        damping = float(
+            settings.damping if settings is not None else DEFAULT_DAMPING
+        )
+        prep = preprocessor or ApproxRankPreprocessor(graph)
+        extended = prep.extended_graph(local_nodes)
+        size = extended.num_local + 1
+        rows = csr_transpose(extended.transition_ext_t)
+        dangling = np.asarray(extended.dangling_mask_ext, dtype=bool) | (
+            np.diff(rows.indptr) == 0
+        )
+        teleport = np.asarray(extended.p_ideal, dtype=np.float64)
+        row_nnz = np.diff(rows.indptr).astype(np.int64)
+
+        threshold = self.r_max / (2.0 * size)
+        p_hat = np.zeros(size, dtype=np.float64)
+        residual = teleport.copy()
+
+        sweeps = 0
+        pushes = 0
+        edges_touched = int(rows.nnz)  # CSR setup reads every entry once
+        while residual.sum() > self.r_max:
+            frontier = np.flatnonzero(residual > threshold)
+            if frontier.size == 0:
+                # ‖r‖₁ ≤ (n+1)·θ = r_max/2: the invariant already
+                # certifies the target (unreachable given the loop
+                # condition, kept as a structural guard).
+                break
+            if sweeps >= MAX_SWEEPS:
+                raise EstimationError(
+                    f"push failed to reach r_max={self.r_max} within "
+                    f"{MAX_SWEEPS} sweeps (residual {residual.sum():.3e})"
+                )
+            mass = residual[frontier]
+            p_hat[frontier] += (1.0 - damping) * mass
+            residual[frontier] = 0.0
+
+            spread = frontier[~dangling[frontier]]
+            if spread.size:
+                sub = rows[spread]
+                residual += damping * (sub.T @ residual_mass(mass, frontier, spread))
+                edges_touched += int(sub.nnz)
+            dangling_mass = float(mass[dangling[frontier]].sum())
+            if dangling_mass > 0.0:
+                residual += damping * dangling_mass * teleport
+                edges_touched += size
+
+            sweeps += 1
+            pushes += int(frontier.size)
+
+        final_residual = float(residual.sum())
+        runtime = time.perf_counter() - start
+        scores = SubgraphScores(
+            local_nodes=extended.local_nodes.copy(),
+            scores=p_hat[: extended.num_local].copy(),
+            method="approxrank-push",
+            iterations=sweeps,
+            residual=final_residual,
+            converged=True,
+            runtime_seconds=runtime,
+            extras={
+                "estimator": self.name,
+                "error_bound": final_residual,
+                "error_bound_apriori": self.r_max / (1.0 - damping),
+                "r_max": self.r_max,
+                "edges_touched": int(edges_touched),
+                "pushes": pushes,
+                "sweeps": sweeps,
+                "lambda_score": float(p_hat[extended.lambda_index]),
+            },
+        )
+        record_estimate_metrics(scores)
+        return scores
+
+
+def residual_mass(
+    mass: np.ndarray, frontier: np.ndarray, spread: np.ndarray
+) -> np.ndarray:
+    """Frontier mass aligned with the non-dangling row slice.
+
+    ``rows[spread].T @ v`` needs ``v`` in ``spread`` order; ``mass`` is
+    in ``frontier`` order.  ``spread`` is a subsequence of ``frontier``
+    (both ascending), so a searchsorted realigns without a dict.
+    """
+    return mass[np.searchsorted(frontier, spread)]

@@ -262,6 +262,16 @@ class ServeRetriesExhaustedError(ServeRequestError):
         self.attempts = tuple(attempts)
 
 
+class EstimationError(ReproError):
+    """A sublinear rank estimator was misconfigured or failed to certify.
+
+    Raised by :mod:`repro.estimation` for unknown estimator specs,
+    invalid parameters (non-positive walk budgets, thresholds), or when
+    a push sweep fails to drive the residual below its certificate
+    within the safety cap.
+    """
+
+
 class MetricError(ReproError):
     """Inputs to a ranking metric are incompatible (e.g. length mismatch)."""
 

@@ -14,7 +14,10 @@ regression report:
   (``*seconds*``) regress when they grow, rate/speedup fields
   (``*speedup*``, ``*_per_second``) regress when they shrink, and
   everything else (sizes, counts, bounds) is reported as neutral
-  change only;
+  change only — unless the record's benchmark registers an override
+  in :data:`_DIRECTION_OVERRIDES` (the estimation benchmark's
+  ``error*`` and ``edges_touched`` leaves are lower-is-better, not
+  neutral counts);
 * changes smaller than the noise ``threshold`` (relative) are
   suppressed, because best-of-N timings on shared CI boxes still
   wobble a few percent.
@@ -68,6 +71,10 @@ def _numeric_leaves(node: Any, path: str = "") -> dict[str, float]:
             if isinstance(item, dict):
                 if "backend" in item and "dtype" in item:
                     label = f"{item['backend']}/{item['dtype']}"
+                elif "estimator" in item and "walks" in item:
+                    label = f"{item['estimator']}/walks={item['walks']}"
+                elif "estimator" in item and "r_max" in item:
+                    label = f"{item['estimator']}/r_max={item['r_max']:g}"
                 elif "workers" in item:
                     label = f"workers={item['workers']}"
                 elif "threads" in item:
@@ -82,9 +89,28 @@ def _numeric_leaves(node: Any, path: str = "") -> dict[str, float]:
     return leaves
 
 
-def _direction(path: str) -> str:
+#: Per-benchmark direction metadata, keyed by the record's
+#: ``"benchmark"`` name, then by a substring of the leaf name.  Looked
+#: up before the generic name heuristics: the estimation benchmark's
+#: error and edges-touched leaves are quality/cost axes of its Pareto
+#: sweep, and a growth in either is a genuine regression.
+_DIRECTION_OVERRIDES: dict[str, dict[str, str]] = {
+    "estimation": {
+        "error": "lower",
+        "edges_touched": "lower",
+        "edges_fraction": "lower",
+    },
+}
+
+
+def _direction(path: str, benchmark: str = "?") -> str:
     """``lower`` / ``higher`` is better, or ``neutral``."""
     leaf = path.rsplit(".", 1)[-1].lower()
+    for token, direction in _DIRECTION_OVERRIDES.get(
+        benchmark, {}
+    ).items():
+        if token in leaf:
+            return direction
     if "speedup" in leaf or "per_second" in leaf:
         return "higher"
     if "seconds" in leaf or "bytes" in leaf or "overhead" in leaf:
@@ -128,7 +154,7 @@ def diff_records(
             "new": after,
             "change_pct": change * 100.0,
         }
-        direction = _direction(path)
+        direction = _direction(path, benchmark=new_name)
         if direction == "neutral":
             neutral.append(entry)
         elif (direction == "lower") == (after > before):

@@ -29,6 +29,7 @@ import http.client
 import json
 import logging
 import time
+import urllib.parse
 from typing import Any, Iterable
 
 import numpy as np
@@ -274,23 +275,38 @@ class RankingClient:
         nodes: Iterable[int],
         damping: float | None = None,
         deadline_seconds: float | None = None,
+        estimator: str | None = None,
     ) -> dict:
-        """``POST /rank``; returns the decoded JSON payload."""
+        """``POST /rank``; returns the decoded JSON payload.
+
+        ``estimator`` opts into the sublinear engines — the spec is
+        sent as the ``/rank?estimator=`` query parameter, URL-encoded
+        (estimated responses come back flagged ``estimated`` with
+        their certified ``error_bound``).
+        """
         payload: dict = {"nodes": [int(n) for n in nodes]}
         if damping is not None:
             payload["damping"] = float(damping)
         if deadline_seconds is not None:
             payload["deadline_seconds"] = float(deadline_seconds)
-        return self._json("POST", "/rank", payload)
+        path = "/rank"
+        if estimator is not None:
+            path += "?estimator=" + urllib.parse.quote(
+                str(estimator), safe=""
+            )
+        return self._json("POST", path, payload)
 
     def rank_scores(
         self,
         nodes: Iterable[int],
         damping: float | None = None,
         deadline_seconds: float | None = None,
+        estimator: str | None = None,
     ) -> SubgraphScores:
         """``POST /rank`` reconstructed as a :class:`SubgraphScores`."""
-        payload = self.rank(nodes, damping, deadline_seconds)
+        payload = self.rank(
+            nodes, damping, deadline_seconds, estimator=estimator
+        )
         extras = {"cache_hit": payload["cache_hit"]}
         if "lambda_score" in payload:
             extras["lambda_score"] = payload["lambda_score"]
@@ -306,6 +322,14 @@ class RankingClient:
             extras["iterations_saved"] = int(
                 payload.get("iterations_saved", 0)
             )
+        if "estimator" in payload:
+            extras["estimator"] = str(payload["estimator"])
+            extras["estimated"] = bool(payload.get("estimated", False))
+            extras["error_bound"] = float(
+                payload.get("error_bound", 0.0)
+            )
+            if "edges_touched" in payload:
+                extras["edges_touched"] = int(payload["edges_touched"])
         return SubgraphScores(
             local_nodes=np.asarray(payload["nodes"], dtype=np.int64),
             scores=np.asarray(payload["scores"], dtype=np.float64),

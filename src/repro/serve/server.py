@@ -38,6 +38,7 @@ import json
 import logging
 import threading
 import time
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Iterable
@@ -46,9 +47,11 @@ import numpy as np
 
 from repro.core.precompute import ApproxRankPreprocessor
 from repro.core.extended import solve_to_subgraph_scores
+from repro.estimation import resolve_estimator
 from repro.exceptions import (
     DatasetError,
     DeadlineExceededError,
+    EstimationError,
     GraphError,
     ReproError,
     ServeError,
@@ -106,6 +109,12 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024
 #: instead of burning solver time on an answer nobody is waiting for.
 DEADLINE_HEADER = "X-Repro-Deadline"
 
+#: Internal pseudo-header carrying the raw request query string from
+#: the connection handler into ``_route`` — the cluster subclasses
+#: override ``_route`` with a fixed signature, so the query rides in
+#: the headers dict rather than a new parameter.
+_QUERY_PSEUDO_HEADER = "x-repro-query"
+
 _JSON = {"Content-Type": "application/json"}
 _TEXT = {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
 
@@ -144,6 +153,11 @@ class RankingService:
         mechanism.
     registry:
         Metrics registry (the process-wide one by default).
+    default_estimator:
+        Estimator spec applied to requests that do not name one
+        (``None`` = exact).  A per-request ``estimator`` always
+        overrides it; ``"exact"`` requests take the bit-identical
+        batched path regardless of this default.
     """
 
     def __init__(
@@ -155,6 +169,7 @@ class RankingService:
         lexicon: SyntheticLexicon | None = None,
         solver_threads: int = 1,
         registry: MetricsRegistry | None = None,
+        default_estimator: str | None = None,
     ):
         self._registry = registry if registry is not None else REGISTRY
         self._settings = (
@@ -180,6 +195,10 @@ class RankingService:
             preprocessor=ApproxRankPreprocessor(graph),
             fingerprint=graph_fingerprint(graph),
         )
+        self._default_estimator = default_estimator
+        if default_estimator is not None:
+            # Fail at construction, not first request.
+            resolve_estimator(default_estimator)
         self._lexicon = lexicon
         self._lexicon_lock = threading.Lock()
         self._update_lock = asyncio.Lock()
@@ -283,10 +302,11 @@ class RankingService:
         nodes: Iterable[int],
         damping: float | None = None,
         deadline_seconds: float | None = None,
+        estimator: str | None = None,
     ) -> tuple[SubgraphScores, bool]:
         """Scores for one subgraph; returns ``(scores, cache_hit)``."""
         outcome = await self.rank_with_meta(
-            nodes, damping, deadline_seconds
+            nodes, damping, deadline_seconds, estimator=estimator
         )
         return outcome.scores, outcome.cache_hit
 
@@ -295,13 +315,32 @@ class RankingService:
         nodes: Iterable[int],
         damping: float | None = None,
         deadline_seconds: float | None = None,
+        estimator: str | None = None,
     ) -> RankOutcome:
         """Scores plus cache/staleness accounting for one subgraph.
 
         A warm hit on a stale-but-bounded entry is served immediately
         with its staleness charge attached (the store guarantees the
         charge is within budget); a miss solves fresh.
+
+        ``estimator`` opts a request into the sublinear engines (spec
+        string, e.g. ``"montecarlo:walks=20000"``); it falls back to
+        the service's ``default_estimator``.  Estimated results are
+        *never* bit-identical to the offline solve, so they are always
+        flagged stale, carry their certified ``error_bound`` as the
+        staleness charge, and live in the store under the estimator's
+        own variant key — an exact request can never be answered from
+        an estimated entry.
         """
+        spec = estimator if estimator is not None else (
+            self._default_estimator
+        )
+        if spec is not None:
+            engine = resolve_estimator(spec)
+            if engine.name != "exact":
+                return await self._rank_estimated(
+                    engine, nodes, damping, deadline_seconds
+                )
         state = self._state
         local = normalize_node_set(state.graph, nodes)
         epsilon = self._resolve_damping(damping)
@@ -319,6 +358,72 @@ class RankingService:
         )
         self.store.put(state.graph, local, epsilon, scores)
         return RankOutcome(scores=scores, cache_hit=False)
+
+    async def _rank_estimated(
+        self,
+        engine,
+        nodes: Iterable[int],
+        damping: float | None,
+        deadline_seconds: float | None,
+    ) -> RankOutcome:
+        """The opt-in sublinear path: estimate, certify, cache.
+
+        Estimates bypass the micro-batcher (there is no multi-column
+        kernel to amortise) and run on the solver executor.  The
+        certified error bound doubles as the entry's staleness charge:
+        both it and any later Theorem-2 update charges upper-bound the
+        score drift, so the store's budget accounting uniformly caps
+        total certified error.
+        """
+        state = self._state
+        local = normalize_node_set(state.graph, nodes)
+        epsilon = self._resolve_damping(damping)
+        variant = engine.variant
+        hit = self.store.lookup(state.graph, local, epsilon, variant)
+        if hit is not None:
+            return RankOutcome(
+                scores=hit.scores,
+                cache_hit=True,
+                stale=True,
+                staleness=hit.staleness,
+            )
+        settings = replace(self._settings, damping=epsilon)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor,
+            lambda: engine.estimate(
+                state.graph, local, settings, state.preprocessor
+            ),
+        )
+        if deadline_seconds is not None:
+            try:
+                scores = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=deadline_seconds
+                )
+            except asyncio.TimeoutError:
+                raise DeadlineExceededError(
+                    f"estimate missed its {deadline_seconds:.3f}s "
+                    "deadline",
+                    deadline_seconds=deadline_seconds,
+                )
+        else:
+            scores = await future
+        bound = float(scores.extras.get("error_bound", 0.0))
+        self.store.put(
+            state.graph,
+            local,
+            epsilon,
+            scores,
+            stale=True,
+            staleness=bound,
+            variant=variant,
+        )
+        return RankOutcome(
+            scores=scores,
+            cache_hit=False,
+            stale=True,
+            staleness=bound,
+        )
 
     async def search(
         self,
@@ -517,6 +622,7 @@ class RankingService:
             "batching": self.batcher.policy.enabled,
             "pending": self.batcher.pending,
             "solver_backend": backend_info(),
+            "default_estimator": self._default_estimator or "exact",
             "updates": {
                 "applied": self._updates_applied,
                 "staleness_spent": self._staleness_spent,
@@ -562,6 +668,19 @@ def _scores_payload(
         payload["iterations_saved"] = int(
             scores.extras.get("iterations_saved", 0)
         )
+    estimator = scores.extras.get("estimator")
+    if estimator is not None:
+        # Sublinear results are clearly flagged non-bit-identical and
+        # ship their certificate with the scores.
+        payload["estimator"] = str(estimator)
+        payload["estimated"] = estimator != "exact"
+        payload["error_bound"] = float(
+            scores.extras.get("error_bound", 0.0)
+        )
+        if "edges_touched" in scores.extras:
+            payload["edges_touched"] = int(
+                scores.extras["edges_touched"]
+            )
     return payload
 
 
@@ -739,7 +858,9 @@ class RankingServer:
         )
 
         started = time.perf_counter()
-        path = target.split("?", 1)[0]
+        path, _, query = target.partition("?")
+        if query:
+            headers[_QUERY_PSEUDO_HEADER] = query
         status, payload, content_type = await self._route(
             method, path, body, headers
         )
@@ -788,12 +909,18 @@ class RankingServer:
                 if method != "POST":
                     return 405, {"error": "use POST"}, _JSON
                 request = self._parse_json(body)
+                # The opt-in estimator: `/rank?estimator=push:r_max=1e-3`
+                # (query form wins) or an "estimator" body field.
+                estimator = self._query_param(headers, "estimator")
+                if estimator is None:
+                    estimator = request.get("estimator")
                 outcome = await self.service.rank_with_meta(
                     self._require_nodes(request),
                     damping=request.get("damping"),
                     deadline_seconds=self._effective_deadline(
                         request, headers
                     ),
+                    estimator=estimator,
                 )
                 payload = _scores_payload(
                     outcome.scores,
@@ -844,7 +971,13 @@ class RankingServer:
                 "error": str(exc),
                 "kind": type(exc).__name__,
             }, _JSON
-        except (SubgraphError, GraphError, DatasetError, ValueError) as exc:
+        except (
+            SubgraphError,
+            GraphError,
+            DatasetError,
+            EstimationError,
+            ValueError,
+        ) as exc:
             return 400, {
                 "error": str(exc),
                 "kind": type(exc).__name__,
@@ -887,6 +1020,22 @@ class RankingServer:
         if header_deadline is None:
             return float(body_deadline)
         return min(float(body_deadline), header_deadline)
+
+    @staticmethod
+    def _query_param(
+        headers: dict[str, str], name: str
+    ) -> str | None:
+        """One query-string parameter, from the pseudo-header.
+
+        Splits on ``&`` and the *first* ``=`` only, so estimator specs
+        — which embed ``=`` and ``,`` in their value — survive intact.
+        """
+        query = headers.get(_QUERY_PSEUDO_HEADER, "")
+        for part in query.split("&"):
+            key, sep, value = part.partition("=")
+            if sep and key == name:
+                return urllib.parse.unquote(value)
+        return None
 
     @staticmethod
     def _parse_json(body: bytes) -> dict:

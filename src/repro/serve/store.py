@@ -11,7 +11,12 @@ keyed by
   (post-update) graph automatically misses;
 * the **subgraph digest** — a hash of the sorted local node ids;
 * the **damping factor** — ε changes the fixed point, so it is part of
-  the identity of a score vector.
+  the identity of a score vector;
+* the **variant** — which estimator produced the scores (``"exact"``
+  by default).  Sublinear estimates (Monte Carlo, push) are warm too,
+  but they must never be served where the bit-identical exact contract
+  applies, so they live under their own keys: an ``"exact"`` lookup
+  cannot hit a ``"montecarlo"`` entry, and vice versa.
 
 Freshness is governed three ways:
 
@@ -40,6 +45,7 @@ single solve.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import threading
 import time
@@ -120,6 +126,24 @@ def _damping_token(damping: float) -> str:
     return repr(float(damping))
 
 
+def _json_default(value):
+    # Extras hold numpy scalars (and occasionally small arrays, e.g.
+    # SC expansion sizes); coerce both so json round-trips them as
+    # plain Python numbers/lists.
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(
+        f"extras value of type {type(value).__name__} is not "
+        "JSON-serialisable"
+    )
+
+
+def _encode_extras(extras) -> str:
+    return json.dumps(dict(extras), default=_json_default, sort_keys=True)
+
+
 @dataclass
 class _Entry:
     scores: SubgraphScores
@@ -129,6 +153,7 @@ class _Entry:
     inserted_at: float
     stale: bool = False
     staleness: float = 0.0
+    variant: str = "exact"
 
 
 @dataclass(frozen=True)
@@ -298,12 +323,16 @@ class ScoreStore:
 
     @staticmethod
     def _key(
-        fingerprint: str, local_nodes: np.ndarray, damping: float
-    ) -> tuple[str, str, str]:
+        fingerprint: str,
+        local_nodes: np.ndarray,
+        damping: float,
+        variant: str = "exact",
+    ) -> tuple[str, str, str, str]:
         return (
             fingerprint,
             subgraph_digest(local_nodes),
             _damping_token(damping),
+            str(variant),
         )
 
     def __len__(self) -> int:
@@ -315,13 +344,14 @@ class ScoreStore:
         graph: CSRGraph,
         local_nodes: np.ndarray,
         damping: float,
+        variant: str = "exact",
     ) -> SubgraphScores | None:
         """The warm entry for this (graph, subgraph, ε), or ``None``.
 
         Convenience wrapper over :meth:`lookup` for callers that do
         not care about staleness accounting.
         """
-        hit = self.lookup(graph, local_nodes, damping)
+        hit = self.lookup(graph, local_nodes, damping, variant)
         return None if hit is None else hit.scores
 
     def lookup(
@@ -329,6 +359,7 @@ class ScoreStore:
         graph: CSRGraph,
         local_nodes: np.ndarray,
         damping: float,
+        variant: str = "exact",
     ) -> StoreHit | None:
         """The warm entry plus staleness accounting, or ``None``.
 
@@ -337,8 +368,12 @@ class ScoreStore:
         budget, is evicted and reported as a miss — the lookup-time
         budget check is the last line of defence ensuring an
         over-budget entry is *never* served, whatever path charged it.
+        ``variant`` scopes the lookup to one estimator family —
+        estimated entries can never satisfy an exact request.
         """
-        key = self._key(graph_fingerprint(graph), local_nodes, damping)
+        key = self._key(
+            graph_fingerprint(graph), local_nodes, damping, variant
+        )
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -375,16 +410,19 @@ class ScoreStore:
         scores: SubgraphScores,
         stale: bool = False,
         staleness: float = 0.0,
+        variant: str = "exact",
     ) -> None:
         """Insert (or refresh) an entry, evicting LRU beyond capacity.
 
         ``stale`` / ``staleness`` let an incremental refresher record
         the residual bound of a warm-started re-rank (anything not
         bit-identical to a cold solve stays flagged with its bound);
-        a default put inserts a fresh, charge-free entry.
+        a default put inserts a fresh, charge-free entry.  Estimated
+        scores are stored under their estimator's ``variant`` so they
+        never shadow exact entries.
         """
         fingerprint = graph_fingerprint(graph)
-        key = self._key(fingerprint, local_nodes, damping)
+        key = self._key(fingerprint, local_nodes, damping, variant)
         with self._lock:
             self._entries[key] = _Entry(
                 scores=scores,
@@ -394,6 +432,7 @@ class ScoreStore:
                 inserted_at=self._clock(),
                 stale=bool(stale),
                 staleness=float(staleness),
+                variant=str(variant),
             )
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
@@ -526,7 +565,8 @@ class ScoreStore:
                 if not migrate_unaffected:
                     evicted += 1
                     self._count_eviction("invalidated")
-                    work_list.append((nodes, entry.damping))
+                    if entry.variant == "exact":
+                        work_list.append((nodes, entry.damping))
                     continue
                 damping = entry.damping
                 delta_e = 2.0 * damping / (1.0 - damping) * changed_mass
@@ -539,14 +579,21 @@ class ScoreStore:
                         nodes, region, assume_unique=True
                     ).size
                 )
+                # Estimated entries carry the same Theorem-2 charge on
+                # top of their sampling/push certificate, but the exact
+                # refresher must not recompute them (its output would
+                # not be this estimator's scores) — they serve stale
+                # until re-estimated or evicted.
+                exact_variant = entry.variant == "exact"
                 if staleness > self._budget:
                     # Over budget: the Theorem-2 bound no longer
                     # vouches for these scores — evict, never serve.
                     evicted += 1
                     self._count_eviction("staleness")
-                    work_list.append((nodes, damping))
+                    if exact_variant:
+                        work_list.append((nodes, damping))
                     continue
-                self._entries[(new_fp, key[1], key[2])] = _Entry(
+                self._entries[(new_fp, key[1], key[2], key[3])] = _Entry(
                     scores=entry.scores,
                     fingerprint=new_fp,
                     digest=key[1],
@@ -554,10 +601,12 @@ class ScoreStore:
                     inserted_at=self._clock(),
                     stale=True,
                     staleness=staleness,
+                    variant=entry.variant,
                 )
                 if affected:
                     stale_count += 1
-                    work_list.append((nodes, damping))
+                    if exact_variant:
+                        work_list.append((nodes, damping))
                 else:
                     migrated += 1
             self._set_size_gauge()
@@ -596,9 +645,13 @@ class ScoreStore:
     def persist(self, directory: str | os.PathLike) -> int:
         """Write every entry to ``directory`` (one npz per entry).
 
-        Returns the number of files written.  Scalars and the method
-        label ride along with the score arrays, so a warm-loaded entry
-        round-trips the full :class:`SubgraphScores` accounting.
+        Returns the number of files written.  Scalars, the method
+        label, the *full* ``extras`` mapping (as JSON) and the entry's
+        stale/staleness/variant state ride along with the score
+        arrays, so a warm-loaded entry round-trips the complete
+        :class:`SubgraphScores` accounting — an estimated entry keeps
+        its ``error_bound``/``edges_touched`` certificate across a
+        restart.
         """
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
@@ -624,6 +677,10 @@ class ScoreStore:
                 method=np.str_(scores.method),
                 fingerprint=np.str_(entry.fingerprint),
                 damping=np.float64(entry.damping),
+                extras_json=np.str_(_encode_extras(scores.extras)),
+                stale=np.bool_(entry.stale),
+                staleness=np.float64(entry.staleness),
+                variant=np.str_(entry.variant),
             )
             written += 1
         return written
@@ -635,7 +692,10 @@ class ScoreStore:
 
         Entries persisted for other graphs are skipped silently (the
         directory may hold several generations).  Returns the number
-        of entries loaded; each gets a fresh TTL clock.
+        of entries loaded; each gets a fresh TTL clock but keeps its
+        persisted extras, stale flag, staleness charge and variant
+        (files from before those fields were persisted load as fresh
+        exact entries with the legacy lambda-score-only extras).
         """
         source = Path(directory)
         if not source.is_dir():
@@ -646,10 +706,13 @@ class ScoreStore:
             with np.load(path) as archive:
                 if str(archive["fingerprint"]) != fingerprint:
                     continue
-                extras: dict = {}
-                lambda_score = float(archive["lambda_score"])
-                if not np.isnan(lambda_score):
-                    extras["lambda_score"] = lambda_score
+                if "extras_json" in archive.files:
+                    extras = json.loads(str(archive["extras_json"]))
+                else:
+                    extras = {}
+                    lambda_score = float(archive["lambda_score"])
+                    if not np.isnan(lambda_score):
+                        extras["lambda_score"] = lambda_score
                 scores = SubgraphScores(
                     local_nodes=np.asarray(
                         archive["local_nodes"], dtype=np.int64
@@ -665,8 +728,29 @@ class ScoreStore:
                     extras=extras,
                 )
                 damping = float(archive["damping"])
+                stale = (
+                    bool(archive["stale"])
+                    if "stale" in archive.files
+                    else False
+                )
+                staleness = (
+                    float(archive["staleness"])
+                    if "staleness" in archive.files
+                    else 0.0
+                )
+                variant = (
+                    str(archive["variant"])
+                    if "variant" in archive.files
+                    else "exact"
+                )
             self.put(
-                graph, np.asarray(scores.local_nodes), damping, scores
+                graph,
+                np.asarray(scores.local_nodes),
+                damping,
+                scores,
+                stale=stale,
+                staleness=staleness,
+                variant=variant,
             )
             loaded += 1
         return loaded

@@ -1,0 +1,97 @@
+"""Monte Carlo engine: certificates, accounting, validation.
+
+The engine's claims: the estimate is a probability vector built from
+α-discounted walk endpoints, the Hoeffding ``error_bound`` certifies
+the measured ∞-error against an exact solve, more walks tighten the
+certificate, and the accounting in ``extras`` is honest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approxrank import approxrank
+from repro.estimation import MonteCarloEstimator
+from repro.exceptions import EstimationError
+
+from tests.estimation.conftest import SETTINGS
+
+pytestmark = pytest.mark.estimation
+
+
+@pytest.fixture(scope="module")
+def exact(graph, local_nodes, prep):
+    return approxrank(graph, local_nodes, SETTINGS, prep)
+
+
+@pytest.fixture(scope="module")
+def estimate(graph, local_nodes, prep):
+    return MonteCarloEstimator(walks=40_000, seed=11).estimate(
+        graph, local_nodes, settings=SETTINGS, preprocessor=prep
+    )
+
+
+class TestCertificate:
+    def test_measured_error_within_certified_bound(self, estimate, exact):
+        measured = float(
+            np.abs(estimate.scores - exact.scores).max()
+        )
+        assert measured <= estimate.extras["error_bound"]
+
+    def test_bound_tightens_with_budget(self, graph, local_nodes, prep):
+        loose = MonteCarloEstimator(walks=2_000, seed=11).estimate(
+            graph, local_nodes, settings=SETTINGS, preprocessor=prep
+        )
+        tight = MonteCarloEstimator(walks=50_000, seed=11).estimate(
+            graph, local_nodes, settings=SETTINGS, preprocessor=prep
+        )
+        assert (
+            tight.extras["error_bound"] < loose.extras["error_bound"]
+        )
+
+    def test_estimate_is_a_distribution_with_lambda(self, estimate):
+        # Local scores + the Λ aggregate account for all walk mass.
+        total = estimate.scores.sum() + estimate.extras["lambda_score"]
+        assert total == pytest.approx(1.0, abs=1e-12)
+        assert (estimate.scores >= 0.0).all()
+
+
+class TestAccounting:
+    def test_extras_carry_the_protocol_keys(self, estimate):
+        extras = estimate.extras
+        assert extras["estimator"] == "montecarlo"
+        assert extras["error_bound"] > 0.0
+        assert extras["edges_touched"] > 0
+        assert extras["walks"] >= 40_000
+        assert extras["walk_steps"] > 0
+        assert extras["seed"] == 11
+
+    def test_edges_touched_includes_setup_and_steps(
+        self, estimate, graph, local_nodes, prep
+    ):
+        nnz = prep.extended_graph(local_nodes).transition_ext_t.nnz
+        assert (
+            estimate.extras["edges_touched"]
+            == nnz + estimate.extras["walk_steps"]
+        )
+
+    def test_every_start_node_gets_a_walk(self, graph, local_nodes, prep):
+        # Tiny budget: stratification still gives each of the n+1
+        # start nodes at least one walk.
+        scores = MonteCarloEstimator(walks=10, seed=0).estimate(
+            graph, local_nodes, settings=SETTINGS, preprocessor=prep
+        )
+        assert scores.extras["walks"] >= local_nodes.size + 1
+
+
+class TestValidation:
+    def test_zero_walks_rejected(self):
+        with pytest.raises(EstimationError, match="walk budget"):
+            MonteCarloEstimator(walks=0)
+
+    def test_confidence_must_be_a_probability(self):
+        with pytest.raises(EstimationError, match="confidence"):
+            MonteCarloEstimator(confidence=1.0)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(EstimationError, match="workers"):
+            MonteCarloEstimator(workers=0)

@@ -27,6 +27,9 @@ GOLDEN_PATH = Path(__file__).parent / "data" / "prometheus_golden.txt"
 UPDATES_GOLDEN_PATH = (
     Path(__file__).parent / "data" / "prometheus_updates_golden.txt"
 )
+ESTIMATE_GOLDEN_PATH = (
+    Path(__file__).parent / "data" / "prometheus_estimate_golden.txt"
+)
 
 
 def golden_registry() -> MetricsRegistry:
@@ -116,6 +119,60 @@ def updates_golden_registry() -> MetricsRegistry:
     return reg
 
 
+def estimate_golden_registry() -> MetricsRegistry:
+    """A fixed estimator workload pinned by the estimate golden file.
+
+    Populated through :func:`record_estimate_metrics` itself — the
+    exact publishing path the engines use — with synthetic
+    ``SubgraphScores`` carrying fixed accounting, so the golden file
+    pins the ``repro_estimate_*`` family names, labels and bucket
+    layouts end to end.
+    """
+    import numpy as np
+
+    from repro.estimation.base import record_estimate_metrics
+    from repro.pagerank.result import SubgraphScores
+
+    reg = MetricsRegistry()
+    record_estimate_metrics(
+        SubgraphScores(
+            local_nodes=np.arange(3, dtype=np.int64),
+            scores=np.full(3, 1 / 3),
+            method="approxrank-montecarlo",
+            iterations=0,
+            residual=0.02,
+            converged=True,
+            runtime_seconds=0.25,
+            extras={
+                "estimator": "montecarlo",
+                "error_bound": 0.02,
+                "edges_touched": 1200,
+                "walks": 500,
+            },
+        ),
+        registry=reg,
+    )
+    record_estimate_metrics(
+        SubgraphScores(
+            local_nodes=np.arange(3, dtype=np.int64),
+            scores=np.full(3, 1 / 3),
+            method="approxrank-push",
+            iterations=4,
+            residual=8e-4,
+            converged=True,
+            runtime_seconds=0.004,
+            extras={
+                "estimator": "push",
+                "error_bound": 8e-4,
+                "edges_touched": 300,
+                "pushes": 25,
+            },
+        ),
+        registry=reg,
+    )
+    return reg
+
+
 class TestPrometheusText:
     def test_matches_golden_file(self):
         text = to_prometheus_text(golden_registry().snapshot())
@@ -124,6 +181,10 @@ class TestPrometheusText:
     def test_updates_family_matches_golden_file(self):
         text = to_prometheus_text(updates_golden_registry().snapshot())
         assert text == UPDATES_GOLDEN_PATH.read_text(encoding="utf-8")
+
+    def test_estimate_family_matches_golden_file(self):
+        text = to_prometheus_text(estimate_golden_registry().snapshot())
+        assert text == ESTIMATE_GOLDEN_PATH.read_text(encoding="utf-8")
 
     def test_histogram_buckets_are_cumulative_and_end_at_count(self):
         text = to_prometheus_text(golden_registry().snapshot())
@@ -177,6 +238,14 @@ class TestParsePrometheusText:
         )
         assert parsed["families"] == (
             updates_golden_registry().snapshot()["families"]
+        )
+
+    def test_estimate_golden_file_parses_back_to_the_registry(self):
+        parsed = parse_prometheus_text(
+            ESTIMATE_GOLDEN_PATH.read_text(encoding="utf-8")
+        )
+        assert parsed["families"] == (
+            estimate_golden_registry().snapshot()["families"]
         )
 
     def test_histogram_buckets_decumulated(self):
@@ -344,6 +413,23 @@ class TestRenderReport:
     def test_updates_section_absent_without_update_traffic(self):
         report = render_report(build_snapshot(golden_registry()))
         assert "Updates (incremental re-ranking)" not in report
+
+    def test_estimation_section_renders_from_estimate_metrics(self):
+        report = render_report(
+            build_snapshot(estimate_golden_registry())
+        )
+        assert "Estimation (sublinear engines)" in report
+        assert "montecarlo" in report
+        assert "edges 1200" in report
+        assert "mean 250.0ms" in report
+        assert "mean bound 2.00e-02" in report
+        assert "push" in report
+        assert "edges 300" in report
+        assert "walks simulated 500  residual pushes 25" in report
+
+    def test_estimation_section_absent_without_estimate_traffic(self):
+        report = render_report(build_snapshot(golden_registry()))
+        assert "Estimation (sublinear engines)" not in report
 
     def test_unconverged_solves_flagged(self):
         obs.enable()

@@ -86,6 +86,63 @@ class TestClassification:
             diff_records(record(), record(), threshold=-0.1)
 
 
+def estimation_record(**point_overrides):
+    base = {
+        "estimator": "montecarlo",
+        "walks": 20000,
+        "error_inf": 1e-3,
+        "edges_touched": 5000,
+        "edges_fraction": 0.04,
+        "seconds": 0.5,
+    }
+    base.update(point_overrides)
+    return {
+        "benchmark": "estimation",
+        "gate_passed": True,
+        "sweep": [base],
+    }
+
+
+class TestEstimationDirections:
+    """Per-benchmark overrides: error/edges regress when they grow."""
+
+    def test_larger_error_is_a_regression(self):
+        report = diff_records(
+            estimation_record(), estimation_record(error_inf=2e-3)
+        )
+        assert any(
+            e["metric"].endswith("error_inf")
+            for e in report["regressions"]
+        )
+
+    def test_fewer_edges_touched_is_an_improvement(self):
+        report = diff_records(
+            estimation_record(),
+            estimation_record(edges_touched=2500, edges_fraction=0.02),
+        )
+        assert report["regressions"] == []
+        improved = {e["metric"] for e in report["improvements"]}
+        assert any(m.endswith("edges_touched") for m in improved)
+        assert any(m.endswith("edges_fraction") for m in improved)
+
+    def test_sweep_points_keyed_by_estimator_and_parameter(self):
+        report = diff_records(
+            estimation_record(), estimation_record(error_inf=2e-3)
+        )
+        metric = report["regressions"][0]["metric"]
+        assert metric.startswith("sweep[montecarlo/walks=20000]")
+
+    def test_overrides_scoped_to_the_estimation_benchmark(self):
+        # The same leaf names stay neutral in other benchmarks.
+        old = record(error_inf=1e-3)
+        new = record(error_inf=2e-3)
+        report = diff_records(old, new)
+        assert report["regressions"] == []
+        assert any(
+            e["metric"] == "error_inf" for e in report["neutral"]
+        )
+
+
 class TestStructure:
     def test_list_entries_keyed_by_label_not_position(self):
         # Reordering sweep cells must not produce phantom changes.

@@ -1,0 +1,160 @@
+"""The opt-in ``/rank?estimator=`` serve path.
+
+The serving contract for estimated answers: exact stays the default
+and bit-identical to offline ``approxrank()``; a request that opts
+into a sublinear engine comes back flagged (``estimated`` +
+``stale``) carrying its certified ``error_bound``; estimated entries
+cache under their own variant (never shadowing exact, hits
+bit-identical across worker-count specs); a bogus spec is a 400, not
+a 500.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approxrank import approxrank
+from repro.generators.datasets import make_tiny_web
+from repro.exceptions import ServeRequestError
+from repro.pagerank.solver import PowerIterationSettings
+from repro.serve.client import RankingClient
+from repro.serve.server import RankingService, start_background_server
+
+pytestmark = [pytest.mark.serve, pytest.mark.estimation]
+
+SETTINGS = PowerIterationSettings(tolerance=1e-9)
+NODES = list(range(25, 70))
+MC_SPEC = "montecarlo:walks=5000,seed=13"
+
+
+@pytest.fixture(scope="module")
+def web():
+    return make_tiny_web(num_pages=300, seed=3)
+
+
+@pytest.fixture(scope="module")
+def server(web):
+    service = RankingService(web.graph, settings=SETTINGS)
+    with start_background_server(service) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return RankingClient(*server.address)
+
+
+class TestExactPath:
+    def test_default_rank_is_unflagged_and_bit_identical(
+        self, client, web
+    ):
+        wire = client.rank(NODES)
+        assert "estimator" not in wire
+        assert "estimated" not in wire
+        offline = approxrank(
+            web.graph, np.asarray(NODES, dtype=np.int64), SETTINGS
+        )
+        assert wire["scores"] == offline.scores.tolist()
+
+    def test_explicit_exact_estimator_is_still_unflagged(
+        self, client, web
+    ):
+        wire = client.rank(NODES, estimator="exact")
+        assert "estimated" not in wire
+        offline = approxrank(
+            web.graph, np.asarray(NODES, dtype=np.int64), SETTINGS
+        )
+        assert wire["scores"] == offline.scores.tolist()
+
+
+class TestEstimatedPath:
+    def test_montecarlo_response_is_flagged_with_bound(
+        self, client, web
+    ):
+        wire = client.rank(NODES, estimator=MC_SPEC)
+        assert wire["estimator"] == "montecarlo"
+        assert wire["estimated"] is True
+        assert wire["stale"] is True
+        assert wire["error_bound"] > 0.0
+        assert wire["edges_touched"] > 0
+        assert wire["staleness"] == wire["error_bound"]
+        # The estimate really is within its certificate of the truth.
+        offline = approxrank(
+            web.graph, np.asarray(NODES, dtype=np.int64), SETTINGS
+        )
+        gap = np.abs(
+            np.asarray(wire["scores"]) - offline.scores
+        ).max()
+        assert gap <= wire["error_bound"]
+
+    def test_push_response_is_flagged_with_bound(self, client):
+        wire = client.rank(NODES, estimator="push:r_max=1e-3")
+        assert wire["estimator"] == "push"
+        assert wire["estimated"] is True
+        assert wire["error_bound"] <= 1e-3
+
+    def test_client_rank_scores_carries_extras(self, client):
+        scores = client.rank_scores(NODES, estimator=MC_SPEC)
+        assert scores.extras["estimator"] == "montecarlo"
+        assert scores.extras["estimated"] is True
+        assert scores.extras["error_bound"] > 0.0
+        assert scores.extras["stale"] is True
+
+    def test_same_variant_caches_across_worker_specs(self, client):
+        """workers is not part of the variant, so the spec still hits."""
+        first = client.rank(NODES, estimator=MC_SPEC)
+        again = client.rank(
+            NODES, estimator=MC_SPEC + ",workers=2"
+        )
+        assert again["cache_hit"] is True
+        assert again["scores"] == first["scores"]
+
+    def test_estimated_entry_never_shadows_exact(self, client, web):
+        # Prime the estimated variant, then ask for exact: the answer
+        # must be the solver's, not the cached estimate.
+        client.rank(NODES, estimator=MC_SPEC)
+        exact = client.rank(NODES)
+        offline = approxrank(
+            web.graph, np.asarray(NODES, dtype=np.int64), SETTINGS
+        )
+        assert exact["scores"] == offline.scores.tolist()
+
+    def test_deterministic_across_requests(self, client):
+        # Same seed in the spec → bit-identical scores even on a
+        # cache miss (distinct node set defeats the store).
+        nodes = list(range(30, 60))
+        first = client.rank(nodes, estimator=MC_SPEC)
+        second = client.rank(nodes, estimator=MC_SPEC)
+        assert second["scores"] == first["scores"]
+
+
+class TestErrors:
+    def test_unknown_estimator_is_a_400(self, client):
+        with pytest.raises(ServeRequestError) as excinfo:
+            client.rank(NODES, estimator="quantum")
+        assert excinfo.value.status == 400
+
+    def test_malformed_spec_is_a_400(self, client):
+        with pytest.raises(ServeRequestError) as excinfo:
+            client.rank(NODES, estimator="push:oops")
+        assert excinfo.value.status == 400
+
+
+class TestDefaultEstimator:
+    def test_service_default_applies_without_query(self, web):
+        service = RankingService(
+            web.graph,
+            settings=SETTINGS,
+            default_estimator="push:r_max=1e-2",
+        )
+        with start_background_server(service) as handle:
+            client = RankingClient(*handle.address)
+            health = client.healthz()
+            assert health["default_estimator"] == "push:r_max=1e-2"
+            wire = client.rank(NODES)
+            assert wire["estimator"] == "push"
+            assert wire["estimated"] is True
+            # The query parameter still wins over the default.
+            exact = client.rank(NODES, estimator="exact")
+            assert "estimated" not in exact

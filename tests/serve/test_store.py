@@ -179,6 +179,72 @@ class TestPersistence:
         store = ScoreStore(registry=MetricsRegistry())
         assert store.warm_load(tmp_path / "nope", graph) == 0
 
+    def test_extras_and_variant_survive_restart(
+        self, tmp_path, graph, nodes, scores
+    ):
+        """Regression: persist used to keep only ``lambda_score``.
+
+        Estimated entries carry their certificate in ``extras``
+        (``error_bound``, ``edges_touched``, ``estimator``) plus the
+        stale flag, staleness charge and variant key — all of which
+        must survive a persist/warm_load cycle, or a restarted server
+        would serve estimates unflagged and uncertified.
+        """
+        from dataclasses import replace
+
+        estimated = replace(
+            scores,
+            extras={
+                **scores.extras,
+                "estimator": "montecarlo",
+                "error_bound": 0.0125,
+                "edges_touched": 4321,
+                "walks": 500,
+                "seed": 7,
+            },
+        )
+        variant = "montecarlo:walks=500,seed=7,confidence=0.01"
+        store = ScoreStore(registry=MetricsRegistry())
+        store.put(
+            graph, nodes, 0.85, estimated,
+            stale=True, staleness=0.0125, variant=variant,
+        )
+        assert store.persist(tmp_path) == 1
+
+        fresh = ScoreStore(registry=MetricsRegistry())
+        assert fresh.warm_load(tmp_path, graph) == 1
+        hit = fresh.lookup(graph, nodes, 0.85, variant=variant)
+        assert hit is not None
+        np.testing.assert_array_equal(
+            hit.scores.scores, estimated.scores
+        )
+        assert hit.scores.extras["estimator"] == "montecarlo"
+        assert hit.scores.extras["error_bound"] == 0.0125
+        assert hit.scores.extras["edges_touched"] == 4321
+        assert hit.scores.extras["walks"] == 500
+        assert hit.stale is True
+        assert hit.staleness == 0.0125
+        # The exact slot is untouched by the estimated entry.
+        assert fresh.get(graph, nodes, 0.85) is None
+
+    def test_exact_entry_stale_state_survives_restart(
+        self, tmp_path, graph, nodes, scores
+    ):
+        # A warm-started refresh leaves an exact-variant entry flagged
+        # with its residual charge; a restart must not launder it
+        # back to fresh.
+        store = ScoreStore(registry=MetricsRegistry())
+        store.put(
+            graph, nodes, 0.85, scores, stale=True, staleness=0.25
+        )
+        store.persist(tmp_path)
+        fresh = ScoreStore(registry=MetricsRegistry())
+        fresh.warm_load(tmp_path, graph)
+        hit = fresh.lookup(graph, nodes, 0.85)
+        assert hit is not None
+        assert hit.stale is True
+        assert hit.staleness == 0.25
+
 
 class TestApplyUpdate:
     def _delta_touching(self, graph, node: int) -> GraphDelta:
