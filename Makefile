@@ -12,6 +12,7 @@ export PYTHONPATH := src
 	bench-backends bench-backends-smoke test-backends \
 	bench-updates bench-updates-smoke bench-shard \
 	bench-shard-smoke bench-estimation bench-estimation-smoke \
+	semantic-smoke bench-semantic bench-semantic-smoke \
 	bench-check
 
 test:
@@ -132,6 +133,23 @@ bench-shard:
 bench-shard-smoke:
 	$(PYTHON) benchmarks/bench_shard.py --smoke --output /tmp/BENCH_shard_smoke.json
 
+# Semantic smoke: the tier-1 semantic suite (embeddings determinism
+# and persistence, retrieval, dedup, pipeline), the family contract
+# test, and the /semantic-search serving pins.
+semantic-smoke:
+	$(PYTHON) -m pytest -q -m "semantic and not tier2" tests/semantic tests/subgraphs/test_family_contract.py tests/serve/test_semantic_serve.py
+
+# Full semantic diversity benchmark; writes BENCH_semantic.json at
+# the repo root.
+bench-semantic:
+	$(PYTHON) benchmarks/bench_semantic.py
+
+# CI tier-2 gate: small workload; the determinism clause (same
+# seed+query -> identical answer set) and push certificate honesty
+# are never waived.
+bench-semantic-smoke:
+	$(PYTHON) benchmarks/bench_semantic.py --smoke --output /tmp/BENCH_semantic_smoke.json
+
 # Full estimation Pareto benchmark; writes BENCH_estimate.json at the
 # repo root.
 bench-estimation:
@@ -160,3 +178,5 @@ bench-check:
 	$(PYTHON) -m repro bench-diff BENCH_shard.json /tmp/BENCH_shard_check.json --strict
 	$(PYTHON) benchmarks/bench_estimation.py --output /tmp/BENCH_estimate_check.json > /dev/null
 	$(PYTHON) -m repro bench-diff BENCH_estimate.json /tmp/BENCH_estimate_check.json --strict
+	$(PYTHON) benchmarks/bench_semantic.py --output /tmp/BENCH_semantic_check.json > /dev/null
+	$(PYTHON) -m repro bench-diff BENCH_semantic.json /tmp/BENCH_semantic_check.json --strict

@@ -64,8 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
         + [
             "all", "bench-kernels", "bench-parallel", "bench-serve",
             "bench-backends", "bench-updates", "bench-shard",
-            "bench-estimation", "bench-diff", "obs-report", "serve",
-            "serve-cluster", "query",
+            "bench-estimation", "bench-semantic", "bench-diff",
+            "obs-report", "semantic-search", "serve", "serve-cluster",
+            "query",
         ],
         help=(
             "which experiment to run; 'bench-kernels' runs the solver "
@@ -78,9 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
             "'bench-shard' the sharded-cluster benchmark "
             "(BENCH_shard.json), 'bench-estimation' the sublinear-"
             "estimator Pareto benchmark (BENCH_estimate.json), "
-            "'bench-diff' compares two "
+            "'bench-semantic' the TS/RS/semantic diversity benchmark "
+            "(BENCH_semantic.json), 'bench-diff' compares two "
             "benchmark records (regression report), 'obs-report' "
             "renders an observability snapshot written by --obs-out, "
+            "'semantic-search' runs one query through the offline "
+            "semantic pipeline (embed, select, rank, dedup), "
             "'serve' starts the online ranking HTTP server, "
             "'serve-cluster' a sharded fault-tolerant cluster behind "
             "one router, 'query' sends one request to a running server"
@@ -267,13 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_group.add_argument(
         "--terms", type=str, default=None, metavar="IDS",
         help=(
-            "('query' only) comma-separated term ids; when given the "
-            "query goes to /search instead of /rank"
+            "('query'/'semantic-search') comma-separated term ids; "
+            "for 'query' with --nodes the request goes to /search, "
+            "without --nodes to /semantic-search; for "
+            "'semantic-search' they form the offline query (default: "
+            "the three most popular terms)"
         ),
     )
     serve_group.add_argument(
         "--k", type=int, default=10,
-        help="('query' only) answers to return from /search",
+        help=(
+            "('query'/'semantic-search') answers to return from "
+            "/search or the semantic pipeline"
+        ),
     )
     serve_group.add_argument(
         "--damping", type=float, default=None,
@@ -360,8 +370,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         print(
-            "endpoints: POST /rank  POST /search  GET /healthz  "
-            "GET /metrics  (Ctrl-C drains and exits)",
+            "endpoints: POST /rank  POST /search  "
+            "POST /semantic-search  GET /healthz  GET /metrics  "
+            "(Ctrl-C drains and exits)",
             file=sys.stderr,
         )
         try:
@@ -420,8 +431,9 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         print(
-            "endpoints: POST /rank  POST /search  POST /update  "
-            "GET /healthz  GET /metrics  (Ctrl-C stops the fleet)",
+            "endpoints: POST /rank  POST /search  "
+            "POST /semantic-search  POST /update  GET /healthz  "
+            "GET /metrics  (Ctrl-C stops the fleet)",
             file=sys.stderr,
         )
         while True:
@@ -434,29 +446,44 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
 
 
 def _run_query(args: argparse.Namespace) -> int:
-    """The ``query`` subcommand: one /rank or /search request."""
+    """One /rank, /search, or /semantic-search request."""
     import json
 
     from repro.exceptions import ServeRequestError
     from repro.serve.client import RankingClient
 
-    if not args.nodes:
+    if not args.nodes and not args.terms:
         print(
-            "query requires --nodes (comma-separated page ids)",
+            "query requires --nodes (page ids) and/or --terms "
+            "(term ids); --terms alone sends /semantic-search",
             file=sys.stderr,
         )
         return 2
-    nodes = [int(x) for x in args.nodes.split(",") if x.strip()]
+    terms = (
+        [int(x) for x in args.terms.split(",") if x.strip()]
+        if args.terms
+        else None
+    )
     client = RankingClient(args.host, args.port)
     try:
-        if args.terms:
-            terms = [int(x) for x in args.terms.split(",") if x.strip()]
-            payload = client.search(
-                nodes, terms, k=args.k, damping=args.damping
-            )
+        if args.nodes:
+            nodes = [
+                int(x) for x in args.nodes.split(",") if x.strip()
+            ]
+            if terms:
+                payload = client.search(
+                    nodes, terms, k=args.k, damping=args.damping,
+                    estimator=args.estimator,
+                )
+            else:
+                payload = client.rank(
+                    nodes, damping=args.damping,
+                    estimator=args.estimator,
+                )
         else:
-            payload = client.rank(
-                nodes, damping=args.damping, estimator=args.estimator
+            payload = client.semantic_search(
+                terms, k=args.k, damping=args.damping,
+                estimator=args.estimator,
             )
     except ServeRequestError as exc:
         print(f"error (HTTP {exc.status}): {exc}", file=sys.stderr)
@@ -469,6 +496,76 @@ def _run_query(args: argparse.Namespace) -> int:
         )
         return 1
     print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _run_semantic_search(args: argparse.Namespace) -> int:
+    """One query through the offline semantic pipeline."""
+    import json
+
+    from repro.exceptions import ReproError
+    from repro.search.lexicon import SyntheticLexicon
+    from repro.semantic import SemanticPipeline
+
+    seed = args.seed if args.seed is not None else 3
+    if args.graph:
+        from repro.graph.io import load_npz
+
+        graph, __ = load_npz(args.graph)
+        group_of = None
+        origin = args.graph
+    else:
+        from repro.generators.datasets import make_tiny_web
+
+        pages = 300 if args.fast else 600
+        dataset = make_tiny_web(num_pages=pages, seed=seed)
+        graph = dataset.graph
+        group_of = dataset.labels["domain"]
+        origin = f"synthetic tiny web ({pages} pages, seed {seed})"
+
+    lexicon = SyntheticLexicon(graph, group_of=group_of, seed=seed)
+    pipeline = SemanticPipeline(graph, lexicon, embedding_seed=seed)
+    if args.terms:
+        terms = [int(x) for x in args.terms.split(",") if x.strip()]
+    else:
+        terms = [int(t) for t in lexicon.popular_terms(3)]
+    print(
+        f"semantic search over {origin}: terms {terms}, "
+        f"k={args.k}, estimator={args.estimator or 'exact'}",
+        file=sys.stderr,
+    )
+    try:
+        answer = pipeline.run(terms, k=args.k, estimator=args.estimator)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        "terms": terms,
+        "query_digest": answer.query_digest,
+        "estimator": answer.estimator,
+        "estimated": answer.estimated,
+        "error_bound": answer.error_bound,
+        "neighborhood_size": answer.neighborhood_size,
+        "candidates_pruned": answer.candidates_pruned,
+        "dedup_merges": answer.dedup_merges,
+        "hits": [
+            {
+                "page": hit.page,
+                "score": hit.score,
+                "rank": hit.rank,
+                "similarity": hit.similarity,
+                "cluster_size": hit.cluster_size,
+                "merged_score": hit.merged_score,
+            }
+            for hit in answer.hits
+        ],
+    }
+    report = json.dumps(payload, indent=2)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"[written to {args.output}]", file=sys.stderr)
     return 0
 
 
@@ -657,6 +754,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(format_estimation_summary(record))
         return 0 if (not args.fast or record["gate_passed"]) else 1
+
+    if args.experiment == "bench-semantic":
+        # Semantic diversity benchmark: TS/RS/semantic subgraph
+        # families compared on bound tightness, edges touched, and
+        # latency; --fast maps to smoke mode (hard gate).
+        from repro.semantic.bench import (
+            format_semantic_summary,
+            run_semantic_benchmark,
+        )
+
+        record = run_semantic_benchmark(
+            smoke=args.fast,
+            seed=args.seed if args.seed is not None else 2009,
+            output_path=args.output or "BENCH_semantic.json",
+        )
+        print(format_semantic_summary(record))
+        return 0 if (not args.fast or record["gate_passed"]) else 1
+
+    if args.experiment == "semantic-search":
+        return _run_semantic_search(args)
 
     if args.experiment == "serve":
         return _run_serve(args)

@@ -655,6 +655,48 @@ def _estimation_section(metrics: Mapping) -> list[str]:
     return rows if len(rows) > 1 else []
 
 
+def _semantic_section(metrics: Mapping) -> list[str]:
+    """The semantic pipeline's ``repro_semantic_*`` family."""
+    query_samples = _sample_map(
+        metrics, "repro_semantic_queries_total"
+    )
+    if not query_samples:
+        return []
+    rows = ["Semantic"]
+    for sample in query_samples:
+        if not sample.get("value"):
+            continue
+        estimator = sample["labels"].get("estimator", "?")
+        rows.append(
+            "  queries[{}] x{}".format(
+                estimator, int(sample["value"])
+            )
+        )
+    pruned = _metric_total(
+        metrics, "repro_semantic_candidates_pruned_total"
+    )
+    merges = _metric_total(
+        metrics, "repro_semantic_dedup_merges_total"
+    )
+    if pruned or merges:
+        rows.append(
+            f"  candidates pruned {int(pruned)}  "
+            f"dedup merges {int(merges)}"
+        )
+    for sample in _sample_map(
+        metrics, "repro_semantic_neighborhood_pages"
+    ):
+        if not sample.get("count"):
+            continue
+        mean = sample["sum"] / sample["count"]
+        rows.append(
+            "  neighborhoods {}  mean {:.1f} pages".format(
+                sample["count"], mean
+            )
+        )
+    return rows if len(rows) > 1 else []
+
+
 def _cluster_section(metrics: Mapping) -> list[str]:
     """The shard router's ``repro_cluster_*`` family."""
     request_samples = _sample_map(
@@ -788,6 +830,7 @@ def render_report(snapshot: Mapping) -> str:
             _serve_section(metrics),
             _updates_section(metrics),
             _estimation_section(metrics),
+            _semantic_section(metrics),
             _cluster_section(metrics),
             _span_section(snapshot),
             _history_section(snapshot),

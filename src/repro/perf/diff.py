@@ -69,7 +69,9 @@ def _numeric_leaves(node: Any, path: str = "") -> dict[str, float]:
         for index, item in enumerate(node):
             label = str(index)
             if isinstance(item, dict):
-                if "backend" in item and "dtype" in item:
+                if "family" in item:
+                    label = str(item["family"])
+                elif "backend" in item and "dtype" in item:
                     label = f"{item['backend']}/{item['dtype']}"
                 elif "estimator" in item and "walks" in item:
                     label = f"{item['estimator']}/walks={item['walks']}"
@@ -99,6 +101,17 @@ _DIRECTION_OVERRIDES: dict[str, dict[str, str]] = {
         "error": "lower",
         "edges_touched": "lower",
         "edges_fraction": "lower",
+    },
+    # The semantic diversity benchmark: similarity/recall axes are
+    # quality (higher is better); latency, edge cost, redundancy of
+    # the answer set, and errors are costs (lower is better).
+    "semantic": {
+        "similarity": "higher",
+        "recall": "higher",
+        "latency": "lower",
+        "edges": "lower",
+        "error": "lower",
+        "redundancy": "lower",
     },
 }
 

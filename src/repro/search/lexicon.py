@@ -69,6 +69,12 @@ class SyntheticLexicon:
             )
         self.num_terms = int(num_terms)
         num_pages = graph.num_nodes
+        if num_pages < 1:
+            # group_of.max() on an empty graph would raise a raw
+            # numpy ValueError; fail with the typed error instead.
+            raise DatasetError(
+                "cannot assign terms on an empty graph (0 pages)"
+            )
         if group_of is None:
             group_of = np.zeros(num_pages, dtype=np.int64)
         else:
@@ -122,6 +128,11 @@ class SyntheticLexicon:
             term: np.asarray(pages, dtype=np.int64)
             for term, pages in postings.items()
         }
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages terms were assigned to."""
+        return len(self._page_terms)
 
     def terms_of(self, page: int) -> np.ndarray:
         """Sorted distinct terms of one page."""

@@ -289,12 +289,9 @@ class RankingClient:
             payload["damping"] = float(damping)
         if deadline_seconds is not None:
             payload["deadline_seconds"] = float(deadline_seconds)
-        path = "/rank"
-        if estimator is not None:
-            path += "?estimator=" + urllib.parse.quote(
-                str(estimator), safe=""
-            )
-        return self._json("POST", path, payload)
+        return self._json(
+            "POST", self._with_estimator("/rank", estimator), payload
+        )
 
     def rank_scores(
         self,
@@ -348,8 +345,13 @@ class RankingClient:
         k: int = 10,
         mode: str = "all",
         damping: float | None = None,
+        estimator: str | None = None,
     ) -> dict:
-        """``POST /search``; returns the decoded JSON payload."""
+        """``POST /search``; returns the decoded JSON payload.
+
+        ``estimator`` selects the ranking engine behind the answer
+        list, exactly as in :meth:`rank`.
+        """
         payload: dict = {
             "nodes": [int(n) for n in nodes],
             "terms": [int(t) for t in terms],
@@ -358,7 +360,43 @@ class RankingClient:
         }
         if damping is not None:
             payload["damping"] = float(damping)
-        return self._json("POST", "/search", payload)
+        return self._json(
+            "POST", self._with_estimator("/search", estimator), payload
+        )
+
+    def semantic_search(
+        self,
+        terms: Iterable[int],
+        k: int = 10,
+        damping: float | None = None,
+        estimator: str | None = None,
+    ) -> dict:
+        """``POST /semantic-search``; returns the decoded payload.
+
+        The query is free terms only — the server selects the
+        semantic neighborhood, ranks it (exact by default, or under
+        ``estimator``), and returns the deduplicated Top-``k`` with
+        the neighborhood and dedup accounting.
+        """
+        payload: dict = {
+            "terms": [int(t) for t in terms],
+            "k": int(k),
+        }
+        if damping is not None:
+            payload["damping"] = float(damping)
+        return self._json(
+            "POST",
+            self._with_estimator("/semantic-search", estimator),
+            payload,
+        )
+
+    @staticmethod
+    def _with_estimator(path: str, estimator: str | None) -> str:
+        if estimator is None:
+            return path
+        return path + "?estimator=" + urllib.parse.quote(
+            str(estimator), safe=""
+        )
 
     def update(self, delta_payload: dict) -> dict:
         """``POST /update`` — apply a graph delta (server or cluster).

@@ -15,7 +15,9 @@ Mechanisms, in the order a request meets them:
   queueing into timeout purgatory;
 * **consistent-hash routing** — the subgraph digest picks the shard
   via the manager's :class:`~repro.p2p.partition.HashRing`, so a hot
-  subgraph always warms the same shard's store;
+  subgraph always warms the same shard's store (``/semantic-search``
+  carries no node set, so it routes by the query-terms digest
+  instead — same query, same shard, warm selection cache);
 * **failure-classified retries** — transport failures go through
   :func:`~repro.resilience.policy.classify_failure` (connect resets
   and timeouts are retryable), HTTP statuses through
@@ -50,6 +52,8 @@ Mechanisms, in the order a request meets them:
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
 import logging
 import time
 
@@ -78,6 +82,7 @@ from repro.serve.cluster.http import http_request
 from repro.serve.cluster.manager import ShardManager
 from repro.serve.server import (
     _JSON,
+    _QUERY_PSEUDO_HEADER,
     _TEXT,
     BackgroundServer,
     DEADLINE_HEADER,
@@ -94,6 +99,18 @@ from repro.updates.delta import GraphDelta, apply_delta
 __all__ = ["ShardRouter", "ClusterHandle", "start_cluster"]
 
 log = logging.getLogger(__name__)
+
+
+def _terms_digest(terms) -> str:
+    """Placement key for a semantic query (terms-only digest).
+
+    The router cannot compute the replica's full
+    :func:`~repro.semantic.pipeline.semantic_query_digest` (it does
+    not know the embedding configuration), but placement only needs
+    *consistency*: same terms, same shard.
+    """
+    canonical = json.dumps(sorted({int(t) for t in terms}))
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()
 
 
 class _NullService:
@@ -177,7 +194,8 @@ class ShardRouter(RankingServer):
     """
 
     ENDPOINTS: tuple[str, ...] = (
-        "/rank", "/search", "/healthz", "/metrics", "/update"
+        "/rank", "/search", "/semantic-search", "/healthz",
+        "/metrics", "/update",
     )
 
     def __init__(
@@ -422,7 +440,7 @@ class ShardRouter(RankingServer):
                     return 405, {"error": "use GET"}, _JSON
                 text = to_prometheus_text(self._registry.snapshot())
                 return 200, text, _TEXT
-            if path in ("/rank", "/search"):
+            if path in ("/rank", "/search", "/semantic-search"):
                 if method != "POST":
                     return 405, {"error": "use POST"}, _JSON
                 return await self._forward_ranked(path, body, headers)
@@ -501,10 +519,25 @@ class ShardRouter(RankingServer):
         self, path: str, body: bytes, headers: dict[str, str]
     ):
         request = self._parse_json(body)
-        nodes = self._require_nodes(request)
         damping = self._resolve_damping(request.get("damping"))
-        local = np.unique(np.asarray(nodes, dtype=np.int64))
-        shard = self.ring.shard_for(subgraph_digest(local))
+        # The connection handler strips the query string into a
+        # pseudo-header; put it back on the forwarded target or the
+        # replica never sees ?estimator= (and friends).
+        query = headers.get(_QUERY_PSEUDO_HEADER, "")
+        forward_path = path + "?" + query if query else path
+        if path == "/semantic-search":
+            # No node set in the body — the replica derives G_l from
+            # the query.  Placement uses the query-terms digest (the
+            # semantic analogue of the subgraph digest), so a hot
+            # query always warms the same shard's selection and
+            # score caches.
+            terms = self._require_terms(request)
+            local = None
+            shard = self.ring.shard_for(_terms_digest(terms))
+        else:
+            nodes = self._require_nodes(request)
+            local = np.unique(np.asarray(nodes, dtype=np.int64))
+            shard = self.ring.shard_for(subgraph_digest(local))
         deadline = self._effective_deadline(request, headers)
         if deadline is None:
             deadline = self._default_deadline
@@ -550,7 +583,7 @@ class ShardRouter(RankingServer):
                 response = await http_request(
                     *state.handle.address,
                     "POST",
-                    path,
+                    forward_path,
                     body=body,
                     headers=forward_headers,
                     timeout=timeout,
@@ -581,7 +614,7 @@ class ShardRouter(RankingServer):
                     payload = {}
                 replica_fp = payload.get("graph_fingerprint")
                 if (
-                    path == "/rank"
+                    path in ("/rank", "/semantic-search")
                     and replica_fp is not None
                     and replica_fp != self._fingerprint
                 ):

@@ -17,8 +17,10 @@ layers:
   same-subgraph bursts with distinct dampings take the batched
   multi-column kernel.
 * :class:`RankingServer` — a dependency-free asyncio HTTP/1.1 server
-  exposing ``POST /rank``, ``POST /search``, ``GET /healthz`` and
-  ``GET /metrics`` (Prometheus text), with keep-alive connections and
+  exposing ``POST /rank``, ``POST /search``, ``POST
+  /semantic-search`` (query→select→rank→dedup, see
+  :mod:`repro.semantic`), ``GET /healthz`` and ``GET /metrics``
+  (Prometheus text), with keep-alive connections and
   a graceful shutdown that stops accepting, drains in-flight requests
   and flushes the batcher.
 
@@ -70,6 +72,12 @@ from repro.pagerank.result import SubgraphScores
 from repro.pagerank.solver import PowerIterationSettings
 from repro.search.engine import SearchHit, SubgraphSearchEngine
 from repro.search.lexicon import SyntheticLexicon
+from repro.semantic.metrics import record_semantic_metrics
+from repro.semantic.pipeline import (
+    SemanticAnswer,
+    SemanticPipeline,
+    SemanticSelection,
+)
 from repro.serve.batching import BatchPolicy, RankBatcher
 from repro.serve.store import ScoreStore, graph_fingerprint, subgraph_digest
 from repro.updates.delta import GraphDelta, apply_delta
@@ -158,6 +166,12 @@ class RankingService:
         (``None`` = exact).  A per-request ``estimator`` always
         overrides it; ``"exact"`` requests take the bit-identical
         batched path regardless of this default.
+    semantic_pipeline:
+        Pre-built :class:`~repro.semantic.pipeline.SemanticPipeline`
+        for ``/semantic-search`` (its graph must be the served
+        graph).  Built lazily with default knobs when omitted, and
+        rebuilt — reusing the embeddings where the lexicon survives —
+        after a graph update.
     """
 
     def __init__(
@@ -170,6 +184,7 @@ class RankingService:
         solver_threads: int = 1,
         registry: MetricsRegistry | None = None,
         default_estimator: str | None = None,
+        semantic_pipeline: SemanticPipeline | None = None,
     ):
         self._registry = registry if registry is not None else REGISTRY
         self._settings = (
@@ -201,6 +216,26 @@ class RankingService:
             resolve_estimator(default_estimator)
         self._lexicon = lexicon
         self._lexicon_lock = threading.Lock()
+        self._semantic = semantic_pipeline
+        if semantic_pipeline is not None:
+            if semantic_pipeline.graph is not graph:
+                raise DatasetError(
+                    "semantic_pipeline was built for a different "
+                    "graph"
+                )
+            if self._lexicon is None:
+                # /search and /semantic-search must agree on term
+                # assignments.
+                self._lexicon = semantic_pipeline.lexicon
+        self._semantic_lock = threading.Lock()
+        # Selection cache: (fingerprint, query digest) → selected
+        # neighborhood.  The query digest is the semantic analogue of
+        # the subgraph digest — same digest, same G_l — so repeated
+        # queries skip the embed/select stage entirely (the rank
+        # stage below it caches in the ScoreStore as usual).
+        self._semantic_selections: dict[
+            tuple[str, str], SemanticSelection
+        ] = {}
         self._update_lock = asyncio.Lock()
         self._refresh_tasks: set[asyncio.Task] = set()
         self._updates_applied = 0
@@ -232,6 +267,68 @@ class RankingService:
             if self._lexicon is None:
                 self._lexicon = SyntheticLexicon(self._state.graph)
             return self._lexicon
+
+    def _require_semantic(self) -> SemanticPipeline:
+        """The semantic pipeline for the *current* graph state.
+
+        Rebuilt after a graph swap; the embedding matrix is reused
+        when the lexicon survived the update (edge-only deltas keep
+        term assignments, so the vectors are still valid).
+        """
+        state = self._state
+        lexicon = self._require_lexicon()
+        with self._semantic_lock:
+            pipeline = self._semantic
+            if (
+                pipeline is not None
+                and pipeline.graph is state.graph
+                and pipeline.lexicon is lexicon
+            ):
+                return pipeline
+            embeddings = None
+            if (
+                pipeline is not None
+                and pipeline.lexicon is lexicon
+                and pipeline.embeddings.num_pages
+                == state.graph.num_nodes
+            ):
+                embeddings = pipeline.embeddings
+            rebuilt = SemanticPipeline(
+                state.graph,
+                lexicon,
+                embeddings=embeddings,
+                dim=(
+                    pipeline.embeddings.dim
+                    if pipeline is not None
+                    else 256
+                ),
+                embedding_seed=(
+                    pipeline.embeddings.seed
+                    if pipeline is not None
+                    else 0
+                ),
+                top_m=(
+                    pipeline.top_m if pipeline is not None else 20
+                ),
+                similarity_threshold=(
+                    pipeline.similarity_threshold
+                    if pipeline is not None
+                    else 0.05
+                ),
+                max_hops=(
+                    pipeline.max_hops if pipeline is not None else 1
+                ),
+                tau=(pipeline.tau if pipeline is not None else 0.9),
+                settings=(
+                    pipeline.settings
+                    if pipeline is not None
+                    else self._settings
+                ),
+                preprocessor=state.preprocessor,
+            )
+            self._semantic = rebuilt
+            self._semantic_selections.clear()
+            return rebuilt
 
     # ------------------------------------------------------------------
     # Solving (runs on the executor thread)
@@ -433,13 +530,75 @@ class RankingService:
         mode: str = "all",
         damping: float | None = None,
         deadline_seconds: float | None = None,
-    ) -> tuple[list[SearchHit], bool]:
-        """Top-``k`` matching pages of a ranked subgraph (Figure 1)."""
-        scores, cache_hit = await self.rank(
-            nodes, damping, deadline_seconds
+        estimator: str | None = None,
+    ) -> tuple[list[SearchHit], RankOutcome]:
+        """Top-``k`` matching pages of a ranked subgraph (Figure 1).
+
+        ``estimator`` selects the ranking engine exactly as in
+        :meth:`rank_with_meta` — the answer list is then ordered by
+        the estimated scores and the outcome carries the certified
+        bound (a bogus spec raises
+        :class:`~repro.exceptions.EstimationError`, a 400 at the
+        HTTP layer).
+        """
+        outcome = await self.rank_with_meta(
+            nodes, damping, deadline_seconds, estimator=estimator
         )
-        engine = SubgraphSearchEngine(scores, self._require_lexicon())
-        return engine.search(list(terms), k=k, mode=mode), cache_hit
+        engine = SubgraphSearchEngine(
+            outcome.scores, self._require_lexicon()
+        )
+        return engine.search(list(terms), k=k, mode=mode), outcome
+
+    async def semantic_search(
+        self,
+        terms: Iterable[int],
+        k: int = 10,
+        estimator: str | None = None,
+        damping: float | None = None,
+        deadline_seconds: float | None = None,
+    ) -> tuple[SemanticAnswer, RankOutcome]:
+        """Query→select→rank→dedup over the semantic ``G_l``.
+
+        The selection stage is cached by query digest (same query +
+        same embedding config ⇒ same neighborhood, no re-embed); the
+        ranking stage goes through :meth:`rank_with_meta`, so it
+        honours ``estimator`` (and the service default) and the
+        ScoreStore's variant-keyed caching.  The exact path is
+        bit-identical to the offline
+        :meth:`~repro.semantic.pipeline.SemanticPipeline.run`.
+        """
+        pipeline = self._require_semantic()
+        term_list = [int(t) for t in terms]
+        state = self._state
+        key = (state.fingerprint, pipeline.query_digest(term_list))
+        with self._semantic_lock:
+            selection = self._semantic_selections.get(key)
+        if selection is None:
+            loop = asyncio.get_running_loop()
+            selection = await loop.run_in_executor(
+                self._executor,
+                lambda: pipeline.select(term_list),
+            )
+            with self._semantic_lock:
+                if len(self._semantic_selections) >= 1024:
+                    self._semantic_selections.clear()
+                self._semantic_selections[key] = selection
+        outcome = await self.rank_with_meta(
+            selection.nodes,
+            damping,
+            deadline_seconds,
+            estimator=estimator,
+        )
+        answer = pipeline.finish(
+            selection,
+            outcome.scores,
+            k=k,
+            estimator_name=str(
+                outcome.scores.extras.get("estimator", "exact")
+            ),
+        )
+        record_semantic_metrics(answer, self._registry)
+        return answer, outcome
 
     async def apply_update(
         self,
@@ -684,6 +843,56 @@ def _scores_payload(
     return payload
 
 
+def _search_meta(payload: dict, outcome: RankOutcome) -> dict:
+    """Attach rank-outcome accounting to a search-style payload."""
+    payload["cache_hit"] = outcome.cache_hit
+    payload["stale"] = outcome.stale
+    payload["staleness"] = outcome.staleness
+    extras = outcome.scores.extras
+    estimator = extras.get("estimator")
+    if estimator is not None:
+        payload["estimator"] = str(estimator)
+        payload["estimated"] = estimator != "exact"
+        payload["error_bound"] = float(
+            extras.get("error_bound", 0.0)
+        )
+    return payload
+
+
+def _semantic_payload(
+    answer: SemanticAnswer, outcome: RankOutcome
+) -> dict:
+    payload = {
+        "hits": [
+            {
+                "page": hit.page,
+                "score": hit.score,
+                "rank": hit.rank,
+                "similarity": hit.similarity,
+                "cluster_size": hit.cluster_size,
+                "merged_score": hit.merged_score,
+            }
+            for hit in answer.hits
+        ],
+        "nodes": answer.local_nodes.tolist(),
+        "query_digest": answer.query_digest,
+        "estimator": answer.estimator,
+        "estimated": answer.estimated,
+        "error_bound": answer.error_bound,
+        "neighborhood_size": answer.neighborhood_size,
+        "candidates_pruned": answer.candidates_pruned,
+        "dedup_merges": answer.dedup_merges,
+        "clusters": answer.extras.get("clusters", []),
+        "cache_hit": outcome.cache_hit,
+        # Same serving contract as /rank: bit-identical to the
+        # offline pipeline, or explicitly flagged with a certified
+        # bound.
+        "stale": outcome.stale,
+        "staleness": outcome.staleness,
+    }
+    return payload
+
+
 class RankingServer:
     """Asyncio HTTP/1.1 front end for a :class:`RankingService`.
 
@@ -703,7 +912,7 @@ class RankingServer:
     #: Paths that get their own metrics label; everything else is
     #: bucketed as "unknown" so a scan cannot explode cardinality.
     ENDPOINTS: tuple[str, ...] = (
-        "/rank", "/search", "/healthz", "/metrics"
+        "/rank", "/search", "/semantic-search", "/healthz", "/metrics"
     )
 
     def __init__(
@@ -939,22 +1148,24 @@ class RankingServer:
                 if method != "POST":
                     return 405, {"error": "use POST"}, _JSON
                 request = self._parse_json(body)
-                terms = request.get("terms")
-                if not isinstance(terms, list) or not terms:
-                    raise DatasetError(
-                        "'terms' must be a non-empty list of term ids"
-                    )
-                hits, cache_hit = await self.service.search(
+                terms = self._require_terms(request)
+                # Same estimator plumbing as /rank: the query form
+                # wins over the body field, bogus specs are 400s.
+                estimator = self._query_param(headers, "estimator")
+                if estimator is None:
+                    estimator = request.get("estimator")
+                hits, outcome = await self.service.search(
                     self._require_nodes(request),
-                    terms=[int(t) for t in terms],
+                    terms=terms,
                     k=int(request.get("k", 10)),
                     mode=str(request.get("mode", "all")),
                     damping=request.get("damping"),
                     deadline_seconds=self._effective_deadline(
                         request, headers
                     ),
+                    estimator=estimator,
                 )
-                return 200, {
+                payload = _search_meta({
                     "hits": [
                         {
                             "page": hit.page,
@@ -963,8 +1174,30 @@ class RankingServer:
                         }
                         for hit in hits
                     ],
-                    "cache_hit": cache_hit,
-                }, _JSON
+                }, outcome)
+                return 200, payload, _JSON
+            if path == "/semantic-search":
+                if method != "POST":
+                    return 405, {"error": "use POST"}, _JSON
+                request = self._parse_json(body)
+                terms = self._require_terms(request)
+                estimator = self._query_param(headers, "estimator")
+                if estimator is None:
+                    estimator = request.get("estimator")
+                answer, outcome = await self.service.semantic_search(
+                    terms=terms,
+                    k=int(request.get("k", 10)),
+                    estimator=estimator,
+                    damping=request.get("damping"),
+                    deadline_seconds=self._effective_deadline(
+                        request, headers
+                    ),
+                )
+                payload = _semantic_payload(answer, outcome)
+                payload["graph_fingerprint"] = (
+                    self.service.fingerprint[:16]
+                )
+                return 200, payload, _JSON
             return 404, {"error": f"unknown path {path}"}, _JSON
         except (ServiceOverloadedError, DeadlineExceededError) as exc:
             return 503, {
@@ -1055,6 +1288,15 @@ class RankingServer:
                 "'nodes' must be a non-empty list of page ids"
             )
         return [int(node) for node in nodes]
+
+    @staticmethod
+    def _require_terms(request: dict) -> list[int]:
+        terms = request.get("terms")
+        if not isinstance(terms, list) or not terms:
+            raise DatasetError(
+                "'terms' must be a non-empty list of term ids"
+            )
+        return [int(term) for term in terms]
 
     async def _respond(
         self,

@@ -1,10 +1,13 @@
-"""Subgraph extractors for the three evaluation families of §V.
+"""Subgraph extractors for the evaluation families.
 
 * **TS** — topic-specific subgraphs: a topic's category pages plus a
   focused crawl within three links (§V-C).
 * **DS** — domain-specific subgraphs: all pages of one domain (§V-D).
 * **BFS** — breadth-first crawls from a seed page up to a target
   fraction of the global graph (§V-E).
+* **FS** — dangling-frontier subgraphs.
+* **semantic** — query-derived neighborhoods (cosine seeds plus a
+  hop-bounded closure; see :mod:`repro.semantic.subgraph`).
 """
 
 from repro.subgraphs.bfs import bfs_subgraph, default_bfs_seed
@@ -18,5 +21,21 @@ __all__ = [
     "dangling_frontier_subgraph",
     "domain_subgraph",
     "focused_crawl",
+    "semantic_subgraph",
     "topic_subgraph",
 ]
+
+
+def __getattr__(name: str):
+    # The semantic family lives in repro.semantic (it needs the
+    # embedding stack); re-exported lazily so importing the
+    # topology-only extractors never pulls it in — and so
+    # repro.semantic.subgraph can import focused_crawl from this
+    # package without a cycle.
+    if name == "semantic_subgraph":
+        from repro.semantic.subgraph import semantic_subgraph
+
+        return semantic_subgraph
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -30,6 +30,9 @@ UPDATES_GOLDEN_PATH = (
 ESTIMATE_GOLDEN_PATH = (
     Path(__file__).parent / "data" / "prometheus_estimate_golden.txt"
 )
+SEMANTIC_GOLDEN_PATH = (
+    Path(__file__).parent / "data" / "prometheus_semantic_golden.txt"
+)
 
 
 def golden_registry() -> MetricsRegistry:
@@ -173,6 +176,54 @@ def estimate_golden_registry() -> MetricsRegistry:
     return reg
 
 
+def semantic_golden_registry() -> MetricsRegistry:
+    """A fixed semantic workload pinned by the semantic golden file.
+
+    Populated through :func:`record_semantic_metrics` itself — the
+    publishing path shared by the serving route, the CLI and the
+    bench — with synthetic :class:`SemanticAnswer` accounting, so the
+    golden file pins the ``repro_semantic_*`` family names, labels
+    and the neighborhood bucket layout end to end.
+    """
+    import numpy as np
+
+    from repro.pagerank.result import SubgraphScores
+    from repro.semantic.metrics import record_semantic_metrics
+    from repro.semantic.pipeline import SemanticAnswer
+
+    def answer(estimator, estimated, bound, pruned, merges, size):
+        return SemanticAnswer(
+            hits=(),
+            local_nodes=np.arange(size, dtype=np.int64),
+            scores=SubgraphScores(
+                local_nodes=np.arange(size, dtype=np.int64),
+                scores=np.full(size, 1 / size),
+                method="approxrank",
+                iterations=8,
+                residual=1e-10,
+                converged=True,
+                runtime_seconds=0.01,
+                extras={},
+            ),
+            query_digest="0" * 64,
+            estimator=estimator,
+            estimated=estimated,
+            error_bound=bound,
+            candidates_pruned=pruned,
+            dedup_merges=merges,
+            neighborhood_size=size,
+        )
+
+    reg = MetricsRegistry()
+    record_semantic_metrics(
+        answer("exact", False, 0.0, 83, 2, 51), registry=reg
+    )
+    record_semantic_metrics(
+        answer("montecarlo", True, 0.02, 40, 0, 7), registry=reg
+    )
+    return reg
+
+
 class TestPrometheusText:
     def test_matches_golden_file(self):
         text = to_prometheus_text(golden_registry().snapshot())
@@ -181,6 +232,10 @@ class TestPrometheusText:
     def test_updates_family_matches_golden_file(self):
         text = to_prometheus_text(updates_golden_registry().snapshot())
         assert text == UPDATES_GOLDEN_PATH.read_text(encoding="utf-8")
+
+    def test_semantic_family_matches_golden_file(self):
+        text = to_prometheus_text(semantic_golden_registry().snapshot())
+        assert text == SEMANTIC_GOLDEN_PATH.read_text(encoding="utf-8")
 
     def test_estimate_family_matches_golden_file(self):
         text = to_prometheus_text(estimate_golden_registry().snapshot())
@@ -246,6 +301,14 @@ class TestParsePrometheusText:
         )
         assert parsed["families"] == (
             estimate_golden_registry().snapshot()["families"]
+        )
+
+    def test_semantic_golden_file_parses_back_to_the_registry(self):
+        parsed = parse_prometheus_text(
+            SEMANTIC_GOLDEN_PATH.read_text(encoding="utf-8")
+        )
+        assert parsed["families"] == (
+            semantic_golden_registry().snapshot()["families"]
         )
 
     def test_histogram_buckets_decumulated(self):
@@ -430,6 +493,20 @@ class TestRenderReport:
     def test_estimation_section_absent_without_estimate_traffic(self):
         report = render_report(build_snapshot(golden_registry()))
         assert "Estimation (sublinear engines)" not in report
+
+    def test_semantic_section_renders_from_semantic_metrics(self):
+        report = render_report(
+            build_snapshot(semantic_golden_registry())
+        )
+        assert "Semantic" in report
+        assert "queries[exact] x1" in report
+        assert "queries[montecarlo] x1" in report
+        assert "candidates pruned 123  dedup merges 2" in report
+        assert "neighborhoods 2  mean 29.0 pages" in report
+
+    def test_semantic_section_absent_without_semantic_traffic(self):
+        report = render_report(build_snapshot(golden_registry()))
+        assert "Semantic" not in report
 
     def test_unconverged_solves_flagged(self):
         obs.enable()

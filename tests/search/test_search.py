@@ -112,6 +112,74 @@ class TestLexicon:
             lexicon.pages_with_term(10_000)
 
 
+class TestLexiconEdgeCases:
+    """Degenerate-but-legal parameter corners must build cleanly.
+
+    Pins the regressions where a one-term vocabulary, an all-global
+    or all-group coherence, and groups drawing zero in-group terms
+    each raised from the assignment loop.
+    """
+
+    def test_single_term_vocabulary(self, web):
+        lexicon = SyntheticLexicon(web.graph, num_terms=1, seed=1)
+        assert lexicon.num_terms == 1
+        for page in range(0, web.graph.num_nodes, 61):
+            assert lexicon.terms_of(page).tolist() == [0]
+        assert (
+            lexicon.pages_with_term(0).size == web.graph.num_nodes
+        )
+
+    def test_coherence_zero_draws_only_global_terms(self, web):
+        lexicon = SyntheticLexicon(
+            web.graph,
+            group_of=web.labels["domain"],
+            num_terms=50,
+            coherence=0.0,
+            seed=2,
+        )
+        assert lexicon.num_pages == web.graph.num_nodes
+        assert all(
+            lexicon.terms_of(p).size >= 1
+            for p in range(0, web.graph.num_nodes, 61)
+        )
+
+    def test_coherence_one_draws_only_group_terms(self, web):
+        lexicon = SyntheticLexicon(
+            web.graph,
+            group_of=web.labels["domain"],
+            num_terms=50,
+            coherence=1.0,
+            seed=2,
+        )
+        # Every page's terms sit inside one contiguous group slice.
+        slice_size = max(50 // 4, 1)
+        for page in range(0, web.graph.num_nodes, 61):
+            terms = lexicon.terms_of(page)
+            assert terms.size >= 1
+            assert terms.max() - terms.min() < slice_size
+
+    def test_more_groups_than_terms(self, web):
+        # slice_size clamps to 1: every group still gets terms.
+        lexicon = SyntheticLexicon(
+            web.graph,
+            group_of=web.labels["domain"],
+            num_terms=2,
+            coherence=1.0,
+            seed=4,
+        )
+        for page in range(0, web.graph.num_nodes, 61):
+            assert lexicon.terms_of(page).size >= 1
+
+    def test_empty_graph_is_a_typed_error(self):
+        from repro.graph.builder import graph_from_edges
+
+        with pytest.raises(DatasetError, match="empty graph"):
+            SyntheticLexicon(graph_from_edges(0, []))
+
+    def test_num_pages_property_matches_graph(self, web, lexicon):
+        assert lexicon.num_pages == web.graph.num_nodes
+
+
 class TestEngine:
     def test_hits_ordered_and_in_subgraph(
         self, web, lexicon, domain_scores

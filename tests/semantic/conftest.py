@@ -1,0 +1,28 @@
+"""Shared fixtures for the semantic pipeline suite."""
+
+import pytest
+
+from repro.generators.datasets import make_tiny_web
+from repro.search.lexicon import SyntheticLexicon
+from repro.semantic.embeddings import PageEmbeddings
+
+
+@pytest.fixture(scope="package")
+def web():
+    return make_tiny_web(num_pages=300, num_groups=3, seed=3)
+
+
+@pytest.fixture(scope="package")
+def lexicon(web):
+    return SyntheticLexicon(
+        web.graph,
+        group_of=web.labels["domain"],
+        num_terms=200,
+        terms_per_page=6.0,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="package")
+def embeddings(lexicon):
+    return PageEmbeddings.from_lexicon(lexicon, dim=128, seed=11)

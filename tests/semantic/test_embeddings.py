@@ -1,0 +1,120 @@
+"""Feature-hashed TF-IDF page embeddings: build, query, persist."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.semantic.embeddings import PageEmbeddings
+
+pytestmark = pytest.mark.semantic
+
+
+class TestBuild:
+    def test_shape_matches_corpus(self, web, embeddings):
+        assert embeddings.num_pages == web.graph.num_nodes
+        assert embeddings.matrix.shape == (web.graph.num_nodes, 128)
+
+    def test_rows_are_l2_normalized(self, embeddings):
+        norms = np.sqrt(
+            np.asarray(
+                embeddings.matrix.multiply(embeddings.matrix).sum(axis=1)
+            ).ravel()
+        )
+        nonzero = norms[norms > 0]
+        assert nonzero.size == embeddings.num_pages  # every page has terms
+        np.testing.assert_allclose(nonzero, 1.0, atol=1e-12)
+
+    def test_deterministic_per_seed(self, lexicon):
+        first = PageEmbeddings.from_lexicon(lexicon, dim=64, seed=7)
+        again = PageEmbeddings.from_lexicon(lexicon, dim=64, seed=7)
+        assert np.array_equal(first.matrix.data, again.matrix.data)
+        assert np.array_equal(
+            first.matrix.indices, again.matrix.indices
+        )
+        assert np.array_equal(first.matrix.indptr, again.matrix.indptr)
+
+    def test_seed_changes_the_hash_space(self, lexicon):
+        first = PageEmbeddings.from_lexicon(lexicon, dim=64, seed=7)
+        other = PageEmbeddings.from_lexicon(lexicon, dim=64, seed=8)
+        assert not (
+            np.array_equal(first.matrix.indices, other.matrix.indices)
+            and np.array_equal(first.matrix.data, other.matrix.data)
+        )
+
+    def test_rejects_nonpositive_dim(self, lexicon):
+        with pytest.raises(DatasetError, match="dim"):
+            PageEmbeddings.from_lexicon(lexicon, dim=0)
+
+
+class TestQueries:
+    def test_query_vector_is_unit_norm(self, embeddings):
+        vector = embeddings.embed_terms([0, 1, 2])
+        assert vector.shape == (embeddings.dim,)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_out_of_vocabulary_term_rejected(self, embeddings):
+        with pytest.raises(DatasetError, match="vocabulary"):
+            embeddings.embed_terms([embeddings.num_terms])
+
+    def test_empty_query_rejected(self, embeddings):
+        with pytest.raises(DatasetError, match="at least one term"):
+            embeddings.embed_terms([])
+
+    def test_similarities_cover_every_page(self, embeddings):
+        sims = embeddings.similarities(embeddings.embed_terms([3]))
+        assert sims.shape == (embeddings.num_pages,)
+        assert np.all(np.abs(sims) <= 1.0 + 1e-9)
+
+    def test_page_subset_matches_full_sweep(self, embeddings):
+        query = embeddings.embed_terms([3, 5])
+        full = embeddings.similarities(query)
+        pages = np.asarray([0, 10, 42], dtype=np.int64)
+        subset = embeddings.similarities(query, pages=pages)
+        np.testing.assert_array_equal(subset, full[pages])
+
+    def test_self_similarity_is_one(self, embeddings):
+        pairwise = embeddings.pairwise(np.asarray([4, 9, 17]))
+        np.testing.assert_allclose(np.diag(pairwise), 1.0, atol=1e-12)
+
+    def test_wrong_query_shape_rejected(self, embeddings):
+        with pytest.raises(DatasetError, match="shape"):
+            embeddings.similarities(np.zeros(embeddings.dim + 1))
+
+
+class TestPersistence:
+    def test_round_trip_is_bit_identical(self, embeddings, tmp_path):
+        target = tmp_path / "embeddings.npz"
+        embeddings.save(target)
+        loaded = PageEmbeddings.load(target)
+        assert np.array_equal(loaded.matrix.data, embeddings.matrix.data)
+        assert np.array_equal(
+            loaded.matrix.indices, embeddings.matrix.indices
+        )
+        assert np.array_equal(
+            loaded.matrix.indptr, embeddings.matrix.indptr
+        )
+        assert loaded.dim == embeddings.dim
+        assert loaded.seed == embeddings.seed
+        assert loaded.num_terms == embeddings.num_terms
+
+    def test_mmap_load_matches_copying_load(self, embeddings, tmp_path):
+        target = tmp_path / "embeddings.npz"
+        embeddings.save(target)
+        mapped = PageEmbeddings.load(target, mmap=True)
+        assert np.array_equal(
+            mapped.matrix.data, embeddings.matrix.data
+        )
+        # Queries embed identically through the reloaded IDF table.
+        np.testing.assert_array_equal(
+            mapped.embed_terms([1, 4]),
+            embeddings.embed_terms([1, 4]),
+        )
+
+    def test_unknown_format_version_rejected(self, embeddings, tmp_path):
+        target = tmp_path / "embeddings.npz"
+        embeddings.save(target)
+        arrays = dict(np.load(target))
+        arrays["format_version"] = np.int64(99)
+        np.savez(target, **arrays)
+        with pytest.raises(DatasetError, match="format v99"):
+            PageEmbeddings.load(target)

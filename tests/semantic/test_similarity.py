@@ -1,0 +1,78 @@
+"""Cosine top-M retrieval and inverted-index candidate pruning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.semantic.similarity import SemanticRetriever
+
+pytestmark = pytest.mark.semantic
+
+QUERY = [0, 1, 2]
+
+
+@pytest.fixture(scope="module")
+def retriever(embeddings, lexicon):
+    return SemanticRetriever(embeddings, lexicon)
+
+
+class TestRetrieve:
+    def test_ordered_by_similarity_then_page(self, retriever):
+        result = retriever.retrieve(QUERY, m=15)
+        sims = result.similarities
+        assert np.all(sims[:-1] >= sims[1:])
+        for i in range(sims.size - 1):
+            if sims[i] == sims[i + 1]:
+                assert result.pages[i] < result.pages[i + 1]
+
+    def test_m_caps_the_answer(self, retriever):
+        assert retriever.retrieve(QUERY, m=5).pages.size <= 5
+
+    def test_only_positive_similarity_without_floor(self, retriever):
+        result = retriever.retrieve(QUERY, m=1000)
+        assert np.all(result.similarities > 0.0)
+
+    def test_min_similarity_floor_respected(self, retriever):
+        result = retriever.retrieve(QUERY, m=1000, min_similarity=0.2)
+        assert np.all(result.similarities >= 0.2)
+
+    def test_pruning_changes_cost_not_answers(
+        self, embeddings, lexicon
+    ):
+        pruned = SemanticRetriever(embeddings, lexicon).retrieve(
+            QUERY, m=10
+        )
+        full = SemanticRetriever(embeddings).retrieve(QUERY, m=10_000)
+        # The index only removes pages sharing no query term — all of
+        # which score as hash-collision noise — so the Top-M of real
+        # matches is unchanged while the scored set shrinks.
+        assert pruned.pruned > 0
+        assert pruned.candidates < full.candidates
+        assert full.pruned == 0
+        matched = set(lexicon.pages_matching(QUERY, mode="any").tolist())
+        overlap = [p for p in full.pages.tolist() if p in matched]
+        assert pruned.pages.tolist() == overlap[: pruned.pages.size]
+
+    def test_prune_forced_without_lexicon_rejected(self, embeddings):
+        with pytest.raises(DatasetError, match="needs a lexicon"):
+            SemanticRetriever(embeddings).retrieve(QUERY, prune=True)
+
+    def test_rejects_bad_m(self, retriever):
+        with pytest.raises(DatasetError, match="m must be"):
+            retriever.retrieve(QUERY, m=0)
+
+    def test_corpus_size_mismatch_rejected(self, embeddings, web):
+        from repro.search.lexicon import SyntheticLexicon
+
+        smaller = SyntheticLexicon(
+            _subgraph_of(web.graph, 50), seed=1
+        )
+        with pytest.raises(DatasetError, match="corpus size"):
+            SemanticRetriever(embeddings, smaller)
+
+
+def _subgraph_of(graph, n):
+    from repro.graph.builder import graph_from_edges
+
+    edges = [(0, 1), (1, 2)]
+    return graph_from_edges(n, edges)

@@ -141,6 +141,55 @@ class TestErrors:
         assert excinfo.value.status == 400
 
 
+class TestSearchEstimator:
+    """``/search`` must honour ``estimator`` exactly like ``/rank``.
+
+    Pins the regression where the field was accepted and silently
+    ignored: answers always came from the exact solver and the
+    response never carried the estimated/stale flags.
+    """
+
+    TERMS = [1, 2]
+
+    def test_search_estimator_is_honoured_and_flagged(self, client):
+        wire = client.search(
+            NODES, terms=self.TERMS, k=5, mode="any",
+            estimator=MC_SPEC,
+        )
+        assert wire["estimator"] == "montecarlo"
+        assert wire["estimated"] is True
+        assert wire["stale"] is True
+        assert wire["staleness"] == wire["error_bound"] > 0.0
+
+    def test_search_estimator_in_body_is_honoured(self, client):
+        payload = client._json(
+            "POST",
+            "/search",
+            {
+                "nodes": NODES,
+                "terms": self.TERMS,
+                "k": 5,
+                "mode": "any",
+                "estimator": MC_SPEC,
+            },
+        )
+        assert payload["estimator"] == "montecarlo"
+        assert payload["estimated"] is True
+
+    def test_search_default_stays_exact_and_unflagged(self, client):
+        wire = client.search(NODES, terms=self.TERMS, k=5, mode="any")
+        assert "estimated" not in wire or wire["estimated"] is False
+        assert wire["stale"] is False
+
+    def test_search_bogus_estimator_is_a_400(self, client):
+        for spec in ("quantum", "montecarlo:walks=-1", "push:oops"):
+            with pytest.raises(ServeRequestError) as excinfo:
+                client.search(
+                    NODES, terms=self.TERMS, k=5, estimator=spec
+                )
+            assert excinfo.value.status == 400
+
+
 class TestDefaultEstimator:
     def test_service_default_applies_without_query(self, web):
         service = RankingService(

@@ -1,0 +1,120 @@
+"""One contract for all five subgraph families.
+
+Every extractor — BFS, topic, domain, dangling-frontier, semantic —
+must hand ``approxrank()`` the same shape of thing: a non-empty,
+sorted, duplicate-free ``int64`` array of valid node ids, reproduced
+exactly on a second call with the same inputs.  The solver accepts
+each family's output unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approxrank import approxrank
+from repro.generators.datasets import make_politics_like, make_tiny_web
+from repro.pagerank.solver import PowerIterationSettings
+from repro.search.lexicon import SyntheticLexicon
+from repro.semantic.embeddings import PageEmbeddings
+from repro.semantic.similarity import SemanticRetriever
+from repro.subgraphs import (
+    bfs_subgraph,
+    dangling_frontier_subgraph,
+    default_bfs_seed,
+    domain_subgraph,
+    semantic_subgraph,
+    topic_subgraph,
+)
+
+pytestmark = pytest.mark.semantic
+
+SETTINGS = PowerIterationSettings(tolerance=1e-10)
+
+
+@pytest.fixture(scope="module")
+def web():
+    return make_tiny_web(num_pages=300, num_groups=3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def politics():
+    return make_politics_like(num_pages=300, seed=3)
+
+
+@pytest.fixture(scope="module")
+def retriever(web):
+    lexicon = SyntheticLexicon(
+        web.graph, group_of=web.labels["domain"], seed=5
+    )
+    embeddings = PageEmbeddings.from_lexicon(lexicon, dim=64, seed=11)
+    return SemanticRetriever(embeddings, lexicon)
+
+
+def _extractors(web, politics, retriever):
+    return {
+        "bfs": (
+            web.graph,
+            lambda: bfs_subgraph(
+                web.graph, default_bfs_seed(web.graph), fraction=0.1
+            ),
+        ),
+        "topic": (
+            politics.graph,
+            lambda: topic_subgraph(
+                politics,
+                politics.label_names["topic"][1],
+                max_depth=3,
+            ),
+        ),
+        "domain": (
+            web.graph,
+            lambda: domain_subgraph(web, web.label_names["domain"][0]),
+        ),
+        "frontier": (
+            web.graph,
+            lambda: dangling_frontier_subgraph(web.graph, halo_hops=1),
+        ),
+        "semantic": (
+            web.graph,
+            lambda: semantic_subgraph(
+                web.graph,
+                retriever,
+                [0, 1, 2],
+                top_m=20,
+                similarity_threshold=0.05,
+                max_hops=1,
+            ),
+        ),
+    }
+
+
+FAMILIES = ["bfs", "topic", "domain", "frontier", "semantic"]
+
+
+@pytest.fixture(params=FAMILIES)
+def family(request, web, politics, retriever):
+    graph, extract = _extractors(web, politics, retriever)[
+        request.param
+    ]
+    return request.param, graph, extract
+
+
+class TestFamilyContract:
+    def test_nodes_are_valid_sorted_unique_int64(self, family):
+        name, graph, extract = family
+        nodes = extract()
+        assert nodes.size > 0, name
+        assert nodes.dtype == np.int64, name
+        assert np.array_equal(nodes, np.unique(nodes)), name
+        assert nodes.min() >= 0 and nodes.max() < graph.num_nodes, name
+
+    def test_extraction_is_deterministic(self, family):
+        name, _, extract = family
+        assert np.array_equal(extract(), extract()), name
+
+    def test_approxrank_accepts_output_unchanged(self, family):
+        name, graph, extract = family
+        nodes = extract()
+        scores = approxrank(graph, nodes, SETTINGS)
+        assert scores.scores.shape == (nodes.size,), name
+        assert np.all(np.isfinite(scores.scores)), name
+        assert np.all(scores.scores > 0), name
